@@ -1,0 +1,87 @@
+//! Ablation — ESS grid resolution.
+//!
+//! The paper works on "an appropriately discretized grid version of
+//! `[0,1]^D`" without quantifying the discretization's effect. This
+//! ablation sweeps the per-dimension resolution on a 3D query and reports
+//! how the guarantees' inputs (ρ_red, contour count) and the measured
+//! MSOe respond — demonstrating that the conclusions are not an artifact
+//! of grid choice (MSOe stabilizes once the grid resolves the plan
+//! diagram).
+
+use rqp::catalog::tpcds;
+use rqp::core::eval::{evaluate_planbouquet_fast, evaluate_spillbound};
+use rqp::core::PlanBouquet;
+use rqp::ess::EssSurface;
+use rqp::experiments::{fmt, print_table, write_json};
+use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
+use rqp::workloads::paper_suite;
+use rqp_common::MultiGrid;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    points_per_dim: usize,
+    locations: usize,
+    posp: usize,
+    rho_red: usize,
+    sb_msoe: f64,
+    pb_msoe: f64,
+    build_secs: f64,
+}
+
+fn main() {
+    let catalog = tpcds::catalog_sf100();
+    let bench = paper_suite(&catalog)
+        .into_iter()
+        .find(|b| b.name() == "3D_Q96")
+        .expect("suite");
+    let query = bench.query;
+    let opt = Optimizer::new(&catalog, &query, CostParams::default(), EnumerationMode::LeftDeep)
+        .expect("valid");
+    let mut rows = Vec::new();
+    for n in [6usize, 8, 10, 12, 16] {
+        let t = Instant::now();
+        let surface = EssSurface::build(&opt, MultiGrid::uniform(3, 1e-7, n));
+        let build_secs = t.elapsed().as_secs_f64();
+        let pb = PlanBouquet::new(&surface, &opt, 2.0, 0.2);
+        let sb = evaluate_spillbound(&surface, &opt, 2.0).expect("SB eval");
+        let pbe = evaluate_planbouquet_fast(&surface, &opt, 2.0, 0.2).expect("PB eval");
+        rows.push(Row {
+            points_per_dim: n,
+            locations: surface.len(),
+            posp: surface.posp_size(),
+            rho_red: pb.rho_red(),
+            sb_msoe: sb.mso,
+            pb_msoe: pbe.mso,
+            build_secs,
+        });
+        eprintln!("[swept {n} points/dim]");
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.points_per_dim.to_string(),
+                r.locations.to_string(),
+                r.posp.to_string(),
+                r.rho_red.to_string(),
+                fmt(r.sb_msoe, 1),
+                fmt(r.pb_msoe, 1),
+                fmt(r.build_secs, 3),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation: ESS grid resolution (3D_Q96)",
+        &["pts/dim", "locations", "POSP", "ρ_red", "SB MSOe", "PB MSOe", "build s"],
+        &table,
+    );
+    // SB's measured MSO must stay within the structural guarantee at every
+    // resolution — the guarantee is grid-independent.
+    for r in &rows {
+        assert!(r.sb_msoe <= 18.0 * (1.0 + 1e-6), "SB exceeds D²+3D at n={}", r.points_per_dim);
+    }
+    println!("\nSB stays within D²+3D = 18 at every resolution (structural bound).");
+    write_json("ablation_grid", &rows);
+}

@@ -1,0 +1,34 @@
+//! Figure 11 — average sub-optimality (ASO): PlanBouquet vs SpillBound.
+//!
+//! ASO under a uniform prior over `qa` (Eq. 8). Paper shape to reproduce:
+//! SB's average case is better than PB's, especially at higher
+//! dimensionality (5D_Q19 in the paper: 17 → 8.6).
+
+use rqp::experiments::{fmt, print_table, suite_comparison_cached, write_json};
+
+fn main() {
+    let rows = suite_comparison_cached();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.d.to_string(),
+                fmt(r.aso_pb, 2),
+                fmt(r.aso_sb, 2),
+                fmt(r.aso_pb / r.aso_sb, 2),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 11: average sub-optimality (ASO) — PlanBouquet vs SpillBound",
+        &["query", "D", "PB ASO", "SB ASO", "PB/SB"],
+        &table,
+    );
+    let high_d_better = rows
+        .iter()
+        .filter(|r| r.d >= 5)
+        .all(|r| r.aso_sb <= r.aso_pb);
+    println!("\nSB's ASO at least as good on every 5D/6D query: {high_d_better}");
+    write_json("fig11_aso", &rows);
+}

@@ -1,0 +1,62 @@
+//! Figure 12 — sub-optimality distribution over the ESS (4D_Q91).
+//!
+//! Histogram of per-location sub-optimality with bucket width 5. Paper
+//! shape to reproduce: SB concentrates far more of the space in the first
+//! bucket than PB (paper: >90% of locations below 5 for SB vs 35% for
+//! PB).
+
+use rqp::catalog::tpcds;
+use rqp::core::eval::{evaluate_planbouquet_fast, evaluate_spillbound};
+use rqp::experiments::{fmt, print_table, write_json, Experiment};
+use rqp::optimizer::EnumerationMode;
+use rqp::workloads::q91_with_dims;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Hist {
+    bucket_upper: Vec<f64>,
+    pb_percent: Vec<f64>,
+    sb_percent: Vec<f64>,
+}
+
+fn main() {
+    let catalog = tpcds::catalog_sf100();
+    let bench = q91_with_dims(&catalog, 4);
+    let exp = Experiment::build(catalog, bench, EnumerationMode::LeftDeep);
+    let opt = exp.optimizer();
+    let pb = evaluate_planbouquet_fast(&exp.surface, &opt, 2.0, 0.2).expect("PB eval");
+    let sb = evaluate_spillbound(&exp.surface, &opt, 2.0).expect("SB eval");
+
+    const WIDTH: f64 = 5.0;
+    let pb_h = pb.histogram(WIDTH);
+    let sb_h = sb.histogram(WIDTH);
+    let buckets = pb_h.len().max(sb_h.len());
+    let pct = |h: &[(f64, f64)], b: usize| h.get(b).map_or(0.0, |&(_, p)| p);
+    let table: Vec<Vec<String>> = (0..buckets)
+        .map(|b| {
+            vec![
+                format!("[{}, {})", b as f64 * WIDTH, (b + 1) as f64 * WIDTH),
+                fmt(pct(&pb_h, b), 1),
+                fmt(pct(&sb_h, b), 1),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 12: sub-optimality distribution, 4D_Q91 (% of ESS locations)",
+        &["sub-optimality", "PB %", "SB %"],
+        &table,
+    );
+    println!(
+        "\nlocations with sub-optimality < 5: PB {:.1}%, SB {:.1}%",
+        pb.percent_within(5.0),
+        sb.percent_within(5.0)
+    );
+    write_json(
+        "fig12_subopt_hist",
+        &Hist {
+            bucket_upper: (1..=buckets).map(|b| b as f64 * WIDTH).collect(),
+            pb_percent: (0..buckets).map(|b| pct(&pb_h, b)).collect(),
+            sb_percent: (0..buckets).map(|b| pct(&sb_h, b)).collect(),
+        },
+    );
+}

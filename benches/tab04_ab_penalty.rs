@@ -1,0 +1,24 @@
+//! Table 4 — maximum AlignedBound partition penalty per query.
+//!
+//! The per-part penalty bounds the cost of quantum progress on a contour
+//! (penalty × contour cost). Paper shape to reproduce: penalties stay
+//! small — below ~3–4 even for 5D/6D queries — which is why AB's
+//! empirical MSO approaches the linear bound.
+
+use rqp::experiments::{fmt, print_table, suite_comparison_cached, write_json};
+
+fn main() {
+    let rows = suite_comparison_cached();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.name.clone(), fmt(r.ab_max_penalty, 2)])
+        .collect();
+    print_table(
+        "Table 4: maximum partition penalty for AlignedBound",
+        &["query", "max penalty"],
+        &table,
+    );
+    let max = rows.iter().map(|r| r.ab_max_penalty).fold(1.0, f64::max);
+    println!("\nlargest penalty across the suite: {max:.2}");
+    write_json("tab04_ab_penalty", &rows);
+}

@@ -1,0 +1,156 @@
+//! Statistics collection — the `ANALYZE` analogue.
+//!
+//! Refreshes a catalog's per-column statistics (NDV, domain, equi-depth
+//! histogram) from materialized data. This closes the loop the paper's
+//! §1 opens: even *freshly analyzed* statistics mis-estimate join
+//! selectivities under correlation and skew, which is why the ESS exists —
+//! but filter estimates become materially better, matching how real
+//! engines behave.
+
+use crate::datagen::DataSet;
+use crate::schema::{Catalog, TableId};
+use crate::stats::EquiDepthHistogram;
+use std::collections::HashSet;
+
+/// Default histogram resolution (PostgreSQL's `default_statistics_target`
+/// is 100; we keep it smaller for synthetic data).
+pub const DEFAULT_BUCKETS: usize = 32;
+
+/// Recomputes statistics for every materialized column of `table`:
+/// exact NDV, observed domain, and an equi-depth histogram with
+/// `buckets` buckets. Row counts are updated to the materialized size.
+pub fn analyze_table(catalog: &mut Catalog, data: &DataSet, table: TableId, buckets: usize) {
+    let Some(dt) = data.table(table) else { return };
+    let rows = dt.rows() as u64;
+    let ncols = catalog.table(table).columns.len();
+    let mut new_stats = Vec::with_capacity(ncols);
+    for c in 0..ncols {
+        let col = dt.col(c);
+        let ndv = col.iter().collect::<HashSet<_>>().len() as u64;
+        let domain = col
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<(i64, i64)>, v| {
+                Some(match acc {
+                    None => (v, v),
+                    Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                })
+            });
+        let histogram = EquiDepthHistogram::build(col, buckets);
+        new_stats.push((ndv.max(1), domain, histogram));
+    }
+    let t = catalog.table_mut(table);
+    t.rows = rows;
+    for (c, (ndv, domain, histogram)) in new_stats.into_iter().enumerate() {
+        let s = &mut t.columns[c].stats;
+        s.ndv = ndv;
+        s.domain = domain;
+        s.histogram = histogram;
+    }
+}
+
+/// Analyzes every materialized table of the dataset.
+pub fn analyze(catalog: &mut Catalog, data: &DataSet, buckets: usize) {
+    for t in 0..catalog.len() {
+        analyze_table(catalog, data, t, buckets);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{ColumnGen, GenSpec, TableGenSpec};
+    use crate::schema::{Column, DataType, Table};
+    use crate::stats::ColumnStats;
+
+    fn fixture() -> (Catalog, DataSet) {
+        let mut cat = Catalog::new();
+        let t = cat
+            .add_table(Table::new(
+                "t",
+                999_999, // stale row count
+                vec![
+                    Column::new("k", DataType::Int, ColumnStats::uniform(42)), // stale NDV
+                    Column::new("v", DataType::Int, ColumnStats::with_ndv(1)),
+                ],
+            ))
+            .unwrap();
+        let data = DataSet::generate(
+            &cat,
+            &GenSpec {
+                seed: 3,
+                tables: vec![TableGenSpec {
+                    table: t,
+                    rows: 10_000,
+                    columns: vec![
+                        ColumnGen::Serial,
+                        ColumnGen::Zipf {
+                            domain: 100,
+                            s: 1.0,
+                        },
+                    ],
+                }],
+            },
+        )
+        .unwrap();
+        (cat, data)
+    }
+
+    #[test]
+    fn analyze_refreshes_cardinality_ndv_and_domain() {
+        let (mut cat, data) = fixture();
+        analyze(&mut cat, &data, 16);
+        let t = cat.table(0);
+        assert_eq!(t.rows, 10_000);
+        assert_eq!(t.columns[0].stats.ndv, 10_000, "serial column: exact NDV");
+        assert_eq!(t.columns[0].stats.domain, Some((0, 9_999)));
+        assert!(t.columns[1].stats.ndv <= 100);
+        assert!(t.columns[1].stats.histogram.is_some());
+    }
+
+    #[test]
+    fn histogram_estimates_beat_uniform_on_skew() {
+        let (mut cat, data) = fixture();
+        // Before ANALYZE: with_ndv(1) has no domain → default 1/3 estimate.
+        let naive = cat.table(0).columns[1].stats.le_selectivity(0);
+        analyze(&mut cat, &data, 32);
+        let hist_est = cat.table(0).columns[1].stats.le_selectivity(0);
+        let truth = data.true_le_selectivity(0, 1, 0).unwrap();
+        // Zipf(1.0, 100): ~19% of values are 0; the histogram should land
+        // much closer than the naive default.
+        assert!(
+            (hist_est - truth).abs() < (naive - truth).abs(),
+            "histogram {hist_est} should beat naive {naive} (truth {truth})"
+        );
+        assert!((hist_est - truth).abs() < 0.08);
+    }
+
+    #[test]
+    fn equi_depth_histogram_basics() {
+        let h = EquiDepthHistogram::build(&[1, 2, 3, 4, 5, 6, 7, 8], 4).unwrap();
+        assert_eq!(h.min, 1);
+        assert_eq!(h.bounds, vec![2, 4, 6, 8]);
+        assert_eq!(h.le_selectivity(0), 0.0);
+        assert_eq!(h.le_selectivity(8), 1.0);
+        assert!((h.le_selectivity(4) - 0.5).abs() < 1e-12);
+        assert!(EquiDepthHistogram::build(&[], 4).is_none());
+        // degenerate single-value column
+        let h = EquiDepthHistogram::build(&[7; 100], 4).unwrap();
+        assert_eq!(h.le_selectivity(6), 0.0);
+        assert_eq!(h.le_selectivity(7), 1.0);
+    }
+
+    #[test]
+    fn analyze_skips_unmaterialized_tables() {
+        let (mut cat, data) = fixture();
+        let extra = cat
+            .add_table(Table::new(
+                "ghost",
+                123,
+                vec![Column::new("x", DataType::Int, ColumnStats::uniform(5))],
+            ))
+            .unwrap();
+        analyze(&mut cat, &data, 8);
+        assert_eq!(cat.table(extra).rows, 123, "unmaterialized: untouched");
+    }
+}

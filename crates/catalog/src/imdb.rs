@@ -1,0 +1,130 @@
+//! Mini-IMDB schema for the Join Order Benchmark experiment (§6.5).
+//!
+//! The JOB benchmark runs over the real IMDB dataset; we reproduce the
+//! tables touched by Query 1a (`company_type`, `info_type`, `title`,
+//! `movie_companies`, `movie_info_idx`) with the dataset's published
+//! cardinalities. JOB is deliberately hostile to native optimizers — its
+//! correlated predicates produce large estimation errors — which is exactly
+//! the regime the ESS models by letting `qa` roam the whole space.
+
+use crate::schema::{Catalog, Column, DataType, Table};
+use crate::stats::ColumnStats;
+
+/// Builds the mini-IMDB catalog at the full dataset size.
+pub fn catalog_full() -> Catalog {
+    catalog(1.0)
+}
+
+/// Builds the mini-IMDB catalog with cardinalities scaled by `shrink`
+/// (use small values for executor-backed tests).
+pub fn catalog(shrink: f64) -> Catalog {
+    assert!(shrink > 0.0);
+    let sc = |n: u64| ((n as f64 * shrink) as u64).max(2);
+    let mut cat = Catalog::new();
+
+    let title_rows = sc(2_528_312);
+    let mc_rows = sc(2_609_129);
+    let mii_rows = sc(1_380_035);
+    let ct_rows = if shrink >= 1.0 { 4 } else { 2 };
+    let it_rows = if shrink >= 1.0 { 113 } else { 4 };
+    let cn_rows = sc(234_997);
+
+    let int = |name: &str, ndv: u64| Column::new(name, DataType::Int, ColumnStats::uniform(ndv));
+    let key = |name: &str, rows: u64| {
+        Column::new(name, DataType::Int, ColumnStats::uniform(rows)).with_index()
+    };
+    let fk = |name: &str, ndv: u64| {
+        Column::new(name, DataType::Int, ColumnStats::uniform(ndv)).with_index()
+    };
+
+    cat.add_table(Table::new(
+        "company_type",
+        ct_rows,
+        vec![key("ct_id", ct_rows), int("ct_kind", ct_rows)],
+    ))
+    .unwrap();
+
+    cat.add_table(Table::new(
+        "info_type",
+        it_rows,
+        vec![key("it_id", it_rows), int("it_info", it_rows)],
+    ))
+    .unwrap();
+
+    cat.add_table(Table::new(
+        "title",
+        title_rows,
+        vec![
+            key("t_id", title_rows),
+            int("t_production_year", 150),
+            int("t_kind_id", 7),
+        ],
+    ))
+    .unwrap();
+
+    cat.add_table(Table::new(
+        "movie_companies",
+        mc_rows,
+        vec![
+            key("mc_id", mc_rows),
+            fk("mc_movie_id", title_rows),
+            fk("mc_company_id", cn_rows),
+            fk("mc_company_type_id", ct_rows),
+            int("mc_note", 100),
+        ],
+    ))
+    .unwrap();
+
+    cat.add_table(Table::new(
+        "movie_info_idx",
+        mii_rows,
+        vec![
+            key("mii_id", mii_rows),
+            fk("mii_movie_id", title_rows),
+            fk("mii_info_type_id", it_rows),
+            int("mii_info", 1000),
+        ],
+    ))
+    .unwrap();
+
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cardinalities() {
+        let cat = catalog_full();
+        let t = cat.table(cat.table_id("title").unwrap());
+        assert_eq!(t.rows, 2_528_312);
+        let mc = cat.table(cat.table_id("movie_companies").unwrap());
+        assert_eq!(mc.rows, 2_609_129);
+        let ct = cat.table(cat.table_id("company_type").unwrap());
+        assert_eq!(ct.rows, 4);
+    }
+
+    #[test]
+    fn job_q1a_columns_exist() {
+        let cat = catalog_full();
+        for (t, c) in [
+            ("company_type", "ct_id"),
+            ("info_type", "it_id"),
+            ("title", "t_id"),
+            ("movie_companies", "mc_movie_id"),
+            ("movie_companies", "mc_company_type_id"),
+            ("movie_info_idx", "mii_movie_id"),
+            ("movie_info_idx", "mii_info_type_id"),
+        ] {
+            assert!(cat.col_ref(t, c).is_ok(), "missing {t}.{c}");
+        }
+    }
+
+    #[test]
+    fn shrunk_catalog() {
+        let cat = catalog(0.001);
+        let t = cat.table(cat.table_id("title").unwrap());
+        assert!(t.rows >= 2 && t.rows < 10_000);
+    }
+}

@@ -1,0 +1,42 @@
+//! Relational catalog, statistics and synthetic data for `rqp`.
+//!
+//! The paper's experiments run over TPC-DS at 100 GB on a modified
+//! PostgreSQL. This crate supplies the equivalent substrate:
+//!
+//! * [`schema`] — tables, columns, indexes, and the [`Catalog`] registry;
+//! * [`stats`] — per-column statistics (cardinality, NDV, domain) that feed
+//!   the optimizer's cost model and the native baseline's selectivity
+//!   estimates;
+//! * [`analyze`] — the `ANALYZE` analogue: refreshes NDV/domain/histogram
+//!   statistics from materialized data;
+//! * [`datagen`] — a deterministic synthetic data generator producing
+//!   integer-encoded tables with *plantable* join/filter selectivities, used
+//!   by the execution engine for the wall-clock experiments (Table 3);
+//! * [`tpcds`] — the TPC-DS schema at configurable scale factors (official
+//!   SF cardinalities drive the cost model);
+//! * [`tpch`] — the three-table TPC-H fragment behind the paper's Fig. 1
+//!   example query;
+//! * [`imdb`] — the mini-IMDB schema backing the Join Order Benchmark
+//!   experiment of §6.5.
+//!
+//! ```
+//! use rqp_catalog::tpcds;
+//!
+//! let catalog = tpcds::catalog_sf100();
+//! let ss = catalog.table_id("store_sales").unwrap();
+//! assert!(catalog.table(ss).rows > 280_000_000);
+//! let cr = catalog.col_ref("store_sales", "ss_item_sk").unwrap();
+//! assert!(catalog.table(cr.table).columns[cr.col].indexed);
+//! ```
+
+pub mod analyze;
+pub mod datagen;
+pub mod imdb;
+pub mod schema;
+pub mod stats;
+pub mod tpcds;
+pub mod tpch;
+
+pub use datagen::{DataSet, DataTable, GenSpec, TableGenSpec};
+pub use schema::{Catalog, ColId, ColRef, Column, DataType, Table, TableId};
+pub use stats::{ColumnStats, EquiDepthHistogram};

@@ -1,0 +1,244 @@
+//! Tables, columns and the catalog registry.
+
+use crate::stats::ColumnStats;
+use rqp_common::{Result, RqpError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a table inside a [`Catalog`] (dense index).
+pub type TableId = usize;
+/// Identifier of a column inside its table (dense index).
+pub type ColId = usize;
+
+/// A fully-qualified column reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColRef {
+    /// Owning table.
+    pub table: TableId,
+    /// Column within the table.
+    pub col: ColId,
+}
+
+impl ColRef {
+    /// Convenience constructor.
+    pub fn new(table: TableId, col: ColId) -> Self {
+        Self { table, col }
+    }
+}
+
+/// Logical column data types.
+///
+/// Synthetic data is dictionary-encoded to `i64` at execution time, so the
+/// type mostly informs row-width accounting and documentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit integer (also used for surrogate keys).
+    Int,
+    /// Double-precision float.
+    Double,
+    /// Variable-length string (dictionary-encoded in synthetic data).
+    Text,
+    /// Calendar date, stored as days since epoch.
+    Date,
+}
+
+impl DataType {
+    /// Average encoded width in bytes, used by the cost model's page math.
+    pub fn avg_width(self) -> f64 {
+        match self {
+            DataType::Int => 8.0,
+            DataType::Double => 8.0,
+            DataType::Text => 24.0,
+            DataType::Date => 8.0,
+        }
+    }
+}
+
+/// A column definition plus its statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Logical type.
+    pub ty: DataType,
+    /// Optimizer statistics.
+    pub stats: ColumnStats,
+    /// Whether a secondary index exists on this column (primary keys are
+    /// always indexed).
+    pub indexed: bool,
+}
+
+impl Column {
+    /// A key-like integer column: NDV equal to the row count is supplied by
+    /// the caller through `stats`.
+    pub fn new(name: impl Into<String>, ty: DataType, stats: ColumnStats) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+            stats,
+            indexed: false,
+        }
+    }
+
+    /// Marks the column as indexed (builder style).
+    pub fn with_index(mut self) -> Self {
+        self.indexed = true;
+        self
+    }
+}
+
+/// A base table: name, cardinality and columns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name, unique within the catalog.
+    pub name: String,
+    /// Row count (may be in the billions for SF=100 fact tables; drives the
+    /// cost model, not necessarily materialized).
+    pub rows: u64,
+    /// Columns.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates a table.
+    pub fn new(name: impl Into<String>, rows: u64, columns: Vec<Column>) -> Self {
+        Self {
+            name: name.into(),
+            rows,
+            columns,
+        }
+    }
+
+    /// Average row width in bytes (sum of column widths plus a fixed header).
+    pub fn row_width(&self) -> f64 {
+        const TUPLE_HEADER: f64 = 24.0;
+        TUPLE_HEADER + self.columns.iter().map(|c| c.ty.avg_width()).sum::<f64>()
+    }
+
+    /// Number of 8 KiB pages the table occupies.
+    pub fn pages(&self) -> f64 {
+        const PAGE_BYTES: f64 = 8192.0;
+        ((self.rows as f64) * self.row_width() / PAGE_BYTES).max(1.0)
+    }
+
+    /// Looks up a column index by name.
+    pub fn col_id(&self, name: &str) -> Option<ColId> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+/// The catalog: an ordered registry of tables.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table, returning its id.
+    ///
+    /// # Errors
+    /// Fails if a table with the same name already exists.
+    pub fn add_table(&mut self, table: Table) -> Result<TableId> {
+        if self.by_name.contains_key(&table.name) {
+            return Err(RqpError::InvalidQuery(format!(
+                "duplicate table {}",
+                table.name
+            )));
+        }
+        let id = self.tables.len();
+        self.by_name.insert(table.name.clone(), id);
+        self.tables.push(table);
+        Ok(id)
+    }
+
+    /// Table by id.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids (these are always internal bugs).
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id]
+    }
+
+    /// Mutable table access (statistics refresh — see [`crate::analyze`]).
+    pub fn table_mut(&mut self, id: TableId) -> &mut Table {
+        &mut self.tables[id]
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| RqpError::UnknownObject(name.into()))
+    }
+
+    /// Column reference by `"table.column"` style pair.
+    pub fn col_ref(&self, table: &str, column: &str) -> Result<ColRef> {
+        let tid = self.table_id(table)?;
+        let cid = self.tables[tid]
+            .col_id(column)
+            .ok_or_else(|| RqpError::UnknownObject(format!("{table}.{column}")))?;
+        Ok(ColRef::new(tid, cid))
+    }
+
+    /// All tables, in id order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(name: &str, ndv: u64) -> Column {
+        Column::new(name, DataType::Int, ColumnStats::uniform(ndv))
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut cat = Catalog::new();
+        let t = Table::new("part", 1000, vec![col("p_partkey", 1000), col("p_size", 50)]);
+        let id = cat.add_table(t).unwrap();
+        assert_eq!(cat.table_id("part").unwrap(), id);
+        assert_eq!(cat.table(id).rows, 1000);
+        let cr = cat.col_ref("part", "p_size").unwrap();
+        assert_eq!(cr, ColRef::new(id, 1));
+        assert!(cat.col_ref("part", "nope").is_err());
+        assert!(cat.table_id("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new("t", 1, vec![])).unwrap();
+        assert!(cat.add_table(Table::new("t", 1, vec![])).is_err());
+    }
+
+    #[test]
+    fn page_math() {
+        let t = Table::new("t", 8192, vec![col("a", 10), col("b", 10)]);
+        // width = 24 + 8 + 8 = 40 bytes; 8192 rows * 40 B = 327680 B = 40 pages
+        assert!((t.row_width() - 40.0).abs() < 1e-9);
+        assert!((t.pages() - 40.0).abs() < 1e-9);
+        // tiny tables still occupy one page
+        let t = Table::new("tiny", 1, vec![col("a", 1)]);
+        assert_eq!(t.pages(), 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-column optimizer statistics.
+//!
+//! These feed two consumers:
+//! * the cost model's cardinality math (NDV-based default join
+//!   selectivities, domain-based filter selectivities), and
+//! * the *native optimizer baseline*'s selectivity estimates `qe` — which,
+//!   exactly as in real systems, can be arbitrarily wrong for the
+//!   error-prone predicates the ESS spans.
+
+use serde::{Deserialize, Serialize};
+
+/// An equi-depth histogram over an integer column: `bounds` are bucket
+/// upper bounds (ascending), each bucket holding `1/bounds.len()` of the
+/// rows — PostgreSQL's `histogram_bounds` in miniature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquiDepthHistogram {
+    /// Minimum value observed.
+    pub min: i64,
+    /// Ascending per-bucket inclusive upper bounds.
+    pub bounds: Vec<i64>,
+}
+
+impl EquiDepthHistogram {
+    /// Builds a histogram with (up to) `buckets` equi-depth buckets from a
+    /// column sample. Returns `None` for empty input.
+    pub fn build(values: &[i64], buckets: usize) -> Option<Self> {
+        if values.is_empty() || buckets == 0 {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let buckets = buckets.min(n);
+        let bounds = (1..=buckets)
+            .map(|b| sorted[(b * n).div_ceil(buckets) - 1])
+            .collect();
+        Some(Self {
+            min: sorted[0],
+            bounds,
+        })
+    }
+
+    /// Estimated selectivity of `col <= v` from the histogram, with linear
+    /// interpolation inside the straddling bucket.
+    pub fn le_selectivity(&self, v: i64) -> f64 {
+        if v < self.min {
+            return 0.0;
+        }
+        let k = self.bounds.len() as f64;
+        let full = self.bounds.partition_point(|&b| b <= v);
+        if full == self.bounds.len() {
+            return 1.0;
+        }
+        // interpolate within bucket `full`
+        let lo = if full == 0 {
+            self.min
+        } else {
+            self.bounds[full - 1]
+        };
+        let hi = self.bounds[full];
+        let frac = if hi > lo {
+            (v - lo) as f64 / (hi - lo) as f64
+        } else {
+            1.0
+        };
+        ((full as f64 + frac.clamp(0.0, 1.0)) / k).clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics for a single column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of distinct values.
+    pub ndv: u64,
+    /// Fraction of NULLs (synthetic data uses 0).
+    pub null_frac: f64,
+    /// Inclusive integer domain the values are drawn from, when known.
+    /// Used for range-filter selectivity estimates.
+    pub domain: Option<(i64, i64)>,
+    /// Optional equi-depth histogram (populated by
+    /// [`crate::analyze::analyze`], the ANALYZE analogue).
+    #[serde(default)]
+    pub histogram: Option<EquiDepthHistogram>,
+}
+
+impl ColumnStats {
+    /// Uniform column with `ndv` distinct values over `[0, ndv)`.
+    pub fn uniform(ndv: u64) -> Self {
+        Self {
+            ndv: ndv.max(1),
+            null_frac: 0.0,
+            domain: Some((0, ndv.max(1) as i64 - 1)),
+            histogram: None,
+        }
+    }
+
+    /// Column with `ndv` distinct values and an unknown domain.
+    pub fn with_ndv(ndv: u64) -> Self {
+        Self {
+            ndv: ndv.max(1),
+            null_frac: 0.0,
+            domain: None,
+            histogram: None,
+        }
+    }
+
+    /// Textbook equality-selectivity estimate `1 / NDV`.
+    pub fn eq_selectivity(&self) -> f64 {
+        1.0 / self.ndv as f64
+    }
+
+    /// Textbook equi-join selectivity estimate `1 / max(NDV_l, NDV_r)`
+    /// (System-R / PostgreSQL default under the attribute-value
+    /// independence assumption).
+    pub fn join_selectivity(left: &ColumnStats, right: &ColumnStats) -> f64 {
+        1.0 / left.ndv.max(right.ndv).max(1) as f64
+    }
+
+    /// Range-filter selectivity estimate for `col <= v`: from the
+    /// equi-depth histogram when one exists, else under a uniform domain
+    /// assumption, else the PostgreSQL-style default 1/3.
+    pub fn le_selectivity(&self, v: i64) -> f64 {
+        if let Some(h) = &self.histogram {
+            return h.le_selectivity(v);
+        }
+        match self.domain {
+            Some((lo, hi)) if hi > lo => {
+                (((v - lo + 1) as f64) / ((hi - lo + 1) as f64)).clamp(0.0, 1.0)
+            }
+            _ => 1.0 / 3.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stats() {
+        let s = ColumnStats::uniform(100);
+        assert_eq!(s.ndv, 100);
+        assert_eq!(s.domain, Some((0, 99)));
+        assert!((s.eq_selectivity() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndv_floor_is_one() {
+        let s = ColumnStats::uniform(0);
+        assert_eq!(s.ndv, 1);
+        assert_eq!(s.eq_selectivity(), 1.0);
+    }
+
+    #[test]
+    fn join_selectivity_uses_larger_ndv() {
+        let a = ColumnStats::uniform(10);
+        let b = ColumnStats::uniform(1000);
+        assert!((ColumnStats::join_selectivity(&a, &b) - 1e-3).abs() < 1e-15);
+        assert!((ColumnStats::join_selectivity(&b, &a) - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn range_selectivity() {
+        let s = ColumnStats::uniform(100); // domain [0, 99]
+        assert!((s.le_selectivity(49) - 0.5).abs() < 1e-12);
+        assert_eq!(s.le_selectivity(-1), 0.0);
+        assert_eq!(s.le_selectivity(1000), 1.0);
+        let unknown = ColumnStats::with_ndv(100);
+        assert!((unknown.le_selectivity(5) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, RqpError>;
+
+/// Errors surfaced by the rqp crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RqpError {
+    /// A referenced catalog object (table, column) does not exist.
+    UnknownObject(String),
+    /// A query specification is structurally invalid (disconnected join
+    /// graph, predicate referencing a missing relation, duplicate epp, ...).
+    InvalidQuery(String),
+    /// A selectivity value fell outside `(0, 1]` or a grid lookup failed.
+    InvalidSelectivity(String),
+    /// The optimizer could not produce a plan (e.g. empty relation set).
+    Planning(String),
+    /// A runtime execution failure other than budget exhaustion.
+    Execution(String),
+    /// A discovery algorithm reached an impossible state; indicates a bug
+    /// or a violated assumption (PCM / contour covering).
+    Discovery(String),
+    /// Configuration error (bad grid resolution, bad contour ratio, ...).
+    Config(String),
+}
+
+impl fmt::Display for RqpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RqpError::UnknownObject(s) => write!(f, "unknown catalog object: {s}"),
+            RqpError::InvalidQuery(s) => write!(f, "invalid query: {s}"),
+            RqpError::InvalidSelectivity(s) => write!(f, "invalid selectivity: {s}"),
+            RqpError::Planning(s) => write!(f, "planning failed: {s}"),
+            RqpError::Execution(s) => write!(f, "execution failed: {s}"),
+            RqpError::Discovery(s) => write!(f, "discovery failed: {s}"),
+            RqpError::Config(s) => write!(f, "bad configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RqpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = RqpError::UnknownObject("lineitem".into());
+        assert!(e.to_string().contains("lineitem"));
+        let e = RqpError::InvalidQuery("disconnected".into());
+        assert!(e.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RqpError::Planning("x".into()));
+    }
+}

@@ -1,0 +1,54 @@
+//! Shared primitives for the `rqp` workspace.
+//!
+//! This crate holds the small vocabulary types every other crate speaks:
+//! abstract [`Cost`] units, [`Selectivity`] values, the log-scale
+//! [`SelGrid`] used to discretize each dimension of the error-prone
+//! selectivity space (ESS), the mixed-radix [`MultiGrid`] indexing scheme
+//! for the full `D`-dimensional grid, and the workspace error type.
+//!
+//! ```
+//! use rqp_common::{MultiGrid, SelGrid};
+//!
+//! // A 2D ESS grid, log-scale from 1e-4 to 1 with 5 points per axis.
+//! let grid = MultiGrid::uniform(2, 1e-4, 5);
+//! assert_eq!(grid.len(), 25);
+//! let idx = grid.flat(&[3, 1]);
+//! assert_eq!(grid.coords(idx), vec![3, 1]);
+//! assert!((grid.sel_at(idx, 0) - 1e-1).abs() < 1e-9);
+//! assert!(grid.dominates_eq(grid.terminus(), idx));
+//! ```
+
+pub mod error;
+pub mod grid;
+pub mod sel;
+
+pub use error::{Result, RqpError};
+pub use grid::{GridIdx, MultiGrid, SelGrid};
+pub use sel::{Selectivity, EPS};
+
+/// Abstract optimizer cost units.
+///
+/// Mirrors the dimensionless "cost" a classical cost-based optimizer
+/// assigns to a plan (PostgreSQL's `seq_page_cost = 1.0` anchor). All MSO
+/// arithmetic in the paper is expressed in these units.
+pub type Cost = f64;
+
+/// Relative tolerance used when comparing two costs for equality.
+pub const COST_REL_EPS: f64 = 1e-9;
+
+/// Returns true if two costs are equal up to relative tolerance.
+#[inline]
+pub fn cost_eq(a: Cost, b: Cost) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= COST_REL_EPS * scale
+}
+
+/// Returns true if `a` is less-or-equal `b` up to relative tolerance.
+///
+/// Budget comparisons ("does this plan complete within the contour
+/// budget?") must be tolerant of floating-point noise so that a plan whose
+/// cost *defines* a contour is judged to fit inside that contour's budget.
+#[inline]
+pub fn cost_le(a: Cost, b: Cost) -> bool {
+    a <= b || cost_eq(a, b)
+}

@@ -1,0 +1,59 @@
+//! Selectivity values.
+
+/// A predicate selectivity in `(0, 1]`.
+///
+/// The paper's ESS is nominally `[0,1]^D`; in practice (and in the authors'
+/// implementation) each axis is a log-scale grid bounded away from zero,
+/// because a selectivity of exactly zero yields degenerate (empty) plans.
+pub type Selectivity = f64;
+
+/// Smallest representable selectivity; grid minima are clamped to this.
+pub const EPS: Selectivity = 1e-12;
+
+/// Validates that `s` is a usable selectivity, returning it clamped into
+/// `[EPS, 1.0]`.
+///
+/// # Panics
+/// Panics if `s` is NaN or infinite — those always indicate a bug upstream.
+#[inline]
+pub fn clamp(s: Selectivity) -> Selectivity {
+    assert!(s.is_finite(), "selectivity must be finite, got {s}");
+    s.clamp(EPS, 1.0)
+}
+
+/// Geometric interpolation between two selectivities (log-space midpoint
+/// when `t = 0.5`). Used to build log-scale grids.
+#[inline]
+pub fn geo_lerp(lo: Selectivity, hi: Selectivity, t: f64) -> Selectivity {
+    debug_assert!(lo > 0.0 && hi > 0.0);
+    (lo.ln() * (1.0 - t) + hi.ln() * t).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_bounds() {
+        assert_eq!(clamp(0.5), 0.5);
+        assert_eq!(clamp(0.0), EPS);
+        assert_eq!(clamp(2.0), 1.0);
+        assert_eq!(clamp(-1.0), EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn clamp_rejects_nan() {
+        clamp(f64::NAN);
+    }
+
+    #[test]
+    fn geo_lerp_endpoints_and_midpoint() {
+        let lo = 1e-4;
+        let hi = 1.0;
+        assert!((geo_lerp(lo, hi, 0.0) - lo).abs() < 1e-12);
+        assert!((geo_lerp(lo, hi, 1.0) - hi).abs() < 1e-12);
+        let mid = geo_lerp(lo, hi, 0.5);
+        assert!((mid - 1e-2).abs() < 1e-9, "log-space midpoint, got {mid}");
+    }
+}

@@ -1,0 +1,480 @@
+//! The AlignedBound algorithm (§5, Algorithm 2).
+//!
+//! AlignedBound narrows the quadratic-to-linear MSO gap by exploiting
+//! **alignment**: when the contour plan incident on an ESS boundary spills
+//! on the incident dimension, a *single* spill-mode execution yields
+//! quantum progress (Lemma 3.3). Where alignment does not hold natively it
+//! is *induced* by substituting a (possibly more expensive) plan that does
+//! spill on the leader dimension, and generalized from whole contours to
+//! **predicate-set alignment** (PSA): a partition `{T_1..T_l}` of the
+//! unlearnt epps, each part covered by one leader-plan execution (Lemma
+//! 5.3). Per contour the algorithm picks the partition with the minimum
+//! total penalty `π*`; the singleton partition (= SpillBound's behavior,
+//! penalty ≤ D) is always feasible, so `MSO ∈ [2D+2, D²+3D]`.
+
+use crate::discovery::Shared;
+use crate::oracle::{ExecutionOracle, SpillOutcome};
+use crate::report::{ExecMode, ExecutionRecord, Outcome, RunReport};
+use rqp_common::{Cost, GridIdx, Result};
+use rqp_ess::alignment::SpillDimCache;
+use rqp_ess::{ContourSet, EssSurface, EssView};
+use rqp_optimizer::{constrained, Optimizer, PlanId, PlanNode};
+use std::collections::{HashMap, HashSet};
+
+/// The plan chosen for one part's leader execution.
+#[derive(Debug, Clone)]
+enum ExecPlan {
+    /// A POSP pool plan.
+    Pool(PlanId),
+    /// A plan synthesized by the constrained optimizer.
+    Custom(Box<PlanNode>),
+}
+
+/// One part of the chosen partition: the leader dimension, the plan that
+/// spills on it, and the spill budget `Cost(P, q)`.
+#[derive(Debug, Clone)]
+struct PartExec {
+    leader: usize,
+    plan: ExecPlan,
+    budget: Cost,
+    penalty: f64,
+}
+
+/// The memoized per-(contour, pins) decision.
+#[derive(Debug, Clone, Default)]
+struct ContourDecision {
+    parts: Vec<PartExec>,
+    /// Total penalty `π*` of the chosen partition (Table 4 reports the
+    /// maximum *part* penalty encountered).
+    max_part_penalty: f64,
+}
+
+/// A compiled AlignedBound instance.
+#[derive(Debug)]
+pub struct AlignedBound<'a> {
+    shared: Shared<'a>,
+    spill_cache: SpillDimCache,
+    decisions: HashMap<(usize, Vec<Option<usize>>), ContourDecision>,
+    /// Maximum part penalty seen across all runs (Table 4).
+    observed_max_penalty: f64,
+}
+
+impl<'a> AlignedBound<'a> {
+    /// Compiles AlignedBound with the given inter-contour cost ratio.
+    pub fn new(surface: &'a EssSurface, opt: &'a Optimizer<'a>, ratio: f64) -> Self {
+        Self {
+            shared: Shared::new(surface, opt, ratio),
+            spill_cache: SpillDimCache::new(),
+            decisions: HashMap::new(),
+            observed_max_penalty: 1.0,
+        }
+    }
+
+    /// Upper end of the guarantee range (`D² + 3D`, retained by §5.3).
+    pub fn mso_guarantee(&self) -> f64 {
+        crate::spillbound_guarantee(self.shared.ndims())
+    }
+
+    /// Lower end of the guarantee range (`2D + 2`, fully aligned case).
+    pub fn mso_guarantee_lower(&self) -> f64 {
+        crate::aligned_guarantee_lower(self.shared.ndims())
+    }
+
+    /// The contour schedule.
+    pub fn contours(&self) -> &ContourSet {
+        &self.shared.contours
+    }
+
+    /// Maximum per-part penalty encountered over all runs so far (the
+    /// quantity the paper reports in Table 4).
+    pub fn observed_max_penalty(&self) -> f64 {
+        self.observed_max_penalty
+    }
+
+    /// Enumerates all set partitions of `items`.
+    fn set_partitions(items: &[usize]) -> Vec<Vec<Vec<usize>>> {
+        if items.is_empty() {
+            return vec![vec![]];
+        }
+        let first = items[0];
+        let rest = Self::set_partitions(&items[1..]);
+        let mut out = Vec::new();
+        for partition in rest {
+            // place `first` into each existing part
+            for k in 0..partition.len() {
+                let mut p = partition.clone();
+                p[k].push(first);
+                out.push(p);
+            }
+            // or into its own part
+            let mut p = partition;
+            p.push(vec![first]);
+            out.push(p);
+        }
+        out
+    }
+
+    /// Enforces PSA for part `t` with leader dimension `j` on the given
+    /// contour: returns the cheapest `(plan, budget, penalty)` witness.
+    #[allow(clippy::too_many_arguments)]
+    fn psa_enforce(
+        &mut self,
+        locs: &[GridIdx],
+        locs_by_dim: &HashMap<usize, Vec<GridIdx>>,
+        contour_plans: &[PlanId],
+        t: &[usize],
+        j: usize,
+        unlearnt: u32,
+        pins: &[Option<usize>],
+    ) -> Option<PartExec> {
+        let surface = self.shared.surface;
+        let opt = self.shared.opt;
+        let grid = surface.grid();
+        // Extreme j-coordinate over IC_i|T.
+        let qjt_coord = t
+            .iter()
+            .filter_map(|dim| locs_by_dim.get(dim))
+            .flatten()
+            .map(|&q| grid.coord(q, j))
+            .max()?;
+        // S: all contour locations at that j-coordinate.
+        let s_locs: Vec<GridIdx> = locs
+            .iter()
+            .copied()
+            .filter(|&q| grid.coord(q, j) == qjt_coord)
+            .collect();
+        // Native PSA: a location in S whose own plan spills on j.
+        for &q in &s_locs {
+            if self.spill_cache.of_location(surface, opt, q, unlearnt) == Some(j) {
+                return Some(PartExec {
+                    leader: j,
+                    plan: ExecPlan::Pool(surface.plan_id(q)),
+                    budget: surface.opt_cost(q),
+                    penalty: 1.0,
+                });
+            }
+        }
+        // Induced PSA: cheapest replacement among the contour's own plans
+        // that spill on j, plus the constrained optimizer, both probed at
+        // a deterministic sample of S (they are upper-bound oracles;
+        // sampling trades precision for speed without affecting
+        // soundness).
+        let spillers: Vec<PlanId> = contour_plans
+            .iter()
+            .copied()
+            .filter(|&pid| self.spill_cache.of_plan(surface, opt, pid, unlearnt) == Some(j))
+            .collect();
+        let mut best: Option<PartExec> = None;
+        let consider = |plan: ExecPlan, cost: Cost, q: GridIdx, best: &mut Option<PartExec>| {
+            let penalty = cost / surface.opt_cost(q);
+            if best.as_ref().is_none_or(|b| penalty < b.penalty) {
+                *best = Some(PartExec {
+                    leader: j,
+                    plan,
+                    budget: cost,
+                    penalty,
+                });
+            }
+        };
+        let sample: Vec<GridIdx> = if s_locs.len() <= 8 {
+            s_locs.clone()
+        } else {
+            (0..8)
+                .map(|k| s_locs[k * (s_locs.len() - 1) / 7])
+                .collect()
+        };
+        for &q in &sample {
+            let sels = opt.sels_at(&grid.sels(q));
+            for &pid in &spillers {
+                let c = opt.cost_plan(surface.pool().get(pid), &sels);
+                consider(ExecPlan::Pool(pid), c, q, &mut best);
+            }
+        }
+        // The constrained optimizer is the expensive fallback: consult it
+        // only when the pool offers nothing good.
+        if best.as_ref().is_none_or(|b| b.penalty > 1.25) {
+            for &q in sample.iter().take(3) {
+                let sels = opt.sels_at(&grid.sels(q));
+                if let Some((plan, c)) =
+                    constrained::best_plan_spilling_on(opt, &sels, j, unlearnt)
+                {
+                    consider(ExecPlan::Custom(Box::new(plan)), c, q, &mut best);
+                }
+            }
+        }
+        let _ = pins;
+        best
+    }
+
+    /// Computes (memoized) the partition decision for contour `i` under
+    /// `pins` — step S0–S2 of Algorithm 2.
+    fn contour_decision(&mut self, i: usize, pins: &[Option<usize>]) -> ContourDecision {
+        let key = (i, pins.to_vec());
+        if let Some(d) = self.decisions.get(&key) {
+            return d.clone();
+        }
+        let surface = self.shared.surface;
+        let opt = self.shared.opt;
+        let view = EssView::from_pins(pins.to_vec());
+        let unlearnt = view.free_mask();
+        let locs = self.shared.contours.locations(surface, &view, i);
+
+        // Group contour locations by the dimension their plan spills on.
+        let mut locs_by_dim: HashMap<usize, Vec<GridIdx>> = HashMap::new();
+        for &q in &locs {
+            if let Some(j) = self.spill_cache.of_location(surface, opt, q, unlearnt) {
+                locs_by_dim.entry(j).or_default().push(q);
+            }
+        }
+        let mut active: Vec<usize> = locs_by_dim.keys().copied().collect();
+        active.sort_unstable();
+        let mut contour_plans: Vec<PlanId> = locs.iter().map(|&q| surface.plan_id(q)).collect();
+        contour_plans.sort_unstable();
+        contour_plans.dedup();
+
+        // The same (part, leader) pair recurs across many partitions:
+        // memoize PSA enforcement per (part-mask, leader).
+        let mut psa_memo: HashMap<(u32, usize), Option<PartExec>> = HashMap::new();
+        let mut best: Option<(f64, ContourDecision)> = None;
+        for partition in Self::set_partitions(&active) {
+            let mut total = 0.0;
+            let mut parts = Vec::with_capacity(partition.len());
+            let mut feasible = true;
+            for part in &partition {
+                let pmask = part.iter().fold(0u32, |m, &d| m | (1 << d));
+                let mut part_best: Option<PartExec> = None;
+                for &j in part {
+                    let entry = psa_memo
+                        .entry((pmask, j))
+                        .or_insert_with(|| {
+                            self.psa_enforce(
+                                &locs,
+                                &locs_by_dim,
+                                &contour_plans,
+                                part,
+                                j,
+                                unlearnt,
+                                pins,
+                            )
+                        })
+                        .clone();
+                    if let Some(pe) = entry {
+                        if part_best.as_ref().is_none_or(|b| pe.penalty < b.penalty) {
+                            part_best = Some(pe);
+                        }
+                    }
+                }
+                match part_best {
+                    Some(pe) => {
+                        total += pe.penalty;
+                        parts.push(pe);
+                    }
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            // Deterministic tie-breaking: fewer parts, then leader order.
+            let better = match &best {
+                None => true,
+                Some((bt, bd)) => {
+                    total < bt - 1e-12
+                        || ((total - bt).abs() <= 1e-12 && parts.len() < bd.parts.len())
+                }
+            };
+            if better {
+                parts.sort_by_key(|p| p.leader);
+                let max_part_penalty =
+                    parts.iter().map(|p| p.penalty).fold(1.0, f64::max);
+                best = Some((
+                    total,
+                    ContourDecision {
+                        parts,
+                        max_part_penalty,
+                    },
+                ));
+            }
+        }
+        let decision = best.map(|(_, d)| d).unwrap_or_default();
+        self.decisions.insert(key, decision.clone());
+        decision
+    }
+
+    /// Runs selectivity discovery against `oracle`.
+    pub fn run(&mut self, oracle: &mut dyn ExecutionOracle) -> Result<RunReport> {
+        let d = self.shared.ndims();
+        let m = self.shared.contours.len();
+        let grid = self.shared.surface.grid();
+        let mut pins: Vec<Option<usize>> = vec![None; d];
+        let mut report = RunReport {
+            learnt: vec![None; d],
+            ..RunReport::default()
+        };
+        if d <= 1 {
+            self.shared.run_terminal_phase(&pins, 0, oracle, &mut report)?;
+            return Ok(report);
+        }
+        let mut i = 0usize;
+        let mut executed: HashSet<(u64, usize)> = HashSet::new();
+        loop {
+            let free: Vec<usize> = (0..d).filter(|&j| pins[j].is_none()).collect();
+            if free.len() == 1 {
+                self.shared.run_terminal_phase(&pins, i, oracle, &mut report)?;
+                return Ok(report);
+            }
+            if i >= m {
+                // Unreachable with an exact cost model (the last contour
+                // always yields progress); under bounded cost-model error
+                // the overflow phase finishes the query within the
+                // inflated guarantee (§7).
+                self.shared.run_overflow_phase(&pins, oracle, &mut report)?;
+                return Ok(report);
+            }
+            let decision = self.contour_decision(i, &pins);
+            self.observed_max_penalty = self.observed_max_penalty.max(decision.max_part_penalty);
+            let mut learnt_dim: Option<usize> = None;
+            for part in &decision.parts {
+                let j = part.leader;
+                if pins[j].is_some() {
+                    continue; // leader got learnt in a previous pass
+                }
+                let plan_owned;
+                let (plan, plan_id): (&PlanNode, Option<PlanId>) = match &part.plan {
+                    ExecPlan::Pool(pid) => (self.shared.surface.pool().get(*pid), Some(*pid)),
+                    ExecPlan::Custom(p) => {
+                        plan_owned = p.clone();
+                        (&plan_owned, None)
+                    }
+                };
+                if !executed.insert((plan.fingerprint(), j)) {
+                    continue; // identical repeat: outcome already settled
+                }
+                match oracle.spill_execute(plan, j, part.budget) {
+                    SpillOutcome::Completed { sel, spent } => {
+                        report.total_cost += spent;
+                        report.records.push(ExecutionRecord {
+                            contour: i,
+                            plan_fingerprint: plan.fingerprint(),
+                            plan_id,
+                            mode: ExecMode::Spill { dim: j },
+                            budget: part.budget,
+                            spent,
+                            outcome: Outcome::Completed { sel: Some(sel) },
+                        });
+                        report.learnt[j] = Some(sel);
+                        pins[j] = Some(grid.dim(j).ceil_idx(sel));
+                        learnt_dim = Some(j);
+                        break;
+                    }
+                    SpillOutcome::TimedOut { lower_bound, spent } => {
+                        report.total_cost += spent;
+                        report.records.push(ExecutionRecord {
+                            contour: i,
+                            plan_fingerprint: plan.fingerprint(),
+                            plan_id,
+                            mode: ExecMode::Spill { dim: j },
+                            budget: part.budget,
+                            spent,
+                            outcome: Outcome::TimedOut { lower_bound },
+                        });
+                    }
+                }
+            }
+            if learnt_dim.is_none() {
+                i += 1;
+                executed.clear();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CostOracle;
+    use crate::test_fixtures::{star2_surface, star_surface};
+
+    #[test]
+    fn set_partitions_bell_numbers() {
+        assert_eq!(AlignedBound::set_partitions(&[]).len(), 1);
+        assert_eq!(AlignedBound::set_partitions(&[0]).len(), 1);
+        assert_eq!(AlignedBound::set_partitions(&[0, 1]).len(), 2);
+        assert_eq!(AlignedBound::set_partitions(&[0, 1, 2]).len(), 5);
+        assert_eq!(AlignedBound::set_partitions(&[0, 1, 2, 3]).len(), 15);
+        assert_eq!(AlignedBound::set_partitions(&[0, 1, 2, 3, 4]).len(), 52);
+        assert_eq!(AlignedBound::set_partitions(&[0, 1, 2, 3, 4, 5]).len(), 203);
+    }
+
+    #[test]
+    fn partitions_cover_all_items_disjointly() {
+        for p in AlignedBound::set_partitions(&[3, 5, 7, 9]) {
+            let mut all: Vec<usize> = p.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![3, 5, 7, 9]);
+        }
+    }
+
+    #[test]
+    fn completes_everywhere_within_guarantee_2d() {
+        let fx = star2_surface(12);
+        let mut ab = AlignedBound::new(&fx.surface, &fx.opt, 2.0);
+        let guarantee = ab.mso_guarantee();
+        for qa in fx.surface.grid().iter() {
+            let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), qa);
+            let report = ab.run(&mut oracle).expect("AlignedBound must complete");
+            assert!(report.completed);
+            let subopt = report.sub_optimality(fx.surface.opt_cost(qa));
+            assert!(
+                subopt <= guarantee * (1.0 + 1e-6),
+                "qa {:?}: subopt {subopt} > {guarantee}",
+                fx.surface.grid().coords(qa)
+            );
+        }
+    }
+
+    #[test]
+    fn completes_everywhere_within_guarantee_3d() {
+        let fx = star_surface(3, 6);
+        let mut ab = AlignedBound::new(&fx.surface, &fx.opt, 2.0);
+        let guarantee = ab.mso_guarantee();
+        for qa in fx.surface.grid().iter() {
+            let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), qa);
+            let report = ab.run(&mut oracle).expect("AlignedBound must complete");
+            let subopt = report.sub_optimality(fx.surface.opt_cost(qa));
+            assert!(
+                subopt <= guarantee * (1.0 + 1e-6),
+                "qa {:?}: subopt {subopt} > {guarantee}",
+                fx.surface.grid().coords(qa)
+            );
+        }
+    }
+
+    #[test]
+    fn observed_penalty_at_least_one() {
+        let fx = star2_surface(10);
+        let mut ab = AlignedBound::new(&fx.surface, &fx.opt, 2.0);
+        let qa = fx.surface.grid().flat(&[6, 6]);
+        let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), qa);
+        ab.run(&mut oracle).unwrap();
+        assert!(ab.observed_max_penalty() >= 1.0);
+    }
+
+    #[test]
+    fn learnt_values_match_truth() {
+        let fx = star2_surface(12);
+        let mut ab = AlignedBound::new(&fx.surface, &fx.opt, 2.0);
+        let qa = fx.surface.grid().flat(&[8, 4]);
+        let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), qa);
+        let report = ab.run(&mut oracle).unwrap();
+        for j in 0..2 {
+            if let Some(s) = report.learnt[j] {
+                let truth = fx.surface.grid().sel_at(qa, j);
+                assert!((s - truth).abs() <= 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared plumbing for the discovery algorithms.
+
+use crate::oracle::{ExecutionOracle, FullOutcome};
+use crate::report::{ExecMode, ExecutionRecord, Outcome, RunReport};
+use rqp_common::{Result, RqpError};
+use rqp_ess::{ContourSet, EssSurface, EssView};
+use rqp_optimizer::Optimizer;
+
+/// Immutable context shared by every discovery algorithm: the POSP
+/// surface, the optimizer that produced it, and the contour schedule.
+#[derive(Debug)]
+pub struct Shared<'a> {
+    /// POSP surface over the ESS grid.
+    pub surface: &'a EssSurface,
+    /// The optimizer (selectivity injection + abstract-plan costing).
+    pub opt: &'a Optimizer<'a>,
+    /// Geometric contour schedule.
+    pub contours: ContourSet,
+}
+
+impl<'a> Shared<'a> {
+    /// Builds the context with the given inter-contour cost ratio.
+    pub fn new(surface: &'a EssSurface, opt: &'a Optimizer<'a>, ratio: f64) -> Self {
+        let contours = ContourSet::build(surface, ratio);
+        Self {
+            surface,
+            opt,
+            contours,
+        }
+    }
+
+    /// ESS dimensionality.
+    pub fn ndims(&self) -> usize {
+        self.surface.grid().ndims()
+    }
+
+    /// The terminal discovery phase: when at most one epp remains
+    /// unlearnt, SpillBound and AlignedBound hand over to a plain
+    /// PlanBouquet on the pinned (≤1-dimensional) view (§4.1) — plans run
+    /// in regular mode, one per contour, budgets equal to contour costs.
+    ///
+    /// Appends executions to `report` and marks it completed.
+    pub fn run_terminal_phase(
+        &self,
+        pins: &[Option<usize>],
+        start_contour: usize,
+        oracle: &mut dyn ExecutionOracle,
+        report: &mut RunReport,
+    ) -> Result<()> {
+        let view = EssView::from_pins(pins.to_vec());
+        debug_assert!(view.nfree() <= 1, "terminal phase needs ≤ 1 free dim");
+        for i in start_contour..self.contours.len() {
+            let budget = self.contours.cost(i);
+            for q in self.contours.locations(self.surface, &view, i) {
+                let pid = self.surface.plan_id(q);
+                let plan = self.surface.pool().get(pid);
+                match oracle.full_execute(plan, budget) {
+                    FullOutcome::Completed { spent } => {
+                        report.total_cost += spent;
+                        report.records.push(ExecutionRecord {
+                            contour: i,
+                            plan_fingerprint: plan.fingerprint(),
+                            plan_id: Some(pid),
+                            mode: ExecMode::Full,
+                            budget,
+                            spent,
+                            outcome: Outcome::Completed { sel: None },
+                        });
+                        report.completed = true;
+                        return Ok(());
+                    }
+                    FullOutcome::TimedOut { spent } => {
+                        report.total_cost += spent;
+                        report.records.push(ExecutionRecord {
+                            contour: i,
+                            plan_fingerprint: plan.fingerprint(),
+                            plan_id: Some(pid),
+                            mode: ExecMode::Full,
+                            budget,
+                            spent,
+                            outcome: Outcome::TimedOut { lower_bound: 0.0 },
+                        });
+                    }
+                }
+            }
+        }
+        // Overflow phase (§7 robustness): with a perfect cost model this is
+        // unreachable — the last contour's budget covers the view terminus.
+        // Under bounded cost-model error δ, real costs may exceed modeled
+        // budgets by up to (1+δ); keep doubling the budget on the terminus
+        // plan until it completes. The geometric sum keeps the extra spend
+        // within the (1+δ)²-inflated guarantee the paper derives.
+        self.run_overflow_phase(pins, oracle, report)
+    }
+
+    /// Executes the view-terminus location's optimal plan with budgets
+    /// doubling beyond the last contour cost, until completion.
+    pub fn run_overflow_phase(
+        &self,
+        pins: &[Option<usize>],
+        oracle: &mut dyn ExecutionOracle,
+        report: &mut RunReport,
+    ) -> Result<()> {
+        let view = EssView::from_pins(pins.to_vec());
+        let terminus = view.terminus(self.surface);
+        let pid = self.surface.plan_id(terminus);
+        let plan = self.surface.pool().get(pid);
+        let last = self.contours.len() - 1;
+        let mut budget = self.contours.cost(last) * 2.0;
+        // 64 doublings ≈ a 1.8e19× cost-model error: unambiguously a bug.
+        for _ in 0..64 {
+            match oracle.full_execute(plan, budget) {
+                FullOutcome::Completed { spent } => {
+                    report.total_cost += spent;
+                    report.records.push(ExecutionRecord {
+                        contour: last,
+                        plan_fingerprint: plan.fingerprint(),
+                        plan_id: Some(pid),
+                        mode: ExecMode::Full,
+                        budget,
+                        spent,
+                        outcome: Outcome::Completed { sel: None },
+                    });
+                    report.completed = true;
+                    return Ok(());
+                }
+                FullOutcome::TimedOut { spent } => {
+                    report.total_cost += spent;
+                    report.records.push(ExecutionRecord {
+                        contour: last,
+                        plan_fingerprint: plan.fingerprint(),
+                        plan_id: Some(pid),
+                        mode: ExecMode::Full,
+                        budget,
+                        spent,
+                        outcome: Outcome::TimedOut { lower_bound: 0.0 },
+                    });
+                    budget *= 2.0;
+                }
+            }
+        }
+        Err(RqpError::Discovery(
+            "overflow phase did not complete within 64 budget doublings; \
+             the execution oracle is inconsistent with PCM".into(),
+        ))
+    }
+}

@@ -1,0 +1,276 @@
+//! Empirical evaluation over the ESS (§6.2.3–6.2.5).
+//!
+//! The paper evaluates MSOe "by explicitly and exhaustively considering
+//! each and every location in the ESS to be `qa`" and taking the maximum
+//! (and, for ASO, the mean) of the resulting sub-optimalities. This module
+//! provides that harness plus the sub-optimality histogram of Fig. 12.
+
+use crate::alignedbound::AlignedBound;
+use crate::oracle::CostOracle;
+use crate::planbouquet::PlanBouquet;
+use crate::spillbound::SpillBound;
+use rqp_common::{GridIdx, Result};
+use rqp_ess::EssSurface;
+use rqp_optimizer::Optimizer;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate sub-optimality statistics over an exhaustive ESS sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubOptStats {
+    /// Maximum sub-optimality (MSOe, Eq. 4).
+    pub mso: f64,
+    /// Average sub-optimality (ASO, Eq. 8, uniform prior over `qa`).
+    pub aso: f64,
+    /// The worst-case location.
+    pub worst_qa: GridIdx,
+    /// Per-location sub-optimalities, indexed by flat grid index.
+    pub subopts: Vec<f64>,
+}
+
+impl SubOptStats {
+    /// Folds per-location sub-optimalities into the aggregate.
+    pub fn from_subopts(subopts: Vec<f64>) -> Self {
+        assert!(!subopts.is_empty());
+        let (mut mso, mut worst) = (0.0f64, 0usize);
+        let mut sum = 0.0;
+        for (i, &s) in subopts.iter().enumerate() {
+            sum += s;
+            if s > mso {
+                mso = s;
+                worst = i;
+            }
+        }
+        Self {
+            mso,
+            aso: sum / subopts.len() as f64,
+            worst_qa: worst,
+            subopts,
+        }
+    }
+
+    /// Histogram of sub-optimalities with the given bucket `width`
+    /// (Fig. 12 uses 5): returns `(bucket upper bound, percentage)` rows.
+    pub fn histogram(&self, width: f64) -> Vec<(f64, f64)> {
+        assert!(width > 0.0);
+        let max = self.mso;
+        let nbuckets = (max / width).ceil().max(1.0) as usize;
+        let mut counts = vec![0usize; nbuckets];
+        for &s in &self.subopts {
+            let b = ((s / width) as usize).min(nbuckets - 1);
+            counts[b] += 1;
+        }
+        let n = self.subopts.len() as f64;
+        counts
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| ((b as f64 + 1.0) * width, 100.0 * c as f64 / n))
+            .collect()
+    }
+
+    /// Percentage of locations with sub-optimality at most `cap`.
+    pub fn percent_within(&self, cap: f64) -> f64 {
+        let n = self.subopts.iter().filter(|&&s| s <= cap).count();
+        100.0 * n as f64 / self.subopts.len() as f64
+    }
+
+    /// The `p`-th percentile of the sub-optimality distribution
+    /// (`p ∈ [0, 100]`, nearest-rank definition). `percentile(100.0)` is
+    /// the MSO; median and tail percentiles characterize how concentrated
+    /// the robustness is (the Fig. 12 story in one number).
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile in [0, 100]");
+        let mut sorted = self.subopts.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN sub-optimality"));
+        let n = sorted.len();
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+}
+
+/// Sweeps every grid location as `qa`, mapping it through `subopt_of`.
+pub fn evaluate<F>(surface: &EssSurface, mut subopt_of: F) -> Result<SubOptStats>
+where
+    F: FnMut(GridIdx) -> Result<f64>,
+{
+    let mut subopts = Vec::with_capacity(surface.len());
+    for qa in surface.grid().iter() {
+        subopts.push(subopt_of(qa)?);
+    }
+    Ok(SubOptStats::from_subopts(subopts))
+}
+
+/// Exhaustive MSOe/ASO evaluation of SpillBound.
+pub fn evaluate_spillbound(
+    surface: &EssSurface,
+    opt: &Optimizer<'_>,
+    ratio: f64,
+) -> Result<SubOptStats> {
+    let mut sb = SpillBound::new(surface, opt, ratio);
+    evaluate(surface, |qa| {
+        let mut oracle = CostOracle::at_grid(opt, surface.grid(), qa);
+        let report = sb.run(&mut oracle)?;
+        Ok(report.sub_optimality(surface.opt_cost(qa)))
+    })
+}
+
+/// Exhaustive MSOe/ASO evaluation of AlignedBound. Also returns the
+/// maximum part penalty observed (Table 4).
+pub fn evaluate_alignedbound(
+    surface: &EssSurface,
+    opt: &Optimizer<'_>,
+    ratio: f64,
+) -> Result<(SubOptStats, f64)> {
+    let mut ab = AlignedBound::new(surface, opt, ratio);
+    let stats = evaluate(surface, |qa| {
+        let mut oracle = CostOracle::at_grid(opt, surface.grid(), qa);
+        let report = ab.run(&mut oracle)?;
+        Ok(report.sub_optimality(surface.opt_cost(qa)))
+    })?;
+    Ok((stats, ab.observed_max_penalty()))
+}
+
+/// Exhaustive MSOe/ASO evaluation of PlanBouquet, by running the full
+/// discovery sequence through the cost oracle at every location.
+pub fn evaluate_planbouquet(
+    surface: &EssSurface,
+    opt: &Optimizer<'_>,
+    ratio: f64,
+    lambda: f64,
+) -> Result<SubOptStats> {
+    let pb = PlanBouquet::new(surface, opt, ratio, lambda);
+    evaluate(surface, |qa| {
+        let mut oracle = CostOracle::at_grid(opt, surface.grid(), qa);
+        let report = pb.run(&mut oracle)?;
+        Ok(report.sub_optimality(surface.opt_cost(qa)))
+    })
+}
+
+/// Exhaustive PlanBouquet evaluation via a precomputed plan-cost matrix.
+///
+/// Semantically identical to [`evaluate_planbouquet`] (asserted by test)
+/// but `O(|bouquet|·|grid|)` recosting instead of re-walking plan trees
+/// inside every discovery run — the bouquet executes the same plan list
+/// at every location, so the cost matrix is shared.
+pub fn evaluate_planbouquet_fast(
+    surface: &EssSurface,
+    opt: &Optimizer<'_>,
+    ratio: f64,
+    lambda: f64,
+) -> Result<SubOptStats> {
+    let pb = PlanBouquet::new(surface, opt, ratio, lambda);
+    let grid = surface.grid();
+    // Distinct bouquet plans.
+    let mut bouquet: Vec<usize> = (0..pb.contours().len())
+        .flat_map(|i| pb.contour_plans(i).iter().copied())
+        .collect();
+    bouquet.sort_unstable();
+    bouquet.dedup();
+    let slot_of = |pid: usize| bouquet.binary_search(&pid).expect("bouquet plan");
+    // cost[slot][qa]; one selectivity assignment per location, shared
+    // across plans.
+    let mut cost = vec![vec![0.0f64; grid.len()]; bouquet.len()];
+    for qa in grid.iter() {
+        let sels = opt.sels_at(&grid.sels(qa));
+        for (s, &pid) in bouquet.iter().enumerate() {
+            cost[s][qa] = opt.cost_plan(surface.pool().get(pid), &sels);
+        }
+    }
+    evaluate(surface, |qa| {
+        let mut total = 0.0;
+        for i in 0..pb.contours().len() {
+            let budget = (1.0 + lambda) * pb.contours().cost(i);
+            for &pid in pb.contour_plans(i) {
+                let c = cost[slot_of(pid)][qa];
+                if rqp_common::cost_le(c, budget) {
+                    total += c;
+                    return Ok(total / surface.opt_cost(qa));
+                }
+                total += budget;
+            }
+        }
+        Err(rqp_common::RqpError::Discovery(
+            "bouquet fast path exhausted contours".into(),
+        ))
+    })
+}
+
+/// Exhaustive sub-optimality evaluation of the native optimizer with its
+/// fixed statistics-derived estimate.
+pub fn evaluate_native(surface: &EssSurface, opt: &Optimizer<'_>) -> Result<SubOptStats> {
+    let choice = crate::native::NativeChoice::compute(surface, opt);
+    evaluate(surface, |qa| Ok(choice.sub_optimality(surface, opt, qa)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::star2_surface;
+
+    #[test]
+    fn stats_aggregation() {
+        let s = SubOptStats::from_subopts(vec![1.0, 3.0, 2.0, 8.0]);
+        assert_eq!(s.mso, 8.0);
+        assert_eq!(s.worst_qa, 3);
+        assert!((s.aso - 3.5).abs() < 1e-12);
+        assert!((s.percent_within(3.0) - 75.0).abs() < 1e-12);
+        let hist = s.histogram(5.0);
+        assert_eq!(hist.len(), 2);
+        assert!((hist[0].1 - 75.0).abs() < 1e-12);
+        assert!((hist[1].1 - 25.0).abs() < 1e-12);
+        assert_eq!(s.percentile(100.0), 8.0);
+        assert_eq!(s.percentile(50.0), 2.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(75.0), 3.0);
+    }
+
+    #[test]
+    fn planbouquet_fast_path_matches_oracle_path() {
+        let fx = star2_surface(10);
+        let slow = evaluate_planbouquet(&fx.surface, &fx.opt, 2.0, 0.2).unwrap();
+        let fast = evaluate_planbouquet_fast(&fx.surface, &fx.opt, 2.0, 0.2).unwrap();
+        assert_eq!(slow.subopts.len(), fast.subopts.len());
+        for (qa, (a, b)) in slow.subopts.iter().zip(&fast.subopts).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * a.max(1.0),
+                "qa {qa}: oracle {a} vs fast {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn spillbound_beats_planbouquet_on_fixture() {
+        let fx = star2_surface(10);
+        let sb = evaluate_spillbound(&fx.surface, &fx.opt, 2.0).unwrap();
+        let pb = evaluate_planbouquet(&fx.surface, &fx.opt, 2.0, 0.2).unwrap();
+        // The paper's headline empirical finding: SB's MSOe beats PB's for
+        // every query studied (Fig. 10); this fixture should agree.
+        assert!(
+            sb.mso <= pb.mso * 1.05,
+            "SB MSOe {} should not lose to PB MSOe {}",
+            sb.mso,
+            pb.mso
+        );
+        assert!(sb.mso >= 1.0 && pb.mso >= 1.0);
+    }
+
+    #[test]
+    fn alignedbound_within_guarantees() {
+        let fx = star2_surface(10);
+        let (ab, max_penalty) = evaluate_alignedbound(&fx.surface, &fx.opt, 2.0).unwrap();
+        assert!(ab.mso <= crate::spillbound_guarantee(2) * (1.0 + 1e-6));
+        assert!(max_penalty >= 1.0);
+    }
+
+    #[test]
+    fn native_mso_dwarfs_robust_algorithms() {
+        let fx = star2_surface(10);
+        let native = evaluate_native(&fx.surface, &fx.opt).unwrap();
+        let sb = evaluate_spillbound(&fx.surface, &fx.opt, 2.0).unwrap();
+        assert!(
+            native.mso > sb.mso,
+            "native MSO {} should exceed SB MSOe {}",
+            native.mso,
+            sb.mso
+        );
+    }
+}

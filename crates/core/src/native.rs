@@ -1,0 +1,127 @@
+//! The conventional-optimizer baseline (§2.3).
+//!
+//! A native optimizer estimates the epp selectivities (`qe`) from
+//! statistics, picks `P_qe`, and runs it to completion regardless of the
+//! true location `qa`. Its sub-optimality `Cost(P_qe, qa) / Cost(P_qa,
+//! qa)` is unbounded — the paper measures values beyond 10⁶ (TPC-DS Q19)
+//! and beyond 6000 on JOB Q1a.
+
+use rqp_common::{Cost, GridIdx};
+use rqp_ess::EssSurface;
+use rqp_optimizer::{Optimizer, PlanNode};
+
+/// The native optimizer's choice for a query: the estimate location and
+/// the plan it commits to.
+#[derive(Debug)]
+pub struct NativeChoice {
+    /// Estimated epp selectivities (statistics-derived).
+    pub qe_sels: Vec<f64>,
+    /// Grid location nearest to the estimate.
+    pub qe_idx: GridIdx,
+    /// The plan chosen at the estimate.
+    pub plan: PlanNode,
+    /// Cost of the plan at the estimate.
+    pub est_cost: Cost,
+}
+
+impl NativeChoice {
+    /// Computes the native optimizer's choice: epp selectivities default to
+    /// their statistics-derived base values (NDV formulas / uniformity), as
+    /// a real engine would estimate them.
+    pub fn compute(surface: &EssSurface, opt: &Optimizer<'_>) -> Self {
+        let query = opt.query();
+        let qe_sels: Vec<f64> = query.epps.iter().map(|&p| opt.base_sels().get(p)).collect();
+        let grid = surface.grid();
+        let coords: Vec<usize> = qe_sels
+            .iter()
+            .enumerate()
+            .map(|(j, &s)| grid.dim(j).nearest_idx(s))
+            .collect();
+        let qe_idx = grid.flat(&coords);
+        let (plan, est_cost) = opt.optimize_at(&qe_sels);
+        Self {
+            qe_sels,
+            qe_idx,
+            plan,
+            est_cost,
+        }
+    }
+
+    /// Sub-optimality of the native choice when the truth is grid location
+    /// `qa` (Eq. 1).
+    pub fn sub_optimality(&self, surface: &EssSurface, opt: &Optimizer<'_>, qa: GridIdx) -> f64 {
+        let sels = opt.sels_at(&surface.grid().sels(qa));
+        let cost = opt.cost_plan(&self.plan, &sels);
+        cost / surface.opt_cost(qa)
+    }
+}
+
+/// The native optimizer's worst-case MSO over *all* `(qe, qa)` pairs
+/// (Eq. 2): errors may place the estimate anywhere in the ESS, so every
+/// POSP plan is some `P_qe`.
+pub fn native_mso_worst_case(surface: &EssSurface, opt: &Optimizer<'_>) -> f64 {
+    let grid = surface.grid();
+    let mut mso: f64 = 1.0;
+    for (_, plan) in surface.pool().iter() {
+        for qa in grid.iter() {
+            let sels = opt.sels_at(&grid.sels(qa));
+            let sub = opt.cost_plan(plan, &sels) / surface.opt_cost(qa);
+            mso = mso.max(sub);
+        }
+    }
+    mso
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::star2_surface;
+
+    #[test]
+    fn native_choice_is_optimal_at_its_estimate() {
+        let fx = star2_surface(12);
+        let choice = NativeChoice::compute(&fx.surface, &fx.opt);
+        // At the estimate itself, sub-optimality vs the grid-snapped point
+        // is near 1.
+        let sub = choice.sub_optimality(&fx.surface, &fx.opt, choice.qe_idx);
+        assert!(sub >= 1.0 - 1e-9);
+        assert!(sub < 1.6, "estimate location should be near-optimal: {sub}");
+    }
+
+    #[test]
+    fn native_suboptimality_grows_away_from_estimate() {
+        let fx = star2_surface(12);
+        let choice = NativeChoice::compute(&fx.surface, &fx.opt);
+        let worst = fx
+            .surface
+            .grid()
+            .iter()
+            .map(|qa| choice.sub_optimality(&fx.surface, &fx.opt, qa))
+            .fold(1.0f64, f64::max);
+        assert!(
+            worst > 1.5,
+            "a fixed estimate must be noticeably sub-optimal somewhere: {worst}"
+        );
+        // With the estimate free to be anywhere (Eq. 2), the blow-up is
+        // much larger: a plan tuned for the origin pays dearly at scale.
+        let all_pairs = native_mso_worst_case(&fx.surface, &fx.opt);
+        assert!(
+            all_pairs > 5.0,
+            "worst-case native MSO should be large: {all_pairs}"
+        );
+    }
+
+    #[test]
+    fn worst_case_dominates_fixed_estimate() {
+        let fx = star2_surface(10);
+        let choice = NativeChoice::compute(&fx.surface, &fx.opt);
+        let fixed_mso = fx
+            .surface
+            .grid()
+            .iter()
+            .map(|qa| choice.sub_optimality(&fx.surface, &fx.opt, qa))
+            .fold(1.0, f64::max);
+        let worst = native_mso_worst_case(&fx.surface, &fx.opt);
+        assert!(worst >= fixed_mso * (1.0 - 1e-9));
+    }
+}

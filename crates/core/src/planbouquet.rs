@@ -1,0 +1,155 @@
+//! The PlanBouquet baseline (§1.1; Dutt & Haritsa, TODS'16).
+//!
+//! Selectivity discovery without spilling: the anorexic-reduced plan sets
+//! of each iso-cost contour are executed in sequence with budgets
+//! `(1+λ)·CC_i`; the first execution to finish returns the query result.
+//! The guarantee is **behavioral** — `MSO ≤ 4(1+λ)·ρ_red`, where `ρ_red`
+//! is the maximum post-reduction contour density, a quantity that depends
+//! on the optimizer and platform and requires the full ESS preprocessing
+//! to even compute.
+
+use crate::discovery::Shared;
+use crate::oracle::{ExecutionOracle, FullOutcome};
+use crate::report::{ExecMode, ExecutionRecord, Outcome, RunReport};
+use rqp_common::Result;
+use rqp_ess::anorexic::{reduce_all, ReducedContour};
+use rqp_ess::{ContourSet, EssSurface};
+use rqp_optimizer::Optimizer;
+
+/// A compiled PlanBouquet: contour schedule plus reduced plan sets.
+#[derive(Debug)]
+pub struct PlanBouquet<'a> {
+    shared: Shared<'a>,
+    reduced: Vec<ReducedContour>,
+    rho_red: usize,
+    lambda: f64,
+    ratio: f64,
+}
+
+impl<'a> PlanBouquet<'a> {
+    /// Compiles the bouquet with inter-contour cost `ratio` and anorexic
+    /// swallowing threshold `lambda` (the paper uses 2.0 and 0.2).
+    pub fn new(surface: &'a EssSurface, opt: &'a Optimizer<'a>, ratio: f64, lambda: f64) -> Self {
+        let shared = Shared::new(surface, opt, ratio);
+        let (reduced, rho_red) = reduce_all(surface, opt, &shared.contours, lambda);
+        Self {
+            shared,
+            reduced,
+            rho_red,
+            lambda,
+            ratio,
+        }
+    }
+
+    /// Post-reduction maximum contour density `ρ_red`.
+    pub fn rho_red(&self) -> usize {
+        self.rho_red
+    }
+
+    /// The behavioral MSO guarantee `(1+λ)·ρ_red·r²/(r−1)` — `4(1+λ)ρ_red`
+    /// at the paper's cost-doubling ratio.
+    pub fn mso_guarantee(&self) -> f64 {
+        crate::planbouquet_guarantee_ratio(self.lambda, self.rho_red, self.ratio)
+    }
+
+    /// The contour schedule.
+    pub fn contours(&self) -> &ContourSet {
+        &self.shared.contours
+    }
+
+    /// The reduced plan set of contour `i`.
+    pub fn contour_plans(&self, i: usize) -> &[usize] {
+        &self.reduced[i].plans
+    }
+
+    /// Runs the bouquet discovery sequence against `oracle`.
+    pub fn run(&self, oracle: &mut dyn ExecutionOracle) -> Result<RunReport> {
+        let mut report = RunReport {
+            learnt: vec![None; self.shared.ndims()],
+            ..RunReport::default()
+        };
+        for (i, rc) in self.reduced.iter().enumerate() {
+            let budget = (1.0 + self.lambda) * rc.cost;
+            for &pid in &rc.plans {
+                let plan = self.shared.surface.pool().get(pid);
+                match oracle.full_execute(plan, budget) {
+                    FullOutcome::Completed { spent } => {
+                        report.total_cost += spent;
+                        report.records.push(ExecutionRecord {
+                            contour: i,
+                            plan_fingerprint: plan.fingerprint(),
+                            plan_id: Some(pid),
+                            mode: ExecMode::Full,
+                            budget,
+                            spent,
+                            outcome: Outcome::Completed { sel: None },
+                        });
+                        report.completed = true;
+                        return Ok(report);
+                    }
+                    FullOutcome::TimedOut { spent } => {
+                        report.total_cost += spent;
+                        report.records.push(ExecutionRecord {
+                            contour: i,
+                            plan_fingerprint: plan.fingerprint(),
+                            plan_id: Some(pid),
+                            mode: ExecMode::Full,
+                            budget,
+                            spent,
+                            outcome: Outcome::TimedOut { lower_bound: 0.0 },
+                        });
+                    }
+                }
+            }
+        }
+        // Unreachable with an exact cost model (the last contour's reduced
+        // plan set covers every location); under bounded cost-model error
+        // (§7) keep doubling budgets on the terminus plan.
+        self.shared
+            .run_overflow_phase(&vec![None; self.shared.ndims()], oracle, &mut report)?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CostOracle;
+    use crate::test_fixtures::star2_surface;
+
+    #[test]
+    fn completes_everywhere_within_guarantee() {
+        let fx = star2_surface(12);
+        let pb = PlanBouquet::new(&fx.surface, &fx.opt, 2.0, 0.2);
+        let guarantee = pb.mso_guarantee();
+        for qa in fx.surface.grid().iter() {
+            let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), qa);
+            let report = pb.run(&mut oracle).expect("bouquet must complete");
+            assert!(report.completed);
+            let subopt = report.sub_optimality(fx.surface.opt_cost(qa));
+            assert!(
+                subopt <= guarantee * (1.0 + 1e-6),
+                "qa {:?}: subopt {subopt} exceeds guarantee {guarantee}",
+                fx.surface.grid().coords(qa)
+            );
+        }
+    }
+
+    #[test]
+    fn cheap_locations_finish_in_early_contours() {
+        let fx = star2_surface(12);
+        let pb = PlanBouquet::new(&fx.surface, &fx.opt, 2.0, 0.2);
+        let origin = fx.surface.grid().origin();
+        let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), origin);
+        let report = pb.run(&mut oracle).unwrap();
+        assert_eq!(report.last_contour(), Some(0), "origin completes on IC1");
+    }
+
+    #[test]
+    fn rho_and_guarantee_consistent() {
+        let fx = star2_surface(12);
+        let pb = PlanBouquet::new(&fx.surface, &fx.opt, 2.0, 0.2);
+        assert!(pb.rho_red() >= 1);
+        assert!((pb.mso_guarantee() - 4.0 * 1.2 * pb.rho_red() as f64).abs() < 1e-12);
+    }
+}

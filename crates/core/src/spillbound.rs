@@ -1,0 +1,315 @@
+//! The SpillBound algorithm (§4, Algorithm 1).
+//!
+//! SpillBound walks the iso-cost contours exactly like PlanBouquet, but
+//! replaces the "try every contour plan" strategy with **half-space
+//! pruning** (spill-mode executions that provably learn either an epp's
+//! exact selectivity or a lower bound at the contour's extreme, Lemma 3.1)
+//! and **contour-density-independent execution** (at most one carefully
+//! chosen plan per unlearnt epp per contour, Lemma 4.3):
+//!
+//! * per contour `IC_i` and unlearnt dimension `j`, the plan `P^j_max` is
+//!   the optimal plan of the contour location that spills on `e_j` and has
+//!   the maximal `j`-coordinate (§3.2, Fig. 5);
+//! * each `P^j_max` is executed in spill-mode with budget `CC_i`; a
+//!   completed execution pins the dimension and contour processing
+//!   restarts with the reduced epp set; if every execution times out, the
+//!   true location provably lies beyond the contour and discovery jumps to
+//!   `IC_{i+1}`;
+//! * once a single epp remains, the 1D PlanBouquet terminal phase finishes
+//!   the query (spilling weakens the bound in 1D, §4.1).
+//!
+//! The resulting guarantee is **structural**: `MSO ≤ D² + 3D` (Theorem
+//! 4.5), a function of nothing but the number of error-prone predicates.
+
+use crate::discovery::Shared;
+use crate::oracle::{ExecutionOracle, SpillOutcome};
+use crate::report::{ExecMode, ExecutionRecord, Outcome, RunReport};
+use rqp_common::{GridIdx, Result};
+use rqp_ess::alignment::SpillDimCache;
+use rqp_ess::{ContourSet, EssSurface, EssView};
+use rqp_optimizer::{Optimizer, PlanId};
+use std::collections::{HashMap, HashSet};
+
+/// Per-contour plan selections: for each dimension, the chosen
+/// `(q^j_max, P^j_max)` pair, or `None` if no contour plan spills on it.
+type Selections = Vec<Option<(GridIdx, PlanId)>>;
+
+/// Memo key: (contour index, learnt-dimension pins).
+type SelKey = (usize, Vec<Option<usize>>);
+
+/// A compiled SpillBound instance.
+///
+/// Holds memoized per-contour selections so that sweeping many `qa`
+/// locations (the MSOe experiments) re-uses the expensive contour
+/// analysis.
+#[derive(Debug)]
+pub struct SpillBound<'a> {
+    shared: Shared<'a>,
+    spill_cache: SpillDimCache,
+    selections: HashMap<SelKey, Selections>,
+}
+
+impl<'a> SpillBound<'a> {
+    /// Compiles SpillBound with the given inter-contour cost ratio (the
+    /// paper's default is 2).
+    pub fn new(surface: &'a EssSurface, opt: &'a Optimizer<'a>, ratio: f64) -> Self {
+        Self {
+            shared: Shared::new(surface, opt, ratio),
+            spill_cache: SpillDimCache::new(),
+            selections: HashMap::new(),
+        }
+    }
+
+    /// The structural MSO guarantee `D² + 3D`.
+    pub fn mso_guarantee(&self) -> f64 {
+        crate::spillbound_guarantee(self.shared.ndims())
+    }
+
+    /// The contour schedule.
+    pub fn contours(&self) -> &ContourSet {
+        &self.shared.contours
+    }
+
+    /// Computes (memoized) the per-dimension `(q^j_max, P^j_max)` choices
+    /// for contour `i` under the given pins.
+    fn contour_selections(&mut self, i: usize, pins: &[Option<usize>]) -> Selections {
+        let key = (i, pins.to_vec());
+        if let Some(s) = self.selections.get(&key) {
+            return s.clone();
+        }
+        let surface = self.shared.surface;
+        let opt = self.shared.opt;
+        let grid = surface.grid();
+        let d = grid.ndims();
+        let view = EssView::from_pins(pins.to_vec());
+        let unlearnt = view.free_mask();
+        let locs = self.shared.contours.locations(surface, &view, i);
+        let mut out: Selections = vec![None; d];
+        for q in locs {
+            let Some(j) = self.spill_cache.of_location(surface, opt, q, unlearnt) else {
+                continue;
+            };
+            let better = match out[j] {
+                None => true,
+                Some((cur, _)) => {
+                    let (qc, cc) = (grid.coord(q, j), grid.coord(cur, j));
+                    qc > cc || (qc == cc && q > cur)
+                }
+            };
+            if better {
+                out[j] = Some((q, surface.plan_id(q)));
+            }
+        }
+        self.selections.insert(key, out.clone());
+        out
+    }
+
+    /// Runs selectivity discovery against `oracle`.
+    pub fn run(&mut self, oracle: &mut dyn ExecutionOracle) -> Result<RunReport> {
+        let d = self.shared.ndims();
+        let m = self.shared.contours.len();
+        let grid = self.shared.surface.grid();
+        let mut pins: Vec<Option<usize>> = vec![None; d];
+        let mut report = RunReport {
+            learnt: vec![None; d],
+            ..RunReport::default()
+        };
+
+        if d <= 1 {
+            // Degenerate: straight to the (≤1)-dimensional bouquet phase.
+            self.shared.run_terminal_phase(&pins, 0, oracle, &mut report)?;
+            return Ok(report);
+        }
+
+        let mut i = 0usize;
+        // Executions already performed on the current contour; identical
+        // (plan, dim) re-selections are provably identical timeouts, so we
+        // neither re-run nor re-charge them.
+        let mut executed: HashSet<(PlanId, usize)> = HashSet::new();
+        loop {
+            let free: Vec<usize> = (0..d).filter(|&j| pins[j].is_none()).collect();
+            if free.len() == 1 {
+                self.shared.run_terminal_phase(&pins, i, oracle, &mut report)?;
+                return Ok(report);
+            }
+            if i >= m {
+                // Unreachable with an exact cost model (the last contour
+                // always yields progress); under bounded cost-model error
+                // the overflow phase finishes the query within the
+                // inflated guarantee (§7).
+                self.shared.run_overflow_phase(&pins, oracle, &mut report)?;
+                return Ok(report);
+            }
+            let selections = self.contour_selections(i, &pins);
+            let budget = self.shared.contours.cost(i);
+            let mut learnt_dim: Option<usize> = None;
+            for &j in &free {
+                let Some((_, pid)) = selections[j] else {
+                    continue; // no contour plan spills on e_j: skip (§4.2)
+                };
+                if !executed.insert((pid, j)) {
+                    continue; // identical repeat: outcome already known
+                }
+                let plan = self.shared.surface.pool().get(pid);
+                match oracle.spill_execute(plan, j, budget) {
+                    SpillOutcome::Completed { sel, spent } => {
+                        report.total_cost += spent;
+                        report.records.push(ExecutionRecord {
+                            contour: i,
+                            plan_fingerprint: plan.fingerprint(),
+                            plan_id: Some(pid),
+                            mode: ExecMode::Spill { dim: j },
+                            budget,
+                            spent,
+                            outcome: Outcome::Completed { sel: Some(sel) },
+                        });
+                        report.learnt[j] = Some(sel);
+                        pins[j] = Some(grid.dim(j).ceil_idx(sel));
+                        learnt_dim = Some(j);
+                        break;
+                    }
+                    SpillOutcome::TimedOut { lower_bound, spent } => {
+                        report.total_cost += spent;
+                        report.records.push(ExecutionRecord {
+                            contour: i,
+                            plan_fingerprint: plan.fingerprint(),
+                            plan_id: Some(pid),
+                            mode: ExecMode::Spill { dim: j },
+                            budget,
+                            spent,
+                            outcome: Outcome::TimedOut { lower_bound },
+                        });
+                    }
+                }
+            }
+            if learnt_dim.is_none() {
+                // Lemma 4.3: the true location lies beyond this contour.
+                i += 1;
+                executed.clear();
+            }
+            // On learning, re-process the same contour with the reduced
+            // epp set (repeat executions, §4.2); `executed` keeps already
+            // settled (plan, dim) outcomes.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CostOracle;
+    use crate::test_fixtures::{star2_surface, star_surface};
+
+    #[test]
+    fn completes_everywhere_within_guarantee_2d() {
+        let fx = star2_surface(12);
+        let mut sb = SpillBound::new(&fx.surface, &fx.opt, 2.0);
+        let guarantee = sb.mso_guarantee();
+        assert_eq!(guarantee, 10.0);
+        for qa in fx.surface.grid().iter() {
+            let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), qa);
+            let report = sb.run(&mut oracle).expect("SpillBound must complete");
+            assert!(report.completed);
+            let subopt = report.sub_optimality(fx.surface.opt_cost(qa));
+            assert!(
+                subopt <= guarantee * (1.0 + 1e-6),
+                "qa {:?}: subopt {subopt} > guarantee {guarantee}",
+                fx.surface.grid().coords(qa)
+            );
+        }
+    }
+
+    #[test]
+    fn completes_everywhere_within_guarantee_3d() {
+        let fx = star_surface(3, 7);
+        let mut sb = SpillBound::new(&fx.surface, &fx.opt, 2.0);
+        let guarantee = sb.mso_guarantee(); // 18
+        for qa in fx.surface.grid().iter() {
+            let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), qa);
+            let report = sb.run(&mut oracle).expect("SpillBound must complete");
+            let subopt = report.sub_optimality(fx.surface.opt_cost(qa));
+            assert!(
+                subopt <= guarantee * (1.0 + 1e-6),
+                "qa {:?}: subopt {subopt} > guarantee {guarantee}",
+                fx.surface.grid().coords(qa)
+            );
+        }
+    }
+
+    #[test]
+    fn learnt_selectivities_match_truth() {
+        let fx = star2_surface(12);
+        let mut sb = SpillBound::new(&fx.surface, &fx.opt, 2.0);
+        // An interior location forces real discovery.
+        let qa = fx.surface.grid().flat(&[7, 5]);
+        let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), qa);
+        let report = sb.run(&mut oracle).unwrap();
+        for j in 0..2 {
+            if let Some(s) = report.learnt[j] {
+                let truth = fx.surface.grid().sel_at(qa, j);
+                assert!(
+                    (s - truth).abs() <= 1e-12,
+                    "dim {j}: learnt {s} != truth {truth}"
+                );
+            }
+        }
+        // With two epps, exactly one dimension is learnt by spilling; the
+        // other finishes through the 1D bouquet phase.
+        assert_eq!(report.learnt.iter().flatten().count(), 1);
+    }
+
+    #[test]
+    fn spill_records_precede_terminal_full_execution() {
+        let fx = star2_surface(12);
+        let mut sb = SpillBound::new(&fx.surface, &fx.opt, 2.0);
+        let qa = fx.surface.grid().flat(&[9, 9]);
+        let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), qa);
+        let report = sb.run(&mut oracle).unwrap();
+        let last = report.records.last().unwrap();
+        assert_eq!(last.mode, ExecMode::Full, "query completes in full mode");
+        assert!(matches!(last.outcome, Outcome::Completed { .. }));
+        // Budgets never shrink along the discovery sequence.
+        for w in report.records.windows(2) {
+            assert!(w[1].budget >= w[0].budget * (1.0 - 1e-9));
+        }
+    }
+
+    #[test]
+    fn origin_location_is_cheap() {
+        let fx = star2_surface(12);
+        let mut sb = SpillBound::new(&fx.surface, &fx.opt, 2.0);
+        let origin = fx.surface.grid().origin();
+        let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), origin);
+        let report = sb.run(&mut oracle).unwrap();
+        let subopt = report.sub_optimality(fx.surface.opt_cost(origin));
+        assert!(
+            subopt <= 6.0,
+            "origin should finish in the first contours, subopt {subopt}"
+        );
+    }
+
+    #[test]
+    fn timed_out_lower_bounds_never_exceed_truth() {
+        let fx = star2_surface(12);
+        let mut sb = SpillBound::new(&fx.surface, &fx.opt, 2.0);
+        for qa in [
+            fx.surface.grid().flat(&[3, 8]),
+            fx.surface.grid().flat(&[10, 2]),
+            fx.surface.grid().flat(&[11, 11]),
+        ] {
+            let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), qa);
+            let report = sb.run(&mut oracle).unwrap();
+            for r in &report.records {
+                if let (ExecMode::Spill { dim }, Outcome::TimedOut { lower_bound }) =
+                    (r.mode, r.outcome)
+                {
+                    let truth = fx.surface.grid().sel_at(qa, dim);
+                    assert!(
+                        lower_bound < truth + 1e-15,
+                        "lb {lower_bound} overshoots truth {truth}"
+                    );
+                }
+            }
+        }
+    }
+}

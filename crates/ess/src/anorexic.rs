@@ -1,0 +1,177 @@
+//! Anorexic reduction of contour plan sets [Harish et al., VLDB'07].
+//!
+//! PlanBouquet's guarantee is `4·(1+λ)·ρ` where `ρ` is the maximum number
+//! of plans on any contour. Raw POSP contours are dense, so the paper
+//! applies the *anorexic reduction* heuristic: a plan may "swallow" the
+//! region of another if it costs at most `(1+λ)` times more everywhere in
+//! that region (default λ = 0.2). We implement the reduction per contour as
+//! a greedy set cover: choose the fewest plans such that every contour
+//! location has a chosen plan within `(1+λ)·CC_i`; bouquet budgets are
+//! inflated to `(1+λ)·CC_i` accordingly.
+
+use crate::surface::EssSurface;
+use rqp_common::{Cost, GridIdx};
+use rqp_optimizer::{Optimizer, PlanId};
+
+/// A contour after anorexic reduction.
+#[derive(Debug, Clone)]
+pub struct ReducedContour {
+    /// Contour cost `CC_i` (uninflated).
+    pub cost: Cost,
+    /// Chosen plans, in greedy-selection order (the bouquet executes them
+    /// in this order).
+    pub plans: Vec<PlanId>,
+}
+
+/// Greedily covers `locations` with plans drawn from their own optimal
+/// plans, such that each location has a chosen plan costing at most
+/// `(1+lambda) * contour_cost` there.
+///
+/// Always succeeds: a location's own optimal plan costs `≤ CC_i` at that
+/// location, so the full plan set is a valid cover.
+pub fn reduce_contour(
+    surface: &EssSurface,
+    optimizer: &Optimizer<'_>,
+    locations: &[GridIdx],
+    contour_cost: Cost,
+    lambda: f64,
+) -> ReducedContour {
+    assert!(lambda >= 0.0);
+    let budget = (1.0 + lambda) * contour_cost;
+    let grid = surface.grid();
+
+    // Candidate plans: distinct optimal plans on the contour.
+    let mut cand: Vec<PlanId> = locations.iter().map(|&q| surface.plan_id(q)).collect();
+    cand.sort_unstable();
+    cand.dedup();
+
+    // coverage[c][l] = candidate c covers location l within the inflated
+    // budget. One selectivity assignment per location, shared by all
+    // candidates.
+    let mut coverage: Vec<Vec<bool>> = vec![vec![false; locations.len()]; cand.len()];
+    for (l, &q) in locations.iter().enumerate() {
+        let assigned = optimizer.sels_at(&grid.sels(q));
+        for (c, &pid) in cand.iter().enumerate() {
+            coverage[c][l] =
+                optimizer.cost_plan(surface.pool().get(pid), &assigned) <= budget * (1.0 + 1e-9);
+        }
+    }
+
+    let mut uncovered: Vec<bool> = vec![true; locations.len()];
+    let mut remaining = locations.len();
+    let mut chosen = Vec::new();
+    while remaining > 0 {
+        // Greedy: candidate covering the most uncovered locations; ties go
+        // to the smaller plan id (deterministic).
+        let (best_c, best_gain) = cand
+            .iter()
+            .enumerate()
+            .map(|(c, _)| {
+                let gain = coverage[c]
+                    .iter()
+                    .zip(&uncovered)
+                    .filter(|&(&cov, &unc)| cov && unc)
+                    .count();
+                (c, gain)
+            })
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("candidates non-empty while locations uncovered");
+        assert!(
+            best_gain > 0,
+            "anorexic cover stalled; optimal plan must cover its own location"
+        );
+        chosen.push(cand[best_c]);
+        for (l, unc) in uncovered.iter_mut().enumerate() {
+            if *unc && coverage[best_c][l] {
+                *unc = false;
+                remaining -= 1;
+            }
+        }
+    }
+
+    ReducedContour {
+        cost: contour_cost,
+        plans: chosen,
+    }
+}
+
+/// Reduces every contour of `contours` and returns them plus the reduced
+/// maximum density `ρ_red`.
+pub fn reduce_all(
+    surface: &EssSurface,
+    optimizer: &Optimizer<'_>,
+    contours: &crate::contours::ContourSet,
+    lambda: f64,
+) -> (Vec<ReducedContour>, usize) {
+    let view = crate::view::EssView::full(surface.grid().ndims());
+    let reduced: Vec<ReducedContour> = (0..contours.len())
+        .map(|i| {
+            let locs = contours.locations(surface, &view, i);
+            reduce_contour(surface, optimizer, &locs, contours.cost(i), lambda)
+        })
+        .collect();
+    let rho = reduced.iter().map(|r| r.plans.len()).max().unwrap_or(0);
+    (reduced, rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contours::ContourSet;
+    use crate::surface::test_fixtures::star2;
+    use crate::view::EssView;
+    use rqp_common::MultiGrid;
+    use rqp_optimizer::{CostParams, EnumerationMode, Optimizer};
+
+    #[test]
+    fn reduction_never_increases_density_and_covers() {
+        let (cat, q) = star2();
+        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
+            .unwrap();
+        let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 16));
+        let contours = ContourSet::build(&surface, 2.0);
+        let view = EssView::full(2);
+        let lambda = 0.2;
+        for i in 0..contours.len() {
+            let locs = contours.locations(&surface, &view, i);
+            let raw = contours.plans(&surface, &view, i);
+            let red = reduce_contour(&surface, &opt, &locs, contours.cost(i), lambda);
+            assert!(red.plans.len() <= raw.len());
+            assert!(!red.plans.is_empty());
+            // verify cover
+            let budget = (1.0 + lambda) * contours.cost(i);
+            for &q_loc in &locs {
+                let sels = surface.grid().sels(q_loc);
+                let assigned = opt.sels_at(&sels);
+                let covered = red.plans.iter().any(|&pid| {
+                    opt.cost_plan(surface.pool().get(pid), &assigned) <= budget * (1.0 + 1e-9)
+                });
+                assert!(covered, "location uncovered after reduction");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_lambda_still_valid() {
+        let (cat, q) = star2();
+        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
+            .unwrap();
+        let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 8));
+        let contours = ContourSet::build(&surface, 2.0);
+        let (reduced, rho) = reduce_all(&surface, &opt, &contours, 0.0);
+        assert_eq!(reduced.len(), contours.len());
+        assert!(rho >= 1);
+    }
+
+    #[test]
+    fn larger_lambda_reduces_no_less() {
+        let (cat, q) = star2();
+        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
+            .unwrap();
+        let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 16));
+        let contours = ContourSet::build(&surface, 2.0);
+        let (_, rho_0) = reduce_all(&surface, &opt, &contours, 0.0);
+        let (_, rho_05) = reduce_all(&surface, &opt, &contours, 0.5);
+        assert!(rho_05 <= rho_0, "λ=0.5 density {rho_05} vs λ=0 {rho_0}");
+    }
+}

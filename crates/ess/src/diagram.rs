@@ -1,0 +1,148 @@
+//! Plan-diagram analysis.
+//!
+//! The POSP surface over a selectivity space is a *plan diagram* in the
+//! sense of Reddy & Haritsa (VLDB'05) — the lineage the paper's anorexic
+//! reduction \[10\] comes from. This module computes the diagram statistics
+//! that characterize how "hostile" a query's optimality landscape is:
+//! plan cardinality, per-plan region areas, the Gini coefficient of area
+//! skew (dense diagrams have many tiny-region plans), and contiguity of
+//! regions — the structural features that drive `ρ` and hence
+//! PlanBouquet's behavioral bound.
+
+use crate::surface::EssSurface;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Summary statistics of a plan diagram.
+#[derive(Debug, Clone, Serialize)]
+pub struct DiagramStats {
+    /// Number of distinct optimal plans (plan cardinality).
+    pub plan_cardinality: usize,
+    /// Grid locations per plan, descending.
+    pub region_sizes: Vec<usize>,
+    /// Gini coefficient of the region-size distribution in `[0, 1)`:
+    /// 0 = all plans cover equal areas, →1 = a few plans dominate.
+    pub gini: f64,
+    /// Fraction of the space covered by the single largest region.
+    pub largest_region_frac: f64,
+    /// Fraction of plans whose region is a single grid location
+    /// ("splinter" plans — anorexic reduction's primary prey).
+    pub splinter_frac: f64,
+    /// Fraction of axis-adjacent grid-location pairs whose optimal plans
+    /// differ (plan-switch density; high values mean fragmented diagrams).
+    pub switch_density: f64,
+}
+
+/// Computes diagram statistics for a surface.
+pub fn analyze_diagram(surface: &EssSurface) -> DiagramStats {
+    let grid = surface.grid();
+    let mut sizes: HashMap<usize, usize> = HashMap::new();
+    for idx in grid.iter() {
+        *sizes.entry(surface.plan_id(idx)).or_insert(0) += 1;
+    }
+    let mut region_sizes: Vec<usize> = sizes.values().copied().collect();
+    region_sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let n = region_sizes.len();
+    let total: usize = region_sizes.iter().sum();
+
+    // Gini over region sizes.
+    let gini = if n <= 1 {
+        0.0
+    } else {
+        let mut asc = region_sizes.clone();
+        asc.sort_unstable();
+        let sum: f64 = asc.iter().map(|&x| x as f64).sum();
+        let weighted: f64 = asc
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+            .sum();
+        (2.0 * weighted) / (n as f64 * sum) - (n as f64 + 1.0) / n as f64
+    };
+
+    // Plan-switch density over axis-adjacent pairs.
+    let mut pairs = 0usize;
+    let mut switches = 0usize;
+    for idx in grid.iter() {
+        for j in 0..grid.ndims() {
+            if let Some(s) = grid.succ_along(idx, j) {
+                pairs += 1;
+                if surface.plan_id(idx) != surface.plan_id(s) {
+                    switches += 1;
+                }
+            }
+        }
+    }
+
+    DiagramStats {
+        plan_cardinality: n,
+        largest_region_frac: region_sizes.first().map_or(0.0, |&s| s as f64 / total as f64),
+        splinter_frac: region_sizes.iter().filter(|&&s| s == 1).count() as f64 / n.max(1) as f64,
+        region_sizes,
+        gini,
+        switch_density: if pairs == 0 {
+            0.0
+        } else {
+            switches as f64 / pairs as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surface::test_fixtures::star2;
+    use rqp_common::MultiGrid;
+    use rqp_optimizer::{CostParams, EnumerationMode, Optimizer};
+
+    fn surface() -> EssSurface {
+        let (cat, q) = star2();
+        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
+            .unwrap();
+        EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 16))
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let s = surface();
+        let d = analyze_diagram(&s);
+        assert_eq!(d.plan_cardinality, s.posp_size());
+        assert_eq!(d.region_sizes.iter().sum::<usize>(), s.len());
+        assert!(d.region_sizes.windows(2).all(|w| w[0] >= w[1]));
+        assert!((0.0..1.0).contains(&d.gini));
+        assert!((0.0..=1.0).contains(&d.largest_region_frac));
+        assert!((0.0..=1.0).contains(&d.splinter_frac));
+        assert!((0.0..=1.0).contains(&d.switch_density));
+        assert!(
+            d.largest_region_frac >= 1.0 / d.plan_cardinality as f64,
+            "largest region at least the average"
+        );
+    }
+
+    #[test]
+    fn switch_density_positive_on_nontrivial_diagram() {
+        let s = surface();
+        let d = analyze_diagram(&s);
+        assert!(d.plan_cardinality > 1);
+        assert!(d.switch_density > 0.0, "plans must change somewhere");
+        assert!(
+            d.switch_density < 0.5,
+            "plan regions should be contiguous, not noise"
+        );
+    }
+
+    #[test]
+    fn gini_zero_for_uniform_partition() {
+        // hand-rolled check of the Gini formula on equal sizes
+        let sizes = [5usize, 5, 5, 5];
+        let n = sizes.len() as f64;
+        let sum: f64 = sizes.iter().map(|&x| x as f64).sum();
+        let weighted: f64 = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+            .sum();
+        let gini = (2.0 * weighted) / (n * sum) - (n + 1.0) / n;
+        assert!(gini.abs() < 1e-12);
+    }
+}

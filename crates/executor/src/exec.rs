@@ -1,0 +1,874 @@
+//! Plan compilation and execution entry points.
+
+use crate::meter::{ExecError, Meter};
+use crate::ops::{
+    BoxOp, CompiledFilter, Counts, HashJoinOp, IndexNLOp, IndexScanOp, MergeJoinOp, NLJoinOp,
+    SeqScanOp,
+};
+use crate::store::DataStore;
+use rqp_catalog::Catalog;
+use rqp_common::{Cost, Result, RqpError};
+use rqp_optimizer::{
+    CostParams, JoinMethod, PlanNode, PredicateKind, QuerySpec, ScanMethod,
+};
+
+/// Result of a regular budgeted execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOutcome {
+    /// True if the plan ran to completion within budget.
+    pub completed: bool,
+    /// Result rows produced (0 on timeout — partial results discarded).
+    pub rows_out: u64,
+    /// Metered cost (≤ budget).
+    pub spent: Cost,
+}
+
+/// Tuple counts observed at the spilled node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeObservation {
+    /// The spilled node is a join.
+    Join {
+        /// Outer-side input cardinality.
+        left_rows: u64,
+        /// Inner-side input cardinality.
+        right_rows: u64,
+        /// Output cardinality.
+        out_rows: u64,
+    },
+    /// The spilled node is a filtering scan.
+    Scan {
+        /// Raw input rows.
+        in_rows: u64,
+        /// Post-filter rows.
+        out_rows: u64,
+    },
+}
+
+impl NodeObservation {
+    /// The observed *combined* selectivity of the node's predicates.
+    pub fn combined_selectivity(&self) -> f64 {
+        match *self {
+            NodeObservation::Join {
+                left_rows,
+                right_rows,
+                out_rows,
+            } => {
+                if left_rows == 0 || right_rows == 0 {
+                    0.0
+                } else {
+                    out_rows as f64 / (left_rows as f64 * right_rows as f64)
+                }
+            }
+            NodeObservation::Scan { in_rows, out_rows } => {
+                if in_rows == 0 {
+                    0.0
+                } else {
+                    out_rows as f64 / in_rows as f64
+                }
+            }
+        }
+    }
+}
+
+/// Result of a spill-mode budgeted execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpillRun {
+    /// True if the spilled subtree drained completely within budget.
+    pub completed: bool,
+    /// Metered cost (≤ budget).
+    pub spent: Cost,
+    /// Counts at the spilled node (populated on completion).
+    pub observation: Option<NodeObservation>,
+}
+
+/// Compiles and runs physical plans over a [`DataStore`].
+#[derive(Debug)]
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    query: &'a QuerySpec,
+    store: &'a DataStore,
+    params: CostParams,
+}
+
+/// Output schema of an operator: the query-local relations concatenated in
+/// row order.
+#[derive(Debug, Clone, Default)]
+struct Schema {
+    rels: Vec<usize>,
+}
+
+impl Schema {
+    fn concat(&self, other: &Schema) -> Schema {
+        let mut rels = self.rels.clone();
+        rels.extend_from_slice(&other.rels);
+        Schema { rels }
+    }
+
+    /// Offset of `(rel, col)` in the concatenated row.
+    fn offset(&self, rel: usize, col: usize, query: &QuerySpec, catalog: &Catalog) -> usize {
+        let mut off = 0;
+        for &r in &self.rels {
+            if r == rel {
+                return off + col;
+            }
+            off += catalog.table(query.relations[r]).columns.len();
+        }
+        panic!("relation {rel} not in schema {:?}", self.rels);
+    }
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor.
+    pub fn new(
+        catalog: &'a Catalog,
+        query: &'a QuerySpec,
+        store: &'a DataStore,
+        params: CostParams,
+    ) -> Self {
+        Self {
+            catalog,
+            query,
+            store,
+            params,
+        }
+    }
+
+    /// Executes `plan` with the given budget; drains and counts the result.
+    pub fn run_full(&self, plan: &PlanNode, budget: Cost) -> Result<ExecOutcome> {
+        let meter = Meter::new(budget);
+        let (mut op, _) = self.compile(plan, &meter)?;
+        let mut rows_out = 0u64;
+        loop {
+            match op.next() {
+                Ok(Some(_)) => rows_out += 1,
+                Ok(None) => {
+                    return Ok(ExecOutcome {
+                        completed: true,
+                        rows_out,
+                        spent: meter.spent().min(budget),
+                    })
+                }
+                Err(ExecError::BudgetExceeded) => {
+                    return Ok(ExecOutcome {
+                        completed: false,
+                        rows_out: 0,
+                        spent: budget,
+                    })
+                }
+                Err(e) => return Err(RqpError::Execution(e.to_string())),
+            }
+        }
+    }
+
+    /// Executes the subtree of `plan` rooted at predicate `pred`'s node in
+    /// spill-mode: output is counted and discarded (§3.1.2).
+    pub fn run_spill(&self, plan: &PlanNode, pred: usize, budget: Cost) -> Result<SpillRun> {
+        let subtree = plan.subtree_applying(pred).ok_or_else(|| {
+            RqpError::Execution(format!("plan does not apply predicate {pred}"))
+        })?;
+        let meter = Meter::new(budget);
+        let (mut op, _) = self.compile(subtree, &meter)?;
+        loop {
+            match op.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    return Ok(SpillRun {
+                        completed: true,
+                        spent: meter.spent().min(budget),
+                        observation: Some(match op.counts() {
+                            Counts::Join {
+                                left,
+                                right,
+                                output,
+                            } => NodeObservation::Join {
+                                left_rows: left,
+                                right_rows: right,
+                                out_rows: output,
+                            },
+                            Counts::Scan { input, output } => NodeObservation::Scan {
+                                in_rows: input,
+                                out_rows: output,
+                            },
+                        }),
+                    })
+                }
+                Err(ExecError::BudgetExceeded) => {
+                    return Ok(SpillRun {
+                        completed: false,
+                        spent: budget,
+                        observation: None,
+                    })
+                }
+                Err(e) => return Err(RqpError::Execution(e.to_string())),
+            }
+        }
+    }
+
+    fn compile_filters(&self, filters: &[usize]) -> Vec<CompiledFilter> {
+        filters
+            .iter()
+            .map(|&f| match self.query.predicates[f].kind {
+                PredicateKind::FilterLe { col, value, .. } => CompiledFilter::Le { col, v: value },
+                PredicateKind::FilterEq { col, value, .. } => CompiledFilter::Eq { col, v: value },
+                PredicateKind::Join { .. } => {
+                    unreachable!("join predicate in scan filter list")
+                }
+            })
+            .collect()
+    }
+
+    /// Key offsets for the given join predicates between two schemas.
+    fn join_keys(
+        &self,
+        preds: &[usize],
+        lschema: &Schema,
+        rschema: &Schema,
+    ) -> Result<(Vec<usize>, Vec<usize>)> {
+        let mut lk = Vec::with_capacity(preds.len());
+        let mut rk = Vec::with_capacity(preds.len());
+        for &p in preds {
+            let PredicateKind::Join {
+                left,
+                left_col,
+                right,
+                right_col,
+            } = self.query.predicates[p].kind
+            else {
+                return Err(RqpError::Execution(format!(
+                    "predicate {p} at join node is not a join"
+                )));
+            };
+            // Either endpoint may live on either side.
+            if lschema.rels.contains(&left) {
+                lk.push(lschema.offset(left, left_col, self.query, self.catalog));
+                rk.push(rschema.offset(right, right_col, self.query, self.catalog));
+            } else {
+                lk.push(lschema.offset(right, right_col, self.query, self.catalog));
+                rk.push(rschema.offset(left, left_col, self.query, self.catalog));
+            }
+        }
+        Ok((lk, rk))
+    }
+
+    fn compile(&self, node: &PlanNode, meter: &Meter) -> Result<(BoxOp<'a>, Schema)> {
+        let p = &self.params;
+        match node {
+            PlanNode::Scan {
+                rel,
+                method,
+                filters,
+            } => {
+                let tid = self.query.relations[*rel];
+                let table = self.store.table(tid).ok_or_else(|| {
+                    RqpError::Execution(format!(
+                        "table {} not materialized",
+                        self.catalog.table(tid).name
+                    ))
+                })?;
+                let cat_table = self.catalog.table(tid);
+                let nrows = table.rows().max(1) as f64;
+                let width = cat_table.row_width();
+                let cfs = self.compile_filters(filters);
+                match method {
+                    ScanMethod::SeqScan => {
+                        let row_charge = width / 8192.0 * p.seq_page_cost
+                            + p.cpu_tuple_cost
+                            + cfs.len() as f64 * p.cpu_operator_cost;
+                        Ok((
+                            Box::new(SeqScanOp::new(table, cfs, meter.clone(), row_charge)),
+                            Schema { rels: vec![*rel] },
+                        ))
+                    }
+                    ScanMethod::IndexScan => {
+                        let driving = *filters.first().ok_or_else(|| {
+                            RqpError::Execution("index scan without driving filter".into())
+                        })?;
+                        let col = match self.query.predicates[driving].kind {
+                            PredicateKind::FilterLe { col, .. }
+                            | PredicateKind::FilterEq { col, .. } => col,
+                            PredicateKind::Join { .. } => {
+                                return Err(RqpError::Execution(
+                                    "index scan driven by join predicate".into(),
+                                ))
+                            }
+                        };
+                        let index = self.store.index(tid, col).ok_or_else(|| {
+                            RqpError::Execution(format!(
+                                "no index on {}.{col}",
+                                self.catalog.table(tid).name
+                            ))
+                        })?;
+                        let pages = (nrows * width / 8192.0).max(1.0);
+                        let open_charge = (nrows + 2.0).log2().max(1.0) * p.cpu_operator_cost
+                            + p.random_page_cost;
+                        let fetch_charge = pages / nrows * p.random_page_cost
+                            + p.cpu_index_tuple_cost
+                            + p.cpu_tuple_cost
+                            + (cfs.len().saturating_sub(1)) as f64 * p.cpu_operator_cost;
+                        Ok((
+                            Box::new(IndexScanOp::new(
+                                table,
+                                index,
+                                cfs[0],
+                                cfs[1..].to_vec(),
+                                meter.clone(),
+                                open_charge,
+                                fetch_charge,
+                            )),
+                            Schema { rels: vec![*rel] },
+                        ))
+                    }
+                }
+            }
+            PlanNode::Join {
+                method,
+                left,
+                right,
+                preds,
+            } => {
+                let (lop, lschema) = self.compile(left, meter)?;
+                if *method == JoinMethod::IndexNLJoin {
+                    let PlanNode::Scan {
+                        rel, filters: rfilters, ..
+                    } = right.as_ref()
+                    else {
+                        return Err(RqpError::Execution(
+                            "index nested-loop inner must be a scan".into(),
+                        ));
+                    };
+                    let tid = self.query.relations[*rel];
+                    let table = self.store.table(tid).ok_or_else(|| {
+                        RqpError::Execution(format!(
+                            "table {} not materialized",
+                            self.catalog.table(tid).name
+                        ))
+                    })?;
+                    let key = preds[0];
+                    let PredicateKind::Join {
+                        left: jl,
+                        left_col,
+                        right: jr,
+                        right_col,
+                    } = self.query.predicates[key].kind
+                    else {
+                        return Err(RqpError::Execution("INL key must be a join".into()));
+                    };
+                    let (outer_rel, outer_col, inner_col) = if jl == *rel {
+                        (jr, right_col, left_col)
+                    } else {
+                        (jl, left_col, right_col)
+                    };
+                    let index = self.store.index(tid, inner_col).ok_or_else(|| {
+                        RqpError::Execution(format!(
+                            "no index on INL inner {}.{inner_col}",
+                            self.catalog.table(tid).name
+                        ))
+                    })?;
+                    let outer_key =
+                        lschema.offset(outer_rel, outer_col, self.query, self.catalog);
+                    // Residual equi-preds: (outer offset, inner column).
+                    let mut residual = Vec::new();
+                    for &q in &preds[1..] {
+                        let PredicateKind::Join {
+                            left: al,
+                            left_col: alc,
+                            right: ar,
+                            right_col: arc,
+                        } = self.query.predicates[q].kind
+                        else {
+                            continue;
+                        };
+                        let (orel, ocol, icol) = if al == *rel {
+                            (ar, arc, alc)
+                        } else {
+                            (al, alc, arc)
+                        };
+                        residual.push((
+                            lschema.offset(orel, ocol, self.query, self.catalog),
+                            icol,
+                        ));
+                    }
+                    let nrows = table.rows().max(1) as f64;
+                    let probe_charge =
+                        (nrows + 2.0).log2().max(1.0) * p.cpu_operator_cost
+                            + 0.1 * p.random_page_cost;
+                    let match_charge = p.cpu_index_tuple_cost
+                        + 0.2 * p.random_page_cost
+                        + p.cpu_tuple_cost
+                        + rfilters.len() as f64 * p.cpu_operator_cost;
+                    let schema = lschema.concat(&Schema { rels: vec![*rel] });
+                    let cfs = self.compile_filters(rfilters);
+                    Ok((
+                        Box::new(IndexNLOp::new(
+                            lop,
+                            table,
+                            index,
+                            outer_key,
+                            residual,
+                            cfs,
+                            meter.clone(),
+                            probe_charge,
+                            match_charge,
+                            p.cpu_tuple_cost,
+                        )),
+                        schema,
+                    ))
+                } else {
+                    let (rop, rschema) = self.compile(right, meter)?;
+                    let (lk, rk) = self.join_keys(preds, &lschema, &rschema)?;
+                    let schema = lschema.concat(&rschema);
+                    let op: BoxOp<'a> = match method {
+                        JoinMethod::HashJoin => Box::new(HashJoinOp::new(
+                            lop,
+                            rop,
+                            lk,
+                            rk,
+                            meter.clone(),
+                            2.0 * p.cpu_operator_cost,
+                            p.cpu_operator_cost,
+                            p.cpu_tuple_cost,
+                        )),
+                        JoinMethod::SortMergeJoin => Box::new(MergeJoinOp::new(
+                            lop,
+                            rop,
+                            lk,
+                            rk,
+                            meter.clone(),
+                            p.cpu_operator_cost,
+                            p.cpu_operator_cost,
+                            p.cpu_tuple_cost,
+                        )),
+                        JoinMethod::NestedLoopJoin => Box::new(NLJoinOp::new(
+                            lop,
+                            rop,
+                            lk,
+                            rk,
+                            meter.clone(),
+                            p.cpu_operator_cost,
+                            p.cpu_tuple_cost,
+                        )),
+                        JoinMethod::IndexNLJoin => unreachable!("handled above"),
+                    };
+                    Ok((op, schema))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use rqp_catalog::datagen::{ColumnGen, DataSet, GenSpec, TableGenSpec};
+    use rqp_catalog::{Column, ColumnStats, DataType, Table};
+    use rqp_optimizer::{EnumerationMode, Optimizer, Predicate};
+
+    /// fact(5000 rows, fk domain 100) ⋈ dim(100 rows, serial pk), filter on
+    /// fact.v <= 49 (sel 0.5).
+    pub(crate) fn fixture_pub() -> (Catalog, QuerySpec, DataStore) {
+        fixture()
+    }
+
+    fn fixture() -> (Catalog, QuerySpec, DataStore) {
+        let mut cat = Catalog::new();
+        let fact = cat
+            .add_table(Table::new(
+                "fact",
+                5_000,
+                vec![
+                    Column::new("fk", DataType::Int, ColumnStats::uniform(100)).with_index(),
+                    Column::new("v", DataType::Int, ColumnStats::uniform(100)),
+                ],
+            ))
+            .unwrap();
+        let dim = cat
+            .add_table(Table::new(
+                "dim",
+                100,
+                vec![Column::new("k", DataType::Int, ColumnStats::uniform(100)).with_index()],
+            ))
+            .unwrap();
+        let query = QuerySpec {
+            name: "exec_test".into(),
+            relations: vec![fact, dim],
+            predicates: vec![
+                Predicate {
+                    label: "fk=k".into(),
+                    kind: PredicateKind::Join {
+                        left: 0,
+                        left_col: 0,
+                        right: 1,
+                        right_col: 0,
+                    },
+                },
+                Predicate {
+                    label: "v<=49".into(),
+                    kind: PredicateKind::FilterLe {
+                        rel: 0,
+                        col: 1,
+                        value: 49,
+                    },
+                },
+            ],
+            epps: vec![0],
+        };
+        let data = DataSet::generate(
+            &cat,
+            &GenSpec {
+                seed: 11,
+                tables: vec![
+                    TableGenSpec {
+                        table: fact,
+                        rows: 5_000,
+                        columns: vec![
+                            ColumnGen::Uniform { domain: 100 },
+                            ColumnGen::Uniform { domain: 100 },
+                        ],
+                    },
+                    TableGenSpec {
+                        table: dim,
+                        rows: 100,
+                        columns: vec![ColumnGen::Serial],
+                    },
+                ],
+            },
+        )
+        .unwrap();
+        let store = DataStore::new(&cat, data);
+        (cat, query, store)
+    }
+
+    fn expected_rows(store: &DataStore) -> u64 {
+        // every fact row matches exactly one dim row; filter keeps v <= 49
+        let fact = store.table(0).unwrap();
+        (0..fact.rows()).filter(|&r| fact.col(1)[r] <= 49).count() as u64
+    }
+
+    #[test]
+    fn all_join_methods_agree_on_result_count() {
+        let (cat, query, store) = fixture();
+        let exec = Executor::new(&cat, &query, &store, CostParams::default());
+        let expected = expected_rows(&store);
+        assert!(expected > 2000, "sanity: ~2500 expected, got {expected}");
+        for method in [
+            JoinMethod::HashJoin,
+            JoinMethod::SortMergeJoin,
+            JoinMethod::NestedLoopJoin,
+        ] {
+            let plan = PlanNode::Join {
+                method,
+                left: Box::new(PlanNode::Scan {
+                    rel: 0,
+                    method: ScanMethod::SeqScan,
+                    filters: vec![1],
+                }),
+                right: Box::new(PlanNode::Scan {
+                    rel: 1,
+                    method: ScanMethod::SeqScan,
+                    filters: vec![],
+                }),
+                preds: vec![0],
+            };
+            let out = exec.run_full(&plan, f64::INFINITY).unwrap();
+            assert!(out.completed);
+            assert_eq!(out.rows_out, expected, "{method:?} row count");
+            assert!(out.spent > 0.0);
+        }
+    }
+
+    #[test]
+    fn index_nl_join_matches() {
+        let (cat, query, store) = fixture();
+        let exec = Executor::new(&cat, &query, &store, CostParams::default());
+        let expected = expected_rows(&store);
+        let plan = PlanNode::Join {
+            method: JoinMethod::IndexNLJoin,
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                method: ScanMethod::SeqScan,
+                filters: vec![1],
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                method: ScanMethod::IndexScan,
+                filters: vec![],
+            }),
+            preds: vec![0],
+        };
+        let out = exec.run_full(&plan, f64::INFINITY).unwrap();
+        assert!(out.completed);
+        assert_eq!(out.rows_out, expected);
+    }
+
+    #[test]
+    fn budget_aborts_execution() {
+        let (cat, query, store) = fixture();
+        let exec = Executor::new(&cat, &query, &store, CostParams::default());
+        let plan = PlanNode::Join {
+            method: JoinMethod::HashJoin,
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                method: ScanMethod::SeqScan,
+                filters: vec![1],
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                method: ScanMethod::SeqScan,
+                filters: vec![],
+            }),
+            preds: vec![0],
+        };
+        let full = exec.run_full(&plan, f64::INFINITY).unwrap();
+        let out = exec.run_full(&plan, full.spent * 0.3).unwrap();
+        assert!(!out.completed);
+        assert_eq!(out.rows_out, 0, "partial results discarded");
+        assert!((out.spent - full.spent * 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spill_run_observes_true_selectivity() {
+        let (cat, query, store) = fixture();
+        let exec = Executor::new(&cat, &query, &store, CostParams::default());
+        let plan = PlanNode::Join {
+            method: JoinMethod::HashJoin,
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                method: ScanMethod::SeqScan,
+                filters: vec![1],
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                method: ScanMethod::SeqScan,
+                filters: vec![],
+            }),
+            preds: vec![0],
+        };
+        let run = exec.run_spill(&plan, 0, f64::INFINITY).unwrap();
+        assert!(run.completed);
+        let obs = run.observation.unwrap();
+        let sel = obs.combined_selectivity();
+        // planted join selectivity: 1/100
+        assert!(
+            (sel - 0.01).abs() / 0.01 < 0.1,
+            "observed join selectivity {sel} should be ~0.01"
+        );
+        // spilling on the filter runs only the fact scan
+        let run_f = exec.run_spill(&plan, 1, f64::INFINITY).unwrap();
+        assert!(run_f.completed);
+        let obs = run_f.observation.unwrap();
+        match obs {
+            NodeObservation::Scan { in_rows, out_rows } => {
+                assert_eq!(in_rows, 5_000);
+                let sel = out_rows as f64 / in_rows as f64;
+                assert!((sel - 0.5).abs() < 0.05, "filter sel {sel} ~ 0.5");
+            }
+            _ => panic!("filter spill must observe a scan"),
+        }
+        assert!(run_f.spent < run.spent, "scan subtree cheaper than join");
+    }
+
+    #[test]
+    fn spill_on_missing_predicate_errors() {
+        let (cat, query, store) = fixture();
+        let exec = Executor::new(&cat, &query, &store, CostParams::default());
+        let plan = PlanNode::Scan {
+            rel: 0,
+            method: ScanMethod::SeqScan,
+            filters: vec![1],
+        };
+        assert!(exec.run_spill(&plan, 0, 1e9).is_err());
+    }
+
+    #[test]
+    fn metered_cost_tracks_cost_model() {
+        // The executor's metered cost should be within a small factor of
+        // the cost model's estimate when cardinality estimates are exact.
+        let (cat, query, store) = fixture();
+        let exec = Executor::new(&cat, &query, &store, CostParams::default());
+        let opt =
+            Optimizer::new(&cat, &query, CostParams::default(), EnumerationMode::LeftDeep)
+                .unwrap();
+        let fact = store.table(0).unwrap();
+        let true_join_sel = 0.01; // planted
+        let true_filter_sel =
+            (0..fact.rows()).filter(|&r| fact.col(1)[r] <= 49).count() as f64
+                / fact.rows() as f64;
+        let mut sels = opt.base_sels().clone();
+        sels.set(0, true_join_sel);
+        sels.set(1, true_filter_sel);
+        let (plan, modeled) = opt.optimize_with(&sels);
+        let out = exec.run_full(&plan, f64::INFINITY).unwrap();
+        assert!(out.completed);
+        let ratio = out.spent / modeled;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "metered {} vs modeled {modeled}: ratio {ratio}",
+            out.spent
+        );
+    }
+}
+
+/// Aggregate specification for [`Executor::run_aggregate`]: addresses
+/// columns as `(relation, column)` pairs resolved against the plan's
+/// output schema.
+#[derive(Debug, Clone, Copy)]
+pub enum AggSpec {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(rel.col)`.
+    Sum(usize, usize),
+    /// `MIN(rel.col)`.
+    Min(usize, usize),
+    /// `MAX(rel.col)`.
+    Max(usize, usize),
+}
+
+impl<'a> Executor<'a> {
+    /// Executes `plan` topped with a hash aggregation: `GROUP BY
+    /// group_cols` computing `aggs`. Returns the group rows (keys then
+    /// aggregate values) in deterministic key order, or a timeout outcome.
+    pub fn run_aggregate(
+        &self,
+        plan: &PlanNode,
+        group_cols: &[(usize, usize)],
+        aggs: &[AggSpec],
+        budget: Cost,
+    ) -> Result<(ExecOutcome, Vec<crate::ops::Row>)> {
+        let meter = Meter::new(budget);
+        let (child, schema) = self.compile(plan, &meter)?;
+        let group_by: Vec<usize> = group_cols
+            .iter()
+            .map(|&(r, c)| schema.offset(r, c, self.query, self.catalog))
+            .collect();
+        let aggfns: Vec<crate::ops::AggFn> = aggs
+            .iter()
+            .map(|a| match *a {
+                AggSpec::Count => crate::ops::AggFn::Count,
+                AggSpec::Sum(r, c) => crate::ops::AggFn::Sum {
+                    col: schema.offset(r, c, self.query, self.catalog),
+                },
+                AggSpec::Min(r, c) => crate::ops::AggFn::Min {
+                    col: schema.offset(r, c, self.query, self.catalog),
+                },
+                AggSpec::Max(r, c) => crate::ops::AggFn::Max {
+                    col: schema.offset(r, c, self.query, self.catalog),
+                },
+            })
+            .collect();
+        use crate::ops::Operator as _;
+        let p = &self.params;
+        let mut op = crate::ops::HashAggregateOp::new(
+            child,
+            group_by,
+            aggfns,
+            meter.clone(),
+            p.cpu_operator_cost,
+            p.cpu_tuple_cost,
+        );
+        let mut rows = Vec::new();
+        loop {
+            match op.next() {
+                Ok(Some(r)) => rows.push(r),
+                Ok(None) => {
+                    return Ok((
+                        ExecOutcome {
+                            completed: true,
+                            rows_out: rows.len() as u64,
+                            spent: meter.spent().min(budget),
+                        },
+                        rows,
+                    ))
+                }
+                Err(ExecError::BudgetExceeded) => {
+                    return Ok((
+                        ExecOutcome {
+                            completed: false,
+                            rows_out: 0,
+                            spent: budget,
+                        },
+                        Vec::new(),
+                    ))
+                }
+                Err(e) => return Err(RqpError::Execution(e.to_string())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod aggregate_tests {
+    use super::tests::fixture_pub as fixture;
+    use super::*;
+    use rqp_optimizer::{JoinMethod, ScanMethod};
+
+    fn join_plan() -> PlanNode {
+        PlanNode::Join {
+            method: JoinMethod::HashJoin,
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                method: ScanMethod::SeqScan,
+                filters: vec![1],
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                method: ScanMethod::SeqScan,
+                filters: vec![],
+            }),
+            preds: vec![0],
+        }
+    }
+
+    #[test]
+    fn count_star_matches_row_count() {
+        let (cat, query, store) = fixture();
+        let exec = Executor::new(&cat, &query, &store, CostParams::default());
+        let plan = join_plan();
+        let full = exec.run_full(&plan, f64::INFINITY).unwrap();
+        let (out, rows) = exec
+            .run_aggregate(&plan, &[], &[AggSpec::Count], f64::INFINITY)
+            .unwrap();
+        assert!(out.completed);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0], vec![full.rows_out as i64]);
+    }
+
+    #[test]
+    fn group_by_partitions_counts() {
+        let (cat, query, store) = fixture();
+        let exec = Executor::new(&cat, &query, &store, CostParams::default());
+        let plan = join_plan();
+        // group by dim.k (rel 1, col 0): counts per key must sum to total.
+        let (out, rows) = exec
+            .run_aggregate(
+                &plan,
+                &[(1, 0)],
+                &[AggSpec::Count, AggSpec::Min(0, 1), AggSpec::Max(0, 1)],
+                f64::INFINITY,
+            )
+            .unwrap();
+        assert!(out.completed);
+        let full = exec.run_full(&plan, f64::INFINITY).unwrap();
+        let total: i64 = rows.iter().map(|r| r[1]).sum();
+        assert_eq!(total as u64, full.rows_out);
+        // keys ascending (deterministic) and min<=max (filter keeps v<=49)
+        for w in rows.windows(2) {
+            assert!(w[0][0] < w[1][0]);
+        }
+        for r in &rows {
+            assert!(r[2] <= r[3]);
+            assert!(r[3] <= 49);
+        }
+    }
+
+    #[test]
+    fn aggregate_respects_budget() {
+        let (cat, query, store) = fixture();
+        let exec = Executor::new(&cat, &query, &store, CostParams::default());
+        let plan = join_plan();
+        let (out, rows) = exec
+            .run_aggregate(&plan, &[], &[AggSpec::Count], 1.0)
+            .unwrap();
+        assert!(!out.completed);
+        assert!(rows.is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Cost metering and budget enforcement.
+
+use rqp_common::Cost;
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Execution-side errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The assigned cost budget was exhausted; execution was aborted and
+    /// partial results discarded.
+    BudgetExceeded,
+    /// Any other runtime failure.
+    Other(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BudgetExceeded => write!(f, "execution budget exceeded"),
+            ExecError::Other(s) => write!(f, "execution failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A shared cost meter: operators charge work against it; the first charge
+/// that pushes spending past the budget aborts the plan.
+///
+/// Shared via `Rc` across the operator tree (single-threaded execution, as
+/// in the paper's one-pipeline-at-a-time model).
+#[derive(Debug, Clone)]
+pub struct Meter {
+    inner: Rc<MeterInner>,
+}
+
+#[derive(Debug)]
+struct MeterInner {
+    spent: Cell<Cost>,
+    budget: Cell<Cost>,
+}
+
+impl Meter {
+    /// Creates a meter with the given budget (use `f64::INFINITY` for
+    /// unbudgeted runs).
+    pub fn new(budget: Cost) -> Self {
+        Self {
+            inner: Rc::new(MeterInner {
+                spent: Cell::new(0.0),
+                budget: Cell::new(budget),
+            }),
+        }
+    }
+
+    /// Charges `c` cost units; errors if the budget is now exceeded.
+    #[inline]
+    pub fn charge(&self, c: Cost) -> Result<(), ExecError> {
+        let s = self.inner.spent.get() + c;
+        self.inner.spent.set(s);
+        if s > self.inner.budget.get() {
+            Err(ExecError::BudgetExceeded)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Total cost charged so far.
+    pub fn spent(&self) -> Cost {
+        self.inner.spent.get()
+    }
+
+    /// The budget.
+    pub fn budget(&self) -> Cost {
+        self.inner.budget.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_and_trip() {
+        let m = Meter::new(10.0);
+        assert!(m.charge(4.0).is_ok());
+        assert!(m.charge(6.0).is_ok()); // exactly at budget: ok
+        assert_eq!(m.spent(), 10.0);
+        assert_eq!(m.charge(0.1), Err(ExecError::BudgetExceeded));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Meter::new(5.0);
+        let m2 = m.clone();
+        m.charge(3.0).unwrap();
+        assert_eq!(m2.spent(), 3.0);
+        assert!(m2.charge(3.0).is_err());
+    }
+
+    #[test]
+    fn infinite_budget_never_trips() {
+        let m = Meter::new(f64::INFINITY);
+        for _ in 0..1000 {
+            m.charge(1e12).unwrap();
+        }
+    }
+}

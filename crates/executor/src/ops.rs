@@ -1,0 +1,959 @@
+//! Physical operators (demand-driven iterator model, §3.1.1).
+//!
+//! Every operator charges its work against the shared [`Meter`] in the
+//! same abstract units as the optimizer's cost model, so that "execute
+//! with budget `CC_i`" means the same thing to the engine as to the
+//! algorithms. Operators also maintain exact input/output tuple counts —
+//! the run-time selectivity monitoring the paper adds to PostgreSQL.
+
+use crate::meter::{ExecError, Meter};
+use crate::store::ColumnIndex;
+use rqp_catalog::DataTable;
+use std::collections::HashMap;
+
+/// A materialized tuple (concatenated base-table columns).
+pub type Row = Vec<i64>;
+
+/// Exact tuple counts observed at an operator (selectivity monitoring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counts {
+    /// Scan: input (raw table) and output (post-filter) rows.
+    Scan {
+        /// Rows read.
+        input: u64,
+        /// Rows surviving the filters.
+        output: u64,
+    },
+    /// Join: rows consumed from each side and rows emitted.
+    Join {
+        /// Outer/probe rows consumed.
+        left: u64,
+        /// Inner/build rows consumed.
+        right: u64,
+        /// Rows emitted.
+        output: u64,
+    },
+}
+
+/// The iterator-model operator interface.
+pub trait Operator {
+    /// Produces the next tuple, `Ok(None)` at end-of-stream, or an error
+    /// (budget exhaustion aborts the whole plan).
+    fn next(&mut self) -> Result<Option<Row>, ExecError>;
+
+    /// Tuple counts observed so far.
+    fn counts(&self) -> Counts;
+}
+
+/// Boxed operator with the executor's lifetime.
+pub type BoxOp<'a> = Box<dyn Operator + 'a>;
+
+/// A compiled single-table filter.
+#[derive(Debug, Clone, Copy)]
+pub enum CompiledFilter {
+    /// `col <= v`.
+    Le {
+        /// Column offset within the table row.
+        col: usize,
+        /// Bound.
+        v: i64,
+    },
+    /// `col = v`.
+    Eq {
+        /// Column offset within the table row.
+        col: usize,
+        /// Constant.
+        v: i64,
+    },
+}
+
+impl CompiledFilter {
+    #[inline]
+    fn eval(&self, table: &DataTable, row: usize) -> bool {
+        match *self {
+            CompiledFilter::Le { col, v } => table.col(col)[row] <= v,
+            CompiledFilter::Eq { col, v } => table.col(col)[row] == v,
+        }
+    }
+}
+
+fn materialize(table: &DataTable, row: usize) -> Row {
+    table.columns.iter().map(|c| c[row]).collect()
+}
+
+/// Sequential scan with residual filters.
+pub struct SeqScanOp<'a> {
+    table: &'a DataTable,
+    filters: Vec<CompiledFilter>,
+    pos: usize,
+    meter: Meter,
+    /// Per-row charge: page share + cpu_tuple + filter ops.
+    row_charge: f64,
+    input: u64,
+    output: u64,
+}
+
+impl<'a> SeqScanOp<'a> {
+    /// Creates the scan; `row_charge` mirrors the cost model's per-row
+    /// sequential scan cost.
+    pub fn new(
+        table: &'a DataTable,
+        filters: Vec<CompiledFilter>,
+        meter: Meter,
+        row_charge: f64,
+    ) -> Self {
+        Self {
+            table,
+            filters,
+            pos: 0,
+            meter,
+            row_charge,
+            input: 0,
+            output: 0,
+        }
+    }
+}
+
+impl Operator for SeqScanOp<'_> {
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        while self.pos < self.table.rows() {
+            let r = self.pos;
+            self.pos += 1;
+            self.input += 1;
+            self.meter.charge(self.row_charge)?;
+            if self.filters.iter().all(|f| f.eval(self.table, r)) {
+                self.output += 1;
+                return Ok(Some(materialize(self.table, r)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn counts(&self) -> Counts {
+        Counts::Scan {
+            input: self.input,
+            output: self.output,
+        }
+    }
+}
+
+/// Index scan: row ids gathered from the driving filter's B-tree, residual
+/// filters applied on fetch.
+pub struct IndexScanOp<'a> {
+    table: &'a DataTable,
+    row_ids: Vec<u32>,
+    residual: Vec<CompiledFilter>,
+    pos: usize,
+    meter: Meter,
+    fetch_charge: f64,
+    opened: bool,
+    open_charge: f64,
+    input: u64,
+    output: u64,
+}
+
+impl<'a> IndexScanOp<'a> {
+    /// Creates the scan from a pre-resolved driving-filter lookup.
+    pub fn new(
+        table: &'a DataTable,
+        index: &ColumnIndex,
+        driving: CompiledFilter,
+        residual: Vec<CompiledFilter>,
+        meter: Meter,
+        open_charge: f64,
+        fetch_charge: f64,
+    ) -> Self {
+        let row_ids: Vec<u32> = match driving {
+            CompiledFilter::Eq { v, .. } => index.eq(v).to_vec(),
+            CompiledFilter::Le { v, .. } => index.le(v).collect(),
+        };
+        Self {
+            table,
+            row_ids,
+            residual,
+            pos: 0,
+            meter,
+            fetch_charge,
+            opened: false,
+            open_charge,
+            input: 0,
+            output: 0,
+        }
+    }
+}
+
+impl Operator for IndexScanOp<'_> {
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        if !self.opened {
+            self.opened = true;
+            self.meter.charge(self.open_charge)?;
+        }
+        while self.pos < self.row_ids.len() {
+            let r = self.row_ids[self.pos] as usize;
+            self.pos += 1;
+            self.input += 1;
+            self.meter.charge(self.fetch_charge)?;
+            if self.residual.iter().all(|f| f.eval(self.table, r)) {
+                self.output += 1;
+                return Ok(Some(materialize(self.table, r)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn counts(&self) -> Counts {
+        Counts::Scan {
+            input: self.input,
+            output: self.output,
+        }
+    }
+}
+
+/// Hash join: right child is built into a hash table (blocking), left
+/// child probes.
+pub struct HashJoinOp<'a> {
+    left: BoxOp<'a>,
+    right: BoxOp<'a>,
+    lkeys: Vec<usize>,
+    rkeys: Vec<usize>,
+    table: HashMap<Vec<i64>, Vec<Row>>,
+    built: bool,
+    pending: Vec<Row>,
+    meter: Meter,
+    build_charge: f64,
+    probe_charge: f64,
+    emit_charge: f64,
+    left_in: u64,
+    right_in: u64,
+    out: u64,
+}
+
+impl<'a> HashJoinOp<'a> {
+    /// Creates the join; key offsets address the child output rows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left: BoxOp<'a>,
+        right: BoxOp<'a>,
+        lkeys: Vec<usize>,
+        rkeys: Vec<usize>,
+        meter: Meter,
+        build_charge: f64,
+        probe_charge: f64,
+        emit_charge: f64,
+    ) -> Self {
+        assert_eq!(lkeys.len(), rkeys.len());
+        Self {
+            left,
+            right,
+            lkeys,
+            rkeys,
+            table: HashMap::new(),
+            built: false,
+            pending: Vec::new(),
+            meter,
+            build_charge,
+            probe_charge,
+            emit_charge,
+            left_in: 0,
+            right_in: 0,
+            out: 0,
+        }
+    }
+
+    fn build(&mut self) -> Result<(), ExecError> {
+        while let Some(row) = self.right.next()? {
+            self.right_in += 1;
+            self.meter.charge(self.build_charge)?;
+            let key: Vec<i64> = self.rkeys.iter().map(|&k| row[k]).collect();
+            self.table.entry(key).or_default().push(row);
+        }
+        self.built = true;
+        Ok(())
+    }
+}
+
+impl Operator for HashJoinOp<'_> {
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        if !self.built {
+            self.build()?;
+        }
+        loop {
+            if let Some(joined) = self.pending.pop() {
+                self.out += 1;
+                self.meter.charge(self.emit_charge)?;
+                return Ok(Some(joined));
+            }
+            let Some(lrow) = self.left.next()? else {
+                return Ok(None);
+            };
+            self.left_in += 1;
+            self.meter.charge(self.probe_charge)?;
+            let key: Vec<i64> = self.lkeys.iter().map(|&k| lrow[k]).collect();
+            if let Some(matches) = self.table.get(&key) {
+                for m in matches {
+                    let mut joined = lrow.clone();
+                    joined.extend_from_slice(m);
+                    self.pending.push(joined);
+                }
+            }
+        }
+    }
+
+    fn counts(&self) -> Counts {
+        Counts::Join {
+            left: self.left_in,
+            right: self.right_in,
+            output: self.out,
+        }
+    }
+}
+
+/// Sort-merge join: both children materialized and sorted (blocking), then
+/// merged with per-group cross products.
+pub struct MergeJoinOp<'a> {
+    left: BoxOp<'a>,
+    right: BoxOp<'a>,
+    lkeys: Vec<usize>,
+    rkeys: Vec<usize>,
+    meter: Meter,
+    input_charge: f64,
+    sort_factor: f64,
+    emit_charge: f64,
+    state: Option<MergeState>,
+    left_in: u64,
+    right_in: u64,
+    out: u64,
+}
+
+struct MergeState {
+    lrows: Vec<Row>,
+    rrows: Vec<Row>,
+    li: usize,
+    ri: usize,
+    buf: Vec<Row>,
+}
+
+impl<'a> MergeJoinOp<'a> {
+    /// Creates the join.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left: BoxOp<'a>,
+        right: BoxOp<'a>,
+        lkeys: Vec<usize>,
+        rkeys: Vec<usize>,
+        meter: Meter,
+        input_charge: f64,
+        sort_factor: f64,
+        emit_charge: f64,
+    ) -> Self {
+        Self {
+            left,
+            right,
+            lkeys,
+            rkeys,
+            meter,
+            input_charge,
+            sort_factor,
+            emit_charge,
+            state: None,
+            left_in: 0,
+            right_in: 0,
+            out: 0,
+        }
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        let mut lrows = Vec::new();
+        while let Some(r) = self.left.next()? {
+            self.left_in += 1;
+            self.meter.charge(self.input_charge)?;
+            lrows.push(r);
+        }
+        let mut rrows = Vec::new();
+        while let Some(r) = self.right.next()? {
+            self.right_in += 1;
+            self.meter.charge(self.input_charge)?;
+            rrows.push(r);
+        }
+        // Sort charge: 2·n·log2(n+2) operator evaluations per side.
+        let sort_cost = |n: usize| 2.0 * n as f64 * ((n + 2) as f64).log2() * self.sort_factor;
+        self.meter.charge(sort_cost(lrows.len()))?;
+        self.meter.charge(sort_cost(rrows.len()))?;
+        let lk = self.lkeys.clone();
+        let rk = self.rkeys.clone();
+        lrows.sort_by_key(|a| key_of(a, &lk));
+        rrows.sort_by_key(|a| key_of(a, &rk));
+        self.state = Some(MergeState {
+            lrows,
+            rrows,
+            li: 0,
+            ri: 0,
+            buf: Vec::new(),
+        });
+        Ok(())
+    }
+}
+
+fn key_of(row: &Row, keys: &[usize]) -> Vec<i64> {
+    keys.iter().map(|&k| row[k]).collect()
+}
+
+impl Operator for MergeJoinOp<'_> {
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        if self.state.is_none() {
+            self.open()?;
+        }
+        loop {
+            let (emit_charge, lkeys, rkeys) =
+                (self.emit_charge, self.lkeys.clone(), self.rkeys.clone());
+            let st = self.state.as_mut().expect("opened");
+            if let Some(r) = st.buf.pop() {
+                self.out += 1;
+                self.meter.charge(emit_charge)?;
+                return Ok(Some(r));
+            }
+            if st.li >= st.lrows.len() || st.ri >= st.rrows.len() {
+                return Ok(None);
+            }
+            let lkey = key_of(&st.lrows[st.li], &lkeys);
+            let rkey = key_of(&st.rrows[st.ri], &rkeys);
+            match lkey.cmp(&rkey) {
+                std::cmp::Ordering::Less => st.li += 1,
+                std::cmp::Ordering::Greater => st.ri += 1,
+                std::cmp::Ordering::Equal => {
+                    // group boundaries
+                    let lstart = st.li;
+                    let mut lend = st.li;
+                    while lend < st.lrows.len() && key_of(&st.lrows[lend], &lkeys) == lkey {
+                        lend += 1;
+                    }
+                    let rstart = st.ri;
+                    let mut rend = st.ri;
+                    while rend < st.rrows.len() && key_of(&st.rrows[rend], &rkeys) == rkey {
+                        rend += 1;
+                    }
+                    for li in lstart..lend {
+                        for ri in rstart..rend {
+                            let mut joined = st.lrows[li].clone();
+                            joined.extend_from_slice(&st.rrows[ri]);
+                            st.buf.push(joined);
+                        }
+                    }
+                    st.li = lend;
+                    st.ri = rend;
+                }
+            }
+        }
+    }
+
+    fn counts(&self) -> Counts {
+        Counts::Join {
+            left: self.left_in,
+            right: self.right_in,
+            output: self.out,
+        }
+    }
+}
+
+/// Block nested-loop join: inner materialized once, every pair compared.
+pub struct NLJoinOp<'a> {
+    left: BoxOp<'a>,
+    right: BoxOp<'a>,
+    lkeys: Vec<usize>,
+    rkeys: Vec<usize>,
+    inner: Vec<Row>,
+    opened: bool,
+    current_left: Option<Row>,
+    inner_pos: usize,
+    meter: Meter,
+    pair_charge: f64,
+    emit_charge: f64,
+    left_in: u64,
+    right_in: u64,
+    out: u64,
+}
+
+impl<'a> NLJoinOp<'a> {
+    /// Creates the join.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left: BoxOp<'a>,
+        right: BoxOp<'a>,
+        lkeys: Vec<usize>,
+        rkeys: Vec<usize>,
+        meter: Meter,
+        pair_charge: f64,
+        emit_charge: f64,
+    ) -> Self {
+        Self {
+            left,
+            right,
+            lkeys,
+            rkeys,
+            inner: Vec::new(),
+            opened: false,
+            current_left: None,
+            inner_pos: 0,
+            meter,
+            pair_charge,
+            emit_charge,
+            left_in: 0,
+            right_in: 0,
+            out: 0,
+        }
+    }
+}
+
+impl Operator for NLJoinOp<'_> {
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        if !self.opened {
+            while let Some(r) = self.right.next()? {
+                self.right_in += 1;
+                self.inner.push(r);
+            }
+            self.opened = true;
+        }
+        loop {
+            if self.current_left.is_none() {
+                match self.left.next()? {
+                    Some(l) => {
+                        self.left_in += 1;
+                        self.current_left = Some(l);
+                        self.inner_pos = 0;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let lrow = self.current_left.as_ref().expect("set above").clone();
+            while self.inner_pos < self.inner.len() {
+                let rrow = &self.inner[self.inner_pos];
+                self.inner_pos += 1;
+                self.meter.charge(self.pair_charge)?;
+                let matched = self
+                    .lkeys
+                    .iter()
+                    .zip(&self.rkeys)
+                    .all(|(&lk, &rk)| lrow[lk] == rrow[rk]);
+                if matched {
+                    self.out += 1;
+                    self.meter.charge(self.emit_charge)?;
+                    let mut joined = lrow.clone();
+                    joined.extend_from_slice(rrow);
+                    return Ok(Some(joined));
+                }
+            }
+            self.current_left = None;
+        }
+    }
+
+    fn counts(&self) -> Counts {
+        Counts::Join {
+            left: self.left_in,
+            right: self.right_in,
+            output: self.out,
+        }
+    }
+}
+
+/// Index nested-loop join: each outer tuple probes the inner relation's
+/// B-tree on the key predicate; residual filters/predicates applied on
+/// the fetched rows.
+pub struct IndexNLOp<'a> {
+    left: BoxOp<'a>,
+    inner_table: &'a DataTable,
+    index: &'a ColumnIndex,
+    /// Offset of the key column in the *outer* row.
+    outer_key: usize,
+    /// Residual equi-predicate pairs: (outer offset, inner column).
+    residual_preds: Vec<(usize, usize)>,
+    /// Residual single-table filters on the inner.
+    inner_filters: Vec<CompiledFilter>,
+    pending: Vec<Row>,
+    meter: Meter,
+    probe_charge: f64,
+    match_charge: f64,
+    emit_charge: f64,
+    left_in: u64,
+    out: u64,
+}
+
+impl<'a> IndexNLOp<'a> {
+    /// Creates the join.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left: BoxOp<'a>,
+        inner_table: &'a DataTable,
+        index: &'a ColumnIndex,
+        outer_key: usize,
+        residual_preds: Vec<(usize, usize)>,
+        inner_filters: Vec<CompiledFilter>,
+        meter: Meter,
+        probe_charge: f64,
+        match_charge: f64,
+        emit_charge: f64,
+    ) -> Self {
+        Self {
+            left,
+            inner_table,
+            index,
+            outer_key,
+            residual_preds,
+            inner_filters,
+            pending: Vec::new(),
+            meter,
+            probe_charge,
+            match_charge,
+            emit_charge,
+            left_in: 0,
+            out: 0,
+        }
+    }
+}
+
+impl Operator for IndexNLOp<'_> {
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        loop {
+            if let Some(r) = self.pending.pop() {
+                self.out += 1;
+                self.meter.charge(self.emit_charge)?;
+                return Ok(Some(r));
+            }
+            let Some(lrow) = self.left.next()? else {
+                return Ok(None);
+            };
+            self.left_in += 1;
+            self.meter.charge(self.probe_charge)?;
+            for &rid in self.index.eq(lrow[self.outer_key]) {
+                let rid = rid as usize;
+                self.meter.charge(self.match_charge)?;
+                let filters_ok = self
+                    .inner_filters
+                    .iter()
+                    .all(|f| f.eval(self.inner_table, rid));
+                let preds_ok = self
+                    .residual_preds
+                    .iter()
+                    .all(|&(lo, ic)| lrow[lo] == self.inner_table.col(ic)[rid]);
+                if filters_ok && preds_ok {
+                    let mut joined = lrow.clone();
+                    joined.extend(self.inner_table.columns.iter().map(|c| c[rid]));
+                    self.pending.push(joined);
+                }
+            }
+        }
+    }
+
+    fn counts(&self) -> Counts {
+        // For selectivity monitoring the inner cardinality is the full
+        // relation (the index skips non-matching rows; counting fetches
+        // would bias the selectivity estimate).
+        Counts::Join {
+            left: self.left_in,
+            right: self.inner_table.rows() as u64,
+            output: self.out,
+        }
+    }
+}
+
+/// Aggregate function specification, addressing a column offset of the
+/// child's output row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(col)`.
+    Sum {
+        /// Column offset in the child row.
+        col: usize,
+    },
+    /// `MIN(col)`.
+    Min {
+        /// Column offset in the child row.
+        col: usize,
+    },
+    /// `MAX(col)`.
+    Max {
+        /// Column offset in the child row.
+        col: usize,
+    },
+}
+
+/// Hash aggregation (blocking): drains the child, groups by the given key
+/// offsets, and emits one row per group: `group keys ++ aggregate values`.
+pub struct HashAggregateOp<'a> {
+    child: BoxOp<'a>,
+    group_by: Vec<usize>,
+    aggs: Vec<AggFn>,
+    meter: Meter,
+    row_charge: f64,
+    emit_charge: f64,
+    output: Option<std::vec::IntoIter<Row>>,
+    input: u64,
+    out: u64,
+}
+
+impl<'a> HashAggregateOp<'a> {
+    /// Creates the aggregate.
+    pub fn new(
+        child: BoxOp<'a>,
+        group_by: Vec<usize>,
+        aggs: Vec<AggFn>,
+        meter: Meter,
+        row_charge: f64,
+        emit_charge: f64,
+    ) -> Self {
+        Self {
+            child,
+            group_by,
+            aggs,
+            meter,
+            row_charge,
+            emit_charge,
+            output: None,
+            input: 0,
+            out: 0,
+        }
+    }
+
+    fn build(&mut self) -> Result<(), ExecError> {
+        let mut groups: HashMap<Vec<i64>, Vec<i64>> = HashMap::new();
+        while let Some(row) = self.child.next()? {
+            self.input += 1;
+            self.meter.charge(self.row_charge)?;
+            let key: Vec<i64> = self.group_by.iter().map(|&k| row[k]).collect();
+            let accs = groups.entry(key).or_insert_with(|| {
+                self.aggs
+                    .iter()
+                    .map(|a| match a {
+                        AggFn::Count | AggFn::Sum { .. } => 0,
+                        AggFn::Min { .. } => i64::MAX,
+                        AggFn::Max { .. } => i64::MIN,
+                    })
+                    .collect()
+            });
+            for (acc, agg) in accs.iter_mut().zip(&self.aggs) {
+                match *agg {
+                    AggFn::Count => *acc += 1,
+                    AggFn::Sum { col } => *acc += row[col],
+                    AggFn::Min { col } => *acc = (*acc).min(row[col]),
+                    AggFn::Max { col } => *acc = (*acc).max(row[col]),
+                }
+            }
+        }
+        // Deterministic output order: by group key.
+        let mut rows: Vec<(Vec<i64>, Vec<i64>)> = groups.into_iter().collect();
+        rows.sort();
+        self.output = Some(
+            rows.into_iter()
+                .map(|(mut k, accs)| {
+                    k.extend(accs);
+                    k
+                })
+                .collect::<Vec<Row>>()
+                .into_iter(),
+        );
+        Ok(())
+    }
+}
+
+impl Operator for HashAggregateOp<'_> {
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        if self.output.is_none() {
+            self.build()?;
+        }
+        match self.output.as_mut().expect("built").next() {
+            Some(r) => {
+                self.out += 1;
+                self.meter.charge(self.emit_charge)?;
+                Ok(Some(r))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn counts(&self) -> Counts {
+        Counts::Scan {
+            input: self.input,
+            output: self.out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod op_tests {
+    use super::*;
+    use crate::meter::Meter;
+    use crate::store::ColumnIndex;
+    use rqp_catalog::DataTable;
+
+    fn table(cols: Vec<Vec<i64>>) -> DataTable {
+        DataTable {
+            name: "t".into(),
+            columns: cols,
+        }
+    }
+
+    fn scan<'a>(t: &'a DataTable, filters: Vec<CompiledFilter>, meter: &Meter) -> BoxOp<'a> {
+        Box::new(SeqScanOp::new(t, filters, meter.clone(), 0.01))
+    }
+
+    fn drain(mut op: BoxOp<'_>) -> Vec<Row> {
+        let mut out = Vec::new();
+        while let Some(r) = op.next().unwrap() {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn merge_join_emits_full_cross_product_per_duplicate_key_group() {
+        // left keys: [7, 7, 3]; right keys: [7, 7, 7, 3] → 2*3 + 1*1 = 7 rows
+        let l = table(vec![vec![7, 7, 3], vec![10, 11, 12]]);
+        let r = table(vec![vec![7, 7, 7, 3], vec![20, 21, 22, 23]]);
+        let meter = Meter::new(f64::INFINITY);
+        let join = MergeJoinOp::new(
+            scan(&l, vec![], &meter),
+            scan(&r, vec![], &meter),
+            vec![0],
+            vec![0],
+            meter.clone(),
+            0.001,
+            0.001,
+            0.01,
+        );
+        let rows = drain(Box::new(join));
+        assert_eq!(rows.len(), 7);
+        // every emitted row joins equal keys
+        for row in &rows {
+            assert_eq!(row[0], row[2]);
+        }
+        // the hash join agrees
+        let meter2 = Meter::new(f64::INFINITY);
+        let hj = HashJoinOp::new(
+            scan(&l, vec![], &meter2),
+            scan(&r, vec![], &meter2),
+            vec![0],
+            vec![0],
+            meter2.clone(),
+            0.001,
+            0.001,
+            0.01,
+        );
+        assert_eq!(drain(Box::new(hj)).len(), 7);
+    }
+
+    #[test]
+    fn index_scan_eq_and_le_driving_filters() {
+        let t = table(vec![vec![5, 1, 5, 9, 3], vec![0, 1, 2, 3, 4]]);
+        let idx = ColumnIndex::build(t.col(0));
+        let meter = Meter::new(f64::INFINITY);
+        let eq = IndexScanOp::new(
+            &t,
+            &idx,
+            CompiledFilter::Eq { col: 0, v: 5 },
+            vec![],
+            meter.clone(),
+            0.1,
+            0.01,
+        );
+        let rows = drain(Box::new(eq));
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r[0] == 5));
+
+        let le = IndexScanOp::new(
+            &t,
+            &idx,
+            CompiledFilter::Le { col: 0, v: 4 },
+            vec![],
+            meter.clone(),
+            0.1,
+            0.01,
+        );
+        let rows = drain(Box::new(le));
+        assert_eq!(rows.len(), 2, "values 1 and 3");
+        assert!(rows.iter().all(|r| r[0] <= 4));
+    }
+
+    #[test]
+    fn index_scan_residual_filters_apply() {
+        let t = table(vec![vec![5, 5, 5], vec![1, 2, 3]]);
+        let idx = ColumnIndex::build(t.col(0));
+        let meter = Meter::new(f64::INFINITY);
+        let op = IndexScanOp::new(
+            &t,
+            &idx,
+            CompiledFilter::Eq { col: 0, v: 5 },
+            vec![CompiledFilter::Le { col: 1, v: 2 }],
+            meter.clone(),
+            0.1,
+            0.01,
+        );
+        assert_eq!(drain(Box::new(op)).len(), 2);
+    }
+
+    #[test]
+    fn aggregate_on_empty_input_yields_single_or_no_group() {
+        let t = table(vec![vec![], vec![]]);
+        let meter = Meter::new(f64::INFINITY);
+        // grouped: no input → no groups
+        let agg = HashAggregateOp::new(
+            scan(&t, vec![], &meter),
+            vec![0],
+            vec![AggFn::Count],
+            meter.clone(),
+            0.001,
+            0.01,
+        );
+        assert_eq!(drain(Box::new(agg)).len(), 0);
+        // ungrouped COUNT over empty input: also zero groups (engines
+        // disagree here; ours mirrors GROUP BY () over no rows)
+        let agg = HashAggregateOp::new(
+            scan(&t, vec![], &meter),
+            vec![],
+            vec![AggFn::Count],
+            meter.clone(),
+            0.001,
+            0.01,
+        );
+        assert_eq!(drain(Box::new(agg)).len(), 0);
+    }
+
+    #[test]
+    fn nested_loop_join_multi_key() {
+        // two-column key: only exact (a,b) matches join
+        let l = table(vec![vec![1, 1, 2], vec![10, 11, 10], vec![0, 1, 2]]);
+        let r = table(vec![vec![1, 2], vec![10, 10]]);
+        let meter = Meter::new(f64::INFINITY);
+        let join = NLJoinOp::new(
+            scan(&l, vec![], &meter),
+            scan(&r, vec![], &meter),
+            vec![0, 1],
+            vec![0, 1],
+            meter.clone(),
+            0.001,
+            0.01,
+        );
+        let rows = drain(Box::new(join));
+        assert_eq!(rows.len(), 2, "(1,10) and (2,10) match");
+    }
+
+    #[test]
+    fn counts_track_inputs_and_outputs() {
+        let t = table(vec![vec![1, 2, 3, 4], vec![0, 0, 0, 0]]);
+        let meter = Meter::new(f64::INFINITY);
+        let mut op = SeqScanOp::new(
+            &t,
+            vec![CompiledFilter::Le { col: 0, v: 2 }],
+            meter.clone(),
+            0.01,
+        );
+        while op.next().unwrap().is_some() {}
+        assert_eq!(
+            op.counts(),
+            Counts::Scan {
+                input: 4,
+                output: 2
+            }
+        );
+    }
+}

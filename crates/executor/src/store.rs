@@ -1,0 +1,125 @@
+//! Materialized data plus secondary indexes.
+
+use rqp_catalog::{Catalog, ColId, DataSet, DataTable, TableId};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// A B-tree index over one column: value → row ids (sorted by insertion).
+#[derive(Debug, Clone, Default)]
+pub struct ColumnIndex {
+    tree: BTreeMap<i64, Vec<u32>>,
+}
+
+impl ColumnIndex {
+    /// Builds the index over a column slice.
+    pub fn build(col: &[i64]) -> Self {
+        let mut tree: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+        for (i, &v) in col.iter().enumerate() {
+            tree.entry(v).or_default().push(i as u32);
+        }
+        Self { tree }
+    }
+
+    /// Row ids with exactly value `v`.
+    pub fn eq(&self, v: i64) -> &[u32] {
+        self.tree.get(&v).map_or(&[], Vec::as_slice)
+    }
+
+    /// Row ids with value `<= v`, in value order.
+    pub fn le(&self, v: i64) -> impl Iterator<Item = u32> + '_ {
+        self.tree.range(..=v).flat_map(|(_, ids)| ids.iter().copied())
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.tree.len()
+    }
+}
+
+/// The execution engine's storage layer: the dataset plus lazily-built
+/// column indexes.
+#[derive(Debug)]
+pub struct DataStore {
+    data: DataSet,
+    indexes: HashMap<(TableId, ColId), ColumnIndex>,
+}
+
+impl DataStore {
+    /// Wraps a dataset and eagerly builds indexes for every column the
+    /// catalog marks as indexed.
+    pub fn new(catalog: &Catalog, data: DataSet) -> Self {
+        let mut indexes = HashMap::new();
+        for (tid, table) in catalog.tables().iter().enumerate() {
+            let Some(dt) = data.table(tid) else { continue };
+            for (cid, col) in table.columns.iter().enumerate() {
+                if col.indexed {
+                    indexes.insert((tid, cid), ColumnIndex::build(dt.col(cid)));
+                }
+            }
+        }
+        Self { data, indexes }
+    }
+
+    /// Materialized table by id.
+    pub fn table(&self, id: TableId) -> Option<&DataTable> {
+        self.data.table(id)
+    }
+
+    /// Index over `(table, column)`, if one was built.
+    pub fn index(&self, t: TableId, c: ColId) -> Option<&ColumnIndex> {
+        self.indexes.get(&(t, c))
+    }
+
+    /// The underlying dataset (for ground-truth selectivity measurement).
+    pub fn dataset(&self) -> &DataSet {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_catalog::datagen::{ColumnGen, GenSpec, TableGenSpec};
+    use rqp_catalog::{Column, ColumnStats, DataType, Table};
+
+    #[test]
+    fn index_eq_and_range() {
+        let idx = ColumnIndex::build(&[5, 3, 5, 1, 9]);
+        assert_eq!(idx.eq(5), &[0, 2]);
+        assert_eq!(idx.eq(7), &[] as &[u32]);
+        let le: Vec<u32> = idx.le(5).collect();
+        assert_eq!(le, vec![3, 1, 0, 2]); // value order: 1, 3, 5
+        assert_eq!(idx.distinct_keys(), 4);
+    }
+
+    #[test]
+    fn store_builds_catalog_indexes() {
+        let mut cat = Catalog::new();
+        let t = cat
+            .add_table(Table::new(
+                "t",
+                0,
+                vec![
+                    Column::new("k", DataType::Int, ColumnStats::uniform(100)).with_index(),
+                    Column::new("v", DataType::Int, ColumnStats::uniform(10)),
+                ],
+            ))
+            .unwrap();
+        let data = DataSet::generate(
+            &cat,
+            &GenSpec {
+                seed: 1,
+                tables: vec![TableGenSpec {
+                    table: t,
+                    rows: 100,
+                    columns: vec![ColumnGen::Serial, ColumnGen::Uniform { domain: 10 }],
+                }],
+            },
+        )
+        .unwrap();
+        let store = DataStore::new(&cat, data);
+        assert!(store.index(t, 0).is_some(), "indexed column gets an index");
+        assert!(store.index(t, 1).is_none(), "plain column does not");
+        assert_eq!(store.index(t, 0).unwrap().eq(42), &[42]);
+    }
+}

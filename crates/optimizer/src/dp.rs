@@ -1,0 +1,629 @@
+//! Selinger-style dynamic-programming plan enumeration.
+//!
+//! The optimizer supports two enumeration spaces: classic **left-deep**
+//! (composite always on the outer side — fast, used for large ESS sweeps)
+//! and **bushy** (all connected splits). Both consider every join method of
+//! [`JoinMethod::ALL`] in both orientations, and both access paths per base
+//! relation; ties are broken deterministically by enumeration order so the
+//! POSP is stable across runs.
+
+use crate::cost::{CostModel, CostParams, NodeEstimate};
+use crate::plan::{JoinMethod, PlanNode, ScanMethod};
+use crate::query::{self, PredId, PredicateKind, QuerySpec, Sels};
+use rqp_catalog::Catalog;
+use rqp_common::{Cost, Result, Selectivity};
+
+/// Plan-space enumeration mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumerationMode {
+    /// Left-deep trees only (composite outer, base-relation inner).
+    LeftDeep,
+    /// All bushy trees over connected subgraphs.
+    Bushy,
+}
+
+/// A query optimizer bound to one (catalog, query) pair.
+///
+/// The optimizer owns the statistics-derived base selectivities; epp
+/// selectivities are *injected* per call, which is how the ESS is swept.
+#[derive(Debug)]
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+    query: &'a QuerySpec,
+    params: CostParams,
+    mode: EnumerationMode,
+    base: Sels,
+    /// Join edges as `(pred, left-relation bit, right-relation bit)`.
+    edges: Vec<(PredId, u32, u32)>,
+    /// Sorted filter lists per relation.
+    filters: Vec<Vec<PredId>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DpEntry {
+    est: NodeEstimate,
+    step: BuildStep,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BuildStep {
+    Scan(ScanMethod, Option<PredId>),
+    Join {
+        method: JoinMethod,
+        lmask: u32,
+        rmask: u32,
+        /// For index nested-loop: the key predicate rotated to the front.
+        key_pred: Option<PredId>,
+    },
+}
+
+impl<'a> Optimizer<'a> {
+    /// Creates an optimizer, validating the query against the catalog.
+    pub fn new(
+        catalog: &'a Catalog,
+        query: &'a QuerySpec,
+        params: CostParams,
+        mode: EnumerationMode,
+    ) -> Result<Self> {
+        query.validate(catalog)?;
+        let base = query::base_selectivities(catalog, query);
+        let mut edges = Vec::new();
+        for (i, p) in query.predicates.iter().enumerate() {
+            if let PredicateKind::Join { left, right, .. } = p.kind {
+                edges.push((i, 1u32 << left, 1u32 << right));
+            }
+        }
+        let filters = (0..query.relations.len())
+            .map(|r| {
+                let mut f: Vec<PredId> = query.filters_of(r).collect();
+                f.sort_unstable();
+                f
+            })
+            .collect();
+        Ok(Self {
+            catalog,
+            query,
+            params,
+            mode,
+            base,
+            edges,
+            filters,
+        })
+    }
+
+    /// The bound query.
+    pub fn query(&self) -> &QuerySpec {
+        self.query
+    }
+
+    /// The bound catalog.
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
+    }
+
+    /// Statistics-derived base selectivities (non-epp values are treated as
+    /// accurate throughout discovery).
+    pub fn base_sels(&self) -> &Sels {
+        &self.base
+    }
+
+    /// The cost model bound to this optimizer's catalog and query.
+    pub fn cost_model(&self) -> CostModel<'_> {
+        CostModel::new(self.catalog, self.query, &self.params)
+    }
+
+    /// Builds the full selectivity assignment for an ESS location.
+    pub fn sels_at(&self, epp_sels: &[Selectivity]) -> Sels {
+        Sels::inject(&self.base, self.query, epp_sels)
+    }
+
+    /// Optimizes at an ESS location (one selectivity per epp).
+    pub fn optimize_at(&self, epp_sels: &[Selectivity]) -> (PlanNode, Cost) {
+        self.optimize_with(&self.sels_at(epp_sels))
+    }
+
+    /// Optimizes under a fully-resolved selectivity assignment.
+    pub fn optimize_with(&self, sels: &Sels) -> (PlanNode, Cost) {
+        let n = self.query.relations.len();
+        debug_assert!(n <= 16);
+        let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+        let model = self.cost_model();
+        let mut table: Vec<Option<DpEntry>> = vec![None; (full as usize) + 1];
+
+        for r in 0..n {
+            table[1usize << r] = Some(self.best_scan(&model, r, sels));
+        }
+
+        for mask in 1..=full {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            let mut best: Option<DpEntry> = None;
+            match self.mode {
+                EnumerationMode::LeftDeep => {
+                    let mut bits = mask;
+                    while bits != 0 {
+                        let bit = bits & bits.wrapping_neg();
+                        bits ^= bit;
+                        let rest = mask ^ bit;
+                        if rest == 0 {
+                            continue;
+                        }
+                        self.try_splits(&model, sels, &table, rest, bit, &mut best);
+                    }
+                }
+                EnumerationMode::Bushy => {
+                    // Enumerate unordered splits once.
+                    let mut s1 = (mask - 1) & mask;
+                    while s1 != 0 {
+                        let s2 = mask ^ s1;
+                        if s1 > s2 {
+                            self.try_splits(&model, sels, &table, s1, s2, &mut best);
+                        }
+                        s1 = (s1 - 1) & mask;
+                    }
+                }
+            }
+            table[mask as usize] = best;
+        }
+
+        let entry = table[full as usize].expect("connected query must have a full plan");
+        let plan = self.rebuild(&table, full);
+        (plan, entry.est.cost)
+    }
+
+    /// Costs an arbitrary plan at a selectivity assignment.
+    pub fn cost_plan(&self, plan: &PlanNode, sels: &Sels) -> Cost {
+        self.cost_model().estimate(plan, sels).cost
+    }
+
+    /// Join predicates connecting two relation masks, sorted by id.
+    pub fn connecting_preds(&self, lmask: u32, rmask: u32) -> Vec<PredId> {
+        let mut preds: Vec<PredId> = self
+            .edges
+            .iter()
+            .filter(|&&(_, lb, rb)| {
+                ((lb & lmask != 0) && (rb & rmask != 0)) || ((lb & rmask != 0) && (rb & lmask != 0))
+            })
+            .map(|&(p, _, _)| p)
+            .collect();
+        preds.sort_unstable();
+        preds
+    }
+
+    /// Sorted filter predicates of a relation.
+    pub fn rel_filters(&self, rel: usize) -> &[PredId] {
+        &self.filters[rel]
+    }
+
+    /// All access-path candidates for relation `r` at `sels`: the
+    /// sequential scan plus one index scan per indexed filter column.
+    /// Used by the constrained enumeration of [`crate::constrained`].
+    pub fn scan_candidates(&self, r: usize, sels: &Sels) -> Vec<(PlanNode, NodeEstimate)> {
+        let model = self.cost_model();
+        let filters = &self.filters[r];
+        let mut out = vec![(
+            PlanNode::Scan {
+                rel: r,
+                method: ScanMethod::SeqScan,
+                filters: filters.clone(),
+            },
+            model.scan_estimate(r, ScanMethod::SeqScan, filters, sels),
+        )];
+        for &f in filters {
+            let col = match self.query.predicates[f].kind {
+                PredicateKind::FilterLe { col, .. } | PredicateKind::FilterEq { col, .. } => col,
+                PredicateKind::Join { .. } => continue,
+            };
+            if !model.is_indexed(r, col) {
+                continue;
+            }
+            let ordered = Self::rotate_front(filters, f);
+            let est = model.scan_estimate(r, ScanMethod::IndexScan, &ordered, sels);
+            out.push((
+                PlanNode::Scan {
+                    rel: r,
+                    method: ScanMethod::IndexScan,
+                    filters: ordered,
+                },
+                est,
+            ));
+        }
+        out
+    }
+
+    /// The best access path for relation `r` at `sels`, considering a
+    /// sequential scan and one index scan per indexed filter column.
+    fn best_scan(&self, model: &CostModel<'_>, r: usize, sels: &Sels) -> DpEntry {
+        let filters = &self.filters[r];
+        let seq = model.scan_estimate(r, ScanMethod::SeqScan, filters, sels);
+        let mut best = DpEntry {
+            est: seq,
+            step: BuildStep::Scan(ScanMethod::SeqScan, None),
+        };
+        for &f in filters {
+            let col = match self.query.predicates[f].kind {
+                PredicateKind::FilterLe { col, .. } | PredicateKind::FilterEq { col, .. } => col,
+                PredicateKind::Join { .. } => continue,
+            };
+            if !model.is_indexed(r, col) {
+                continue;
+            }
+            let ordered = Self::rotate_front(filters, f);
+            let est = model.scan_estimate(r, ScanMethod::IndexScan, &ordered, sels);
+            if est.cost < best.est.cost {
+                best = DpEntry {
+                    est,
+                    step: BuildStep::Scan(ScanMethod::IndexScan, Some(f)),
+                };
+            }
+        }
+        best
+    }
+
+    fn rotate_front(list: &[PredId], front: PredId) -> Vec<PredId> {
+        let mut out = Vec::with_capacity(list.len());
+        out.push(front);
+        out.extend(list.iter().copied().filter(|&x| x != front));
+        out
+    }
+
+    /// Tries all methods and both orientations for the split `(a, b)`.
+    fn try_splits(
+        &self,
+        model: &CostModel<'_>,
+        sels: &Sels,
+        table: &[Option<DpEntry>],
+        a: u32,
+        b: u32,
+        best: &mut Option<DpEntry>,
+    ) {
+        let (ea, eb) = match (table[a as usize], table[b as usize]) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return,
+        };
+        let preds = self.connecting_preds(a, b);
+        if preds.is_empty() {
+            return;
+        }
+        for (lmask, rmask, l, r) in [(a, b, ea, eb), (b, a, eb, ea)] {
+            // In left-deep mode, keep the composite on the outer side.
+            if self.mode == EnumerationMode::LeftDeep
+                && rmask.count_ones() > 1
+                && lmask.count_ones() == 1
+            {
+                continue;
+            }
+            for method in [
+                JoinMethod::HashJoin,
+                JoinMethod::SortMergeJoin,
+                JoinMethod::NestedLoopJoin,
+            ] {
+                let est = model.join_estimate(method, l.est, r.est, &preds, sels);
+                Self::consider(
+                    best,
+                    DpEntry {
+                        est,
+                        step: BuildStep::Join {
+                            method,
+                            lmask,
+                            rmask,
+                            key_pred: None,
+                        },
+                    },
+                );
+            }
+            // Index nested-loop: inner must be a single base relation with
+            // an index on some connecting predicate's inner column.
+            if rmask.count_ones() == 1 {
+                let rel = rmask.trailing_zeros() as usize;
+                if let Some(&key) = preds.iter().find(|&&p| {
+                    model
+                        .join_col_on(p, rel)
+                        .is_some_and(|c| model.is_indexed(rel, c))
+                }) {
+                    let ordered = Self::rotate_front(&preds, key);
+                    let est =
+                        model.index_nl_estimate(l.est, rel, &self.filters[rel], &ordered, sels);
+                    Self::consider(
+                        best,
+                        DpEntry {
+                            est,
+                            step: BuildStep::Join {
+                                method: JoinMethod::IndexNLJoin,
+                                lmask,
+                                rmask,
+                                key_pred: Some(key),
+                            },
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn consider(best: &mut Option<DpEntry>, cand: DpEntry) {
+        match best {
+            None => *best = Some(cand),
+            Some(b) if cand.est.cost < b.est.cost => *best = Some(cand),
+            _ => {}
+        }
+    }
+
+    /// Reconstructs the plan tree for `mask` from the DP table.
+    fn rebuild(&self, table: &[Option<DpEntry>], mask: u32) -> PlanNode {
+        let entry = table[mask as usize].expect("DP entry must exist during rebuild");
+        match entry.step {
+            BuildStep::Scan(method, driving) => {
+                let rel = mask.trailing_zeros() as usize;
+                let filters = match driving {
+                    Some(f) => Self::rotate_front(&self.filters[rel], f),
+                    None => self.filters[rel].clone(),
+                };
+                PlanNode::Scan {
+                    rel,
+                    method,
+                    filters,
+                }
+            }
+            BuildStep::Join {
+                method,
+                lmask,
+                rmask,
+                key_pred,
+            } => {
+                let left = self.rebuild(table, lmask);
+                let preds = self.connecting_preds(lmask, rmask);
+                let (preds, right) = match (method, key_pred) {
+                    (JoinMethod::IndexNLJoin, Some(key)) => {
+                        let rel = rmask.trailing_zeros() as usize;
+                        let inner = PlanNode::Scan {
+                            rel,
+                            method: ScanMethod::IndexScan,
+                            filters: self.filters[rel].clone(),
+                        };
+                        (Self::rotate_front(&preds, key), inner)
+                    }
+                    _ => (preds, self.rebuild(table, rmask)),
+                };
+                PlanNode::Join {
+                    method,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    preds,
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: validate-and-build an optimizer or panic with the error.
+///
+/// Intended for examples and benches where configuration is static.
+pub fn build_optimizer<'a>(
+    catalog: &'a Catalog,
+    query: &'a QuerySpec,
+    mode: EnumerationMode,
+) -> Optimizer<'a> {
+    match Optimizer::new(catalog, query, CostParams::default(), mode) {
+        Ok(o) => o,
+        Err(e) => panic!("optimizer construction failed: {e}"),
+    }
+}
+
+impl std::fmt::Display for EnumerationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnumerationMode::LeftDeep => write!(f, "left-deep"),
+            EnumerationMode::Bushy => write!(f, "bushy"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+    use rqp_catalog::{Column, ColumnStats, DataType, Table};
+
+    /// star: fact(1M) joins dim1(10k), dim2(1k), dim3(100)
+    fn star() -> (Catalog, QuerySpec) {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "fact",
+            1_000_000,
+            vec![
+                Column::new("f1", DataType::Int, ColumnStats::uniform(10_000)).with_index(),
+                Column::new("f2", DataType::Int, ColumnStats::uniform(1_000)).with_index(),
+                Column::new("f3", DataType::Int, ColumnStats::uniform(100)).with_index(),
+                Column::new("v", DataType::Int, ColumnStats::uniform(1000)),
+            ],
+        ))
+        .unwrap();
+        for (name, rows) in [("dim1", 10_000u64), ("dim2", 1_000), ("dim3", 100)] {
+            cat.add_table(Table::new(
+                name,
+                rows,
+                vec![
+                    Column::new("k", DataType::Int, ColumnStats::uniform(rows)).with_index(),
+                    Column::new("a", DataType::Int, ColumnStats::uniform(50)),
+                ],
+            ))
+            .unwrap();
+        }
+        let query = QuerySpec {
+            name: "star".into(),
+            relations: vec![0, 1, 2, 3],
+            predicates: vec![
+                Predicate {
+                    label: "f-d1".into(),
+                    kind: PredicateKind::Join {
+                        left: 0,
+                        left_col: 0,
+                        right: 1,
+                        right_col: 0,
+                    },
+                },
+                Predicate {
+                    label: "f-d2".into(),
+                    kind: PredicateKind::Join {
+                        left: 0,
+                        left_col: 1,
+                        right: 2,
+                        right_col: 0,
+                    },
+                },
+                Predicate {
+                    label: "f-d3".into(),
+                    kind: PredicateKind::Join {
+                        left: 0,
+                        left_col: 2,
+                        right: 3,
+                        right_col: 0,
+                    },
+                },
+                Predicate {
+                    label: "f.v<=100".into(),
+                    kind: PredicateKind::FilterLe {
+                        rel: 0,
+                        col: 3,
+                        value: 100,
+                    },
+                },
+            ],
+            epps: vec![0, 1],
+        };
+        (cat, query)
+    }
+
+    #[test]
+    fn optimizes_and_costs_consistently() {
+        let (cat, q) = star();
+        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
+            .unwrap();
+        let sels = opt.sels_at(&[1e-4, 1e-3]);
+        let (plan, cost) = opt.optimize_with(&sels);
+        // Recosting the returned plan reproduces the DP cost exactly.
+        let recost = opt.cost_plan(&plan, &sels);
+        assert!(
+            (recost - cost).abs() <= 1e-6 * cost.max(1.0),
+            "DP cost {cost} vs recost {recost}"
+        );
+        assert_eq!(plan.rel_mask(), 0b1111);
+        // Every predicate is applied exactly once.
+        let mut preds = plan.all_preds();
+        preds.sort_unstable();
+        assert_eq!(preds, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bushy_never_worse_than_left_deep() {
+        let (cat, q) = star();
+        let ld = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
+            .unwrap();
+        let bushy =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::Bushy).unwrap();
+        for sels in [[1e-5, 1e-5], [1e-3, 1e-2], [0.1, 0.5], [1.0, 1.0]] {
+            let (_, c_ld) = ld.optimize_at(&sels);
+            let (_, c_b) = bushy.optimize_at(&sels);
+            assert!(
+                c_b <= c_ld * (1.0 + 1e-9),
+                "bushy {c_b} must not exceed left-deep {c_ld}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_cost_monotone_over_dominance() {
+        let (cat, q) = star();
+        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
+            .unwrap();
+        let mut prev = 0.0;
+        for i in 0..8 {
+            let s = 10f64.powf(-5.0 + 5.0 * i as f64 / 7.0);
+            let (_, c) = opt.optimize_at(&[s, s]);
+            assert!(c > prev, "optimal cost must increase along the diagonal");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn plan_changes_across_the_space() {
+        let (cat, q) = star();
+        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
+            .unwrap();
+        let (p_low, _) = opt.optimize_at(&[1e-5, 1e-5]);
+        let (p_high, _) = opt.optimize_at(&[1.0, 1.0]);
+        assert_ne!(
+            p_low.fingerprint(),
+            p_high.fingerprint(),
+            "POSP must be non-trivial for the ESS machinery to be exercised"
+        );
+    }
+
+    #[test]
+    fn dp_beats_random_plans() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (cat, q) = star();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::Bushy).unwrap();
+        let sels = opt.sels_at(&[1e-3, 1e-2]);
+        let (_, best) = opt.optimize_with(&sels);
+        // Random left-deep orders with random methods must never beat DP.
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let mut order: Vec<usize> = vec![0, 1, 2, 3];
+            for i in (1..4).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let plan = random_left_deep(&opt, &order, &mut rng);
+            if let Some(plan) = plan {
+                let c = opt.cost_plan(&plan, &sels);
+                assert!(
+                    c >= best * (1.0 - 1e-9),
+                    "random plan cost {c} beats DP {best}"
+                );
+            }
+        }
+    }
+
+    /// Builds a left-deep plan joining `order` with random (valid) methods;
+    /// returns None if a prefix is disconnected.
+    fn random_left_deep(
+        opt: &Optimizer<'_>,
+        order: &[usize],
+        rng: &mut impl rand::Rng,
+    ) -> Option<PlanNode> {
+        let mut mask = 1u32 << order[0];
+        let mut plan = PlanNode::Scan {
+            rel: order[0],
+            method: ScanMethod::SeqScan,
+            filters: opt.rel_filters(order[0]).to_vec(),
+        };
+        for &r in &order[1..] {
+            let preds = opt.connecting_preds(mask, 1 << r);
+            if preds.is_empty() {
+                return None;
+            }
+            let method = [
+                JoinMethod::HashJoin,
+                JoinMethod::SortMergeJoin,
+                JoinMethod::NestedLoopJoin,
+            ][rng.gen_range(0..3)];
+            plan = PlanNode::Join {
+                method,
+                left: Box::new(plan),
+                right: Box::new(PlanNode::Scan {
+                    rel: r,
+                    method: ScanMethod::SeqScan,
+                    filters: opt.rel_filters(r).to_vec(),
+                }),
+                preds,
+            };
+            mask |= 1 << r;
+        }
+        Some(plan)
+    }
+}

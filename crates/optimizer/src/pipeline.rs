@@ -1,0 +1,268 @@
+//! Pipeline decomposition and spill-node identification (§3.1).
+//!
+//! A plan executes as a sequence of *pipelines* — maximal concurrently
+//! executing subtrees separated by blocking operators (hash build, sort,
+//! materialization). Spill-mode execution targets one epp node; to make
+//! the learning guarantee of Lemma 3.1 hold, the spilled epp must be the
+//! **first unlearnt epp** in a total order that lists every predicate after
+//! all predicates of its subtree:
+//!
+//! * **inter-pipeline**: epps of earlier-executing pipelines come first —
+//!   for a hash join the build (right) side precedes the probe (left)
+//!   side; for sort-merge and (block/index) nested-loop joins we use the
+//!   same inner-before-outer convention;
+//! * **intra-pipeline**: upstream epps precede downstream epps; a join
+//!   node's own predicates come after both subtrees, multiple predicates
+//!   at one node are ordered by predicate id.
+//!
+//! Any such subtree-before-node order keeps the guarantee: when an epp is
+//! chosen, every predicate upstream of it is either not error-prone or has
+//! already been fully learnt, so the subtree's cost estimate is exact.
+
+use crate::plan::{JoinMethod, PlanNode};
+use crate::query::{PredId, QuerySpec};
+
+/// Bitmask over ESS dimensions: bit `j` set means epp `j` is *unlearnt*.
+pub type DimMask = u32;
+
+/// Returns the epps applied in `plan` in spill total order, as
+/// `(dimension, predicate)` pairs.
+pub fn epp_order(plan: &PlanNode, query: &QuerySpec) -> Vec<(usize, PredId)> {
+    let mut out = Vec::with_capacity(query.epps.len());
+    walk(plan, query, &mut out);
+    out
+}
+
+fn walk(node: &PlanNode, query: &QuerySpec, out: &mut Vec<(usize, PredId)>) {
+    match node {
+        PlanNode::Scan { filters, .. } => push_preds(filters, query, out),
+        PlanNode::Join {
+            left, right, preds, ..
+        } => {
+            walk(right, query, out);
+            walk(left, query, out);
+            push_preds(preds, query, out);
+        }
+    }
+}
+
+fn push_preds(preds: &[PredId], query: &QuerySpec, out: &mut Vec<(usize, PredId)>) {
+    let mut epps: Vec<(usize, PredId)> = preds
+        .iter()
+        .filter_map(|&p| query.dim_of(p).map(|d| (d, p)))
+        .collect();
+    epps.sort_unstable_by_key(|&(_, p)| p);
+    out.extend(epps);
+}
+
+/// The dimension `plan` would spill on, given the set of still-unlearnt
+/// dimensions: the first unlearnt epp in spill total order. `None` when no
+/// unlearnt epp appears in the plan.
+pub fn spill_dim(plan: &PlanNode, query: &QuerySpec, unlearnt: DimMask) -> Option<usize> {
+    epp_order(plan, query)
+        .into_iter()
+        .map(|(d, _)| d)
+        .find(|&d| unlearnt & (1 << d) != 0)
+}
+
+/// A pipeline: the predicate-bearing nodes of one maximal concurrently
+/// executing subtree, identified by the predicates applied inside it.
+/// Produced in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipeline {
+    /// Predicates evaluated inside this pipeline, upstream first.
+    pub preds: Vec<PredId>,
+}
+
+/// Decomposes a plan into its pipelines, in execution order.
+///
+/// Blocking boundaries: a hash join's build side, both inputs of a
+/// sort-merge join, and the materialized inner of a block nested-loop
+/// join each close a pipeline. Index nested-loop lookups stay inside the
+/// probe pipeline.
+pub fn pipelines(plan: &PlanNode) -> Vec<Pipeline> {
+    let mut done = Vec::new();
+    let open = decompose(plan, &mut done);
+    done.push(Pipeline { preds: open });
+    done
+}
+
+/// Returns the predicate list of the currently-open pipeline, pushing any
+/// completed pipelines into `done`.
+fn decompose(node: &PlanNode, done: &mut Vec<Pipeline>) -> Vec<PredId> {
+    match node {
+        PlanNode::Scan { filters, .. } => filters.clone(),
+        PlanNode::Join {
+            method,
+            left,
+            right,
+            preds,
+        } => match method {
+            JoinMethod::HashJoin => {
+                let build = decompose(right, done);
+                done.push(Pipeline { preds: build });
+                let mut open = decompose(left, done);
+                open.extend_from_slice(preds);
+                open
+            }
+            JoinMethod::SortMergeJoin => {
+                let l = decompose(left, done);
+                done.push(Pipeline { preds: l });
+                let r = decompose(right, done);
+                done.push(Pipeline { preds: r });
+                preds.clone()
+            }
+            JoinMethod::NestedLoopJoin => {
+                let inner = decompose(right, done);
+                done.push(Pipeline { preds: inner });
+                let mut open = decompose(left, done);
+                open.extend_from_slice(preds);
+                open
+            }
+            JoinMethod::IndexNLJoin => {
+                // Index lookups are non-blocking: the inner's residual
+                // filters evaluate inside the probe pipeline.
+                let mut open = decompose(left, done);
+                match right.as_ref() {
+                    PlanNode::Scan { filters, .. } => open.extend_from_slice(filters),
+                    _ => unreachable!("IndexNLJoin inner must be a scan"),
+                }
+                open.extend_from_slice(preds);
+                open
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ScanMethod;
+    use crate::query::{Predicate, PredicateKind};
+
+    /// chain query a-b-c with epps on both joins and a filter epp on a.
+    fn query() -> QuerySpec {
+        QuerySpec {
+            name: "q".into(),
+            relations: vec![0, 1, 2],
+            predicates: vec![
+                Predicate {
+                    label: "ab".into(),
+                    kind: PredicateKind::Join {
+                        left: 0,
+                        left_col: 0,
+                        right: 1,
+                        right_col: 0,
+                    },
+                },
+                Predicate {
+                    label: "bc".into(),
+                    kind: PredicateKind::Join {
+                        left: 1,
+                        left_col: 1,
+                        right: 2,
+                        right_col: 0,
+                    },
+                },
+                Predicate {
+                    label: "fa".into(),
+                    kind: PredicateKind::FilterLe {
+                        rel: 0,
+                        col: 1,
+                        value: 5,
+                    },
+                },
+            ],
+            epps: vec![0, 1, 2],
+        }
+    }
+
+    fn scan(rel: usize, filters: Vec<PredId>) -> PlanNode {
+        PlanNode::Scan {
+            rel,
+            method: ScanMethod::SeqScan,
+            filters,
+        }
+    }
+
+    fn join(method: JoinMethod, l: PlanNode, r: PlanNode, preds: Vec<PredId>) -> PlanNode {
+        PlanNode::Join {
+            method,
+            left: Box::new(l),
+            right: Box::new(r),
+            preds,
+        }
+    }
+
+    #[test]
+    fn order_is_build_side_first_then_probe_then_node() {
+        let q = query();
+        // HJ( HJ(scan a(fa), scan b)[ab], scan c )[bc]
+        let inner = join(JoinMethod::HashJoin, scan(0, vec![2]), scan(1, vec![]), vec![0]);
+        let plan = join(JoinMethod::HashJoin, inner, scan(2, vec![]), vec![1]);
+        // top build = scan c (no epp); probe = inner join:
+        //   inner build = scan b (none); probe = scan a (fa, dim 2);
+        //   inner node = ab (dim 0); top node = bc (dim 1)
+        assert_eq!(epp_order(&plan, &q), vec![(2, 2), (0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn spill_dim_respects_learnt_set() {
+        let q = query();
+        let inner = join(JoinMethod::HashJoin, scan(0, vec![2]), scan(1, vec![]), vec![0]);
+        let plan = join(JoinMethod::HashJoin, inner, scan(2, vec![]), vec![1]);
+        assert_eq!(spill_dim(&plan, &q, 0b111), Some(2));
+        // once dim 2 learnt, the next is dim 0
+        assert_eq!(spill_dim(&plan, &q, 0b011), Some(0));
+        assert_eq!(spill_dim(&plan, &q, 0b010), Some(1));
+        assert_eq!(spill_dim(&plan, &q, 0b000), None);
+    }
+
+    #[test]
+    fn subtree_always_precedes_node() {
+        // The invariant Lemma 3.1 needs: in epp_order, every join node's
+        // preds appear after all epps of its subtree.
+        let q = query();
+        for method in JoinMethod::ALL {
+            if method == JoinMethod::IndexNLJoin {
+                continue; // needs scan inner; covered below
+            }
+            let inner = join(method, scan(0, vec![2]), scan(1, vec![]), vec![0]);
+            let plan = join(method, inner, scan(2, vec![]), vec![1]);
+            let order = epp_order(&plan, &q);
+            let pos = |d: usize| order.iter().position(|&(x, _)| x == d).unwrap();
+            assert!(pos(2) < pos(0), "{method:?}: filter before its join");
+            assert!(pos(0) < pos(1), "{method:?}: inner join before outer join");
+        }
+    }
+
+    #[test]
+    fn pipelines_of_hash_join_tree() {
+        let inner = join(JoinMethod::HashJoin, scan(0, vec![2]), scan(1, vec![]), vec![0]);
+        let plan = join(JoinMethod::HashJoin, inner, scan(2, vec![]), vec![1]);
+        let ps = pipelines(&plan);
+        // build of top (scan c), build of inner (scan b), then the probe
+        // pipeline carrying fa, ab, bc.
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].preds, Vec::<PredId>::new()); // scan c
+        assert_eq!(ps[1].preds, Vec::<PredId>::new()); // scan b
+        assert_eq!(ps[2].preds, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn index_nl_stays_in_probe_pipeline() {
+        let plan = join(
+            JoinMethod::IndexNLJoin,
+            scan(0, vec![2]),
+            PlanNode::Scan {
+                rel: 1,
+                method: ScanMethod::IndexScan,
+                filters: vec![],
+            },
+            vec![0],
+        );
+        let ps = pipelines(&plan);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].preds, vec![2, 0]);
+    }
+}

@@ -1,0 +1,364 @@
+//! Physical plans: operator trees, structural fingerprints and interning.
+
+use crate::query::{PredId, QuerySpec, RelIdx};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Identifier of an interned plan in a [`PlanPool`].
+///
+/// Plan ids are dense and stable within a pool; the paper's `P1, P2, ...`
+/// labels map to `PlanId` values in discovery traces.
+pub type PlanId = usize;
+
+/// Access-path choice for a base relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScanMethod {
+    /// Full sequential scan.
+    SeqScan,
+    /// B-tree index scan driven by the relation's first applicable filter.
+    IndexScan,
+}
+
+/// Join algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinMethod {
+    /// Hash join: left child is the probe (outer) side, right child is the
+    /// build (inner) side. The build side is a blocking pipeline.
+    HashJoin,
+    /// Sort-merge join: both children are sorted (blocking) then merged.
+    SortMergeJoin,
+    /// Block nested-loop join: right child is materialized and scanned per
+    /// block of the outer.
+    NestedLoopJoin,
+    /// Index nested-loop join: the right child must be a base-relation scan
+    /// whose join column is indexed; each outer tuple probes the index.
+    IndexNLJoin,
+}
+
+impl JoinMethod {
+    /// All join methods, in deterministic enumeration order.
+    pub const ALL: [JoinMethod; 4] = [
+        JoinMethod::HashJoin,
+        JoinMethod::SortMergeJoin,
+        JoinMethod::NestedLoopJoin,
+        JoinMethod::IndexNLJoin,
+    ];
+
+    /// Short label used in plan pretty-printing.
+    pub fn label(self) -> &'static str {
+        match self {
+            JoinMethod::HashJoin => "HashJoin",
+            JoinMethod::SortMergeJoin => "MergeJoin",
+            JoinMethod::NestedLoopJoin => "NestLoop",
+            JoinMethod::IndexNLJoin => "IdxNLJoin",
+        }
+    }
+}
+
+/// A physical plan operator tree.
+///
+/// Plans keep their *logical annotations* (which predicates apply where),
+/// which is what makes "abstract-plan costing" — re-costing a fixed tree at
+/// any ESS location — possible.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlanNode {
+    /// Base relation access.
+    Scan {
+        /// Query-local relation index.
+        rel: RelIdx,
+        /// Access path.
+        method: ScanMethod,
+        /// Filter predicates applied at the scan, in `PredId` order.
+        filters: Vec<PredId>,
+    },
+    /// Binary join.
+    Join {
+        /// Algorithm.
+        method: JoinMethod,
+        /// Outer / probe / left-sorted child.
+        left: Box<PlanNode>,
+        /// Inner / build / right-sorted child.
+        right: Box<PlanNode>,
+        /// Join predicates applied at this node (all edges connecting the
+        /// two sides), in `PredId` order.
+        preds: Vec<PredId>,
+    },
+}
+
+impl PlanNode {
+    /// The set of query-local relations in this subtree, as a bitmask.
+    pub fn rel_mask(&self) -> u32 {
+        match self {
+            PlanNode::Scan { rel, .. } => 1 << rel,
+            PlanNode::Join { left, right, .. } => left.rel_mask() | right.rel_mask(),
+        }
+    }
+
+    /// All predicate ids applied anywhere in this subtree.
+    pub fn all_preds(&self) -> Vec<PredId> {
+        let mut out = Vec::new();
+        self.collect_preds(&mut out);
+        out
+    }
+
+    fn collect_preds(&self, out: &mut Vec<PredId>) {
+        match self {
+            PlanNode::Scan { filters, .. } => out.extend_from_slice(filters),
+            PlanNode::Join {
+                left, right, preds, ..
+            } => {
+                left.collect_preds(out);
+                right.collect_preds(out);
+                out.extend_from_slice(preds);
+            }
+        }
+    }
+
+    /// Finds the subtree whose root applies predicate `p` (the node `N_j`
+    /// of §3.1.2), if present.
+    pub fn subtree_applying(&self, p: PredId) -> Option<&PlanNode> {
+        match self {
+            PlanNode::Scan { filters, .. } => filters.contains(&p).then_some(self),
+            PlanNode::Join {
+                left, right, preds, ..
+            } => {
+                if preds.contains(&p) {
+                    Some(self)
+                } else {
+                    left.subtree_applying(p)
+                        .or_else(|| right.subtree_applying(p))
+                }
+            }
+        }
+    }
+
+    /// Number of operator nodes.
+    pub fn node_count(&self) -> usize {
+        match self {
+            PlanNode::Scan { .. } => 1,
+            PlanNode::Join { left, right, .. } => 1 + left.node_count() + right.node_count(),
+        }
+    }
+
+    /// Stable structural fingerprint (FNV-1a over a canonical encoding);
+    /// identical across processes and runs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        self.fnv(&mut h);
+        h
+    }
+
+    fn fnv(&self, h: &mut u64) {
+        fn mix(h: &mut u64, b: u64) {
+            *h ^= b;
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        match self {
+            PlanNode::Scan {
+                rel,
+                method,
+                filters,
+            } => {
+                mix(h, 1);
+                mix(h, *rel as u64);
+                mix(h, *method as u64);
+                for f in filters {
+                    mix(h, 0x100 + *f as u64);
+                }
+            }
+            PlanNode::Join {
+                method,
+                left,
+                right,
+                preds,
+            } => {
+                mix(h, 2);
+                mix(h, *method as u64 + 10);
+                left.fnv(h);
+                mix(h, 3);
+                right.fnv(h);
+                for p in preds {
+                    mix(h, 0x200 + *p as u64);
+                }
+            }
+        }
+    }
+
+    /// Pretty-prints the tree, one operator per line, using catalog table
+    /// names and predicate labels from `query`.
+    pub fn render(&self, query: &QuerySpec, catalog: &rqp_catalog::Catalog) -> String {
+        let mut out = String::new();
+        self.render_rec(query, catalog, 0, &mut out);
+        out
+    }
+
+    fn render_rec(
+        &self,
+        query: &QuerySpec,
+        catalog: &rqp_catalog::Catalog,
+        depth: usize,
+        out: &mut String,
+    ) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PlanNode::Scan {
+                rel,
+                method,
+                filters,
+            } => {
+                let name = &catalog.table(query.relations[*rel]).name;
+                let m = match method {
+                    ScanMethod::SeqScan => "SeqScan",
+                    ScanMethod::IndexScan => "IndexScan",
+                };
+                let _ = write!(out, "{pad}{m}({name}");
+                for f in filters {
+                    let _ = write!(out, ", {}", query.predicates[*f].label);
+                }
+                let _ = writeln!(out, ")");
+            }
+            PlanNode::Join {
+                method,
+                left,
+                right,
+                preds,
+            } => {
+                let labels: Vec<&str> = preds
+                    .iter()
+                    .map(|p| query.predicates[*p].label.as_str())
+                    .collect();
+                let _ = writeln!(out, "{pad}{}[{}]", method.label(), labels.join(","));
+                left.render_rec(query, catalog, depth + 1, out);
+                right.render_rec(query, catalog, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// An interning pool of distinct plans.
+///
+/// The POSP ("parametric optimal set of plans") over an ESS is naturally
+/// represented as a pool plus a grid of `PlanId`s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PlanPool {
+    plans: Vec<PlanNode>,
+    #[serde(skip)]
+    index: std::collections::HashMap<u64, Vec<PlanId>>,
+}
+
+impl PlanPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a plan, returning its id (existing id if structurally equal).
+    pub fn intern(&mut self, plan: PlanNode) -> PlanId {
+        let fp = plan.fingerprint();
+        if let Some(candidates) = self.index.get(&fp) {
+            for &id in candidates {
+                if self.plans[id] == plan {
+                    return id;
+                }
+            }
+        }
+        let id = self.plans.len();
+        self.index.entry(fp).or_default().push(id);
+        self.plans.push(plan);
+        id
+    }
+
+    /// Plan by id.
+    pub fn get(&self, id: PlanId) -> &PlanNode {
+        &self.plans[id]
+    }
+
+    /// Number of distinct plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Iterates `(id, plan)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PlanId, &PlanNode)> {
+        self.plans.iter().enumerate()
+    }
+
+    /// Rebuilds the fingerprint index (needed after deserialization, where
+    /// the index is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.index.clear();
+        for (id, plan) in self.plans.iter().enumerate() {
+            self.index.entry(plan.fingerprint()).or_default().push(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: RelIdx) -> PlanNode {
+        PlanNode::Scan {
+            rel,
+            method: ScanMethod::SeqScan,
+            filters: vec![],
+        }
+    }
+
+    fn hj(l: PlanNode, r: PlanNode, preds: Vec<PredId>) -> PlanNode {
+        PlanNode::Join {
+            method: JoinMethod::HashJoin,
+            left: Box::new(l),
+            right: Box::new(r),
+            preds,
+        }
+    }
+
+    #[test]
+    fn rel_mask_and_preds() {
+        let p = hj(scan(0), hj(scan(1), scan(2), vec![1]), vec![0]);
+        assert_eq!(p.rel_mask(), 0b111);
+        assert_eq!(p.all_preds(), vec![1, 0]);
+        assert_eq!(p.node_count(), 5);
+    }
+
+    #[test]
+    fn subtree_applying_finds_node() {
+        let inner = hj(scan(1), scan(2), vec![1]);
+        let p = hj(scan(0), inner.clone(), vec![0]);
+        assert_eq!(p.subtree_applying(1), Some(&inner));
+        assert_eq!(p.subtree_applying(0), Some(&p));
+        assert_eq!(p.subtree_applying(7), None);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure() {
+        let a = hj(scan(0), scan(1), vec![0]);
+        let b = hj(scan(1), scan(0), vec![0]); // swapped sides
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        if let PlanNode::Join { method, .. } = &mut c {
+            *method = JoinMethod::SortMergeJoin;
+        }
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn pool_interning_dedups() {
+        let mut pool = PlanPool::new();
+        let a = hj(scan(0), scan(1), vec![0]);
+        let id1 = pool.intern(a.clone());
+        let id2 = pool.intern(a.clone());
+        assert_eq!(id1, id2);
+        let id3 = pool.intern(hj(scan(1), scan(0), vec![0]));
+        assert_ne!(id1, id3);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.get(id1), &a);
+    }
+}

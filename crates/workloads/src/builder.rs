@@ -1,0 +1,154 @@
+//! A small builder for SPJ query specifications over a catalog.
+
+use rqp_catalog::Catalog;
+use rqp_common::Result;
+use rqp_optimizer::{PredId, Predicate, PredicateKind, QuerySpec, RelIdx};
+
+/// Builds [`QuerySpec`]s by table/column name, tracking epp designations.
+#[derive(Debug)]
+pub struct QueryBuilder<'a> {
+    catalog: &'a Catalog,
+    relations: Vec<usize>,
+    predicates: Vec<Predicate>,
+    epps: Vec<PredId>,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Starts a builder over `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self {
+            catalog,
+            relations: Vec::new(),
+            predicates: Vec::new(),
+            epps: Vec::new(),
+        }
+    }
+
+    /// Adds a base relation (tables may repeat — self-joins get distinct
+    /// query-local indices).
+    ///
+    /// # Panics
+    /// Panics if the table does not exist (workload definitions are
+    /// static; a typo is a bug).
+    pub fn rel(&mut self, table: &str) -> RelIdx {
+        let tid = self
+            .catalog
+            .table_id(table)
+            .unwrap_or_else(|e| panic!("workload table lookup: {e}"));
+        self.relations.push(tid);
+        self.relations.len() - 1
+    }
+
+    fn col(&self, rel: RelIdx, name: &str) -> usize {
+        let tid = self.relations[rel];
+        self.catalog
+            .table(tid)
+            .col_id(name)
+            .unwrap_or_else(|| {
+                panic!(
+                    "workload column lookup: {}.{name}",
+                    self.catalog.table(tid).name
+                )
+            })
+    }
+
+    /// Adds an equi-join; `epp` marks it error-prone (ESS dimensions are
+    /// assigned in call order).
+    pub fn join(
+        &mut self,
+        l: RelIdx,
+        lcol: &str,
+        r: RelIdx,
+        rcol: &str,
+        epp: bool,
+    ) -> PredId {
+        let kind = PredicateKind::Join {
+            left: l,
+            left_col: self.col(l, lcol),
+            right: r,
+            right_col: self.col(r, rcol),
+        };
+        let label = format!(
+            "{}⋈{}",
+            self.catalog.table(self.relations[l]).name,
+            self.catalog.table(self.relations[r]).name
+        );
+        self.push(Predicate { label, kind }, epp)
+    }
+
+    /// Adds a `col <= v` filter.
+    pub fn filter_le(&mut self, rel: RelIdx, col: &str, v: i64, epp: bool) -> PredId {
+        let kind = PredicateKind::FilterLe {
+            rel,
+            col: self.col(rel, col),
+            value: v,
+        };
+        let label = format!("{col}<={v}");
+        self.push(Predicate { label, kind }, epp)
+    }
+
+    /// Adds a `col = v` filter.
+    pub fn filter_eq(&mut self, rel: RelIdx, col: &str, v: i64, epp: bool) -> PredId {
+        let kind = PredicateKind::FilterEq {
+            rel,
+            col: self.col(rel, col),
+            value: v,
+        };
+        let label = format!("{col}={v}");
+        self.push(Predicate { label, kind }, epp)
+    }
+
+    fn push(&mut self, p: Predicate, epp: bool) -> PredId {
+        self.predicates.push(p);
+        let id = self.predicates.len() - 1;
+        if epp {
+            self.epps.push(id);
+        }
+        id
+    }
+
+    /// Finalizes and validates the query.
+    pub fn build(self, name: impl Into<String>) -> Result<QuerySpec> {
+        let q = QuerySpec {
+            name: name.into(),
+            relations: self.relations,
+            predicates: self.predicates,
+            epps: self.epps,
+        };
+        q.validate(self.catalog)?;
+        Ok(q)
+    }
+
+    /// The query-local table ids added so far (for dataset recipes).
+    pub fn relations(&self) -> &[usize] {
+        &self.relations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_catalog::tpcds;
+
+    #[test]
+    fn builds_a_valid_join_query() {
+        let cat = tpcds::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat);
+        let ss = qb.rel("store_sales");
+        let d = qb.rel("date_dim");
+        qb.join(ss, "ss_sold_date_sk", d, "d_date_sk", true);
+        qb.filter_eq(d, "d_year", 100, false);
+        let q = qb.build("test").unwrap();
+        assert_eq!(q.ndims(), 1);
+        assert_eq!(q.relations.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "workload column lookup")]
+    fn bad_column_panics() {
+        let cat = tpcds::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat);
+        let ss = qb.rel("store_sales");
+        qb.filter_eq(ss, "nonexistent", 1, false);
+    }
+}

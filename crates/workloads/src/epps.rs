@@ -1,0 +1,159 @@
+//! Error-prone predicate identification (§7).
+//!
+//! "With regard to identification of the epps that constitute the ESS, we
+//! could leverage application domain knowledge and query logs to make this
+//! selection, or simply be conservative and assign all uncertain
+//! combination of predicates to be epps." This module implements both
+//! policies over a [`QuerySpec`]: the conservative all-joins rule, and a
+//! statistics-quality heuristic that flags predicates whose estimates rest
+//! on shaky ground (missing histograms, AVI join formulas over large
+//! domains).
+
+use rqp_catalog::Catalog;
+use rqp_optimizer::{PredId, PredicateKind, QuerySpec};
+
+/// Epp-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EppPolicy {
+    /// Conservative: every join predicate is error-prone (join estimates
+    /// rest on the AVI assumption, the paper's primary error source).
+    AllJoins,
+    /// Heuristic: joins whose NDV-based estimate falls below the given
+    /// threshold (tiny estimates have the most room to be wrong — the
+    /// ratio `truth/estimate` can span orders of magnitude), plus filters
+    /// lacking histogram support.
+    Uncertain {
+        /// Joins with estimates below this are flagged (e.g. `1e-3`).
+        join_sel_threshold: f64,
+    },
+}
+
+/// Returns the predicate ids the policy designates error-prone, in
+/// predicate order (the ESS dimension order).
+pub fn identify_epps(catalog: &Catalog, query: &QuerySpec, policy: EppPolicy) -> Vec<PredId> {
+    query
+        .predicates
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| match (policy, p.kind) {
+            (EppPolicy::AllJoins, kind) => kind.is_join(),
+            (
+                EppPolicy::Uncertain { join_sel_threshold },
+                PredicateKind::Join {
+                    left,
+                    left_col,
+                    right,
+                    right_col,
+                },
+            ) => {
+                let ls = &catalog.table(query.relations[left]).columns[left_col].stats;
+                let rs = &catalog.table(query.relations[right]).columns[right_col].stats;
+                rqp_catalog::ColumnStats::join_selectivity(ls, rs) < join_sel_threshold
+            }
+            (
+                EppPolicy::Uncertain { .. },
+                PredicateKind::FilterLe { rel, col, .. } | PredicateKind::FilterEq { rel, col, .. },
+            ) => catalog.table(query.relations[rel]).columns[col]
+                .stats
+                .histogram
+                .is_none()
+                && catalog.table(query.relations[rel]).columns[col]
+                    .stats
+                    .domain
+                    .is_none(),
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Returns a copy of `query` re-dimensioned with the policy's epps.
+///
+/// # Errors
+/// Fails validation if the policy selects no predicates (a zero-dimension
+/// ESS is legal for the algorithms but almost certainly a configuration
+/// mistake) — callers wanting that should construct the spec directly.
+pub fn with_identified_epps(
+    catalog: &Catalog,
+    query: &QuerySpec,
+    policy: EppPolicy,
+) -> rqp_common::Result<QuerySpec> {
+    let epps = identify_epps(catalog, query, policy);
+    if epps.is_empty() {
+        return Err(rqp_common::RqpError::Config(
+            "epp policy selected no predicates".into(),
+        ));
+    }
+    let mut q = query.clone();
+    q.epps = epps;
+    q.validate(catalog)?;
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_catalog::tpcds;
+
+    #[test]
+    fn all_joins_policy_flags_every_join() {
+        let cat = tpcds::catalog_sf100();
+        let q = crate::tpcds_queries::q91(&cat, 2);
+        let epps = identify_epps(&cat, &q, EppPolicy::AllJoins);
+        let joins: Vec<usize> = q.join_preds().collect();
+        assert_eq!(epps, joins);
+        assert_eq!(epps.len(), 6, "Q91 has six joins");
+    }
+
+    #[test]
+    fn uncertain_policy_flags_small_estimates() {
+        let cat = tpcds::catalog_sf100();
+        let q = crate::tpcds_queries::q91(&cat, 2);
+        // Very strict threshold: flags only the joins against huge
+        // dimensions (customer_address at SF100 has 5M rows → est 2e-7).
+        let tight = identify_epps(
+            &cat,
+            &q,
+            EppPolicy::Uncertain {
+                join_sel_threshold: 1e-5,
+            },
+        );
+        let loose = identify_epps(
+            &cat,
+            &q,
+            EppPolicy::Uncertain {
+                join_sel_threshold: 1.1,
+            },
+        );
+        assert!(!tight.is_empty());
+        assert!(tight.len() < loose.len());
+        // threshold 1.1 over-approximates AllJoins on join predicates
+        let joins: Vec<usize> = q.join_preds().collect();
+        let loose_joins: Vec<usize> =
+            loose.iter().copied().filter(|&p| q.predicates[p].kind.is_join()).collect();
+        assert_eq!(loose_joins, joins);
+    }
+
+    #[test]
+    fn redimensioning_produces_valid_query() {
+        let cat = tpcds::catalog_sf100();
+        let q = crate::tpcds_queries::q91(&cat, 2);
+        assert_eq!(q.ndims(), 2);
+        let conservative = with_identified_epps(&cat, &q, EppPolicy::AllJoins).unwrap();
+        assert_eq!(conservative.ndims(), 6);
+        conservative.validate(&cat).unwrap();
+    }
+
+    #[test]
+    fn empty_selection_rejected() {
+        let cat = tpcds::catalog_sf100();
+        let q = crate::tpcds_queries::q91(&cat, 2);
+        let res = with_identified_epps(
+            &cat,
+            &q,
+            EppPolicy::Uncertain {
+                join_sel_threshold: 0.0,
+            },
+        );
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Explore the error-prone selectivity space of any suite query.
+//!
+//! Prints the POSP/contour anatomy the discovery algorithms operate on:
+//! grid shape, plan-diagram size, iso-cost contour schedule with per-
+//! contour plan counts and alignment status, and the anorexic-reduced
+//! bouquet — a textual rendering of the paper's Figs. 2, 3, 5 and 6.
+//!
+//! Run with: `cargo run --release --example ess_explorer [query]`
+//! (default `3D_Q15`; see `rqp::workloads::paper_suite` for names).
+
+use rqp::catalog::tpcds;
+use rqp::core::PlanBouquet;
+use rqp::ess::alignment::analyze;
+use rqp::ess::{ContourSet, EssView};
+use rqp::experiments::Experiment;
+use rqp::optimizer::EnumerationMode;
+use rqp::workloads::paper_suite;
+
+fn main() {
+    let want = std::env::args().nth(1).unwrap_or_else(|| "3D_Q15".into());
+    let catalog = tpcds::catalog_sf100();
+    let bench = paper_suite(&catalog)
+        .into_iter()
+        .find(|b| b.name() == want)
+        .unwrap_or_else(|| panic!("unknown query {want}"));
+    let d = bench.query.ndims();
+
+    println!("=== {} ===", bench.query.name);
+    println!("relations:");
+    for (i, &tid) in bench.query.relations.iter().enumerate() {
+        let t = catalog.table(tid);
+        println!("  r{i}: {} ({} rows)", t.name, t.rows);
+    }
+    println!("error-prone predicates (ESS dimensions):");
+    for (j, &p) in bench.query.epps.iter().enumerate() {
+        println!("  dim {j}: {}", bench.query.predicates[p].label);
+    }
+    println!("\nSQL:\n{}", bench.query.to_sql(&catalog));
+
+    let exp = Experiment::build(tpcds::catalog_sf100(), bench, EnumerationMode::LeftDeep);
+    let opt = exp.optimizer();
+    let s = &exp.surface;
+    println!(
+        "\nESS grid: {} locations ({} per dim), built in {:.2}s",
+        s.len(),
+        s.grid().dim(0).len(),
+        exp.build_secs
+    );
+    println!(
+        "POSP: {} distinct optimal plans; optimal cost ∈ [{:.3e}, {:.3e}]",
+        s.posp_size(),
+        s.cmin(),
+        s.cmax()
+    );
+
+    // The optimal plan at the origin and at the terminus.
+    println!("\noptimal plan at the origin:");
+    print!("{}", s.plan(s.grid().origin()).render(&exp.bench.query, &exp.catalog));
+    println!("optimal plan at the terminus:");
+    print!("{}", s.plan(s.grid().terminus()).render(&exp.bench.query, &exp.catalog));
+
+    // Contour anatomy + alignment.
+    let contours = ContourSet::build(s, 2.0);
+    let report = analyze(s, &opt, &contours);
+    let view = EssView::full(d);
+    println!("\niso-cost contours (ratio 2):");
+    println!("  i    cost          |locs|  |PL_i|  alignment");
+    for i in 0..contours.len() {
+        let locs = contours.locations(s, &view, i);
+        let plans = contours.plans(s, &view, i);
+        let align = match report.contours[i].min_penalty {
+            Some(p) if p <= 1.0 + 1e-9 => "native".to_string(),
+            Some(p) => format!("induced (ε = {p:.2})"),
+            None => "—".to_string(),
+        };
+        println!(
+            "  IC{:<3} {:>12.3e}  {:>5}  {:>5}   {}",
+            i + 1,
+            contours.cost(i),
+            locs.len(),
+            plans.len(),
+            align
+        );
+    }
+
+    // Anorexic-reduced bouquet.
+    let pb = PlanBouquet::new(s, &opt, 2.0, 0.2);
+    println!(
+        "\nanorexic reduction (λ = 0.2): ρ_red = {} → PlanBouquet guarantee {}",
+        pb.rho_red(),
+        pb.mso_guarantee()
+    );
+    println!(
+        "SpillBound guarantee D²+3D = {}; AlignedBound range [{}, {}]",
+        rqp::core::spillbound_guarantee(d),
+        rqp::core::aligned_guarantee_lower(d),
+        rqp::core::spillbound_guarantee(d),
+    );
+}

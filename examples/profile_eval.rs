@@ -1,0 +1,46 @@
+//! Dev utility: times each algorithm's exhaustive ESS sweep separately.
+//!
+//! Run with: `cargo run --release --example profile_eval [query]`
+
+use rqp::catalog::tpcds;
+use rqp::core::eval;
+use rqp::experiments::Experiment;
+use rqp::optimizer::EnumerationMode;
+use rqp::workloads::paper_suite;
+use std::time::Instant;
+
+fn main() {
+    let want = std::env::args().nth(1).unwrap_or_else(|| "5D_Q19".into());
+    let catalog = tpcds::catalog_sf100();
+    let bench = paper_suite(&catalog)
+        .into_iter()
+        .find(|b| b.name() == want)
+        .expect("known query");
+    let t = Instant::now();
+    let exp = Experiment::build(catalog, bench, EnumerationMode::LeftDeep);
+    println!("surface: {:.2}s ({} locs, {} plans)", t.elapsed().as_secs_f64(), exp.surface.len(), exp.surface.posp_size());
+    let opt = exp.optimizer();
+
+    let t = Instant::now();
+    let pbc = rqp::core::PlanBouquet::new(&exp.surface, &opt, 2.0, 0.2);
+    println!("PB compile (anorexic): {:.2}s (rho_red {})", t.elapsed().as_secs_f64(), pbc.rho_red());
+    drop(pbc);
+    let t = Instant::now();
+    let pb = eval::evaluate_planbouquet_fast(&exp.surface, &opt, 2.0, 0.2).unwrap();
+    println!("PB : {:.2}s (mso {:.1})", t.elapsed().as_secs_f64(), pb.mso);
+
+    let t = Instant::now();
+    let sb = eval::evaluate_spillbound(&exp.surface, &opt, 2.0).unwrap();
+    println!("SB : {:.2}s (mso {:.1})", t.elapsed().as_secs_f64(), sb.mso);
+
+    let t = Instant::now();
+    let (ab, pen) = eval::evaluate_alignedbound(&exp.surface, &opt, 2.0).unwrap();
+    println!("AB : {:.2}s (mso {:.1}, max penalty {pen:.2})", t.elapsed().as_secs_f64(), ab.mso);
+
+    let t = Instant::now();
+    let nat = eval::evaluate_native(&exp.surface, &opt).unwrap();
+    println!("NAT: {:.2}s (mso {:.1})", t.elapsed().as_secs_f64(), nat.mso);
+}
+
+#[allow(dead_code)]
+fn unused() {}

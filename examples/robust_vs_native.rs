@@ -1,0 +1,88 @@
+//! Compares all four strategies on one benchmark query.
+//!
+//! Reproduces the paper's central empirical claim on a single query: the
+//! native optimizer's worst case is enormous, PlanBouquet bounds it
+//! behaviorally, SpillBound bounds it structurally (`D²+3D`), and
+//! AlignedBound pushes the empirical MSO toward the `2D+2` ideal.
+//!
+//! Run with: `cargo run --release --example robust_vs_native [query]`
+//! where `query` is one of the suite names (default `3D_Q96`).
+
+use rqp::catalog::tpcds;
+use rqp::core::native::native_mso_worst_case;
+use rqp::experiments::{compare, fmt, print_table, Experiment};
+use rqp::optimizer::EnumerationMode;
+use rqp::workloads::paper_suite;
+use std::time::Instant;
+
+fn main() {
+    let want = std::env::args().nth(1).unwrap_or_else(|| "3D_Q96".into());
+    let catalog = tpcds::catalog_sf100();
+    let bench = paper_suite(&catalog)
+        .into_iter()
+        .find(|b| b.name() == want)
+        .unwrap_or_else(|| {
+            let names: Vec<String> = paper_suite(&catalog)
+                .iter()
+                .map(|b| b.name().to_string())
+                .collect();
+            panic!("unknown query {want}; available: {}", names.join(", "))
+        });
+
+    println!("building ESS for {want} ...");
+    let t = Instant::now();
+    let exp = Experiment::build(catalog, bench, EnumerationMode::LeftDeep);
+    println!(
+        "surface: {} locations, {} POSP plans ({:.2}s)",
+        exp.surface.len(),
+        exp.surface.posp_size(),
+        t.elapsed().as_secs_f64()
+    );
+
+    let t = Instant::now();
+    let row = compare(&exp, 2.0, 0.2);
+    let opt = exp.optimizer();
+    let native_worst = native_mso_worst_case(&exp.surface, &opt);
+    println!("exhaustive evaluation over {} locations ({:.2}s)", exp.surface.len(), t.elapsed().as_secs_f64());
+
+    print_table(
+        &format!("{want}: worst/average sub-optimality"),
+        &["strategy", "MSO guarantee", "MSO empirical", "ASO"],
+        &[
+            vec![
+                "native (fixed qe)".into(),
+                "∞".into(),
+                fmt(row.msoe_native, 1),
+                "-".into(),
+            ],
+            vec![
+                "native (worst qe)".into(),
+                "∞".into(),
+                fmt(native_worst, 1),
+                "-".into(),
+            ],
+            vec![
+                "PlanBouquet".into(),
+                fmt(row.msog_pb, 1),
+                fmt(row.msoe_pb, 1),
+                fmt(row.aso_pb, 2),
+            ],
+            vec![
+                "SpillBound".into(),
+                fmt(row.msog_sb, 1),
+                fmt(row.msoe_sb, 1),
+                fmt(row.aso_sb, 2),
+            ],
+            vec![
+                format!("AlignedBound (≥{})", row.msog_ab_lower),
+                fmt(row.msog_sb, 1),
+                fmt(row.msoe_ab, 1),
+                fmt(row.aso_ab, 2),
+            ],
+        ],
+    );
+    println!(
+        "\nρ_red = {} (anorexic λ=0.2); AB max part penalty = {:.2}",
+        row.rho_red, row.ab_max_penalty
+    );
+}

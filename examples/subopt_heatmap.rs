@@ -1,0 +1,74 @@
+//! Sub-optimality geography: where in the ESS each strategy hurts.
+//!
+//! Renders ASCII heat maps of per-location sub-optimality over a 2D ESS
+//! for the native optimizer, PlanBouquet, SpillBound and AlignedBound —
+//! the spatial view behind the paper's Fig. 12 histogram. Native pain
+//! concentrates far from its estimate; the robust algorithms flatten the
+//! whole space to single digits.
+//!
+//! Run with: `cargo run --release --example subopt_heatmap [query]`
+//! (2-epp configurations only; default `2D_Q91`).
+
+use rqp::catalog::tpcds;
+use rqp::core::eval::{
+    evaluate_alignedbound, evaluate_native, evaluate_planbouquet_fast, evaluate_spillbound,
+    SubOptStats,
+};
+use rqp::experiments::Experiment;
+use rqp::optimizer::EnumerationMode;
+use rqp::workloads::q91_with_dims;
+
+/// Glyph ramp: sub-optimality 1 → blank, up to >100 → '#'.
+fn glyph(sub: f64) -> char {
+    match sub {
+        s if s < 1.5 => '·',
+        s if s < 3.0 => ':',
+        s if s < 5.0 => '+',
+        s if s < 10.0 => 'x',
+        s if s < 30.0 => 'X',
+        s if s < 100.0 => '%',
+        _ => '#',
+    }
+}
+
+fn heatmap(title: &str, stats: &SubOptStats, nx: usize, ny: usize) {
+    println!("\n{title}: MSO {:.1}, ASO {:.2}, median {:.2}", stats.mso, stats.aso, stats.percentile(50.0));
+    for y in (0..ny).rev() {
+        let row: String = (0..nx)
+            .map(|x| glyph(stats.subopts[y * nx + x]))
+            .collect();
+        println!("  |{row}|");
+    }
+    println!("  +{}+", "-".repeat(nx));
+}
+
+fn main() {
+    let catalog = tpcds::catalog_sf100();
+    let bench = q91_with_dims(&catalog, 2);
+    let exp = Experiment::build(catalog, bench, EnumerationMode::LeftDeep);
+    let opt = exp.optimizer();
+    let grid = exp.surface.grid();
+    let (nx, ny) = (grid.dim(0).len(), grid.dim(1).len());
+    println!(
+        "sub-optimality heat maps over the 2D_Q91 ESS ({nx}×{ny}, x = dim 0 →, y = dim 1 ↑)"
+    );
+    println!("legend: · <1.5   : <3   + <5   x <10   X <30   % <100   # ≥100");
+
+    let native = evaluate_native(&exp.surface, &opt).expect("native");
+    heatmap("native optimizer (fixed estimate)", &native, nx, ny);
+
+    let pb = evaluate_planbouquet_fast(&exp.surface, &opt, 2.0, 0.2).expect("PB");
+    heatmap("PlanBouquet", &pb, nx, ny);
+
+    let sb = evaluate_spillbound(&exp.surface, &opt, 2.0).expect("SB");
+    heatmap("SpillBound", &sb, nx, ny);
+
+    let (ab, _) = evaluate_alignedbound(&exp.surface, &opt, 2.0).expect("AB");
+    heatmap("AlignedBound", &ab, nx, ny);
+
+    println!(
+        "\nworst locations — native: {:?}, SB: {:?} (grid coords)",
+        grid.coords(native.worst_qa),
+        grid.coords(sb.worst_qa)
+    );
+}

@@ -1,0 +1,263 @@
+//! `rqp` — command-line driver for the robust query processing library.
+//!
+//! ```text
+//! rqp list                          list the benchmark queries
+//! rqp explore <query>               POSP / contour anatomy of a query
+//! rqp run <query> <algo> [qa...]    run discovery at a true location
+//! rqp compare <query>               MSOg/MSOe/ASO across all algorithms
+//! ```
+//!
+//! `<algo>` is one of `sb` (SpillBound), `ab` (AlignedBound),
+//! `pb` (PlanBouquet), `pop` (re-optimization baseline), `native`.
+//! `qa` is one selectivity per error-prone predicate (defaults to the
+//! middle of the space).
+
+use rqp::catalog::tpcds;
+use rqp::core::report::ExecMode;
+use rqp::core::{AlignedBound, CostOracle, Outcome, PlanBouquet, PopReoptimizer, SpillBound};
+use rqp::experiments::{compare, fmt, print_table, Experiment};
+use rqp::optimizer::EnumerationMode;
+use rqp::workloads::paper_suite;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>"
+    );
+    ExitCode::FAILURE
+}
+
+fn find_query(name: &str) -> Option<rqp::workloads::BenchQuery> {
+    let catalog = tpcds::catalog_sf100();
+    paper_suite(&catalog).into_iter().find(|b| b.name() == name)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let catalog = tpcds::catalog_sf100();
+            println!("benchmark queries (TPC-DS SF100 SPJ cores):");
+            for b in paper_suite(&catalog) {
+                println!(
+                    "  {:<8} D={} relations={} grid={}^D",
+                    b.name(),
+                    b.query.ndims(),
+                    b.query.relations.len(),
+                    b.grid_points
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("explore") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(bench) = find_query(name) else {
+                eprintln!("unknown query {name}; try `rqp list`");
+                return ExitCode::FAILURE;
+            };
+            let exp = Experiment::build(tpcds::catalog_sf100(), bench, EnumerationMode::LeftDeep);
+            let d = exp.bench.query.ndims();
+            println!(
+                "{name}: {} grid locations, {} POSP plans, costs [{:.3e}, {:.3e}], built in {:.2}s",
+                exp.surface.len(),
+                exp.surface.posp_size(),
+                exp.surface.cmin(),
+                exp.surface.cmax(),
+                exp.build_secs
+            );
+            println!(
+                "guarantees: SB D²+3D = {}, AB range [{}, {}]",
+                rqp::core::spillbound_guarantee(d),
+                rqp::core::aligned_guarantee_lower(d),
+                rqp::core::spillbound_guarantee(d)
+            );
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let (Some(name), Some(algo)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let Some(bench) = find_query(name) else {
+                eprintln!("unknown query {name}; try `rqp list`");
+                return ExitCode::FAILURE;
+            };
+            let d = bench.query.ndims();
+            let qa: Vec<f64> = if args.len() > 3 {
+                let parsed: Option<Vec<f64>> =
+                    args[3..].iter().map(|s| s.parse().ok()).collect();
+                match parsed {
+                    Some(v) if v.len() == d && v.iter().all(|s| (0.0..=1.0).contains(s) && *s > 0.0) => v,
+                    _ => {
+                        eprintln!("expected {d} selectivities in (0,1]");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                vec![1e-3; d]
+            };
+            let exp = Experiment::build(tpcds::catalog_sf100(), bench, EnumerationMode::LeftDeep);
+            let opt = exp.optimizer();
+            let grid = exp.surface.grid();
+            // Snap qa to the grid so the oracle's optimum is well-defined.
+            let coords: Vec<usize> =
+                qa.iter().enumerate().map(|(j, &s)| grid.dim(j).nearest_idx(s)).collect();
+            let qa_idx = grid.flat(&coords);
+            let opt_cost = exp.surface.opt_cost(qa_idx);
+            let report = match algo.as_str() {
+                "sb" => {
+                    let mut a = SpillBound::new(&exp.surface, &opt, 2.0);
+                    let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
+                    a.run(&mut o).expect("discovery completes")
+                }
+                "ab" => {
+                    let mut a = AlignedBound::new(&exp.surface, &opt, 2.0);
+                    let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
+                    a.run(&mut o).expect("discovery completes")
+                }
+                "pb" => {
+                    let a = PlanBouquet::new(&exp.surface, &opt, 2.0, 0.2);
+                    let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
+                    a.run(&mut o).expect("discovery completes")
+                }
+                "pop" => {
+                    let pop = PopReoptimizer::new(&opt, 2.0);
+                    let run = pop.run(&grid.sels(qa_idx));
+                    println!(
+                        "POP: {} restarts, total cost {:.0}, sub-optimality {:.2} (no guarantee)",
+                        run.restarts,
+                        run.total_cost,
+                        run.total_cost / opt_cost
+                    );
+                    return ExitCode::SUCCESS;
+                }
+                "native" => {
+                    let choice = rqp::core::NativeChoice::compute(&exp.surface, &opt);
+                    println!(
+                        "native: sub-optimality {:.2} at this qa (no guarantee)",
+                        choice.sub_optimality(&exp.surface, &opt, qa_idx)
+                    );
+                    return ExitCode::SUCCESS;
+                }
+                other => {
+                    eprintln!("unknown algorithm {other}");
+                    return usage();
+                }
+            };
+            for r in &report.records {
+                let mode = match r.mode {
+                    ExecMode::Spill { dim } => format!("spill(e{dim})"),
+                    ExecMode::Full => "full".into(),
+                };
+                let out = match r.outcome {
+                    Outcome::Completed { sel: Some(s) } => format!("learnt {s:.3e}"),
+                    Outcome::Completed { sel: None } => "query done".into(),
+                    Outcome::TimedOut { lower_bound } => format!("timeout, qa > {lower_bound:.2e}"),
+                };
+                println!(
+                    "IC{:<3} {:<10} budget {:>12.0}  {}",
+                    r.contour + 1,
+                    mode,
+                    r.budget,
+                    out
+                );
+            }
+            println!(
+                "total {:.0} vs optimal {:.0} → sub-optimality {:.2}",
+                report.total_cost,
+                opt_cost,
+                report.sub_optimality(opt_cost)
+            );
+            ExitCode::SUCCESS
+        }
+        Some("run-sql") => {
+            let Some(sql) = args.get(1) else { return usage() };
+            let catalog = tpcds::catalog_sf100();
+            let query = match rqp::optimizer::parse_sql(&catalog, "adhoc", sql) {
+                Ok(q) => q,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let d = query.ndims();
+            if d == 0 {
+                eprintln!("no predicates marked `-- epp`; nothing to discover");
+                return ExitCode::FAILURE;
+            }
+            println!("parsed {d}-epp query:\n{}\n", query.to_sql(&catalog));
+            let qa: Vec<f64> = if args.len() > 2 {
+                match args[2..].iter().map(|s| s.parse().ok()).collect::<Option<Vec<f64>>>() {
+                    Some(v) if v.len() == d && v.iter().all(|s| (0.0..=1.0).contains(s) && *s > 0.0) => v,
+                    _ => {
+                        eprintln!("expected {d} selectivities in (0,1]");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                vec![1e-3; d]
+            };
+            use rqp::common::MultiGrid;
+            use rqp::ess::EssSurface;
+            use rqp::optimizer::{CostParams, Optimizer};
+            let opt = Optimizer::new(
+                &catalog, &query, CostParams::default(), EnumerationMode::LeftDeep,
+            )
+            .expect("parsed query validated");
+            let points = rqp::workloads::suite::default_grid_points(d);
+            let surface = EssSurface::build(&opt, MultiGrid::uniform(d, 1e-7, points));
+            let grid = surface.grid();
+            let coords: Vec<usize> =
+                qa.iter().enumerate().map(|(j, &s)| grid.dim(j).nearest_idx(s)).collect();
+            let qa_idx = grid.flat(&coords);
+            let mut sb = SpillBound::new(&surface, &opt, 2.0);
+            let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
+            let report = sb.run(&mut o).expect("discovery completes");
+            println!(
+                "SpillBound: {} executions, sub-optimality {:.2} (guarantee {})",
+                report.executions(),
+                report.sub_optimality(surface.opt_cost(qa_idx)),
+                sb.mso_guarantee()
+            );
+            if let Some(art) = rqp::core::report::render_trace_2d(&report, grid) {
+                println!("\n{art}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("compare") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(bench) = find_query(name) else {
+                eprintln!("unknown query {name}; try `rqp list`");
+                return ExitCode::FAILURE;
+            };
+            let exp = Experiment::build(tpcds::catalog_sf100(), bench, EnumerationMode::LeftDeep);
+            let row = compare(&exp, 2.0, 0.2);
+            print_table(
+                &format!("{name}: comparison"),
+                &["strategy", "MSOg", "MSOe", "ASO"],
+                &[
+                    vec!["native".into(), "∞".into(), fmt(row.msoe_native, 1), "-".into()],
+                    vec![
+                        "PlanBouquet".into(),
+                        fmt(row.msog_pb, 1),
+                        fmt(row.msoe_pb, 1),
+                        fmt(row.aso_pb, 2),
+                    ],
+                    vec![
+                        "SpillBound".into(),
+                        fmt(row.msog_sb, 1),
+                        fmt(row.msoe_sb, 1),
+                        fmt(row.aso_sb, 2),
+                    ],
+                    vec![
+                        "AlignedBound".into(),
+                        fmt(row.msog_sb, 1),
+                        fmt(row.msoe_ab, 1),
+                        fmt(row.aso_ab, 2),
+                    ],
+                ],
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,332 @@
+//! Shared experiment harness for the benchmark binaries.
+//!
+//! Each `benches/` target regenerates one table or figure of the paper;
+//! they all share this plumbing: building the POSP surface for a workload
+//! query, computing guarantees and exhaustive empirical statistics for
+//! every algorithm, and persisting machine-readable results under
+//! `target/experiments/` (the source for `EXPERIMENTS.md`).
+
+use rqp_catalog::Catalog;
+use rqp_core::eval::{
+    evaluate_alignedbound, evaluate_native, evaluate_spillbound,
+};
+use rqp_core::PlanBouquet;
+use rqp_ess::EssSurface;
+use rqp_optimizer::{CostParams, EnumerationMode, Optimizer};
+use rqp_workloads::BenchQuery;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// A workload query compiled against its catalog, with the POSP surface
+/// built.
+pub struct Experiment {
+    /// The catalog the query runs over.
+    pub catalog: Box<Catalog>,
+    /// The benchmark configuration.
+    pub bench: BenchQuery,
+    /// The optimal cost surface over the configured grid.
+    pub surface: EssSurface,
+    /// Seconds spent building the surface (the paper's "preprocessing
+    /// overhead").
+    pub build_secs: f64,
+}
+
+impl Experiment {
+    /// Sweeps the optimizer over the query's grid and records the surface.
+    pub fn build(catalog: Catalog, bench: BenchQuery, mode: EnumerationMode) -> Self {
+        let catalog = Box::new(catalog);
+        let start = Instant::now();
+        let surface = {
+            let opt = Optimizer::new(&catalog, &bench.query, CostParams::default(), mode)
+                .unwrap_or_else(|e| panic!("{}: {e}", bench.query.name));
+            EssSurface::build(&opt, bench.grid())
+        };
+        let build_secs = start.elapsed().as_secs_f64();
+        Self {
+            catalog,
+            bench,
+            surface,
+            build_secs,
+        }
+    }
+
+    /// A fresh optimizer bound to this experiment's catalog and query.
+    pub fn optimizer(&self) -> Optimizer<'_> {
+        Optimizer::new(
+            &self.catalog,
+            &self.bench.query,
+            CostParams::default(),
+            EnumerationMode::LeftDeep,
+        )
+        .expect("validated at build")
+    }
+}
+
+/// Full comparison of one query across algorithms — the data behind
+/// Figs. 8, 10, 11, 13 and Table 4.
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct ComparisonRow {
+    /// Query name (`xD_Qz`).
+    pub name: String,
+    /// Number of epps `D`.
+    pub d: usize,
+    /// Post-anorexic-reduction maximum contour density.
+    pub rho_red: usize,
+    /// PlanBouquet guarantee `4(1+λ)ρ_red` (behavioral).
+    pub msog_pb: f64,
+    /// SpillBound guarantee `D²+3D` (structural).
+    pub msog_sb: f64,
+    /// AlignedBound guarantee lower end `2D+2`.
+    pub msog_ab_lower: f64,
+    /// Empirical MSO of PlanBouquet.
+    pub msoe_pb: f64,
+    /// Empirical MSO of SpillBound.
+    pub msoe_sb: f64,
+    /// Empirical MSO of AlignedBound.
+    pub msoe_ab: f64,
+    /// Average sub-optimality of PlanBouquet.
+    pub aso_pb: f64,
+    /// Average sub-optimality of SpillBound.
+    pub aso_sb: f64,
+    /// Average sub-optimality of AlignedBound.
+    pub aso_ab: f64,
+    /// Empirical MSO of the native optimizer (fixed estimate).
+    pub msoe_native: f64,
+    /// Maximum AlignedBound part penalty observed (Table 4).
+    pub ab_max_penalty: f64,
+    /// Surface preprocessing seconds.
+    pub build_secs: f64,
+}
+
+/// Runs the complete per-query comparison (all four algorithms,
+/// exhaustive over the grid).
+pub fn compare(exp: &Experiment, ratio: f64, lambda: f64) -> ComparisonRow {
+    let opt = exp.optimizer();
+    let d = exp.bench.query.ndims();
+    let pb = PlanBouquet::new(&exp.surface, &opt, ratio, lambda);
+    let rho_red = pb.rho_red();
+    let msog_pb = pb.mso_guarantee();
+    drop(pb);
+    let pb_stats = rqp_core::eval::evaluate_planbouquet_fast(&exp.surface, &opt, ratio, lambda)
+        .unwrap_or_else(|e| panic!("{}: PB evaluation: {e}", exp.bench.query.name));
+    let sb_stats = evaluate_spillbound(&exp.surface, &opt, ratio)
+        .unwrap_or_else(|e| panic!("{}: SB evaluation: {e}", exp.bench.query.name));
+    let (ab_stats, ab_max_penalty) = evaluate_alignedbound(&exp.surface, &opt, ratio)
+        .unwrap_or_else(|e| panic!("{}: AB evaluation: {e}", exp.bench.query.name));
+    let native = evaluate_native(&exp.surface, &opt)
+        .unwrap_or_else(|e| panic!("{}: native evaluation: {e}", exp.bench.query.name));
+    ComparisonRow {
+        name: exp.bench.query.name.clone(),
+        d,
+        rho_red,
+        msog_pb,
+        msog_sb: rqp_core::spillbound_guarantee(d),
+        msog_ab_lower: rqp_core::aligned_guarantee_lower(d),
+        msoe_pb: pb_stats.mso,
+        msoe_sb: sb_stats.mso,
+        msoe_ab: ab_stats.mso,
+        aso_pb: pb_stats.aso,
+        aso_sb: sb_stats.aso,
+        aso_ab: ab_stats.aso,
+        msoe_native: native.mso,
+        ab_max_penalty,
+        build_secs: exp.build_secs,
+    }
+}
+
+/// Directory where benchmark harnesses persist their results.
+pub fn output_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Persists a result as pretty JSON under `target/experiments/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = output_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize experiment");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("[saved {}]", path.display());
+}
+
+/// Prints an aligned plain-text table (benchmark harness output format).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Rounds to a fixed number of decimals for table display.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Re-export of [`rqp_core::spillbound_guarantee_ratio`] for the bench
+/// harnesses.
+pub use rqp_core::spillbound_guarantee_ratio;
+
+/// Computes (or loads from `target/experiments/suite_comparison.json`) the
+/// full-suite comparison. Several figure harnesses share this data; the
+/// first one to run pays the cost.
+pub fn suite_comparison_cached() -> Vec<ComparisonRow> {
+    let path = output_dir().join("suite_comparison.json");
+    // The cache is keyed by nothing but its presence: after changing any
+    // algorithm or workload, delete target/experiments/ or set
+    // RQP_FORCE_RECOMPUTE=1 to avoid silently reusing stale numbers.
+    let force = std::env::var_os("RQP_FORCE_RECOMPUTE").is_some();
+    if force {
+        let _ = std::fs::remove_file(&path);
+    }
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(rows) = serde_json::from_str::<Vec<ComparisonRow>>(&text) {
+            let expected = rqp_workloads::paper_suite(&rqp_catalog::tpcds::catalog_sf100()).len();
+            if rows.len() == expected {
+                println!("[reusing cached {}]", path.display());
+                return rows;
+            }
+        }
+    }
+    let catalog = rqp_catalog::tpcds::catalog_sf100();
+    let suite = rqp_workloads::paper_suite(&catalog);
+    let mut rows = Vec::with_capacity(suite.len());
+    for bench in suite {
+        let name = bench.query.name.clone();
+        eprintln!("[evaluating {name} ...]");
+        let exp = Experiment::build(
+            rqp_catalog::tpcds::catalog_sf100(),
+            bench,
+            EnumerationMode::LeftDeep,
+        );
+        rows.push(compare(&exp, 2.0, 0.2));
+    }
+    write_json("suite_comparison", &rows);
+    rows
+}
+
+/// Renders the suite comparison as a markdown report (the generated
+/// companion to `EXPERIMENTS.md`), written to
+/// `target/experiments/report.md` by [`write_report`].
+pub fn render_report(rows: &[ComparisonRow]) -> String {
+    use std::fmt::Write as _;
+    let mut md = String::from(
+        "# rqp experiment report\n\n\
+         Generated from the exhaustive suite comparison (MSO guarantees, \
+         empirical MSO/ASO, AlignedBound penalties).\n\n\
+         | query | D | ρ_red | PB MSOg | SB MSOg | PB MSOe | SB MSOe | AB MSOe | 2D+2 | PB ASO | SB ASO | AB ASO | AB max ε | native MSOe |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {:.1} | {:.0} | {:.1} | {:.1} | {:.1} | {:.0} | {:.2} | {:.2} | {:.2} | {:.2} | {:.3e} |",
+            r.name,
+            r.d,
+            r.rho_red,
+            r.msog_pb,
+            r.msog_sb,
+            r.msoe_pb,
+            r.msoe_sb,
+            r.msoe_ab,
+            r.msog_ab_lower,
+            r.aso_pb,
+            r.aso_sb,
+            r.aso_ab,
+            r.ab_max_penalty,
+            r.msoe_native,
+        );
+    }
+    let sb_wins = rows.iter().filter(|r| r.msoe_sb <= r.msoe_pb).count();
+    let ab_wins = rows.iter().filter(|r| r.msoe_ab <= r.msoe_sb).count();
+    let _ = write!(
+        md,
+        "\n- SpillBound ≤ PlanBouquet (MSOe): {sb_wins}/{} queries\n\
+         - AlignedBound ≤ SpillBound (MSOe): {ab_wins}/{} queries\n\
+         - every SB MSOe within its D²+3D guarantee: {}\n",
+        rows.len(),
+        rows.len(),
+        rows.iter().all(|r| r.msoe_sb <= r.msog_sb * (1.0 + 1e-9)),
+    );
+    md
+}
+
+/// Writes [`render_report`] output to `target/experiments/report.md`.
+pub fn write_report(rows: &[ComparisonRow]) {
+    let path = output_dir().join("report.md");
+    std::fs::write(&path, render_report(rows))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("[saved {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, msoe_sb: f64, msoe_pb: f64) -> ComparisonRow {
+        ComparisonRow {
+            name: name.into(),
+            d: 3,
+            rho_red: 5,
+            msog_pb: 24.0,
+            msog_sb: 18.0,
+            msog_ab_lower: 8.0,
+            msoe_pb,
+            msoe_sb,
+            msoe_ab: msoe_sb * 0.9,
+            aso_pb: 4.0,
+            aso_sb: 2.0,
+            aso_ab: 1.9,
+            msoe_native: 1e6,
+            ab_max_penalty: 2.5,
+            build_secs: 0.1,
+        }
+    }
+
+    #[test]
+    fn report_contains_rows_and_verdicts() {
+        let rows = vec![row("3D_QA", 10.0, 20.0), row("3D_QB", 12.0, 15.0)];
+        let md = render_report(&rows);
+        assert!(md.contains("| 3D_QA |"));
+        assert!(md.contains("| 3D_QB |"));
+        assert!(md.contains("SpillBound ≤ PlanBouquet (MSOe): 2/2"));
+        assert!(md.contains("within its D²+3D guarantee: true"));
+    }
+
+    #[test]
+    fn ratio_guarantee_reexport_consistent() {
+        assert_eq!(spillbound_guarantee_ratio(2, 2.0), 10.0);
+    }
+
+    #[test]
+    fn print_table_is_well_formed() {
+        // smoke: no panic on ragged-ish content, alignment computed
+        print_table(
+            "t",
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+    }
+}

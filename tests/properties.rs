@@ -1,0 +1,147 @@
+//! Property-based tests over the core invariants (proptest).
+//!
+//! * PCM: plan cost strictly non-decreasing along dominance chains, for
+//!   arbitrary plans produced by the optimizer anywhere in the ESS;
+//! * DP optimality: no sampled plan beats the DP at its own location;
+//! * grid arithmetic round-trips;
+//! * discovery soundness: SpillBound never overshoots the truth and
+//!   always lands within its bound, for random `qa` and random grids.
+
+use proptest::prelude::*;
+use rqp::catalog::{tpcds, Catalog};
+use rqp::core::{spillbound_guarantee, CostOracle, SpillBound};
+use rqp::ess::EssSurface;
+use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
+use rqp::workloads::tpcds_queries as q;
+use rqp_common::{MultiGrid, SelGrid};
+use std::sync::OnceLock;
+
+struct Fx {
+    catalog: Catalog,
+    query: rqp::optimizer::QuerySpec,
+}
+
+// Reuse one catalog/query across proptest cases (construction dominates).
+fn fx() -> &'static Fx {
+    static FX: OnceLock<Fx> = OnceLock::new();
+    FX.get_or_init(|| {
+        let catalog = tpcds::catalog_sf100();
+        let query = q::q91(&catalog, 2);
+        Fx { catalog, query }
+    })
+}
+
+fn sel_strategy() -> impl Strategy<Value = f64> {
+    // log-uniform over [1e-7, 1]
+    (-7.0f64..=0.0).prop_map(|e| 10f64.powf(e))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pcm_plan_costs_monotone_under_dominance(
+        s0 in sel_strategy(),
+        s1 in sel_strategy(),
+        plan_at0 in sel_strategy(),
+        plan_at1 in sel_strategy(),
+        bump0 in 1.0f64..100.0,
+        bump1 in 1.0f64..100.0,
+    ) {
+        let f = fx();
+        let opt = Optimizer::new(&f.catalog, &f.query, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        // an arbitrary plan from somewhere in the space...
+        let (plan, _) = opt.optimize_at(&[plan_at0, plan_at1]);
+        // ...costed at q and at a dominating q'
+        let q = [s0, s1];
+        let qd = [(s0 * bump0).min(1.0), (s1 * bump1).min(1.0)];
+        let c = opt.cost_plan(&plan, &opt.sels_at(&q));
+        let cd = opt.cost_plan(&plan, &opt.sels_at(&qd));
+        prop_assert!(cd >= c * (1.0 - 1e-12), "PCM violated: {c} -> {cd}");
+    }
+
+    #[test]
+    fn dp_is_optimal_against_sampled_plans(
+        here0 in sel_strategy(),
+        here1 in sel_strategy(),
+        other0 in sel_strategy(),
+        other1 in sel_strategy(),
+    ) {
+        let f = fx();
+        let opt = Optimizer::new(&f.catalog, &f.query, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let sels = opt.sels_at(&[here0, here1]);
+        let (_, best) = opt.optimize_with(&sels);
+        // a plan optimal elsewhere can never beat the DP here
+        let (other_plan, _) = opt.optimize_at(&[other0, other1]);
+        let c = opt.cost_plan(&other_plan, &sels);
+        prop_assert!(c >= best * (1.0 - 1e-9), "foreign plan {c} beats DP {best}");
+    }
+
+    #[test]
+    fn grid_roundtrip(
+        n0 in 2usize..20,
+        n1 in 2usize..20,
+        n2 in 2usize..8,
+        pick in 0usize..10_000,
+    ) {
+        let grid = MultiGrid::new(vec![
+            SelGrid::log_scale(1e-6, n0),
+            SelGrid::log_scale(1e-5, n1),
+            SelGrid::log_scale(1e-4, n2),
+        ]);
+        let idx = pick % grid.len();
+        let coords = grid.coords(idx);
+        prop_assert_eq!(grid.flat(&coords), idx);
+        for (j, &c) in coords.iter().enumerate() {
+            prop_assert_eq!(grid.coord(idx, j), c);
+            let s = grid.sel_at(idx, j);
+            prop_assert_eq!(grid.dim(j).nearest_idx(s), c);
+        }
+    }
+
+    #[test]
+    fn selgrid_floor_ceil_consistent(
+        n in 2usize..32,
+        s in sel_strategy(),
+    ) {
+        let g = SelGrid::log_scale(1e-7, n);
+        let ceil = g.ceil_idx(s);
+        if let Some(floor) = g.floor_idx(s) {
+            prop_assert!(g.sel(floor) <= s * (1.0 + 1e-12));
+            prop_assert!(floor <= ceil);
+            prop_assert!(ceil - floor <= 1 || ceil == n - 1);
+        } else {
+            prop_assert_eq!(ceil, 0);
+        }
+    }
+}
+
+proptest! {
+    // Discovery runs are heavier; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn spillbound_sound_at_random_locations(
+        c0 in 0usize..10,
+        c1 in 0usize..10,
+        n in 6usize..11,
+    ) {
+        let f = fx();
+        let opt = Optimizer::new(&f.catalog, &f.query, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-7, n));
+        let mut sb = SpillBound::new(&surface, &opt, 2.0);
+        let qa = surface.grid().flat(&[c0 % n, c1 % n]);
+        let mut oracle = CostOracle::at_grid(&opt, surface.grid(), qa);
+        let report = sb.run(&mut oracle).unwrap();
+        prop_assert!(report.completed);
+        let sub = report.sub_optimality(surface.opt_cost(qa));
+        prop_assert!(sub <= spillbound_guarantee(2) * (1.0 + 1e-6), "subopt {sub}");
+        // learnt values never overshoot
+        for (j, learnt) in report.learnt.iter().enumerate() {
+            if let Some(s) = learnt {
+                let truth = surface.grid().sel_at(qa, j);
+                prop_assert!((s - truth).abs() <= 1e-12);
+            }
+        }
+    }
+}
