@@ -7,9 +7,7 @@
 
 use rqp::catalog::tpcds;
 use rqp::core::eval::evaluate_spillbound;
-use rqp::experiments::{
-    fmt, print_table, spillbound_guarantee_ratio, write_json, Experiment,
-};
+use rqp::experiments::{fmt, print_table, spillbound_guarantee_ratio, write_json, Experiment};
 use rqp::optimizer::EnumerationMode;
 use rqp::workloads::{paper_suite, q91_with_dims};
 use serde::Serialize;

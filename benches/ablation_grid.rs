@@ -37,8 +37,13 @@ fn main() {
         .find(|b| b.name() == "3D_Q96")
         .expect("suite");
     let query = bench.query;
-    let opt = Optimizer::new(&catalog, &query, CostParams::default(), EnumerationMode::LeftDeep)
-        .expect("valid");
+    let opt = Optimizer::new(
+        &catalog,
+        &query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("valid");
     let mut rows = Vec::new();
     for n in [6usize, 8, 10, 12, 16] {
         let t = Instant::now();
@@ -74,13 +79,25 @@ fn main() {
         .collect();
     print_table(
         "Ablation: ESS grid resolution (3D_Q96)",
-        &["pts/dim", "locations", "POSP", "ρ_red", "SB MSOe", "PB MSOe", "build s"],
+        &[
+            "pts/dim",
+            "locations",
+            "POSP",
+            "ρ_red",
+            "SB MSOe",
+            "PB MSOe",
+            "build s",
+        ],
         &table,
     );
     // SB's measured MSO must stay within the structural guarantee at every
     // resolution — the guarantee is grid-independent.
     for r in &rows {
-        assert!(r.sb_msoe <= 18.0 * (1.0 + 1e-6), "SB exceeds D²+3D at n={}", r.points_per_dim);
+        assert!(
+            r.sb_msoe <= 18.0 * (1.0 + 1e-6),
+            "SB exceeds D²+3D at n={}",
+            r.points_per_dim
+        );
     }
     println!("\nSB stays within D²+3D = 18 at every resolution (structural bound).");
     write_json("ablation_grid", &rows);

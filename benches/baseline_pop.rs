@@ -76,7 +76,9 @@ fn main() {
         .collect();
     print_table(
         "Baseline: POP-style re-optimization vs SpillBound",
-        &["query", "α", "POP MSOe", "POP ASO", "SB MSOe", "SB ASO", "SB bound"],
+        &[
+            "query", "α", "POP MSOe", "POP ASO", "SB MSOe", "SB ASO", "SB bound",
+        ],
         &table,
     );
     println!(

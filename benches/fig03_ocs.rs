@@ -44,9 +44,9 @@ fn main() {
     let mut plan_grid = vec![vec![0usize; nx]; ny];
     for y in (0..ny).rev() {
         let mut line = String::new();
-        for x in 0..nx {
+        for (x, cell) in plan_grid[y].iter_mut().enumerate().take(nx) {
             let pid = s.plan_id(grid.flat(&[x, y]));
-            plan_grid[y][x] = pid;
+            *cell = pid;
             line.push(glyph(pid));
         }
         println!("  {line}");

@@ -51,7 +51,10 @@ fn main() {
         let (dim, desc) = match (r.mode, r.outcome) {
             (ExecMode::Spill { dim }, Outcome::TimedOut { lower_bound }) => {
                 qrun[dim] = qrun[dim].max(lower_bound);
-                (Some(dim), format!("spill e{dim}: q_run.{dim} → {lower_bound:.2e}"))
+                (
+                    Some(dim),
+                    format!("spill e{dim}: q_run.{dim} → {lower_bound:.2e}"),
+                )
             }
             (ExecMode::Spill { dim }, Outcome::Completed { sel: Some(s) }) => {
                 qrun[dim] = s;

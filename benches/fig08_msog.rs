@@ -32,7 +32,10 @@ fn main() {
         .filter(|r| r.msog_sb < r.msog_pb)
         .map(|r| r.name.as_str())
         .collect();
-    println!("\nqueries where SB's guarantee is tighter: {}", tighter.join(", "));
+    println!(
+        "\nqueries where SB's guarantee is tighter: {}",
+        tighter.join(", ")
+    );
     write_json("fig08_msog", &rows);
     rqp::experiments::write_report(&rows);
 }

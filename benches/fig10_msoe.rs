@@ -5,7 +5,7 @@
 //! below its own guarantee (e.g. 6D_Q18: PB 57.6→35.2, SB 54→16 in the
 //! paper).
 
-use rqp::experiments::{fmt, print_table, suite_comparison_cached, write_json};
+use rqp::experiments::{fmt, print_table, speedup_section, suite_comparison_cached, write_json};
 
 fn main() {
     let rows = suite_comparison_cached();
@@ -32,4 +32,8 @@ fn main() {
         rows.len()
     );
     write_json("fig10_msoe", &rows);
+
+    // Parallel-evaluation section: the full MSOe sweep on a 3D query,
+    // sequential vs RQP_THREADS workers (default 4), bit-equal results.
+    speedup_section(3, "fig10_speedup");
 }

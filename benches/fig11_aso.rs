@@ -4,7 +4,7 @@
 //! SB's average case is better than PB's, especially at higher
 //! dimensionality (5D_Q19 in the paper: 17 → 8.6).
 
-use rqp::experiments::{fmt, print_table, suite_comparison_cached, write_json};
+use rqp::experiments::{fmt, print_table, speedup_section, suite_comparison_cached, write_json};
 
 fn main() {
     let rows = suite_comparison_cached();
@@ -31,4 +31,5 @@ fn main() {
         .all(|r| r.aso_sb <= r.aso_pb);
     println!("\nSB's ASO at least as good on every 5D/6D query: {high_d_better}");
     write_json("fig11_aso", &rows);
+    speedup_section(2, "fig11_speedup");
 }

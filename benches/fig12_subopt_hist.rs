@@ -6,8 +6,9 @@
 //! PB).
 
 use rqp::catalog::tpcds;
-use rqp::core::eval::{evaluate_planbouquet_fast, evaluate_spillbound};
-use rqp::experiments::{fmt, print_table, write_json, Experiment};
+use rqp::core::eval::{evaluate_planbouquet_parallel, evaluate_spillbound_parallel};
+use rqp::core::EvalContext;
+use rqp::experiments::{env_threads, fmt, print_table, write_json, Experiment};
 use rqp::optimizer::EnumerationMode;
 use rqp::workloads::q91_with_dims;
 use serde::Serialize;
@@ -24,8 +25,29 @@ fn main() {
     let bench = q91_with_dims(&catalog, 4);
     let exp = Experiment::build(catalog, bench, EnumerationMode::LeftDeep);
     let opt = exp.optimizer();
-    let pb = evaluate_planbouquet_fast(&exp.surface, &opt, 2.0, 0.2).expect("PB eval");
-    let sb = evaluate_spillbound(&exp.surface, &opt, 2.0).expect("SB eval");
+    let threads = if std::env::var_os("RQP_THREADS").is_some() {
+        env_threads()
+    } else {
+        4
+    };
+    println!("[evaluating 4D_Q91 with {threads} thread(s); set RQP_THREADS to change]");
+    let ctx = EvalContext::with_threads(&exp.surface, &opt, threads);
+    let t_par = std::time::Instant::now();
+    let pb = evaluate_planbouquet_parallel(&ctx, 2.0, 0.2, threads).expect("PB eval");
+    let sb = evaluate_spillbound_parallel(&ctx, 2.0, threads).expect("SB eval");
+    let par_secs = t_par.elapsed().as_secs_f64();
+    // Sequential reference over the same context: bit-equal, just slower.
+    let t_seq = std::time::Instant::now();
+    let pb_seq = evaluate_planbouquet_parallel(&ctx, 2.0, 0.2, 1).expect("PB eval (seq)");
+    let sb_seq = evaluate_spillbound_parallel(&ctx, 2.0, 1).expect("SB eval (seq)");
+    let seq_secs = t_seq.elapsed().as_secs_f64();
+    assert_eq!(pb.mso.to_bits(), pb_seq.mso.to_bits());
+    assert_eq!(sb.mso.to_bits(), sb_seq.mso.to_bits());
+    println!(
+        "[parallel evaluation] 4D_Q91 PB+SB sweep: sequential {seq_secs:.3}s, \
+         {threads} threads {par_secs:.3}s -> {:.2}x speedup (bit-equal results)",
+        seq_secs / par_secs
+    );
 
     const WIDTH: f64 = 5.0;
     let pb_h = pb.histogram(WIDTH);

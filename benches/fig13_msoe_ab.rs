@@ -5,7 +5,7 @@
 //! the paper's figure), and AB helps most on queries that are hard for SB
 //! (6D_Q91 in the paper: 19 → 10.4).
 
-use rqp::experiments::{fmt, print_table, suite_comparison_cached, write_json};
+use rqp::experiments::{fmt, print_table, speedup_section, suite_comparison_cached, write_json};
 
 fn main() {
     let rows = suite_comparison_cached();
@@ -35,4 +35,5 @@ fn main() {
         rows.len()
     );
     write_json("fig13_msoe_ab", &rows);
+    speedup_section(2, "fig13_speedup");
 }

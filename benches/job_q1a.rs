@@ -30,8 +30,13 @@ fn main() {
     let d = query.ndims();
     println!("JOB Q1a over the mini-IMDB catalog ({d} epps)");
 
-    let opt = Optimizer::new(&catalog, &query, CostParams::default(), EnumerationMode::LeftDeep)
-        .expect("valid");
+    let opt = Optimizer::new(
+        &catalog,
+        &query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("valid");
     let grid = MultiGrid::uniform(d, 1e-7, 24);
     let surface = EssSurface::build(&opt, grid);
     println!(

@@ -16,10 +16,20 @@ use std::hint::black_box;
 fn bench_optimizer(c: &mut Criterion) {
     let catalog = tpcds::catalog_sf100();
     let bench = q91_with_dims(&catalog, 4);
-    let ld = Optimizer::new(&catalog, &bench.query, CostParams::default(), EnumerationMode::LeftDeep)
-        .unwrap();
-    let bushy = Optimizer::new(&catalog, &bench.query, CostParams::default(), EnumerationMode::Bushy)
-        .unwrap();
+    let ld = Optimizer::new(
+        &catalog,
+        &bench.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .unwrap();
+    let bushy = Optimizer::new(
+        &catalog,
+        &bench.query,
+        CostParams::default(),
+        EnumerationMode::Bushy,
+    )
+    .unwrap();
     let sels = [1e-4, 1e-3, 1e-5, 1e-2];
     c.bench_function("optimize_q91_left_deep", |b| {
         b.iter(|| black_box(ld.optimize_at(black_box(&sels))))
@@ -56,8 +66,13 @@ fn bench_optimizer(c: &mut Criterion) {
 fn bench_ess(c: &mut Criterion) {
     let catalog = tpcds::catalog_sf100();
     let bench = q91_with_dims(&catalog, 2);
-    let opt = Optimizer::new(&catalog, &bench.query, CostParams::default(), EnumerationMode::LeftDeep)
-        .unwrap();
+    let opt = Optimizer::new(
+        &catalog,
+        &bench.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .unwrap();
     c.bench_function("surface_build_2d_16x16", |b| {
         b.iter_batched(
             || MultiGrid::uniform(2, 1e-7, 16),
@@ -77,6 +92,44 @@ fn bench_ess(c: &mut Criterion) {
     });
 }
 
+fn bench_parallel_eval(c: &mut Criterion) {
+    use rqp::core::eval::evaluate_spillbound_parallel;
+    use rqp::core::EvalContext;
+    use rqp::optimizer::CostMatrix;
+
+    let catalog = tpcds::catalog_sf100();
+    let bench = q91_with_dims(&catalog, 2);
+    let opt = Optimizer::new(
+        &catalog,
+        &bench.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .unwrap();
+    let surface = EssSurface::build(&opt, bench.grid());
+    let threads = rqp::experiments::env_threads().max(2);
+    c.bench_function("cost_matrix_build_2d_seq", |b| {
+        b.iter(|| black_box(CostMatrix::build(&opt, surface.pool(), surface.grid())))
+    });
+    c.bench_function(&format!("cost_matrix_build_2d_{threads}_threads"), |b| {
+        b.iter(|| {
+            black_box(CostMatrix::build_parallel(
+                &opt,
+                surface.pool(),
+                surface.grid(),
+                threads,
+            ))
+        })
+    });
+    let ctx = EvalContext::with_threads(&surface, &opt, threads);
+    c.bench_function("evaluate_sb_2d_seq", |b| {
+        b.iter(|| black_box(evaluate_spillbound_parallel(&ctx, 2.0, 1).unwrap()))
+    });
+    c.bench_function(&format!("evaluate_sb_2d_{threads}_threads"), |b| {
+        b.iter(|| black_box(evaluate_spillbound_parallel(&ctx, 2.0, threads).unwrap()))
+    });
+}
+
 fn bench_executor(c: &mut Criterion) {
     let catalog = tpcds::catalog(0.05);
     let bench = q91_with_dims(&catalog, 2);
@@ -84,8 +137,13 @@ fn bench_executor(c: &mut Criterion) {
     let spec = executable_genspec(&catalog, &query, 9);
     let data = DataSet::generate(&catalog, &spec).unwrap();
     let store = DataStore::new(&catalog, data);
-    let opt = Optimizer::new(&catalog, &query, CostParams::default(), EnumerationMode::LeftDeep)
-        .unwrap();
+    let opt = Optimizer::new(
+        &catalog,
+        &query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .unwrap();
     let (plan, _) = opt.optimize_at(&[1e-5, 1e-5]);
     let exec = Executor::new(&catalog, &query, &store, CostParams::default());
     c.bench_function("execute_q91_small_scale", |b| {
@@ -103,7 +161,9 @@ fn bench_executor(c: &mut Criterion) {
                     method: ScanMethod::SeqScan,
                     filters: filters.clone(),
                 },
-                PlanNode::Join { left, right, preds, .. } => PlanNode::Join {
+                PlanNode::Join {
+                    left, right, preds, ..
+                } => PlanNode::Join {
                     method: JoinMethod::HashJoin,
                     left: Box::new(force(left)),
                     right: Box::new(force(right)),
@@ -117,7 +177,13 @@ fn bench_executor(c: &mut Criterion) {
         b.iter(|| black_box(exec.run_full(black_box(&hash_plan), f64::INFINITY).unwrap()))
     });
     c.bench_function("execute_hash_plan_vectorized", |b| {
-        b.iter(|| black_box(vec_exec.run_full(black_box(&hash_plan), f64::INFINITY).unwrap()))
+        b.iter(|| {
+            black_box(
+                vec_exec
+                    .run_full(black_box(&hash_plan), f64::INFINITY)
+                    .unwrap(),
+            )
+        })
     });
     c.bench_function("spill_execute_q91_small_scale", |b| {
         b.iter(|| {
@@ -139,6 +205,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_optimizer, bench_ess, bench_executor
+    targets = bench_optimizer, bench_ess, bench_parallel_eval, bench_executor
 }
 criterion_main!(benches);

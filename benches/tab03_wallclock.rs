@@ -73,7 +73,11 @@ fn print_drill(name: &str, rows: &[DrillRow]) {
             "  IC{:<5} | {} | {:<11} | {:>8.3}s",
             r.contour,
             cells.join("  "),
-            format!("{} P{}", r.mode, r.plan.map_or("new".into(), |p| p.to_string())),
+            format!(
+                "{} P{}",
+                r.mode,
+                r.plan.map_or("new".into(), |p| p.to_string())
+            ),
             r.cum_secs
         );
     }
@@ -89,14 +93,21 @@ fn main() {
     let store = DataStore::new(&catalog, data);
     let qa = measure_qa(&store, query);
 
-    let opt = Optimizer::new(&catalog, query, CostParams::default(), EnumerationMode::LeftDeep)
-        .expect("valid");
+    let opt = Optimizer::new(
+        &catalog,
+        query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("valid");
     let surface = EssSurface::build(&opt, bench.grid());
     let exec = || Executor::new(&catalog, query, &store, CostParams::default());
 
     let (opt_plan, _) = opt.optimize_at(&qa);
     let t = Instant::now();
-    let opt_out = exec().run_full(&opt_plan, f64::INFINITY).expect("optimal runs");
+    let opt_out = exec()
+        .run_full(&opt_plan, f64::INFINITY)
+        .expect("optimal runs");
     let t_opt = t.elapsed().as_secs_f64();
     let opt_out_spent = opt_out.spent;
 
@@ -128,7 +139,11 @@ fn main() {
     println!("true selectivities qa = ({})", qa_fmt.join(", "));
     print_drill("SpillBound drill-down", &sb_rows);
     print_drill("AlignedBound drill-down", &ab_rows);
-    let native_note = if native_completed { "" } else { " (ABORTED at 200× optimal cost)" };
+    let native_note = if native_completed {
+        ""
+    } else {
+        " (ABORTED at 200× optimal cost)"
+    };
     println!(
         "\nwall-clock: optimal {t_opt:.3}s | native {t_native:.3}s{native_note} | SB {t_sb:.3}s | AB {t_ab:.3}s"
     );

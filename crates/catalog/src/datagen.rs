@@ -170,7 +170,8 @@ impl DataSet {
 
 fn derive_seed(master: u64, a: u64, b: u64) -> u64 {
     // SplitMix64-style mixing; cheap, deterministic, well-distributed.
-    let mut z = master ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut z =
+        master ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -295,7 +296,14 @@ mod tests {
 
     #[test]
     fn zipf_skews_low_values() {
-        let col = generate_column(&ColumnGen::Zipf { domain: 100, s: 1.0 }, 10_000, 7);
+        let col = generate_column(
+            &ColumnGen::Zipf {
+                domain: 100,
+                s: 1.0,
+            },
+            10_000,
+            7,
+        );
         let zero_frac = col.iter().filter(|&&v| v == 0).count() as f64 / 1e4;
         let uniform_frac = 0.01;
         assert!(

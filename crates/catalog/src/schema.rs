@@ -214,7 +214,11 @@ mod tests {
     #[test]
     fn add_and_lookup() {
         let mut cat = Catalog::new();
-        let t = Table::new("part", 1000, vec![col("p_partkey", 1000), col("p_size", 50)]);
+        let t = Table::new(
+            "part",
+            1000,
+            vec![col("p_partkey", 1000), col("p_size", 50)],
+        );
         let id = cat.add_table(t).unwrap();
         assert_eq!(cat.table_id("part").unwrap(), id);
         assert_eq!(cat.table(id).rows, 1000);

@@ -197,10 +197,7 @@ pub fn catalog(sf: f64) -> Catalog {
     cat.add_table(Table::new(
         "warehouse",
         warehouse_rows,
-        vec![
-            key("w_warehouse_sk", warehouse_rows),
-            int("w_state", 51),
-        ],
+        vec![key("w_warehouse_sk", warehouse_rows), int("w_state", 51)],
     ))
     .unwrap();
 
@@ -214,7 +211,10 @@ pub fn catalog(sf: f64) -> Catalog {
     cat.add_table(Table::new(
         "reason",
         reason_rows,
-        vec![key("r_reason_sk", reason_rows), int("r_reason_desc", reason_rows)],
+        vec![
+            key("r_reason_sk", reason_rows),
+            int("r_reason_desc", reason_rows),
+        ],
     ))
     .unwrap();
 

@@ -1,0 +1,89 @@
+//! Deterministic work partitioning for scoped-thread fan-out.
+//!
+//! Every parallel sweep in the workspace (POSP surface construction, the
+//! plan×location cost matrix, grid evaluation) splits a flat index range
+//! `0..len` into at most `workers` contiguous chunks and writes results
+//! back by index, so outputs are bit-equal to the sequential sweep
+//! regardless of thread count. This module is the single source of truth
+//! for that split.
+
+/// Splits `0..len` into at most `workers` contiguous, non-empty
+/// half-open ranges covering the whole span in order.
+///
+/// Chunk sizes are `len.div_ceil(workers)` except possibly the last, so
+/// concatenating the ranges reproduces `0..len` exactly. With `len == 0`
+/// the result is empty; `workers` is clamped to at least 1.
+///
+/// ```
+/// use rqp_common::chunk_bounds;
+/// assert_eq!(chunk_bounds(10, 3), vec![(0, 4), (4, 8), (8, 10)]);
+/// assert_eq!(chunk_bounds(2, 8), vec![(0, 1), (1, 2)]);
+/// assert_eq!(chunk_bounds(0, 4), vec![]);
+/// ```
+pub fn chunk_bounds(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let workers = workers.max(1);
+    let chunk = len.div_ceil(workers).max(1);
+    (0..workers)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(len)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// The worker-thread count requested via the `RQP_THREADS` environment
+/// variable, falling back to the machine's available parallelism.
+///
+/// `RQP_THREADS=1` forces sequential execution; unset or unparsable
+/// values use [`std::thread::available_parallelism`] (1 if unknown).
+pub fn env_threads() -> usize {
+    match std::env::var("RQP_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_range_in_order() {
+        for len in [0usize, 1, 2, 7, 10, 100, 101] {
+            for workers in [1usize, 2, 3, 7, 16, 200] {
+                let bounds = chunk_bounds(len, workers);
+                assert!(bounds.len() <= workers.max(1));
+                let mut cursor = 0;
+                for (lo, hi) in &bounds {
+                    assert_eq!(*lo, cursor, "len={len} workers={workers}");
+                    assert!(lo < hi);
+                    cursor = *hi;
+                }
+                assert_eq!(cursor, len, "len={len} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_is_whole_range() {
+        assert_eq!(chunk_bounds(42, 1), vec![(0, 42)]);
+    }
+
+    #[test]
+    fn matches_div_ceil_chunking() {
+        // Identical to the historical inline chunking in
+        // EssSurface::build_parallel.
+        let (len, threads) = (29usize, 4usize);
+        let chunk = len.div_ceil(threads);
+        let expect: Vec<(usize, usize)> = (0..threads)
+            .map(|t| (t * chunk, ((t + 1) * chunk).min(len)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        assert_eq!(chunk_bounds(len, threads), expect);
+    }
+}

@@ -205,9 +205,9 @@ impl MultiGrid {
         debug_assert!(idx < self.total);
         debug_assert_eq!(out.len(), self.dims.len());
         let mut rem = idx;
-        for j in 0..self.dims.len() {
-            out[j] = rem % self.dims[j].len();
-            rem /= self.dims[j].len();
+        for (slot, dim) in out.iter_mut().zip(&self.dims) {
+            *slot = rem % dim.len();
+            rem /= dim.len();
         }
     }
 
@@ -323,8 +323,8 @@ mod tests {
         for idx in mg.iter() {
             let c = mg.coords(idx);
             assert_eq!(mg.flat(&c), idx);
-            for j in 0..3 {
-                assert_eq!(mg.coord(idx, j), c[j]);
+            for (j, &cj) in c.iter().enumerate() {
+                assert_eq!(mg.coord(idx, j), cj);
             }
         }
     }

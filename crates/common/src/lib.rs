@@ -18,10 +18,12 @@
 //! assert!(grid.dominates_eq(grid.terminus(), idx));
 //! ```
 
+pub mod chunk;
 pub mod error;
 pub mod grid;
 pub mod sel;
 
+pub use chunk::{chunk_bounds, env_threads};
 pub use error::{Result, RqpError};
 pub use grid::{GridIdx, MultiGrid, SelGrid};
 pub use sel::{Selectivity, EPS};

@@ -110,8 +110,8 @@ pub fn verify_spillbound_run(report: &RunReport, d: usize) -> Result<()> {
     // the last record is the completing full execution
     match report.records.last() {
         Some(last)
-            if last.mode == ExecMode::Full
-                && matches!(last.outcome, Outcome::Completed { .. }) => {}
+            if last.mode == ExecMode::Full && matches!(last.outcome, Outcome::Completed { .. }) => {
+        }
         _ => {
             return Err(RqpError::Discovery(
                 "run must end with a completed full execution".into(),
@@ -146,9 +146,8 @@ mod tests {
         for qa in fx.surface.grid().iter() {
             let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), qa);
             let report = sb.run(&mut oracle).unwrap();
-            verify_spillbound_run(&report, 2).unwrap_or_else(|e| {
-                panic!("qa {:?}: {e}", fx.surface.grid().coords(qa))
-            });
+            verify_spillbound_run(&report, 2)
+                .unwrap_or_else(|e| panic!("qa {:?}: {e}", fx.surface.grid().coords(qa)));
         }
     }
 
@@ -181,7 +180,12 @@ mod tests {
         };
         let bad = RunReport {
             records: vec![
-                rec(0, 10.0, ExecMode::Spill { dim: 0 }, Outcome::TimedOut { lower_bound: 0.0 }),
+                rec(
+                    0,
+                    10.0,
+                    ExecMode::Spill { dim: 0 },
+                    Outcome::TimedOut { lower_bound: 0.0 },
+                ),
                 rec(1, 5.0, ExecMode::Full, Outcome::Completed { sel: None }),
             ],
             total_cost: 15.0,

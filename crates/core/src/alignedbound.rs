@@ -179,9 +179,7 @@ impl<'a> AlignedBound<'a> {
         let sample: Vec<GridIdx> = if s_locs.len() <= 8 {
             s_locs.clone()
         } else {
-            (0..8)
-                .map(|k| s_locs[k * (s_locs.len() - 1) / 7])
-                .collect()
+            (0..8).map(|k| s_locs[k * (s_locs.len() - 1) / 7]).collect()
         };
         for &q in &sample {
             let sels = opt.sels_at(&grid.sels(q));
@@ -195,8 +193,7 @@ impl<'a> AlignedBound<'a> {
         if best.as_ref().is_none_or(|b| b.penalty > 1.25) {
             for &q in sample.iter().take(3) {
                 let sels = opt.sels_at(&grid.sels(q));
-                if let Some((plan, c)) =
-                    constrained::best_plan_spilling_on(opt, &sels, j, unlearnt)
+                if let Some((plan, c)) = constrained::best_plan_spilling_on(opt, &sels, j, unlearnt)
                 {
                     consider(ExecPlan::Custom(Box::new(plan)), c, q, &mut best);
                 }
@@ -288,8 +285,7 @@ impl<'a> AlignedBound<'a> {
             };
             if better {
                 parts.sort_by_key(|p| p.leader);
-                let max_part_penalty =
-                    parts.iter().map(|p| p.penalty).fold(1.0, f64::max);
+                let max_part_penalty = parts.iter().map(|p| p.penalty).fold(1.0, f64::max);
                 best = Some((
                     total,
                     ContourDecision {
@@ -315,7 +311,8 @@ impl<'a> AlignedBound<'a> {
             ..RunReport::default()
         };
         if d <= 1 {
-            self.shared.run_terminal_phase(&pins, 0, oracle, &mut report)?;
+            self.shared
+                .run_terminal_phase(&pins, 0, oracle, &mut report)?;
             return Ok(report);
         }
         let mut i = 0usize;
@@ -323,7 +320,8 @@ impl<'a> AlignedBound<'a> {
         loop {
             let free: Vec<usize> = (0..d).filter(|&j| pins[j].is_none()).collect();
             if free.len() == 1 {
-                self.shared.run_terminal_phase(&pins, i, oracle, &mut report)?;
+                self.shared
+                    .run_terminal_phase(&pins, i, oracle, &mut report)?;
                 return Ok(report);
             }
             if i >= m {
@@ -353,7 +351,7 @@ impl<'a> AlignedBound<'a> {
                 if !executed.insert((plan.fingerprint(), j)) {
                     continue; // identical repeat: outcome already settled
                 }
-                match oracle.spill_execute(plan, j, part.budget) {
+                match oracle.spill_execute_id(plan_id, plan, j, part.budget) {
                     SpillOutcome::Completed { sel, spent } => {
                         report.total_cost += spent;
                         report.records.push(ExecutionRecord {

@@ -6,10 +6,11 @@
 //! provides that harness plus the sub-optimality histogram of Fig. 12.
 
 use crate::alignedbound::AlignedBound;
+use crate::cached::{CachedOracle, EvalContext, SpillMemo};
 use crate::oracle::CostOracle;
 use crate::planbouquet::PlanBouquet;
 use crate::spillbound::SpillBound;
-use rqp_common::{GridIdx, Result};
+use rqp_common::{chunk_bounds, GridIdx, Result};
 use rqp_ess::EssSurface;
 use rqp_optimizer::Optimizer;
 use serde::{Deserialize, Serialize};
@@ -99,6 +100,47 @@ where
     Ok(SubOptStats::from_subopts(subopts))
 }
 
+/// Parallel exhaustive sweep: partitions the grid across `threads`
+/// scoped worker threads with [`chunk_bounds`], each running its own
+/// evaluation closure built by `make`.
+///
+/// Per-location sub-optimalities are pure functions of the location, so
+/// the concatenated chunk results are **bit-equal** to the sequential
+/// [`evaluate`] regardless of thread count (asserted by tests and the
+/// workspace property suite). Errors are reported from the lowest grid
+/// index that failed, matching sequential behavior.
+pub fn evaluate_parallel<G, F>(surface: &EssSurface, threads: usize, make: G) -> Result<SubOptStats>
+where
+    G: Fn() -> F + Sync,
+    F: FnMut(GridIdx) -> Result<f64>,
+{
+    let bounds = chunk_bounds(surface.len(), threads);
+    if bounds.len() <= 1 {
+        return evaluate(surface, make());
+    }
+    let chunks = std::thread::scope(|s| {
+        let make = &make;
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                s.spawn(move || -> Result<Vec<f64>> {
+                    let mut subopt_of = make();
+                    (lo..hi).map(&mut subopt_of).collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut subopts = Vec::with_capacity(surface.len());
+    for chunk in chunks {
+        subopts.extend(chunk?);
+    }
+    Ok(SubOptStats::from_subopts(subopts))
+}
+
 /// Exhaustive MSOe/ASO evaluation of SpillBound.
 pub fn evaluate_spillbound(
     surface: &EssSurface,
@@ -110,6 +152,36 @@ pub fn evaluate_spillbound(
         let mut oracle = CostOracle::at_grid(opt, surface.grid(), qa);
         let report = sb.run(&mut oracle)?;
         Ok(report.sub_optimality(surface.opt_cost(qa)))
+    })
+}
+
+/// Exhaustive SpillBound evaluation through the shared cost matrix
+/// (bit-equal to [`evaluate_spillbound`], asserted by tests).
+pub fn evaluate_spillbound_ctx(ctx: &EvalContext<'_>, ratio: f64) -> Result<SubOptStats> {
+    let mut sb = SpillBound::new(ctx.surface(), ctx.opt(), ratio);
+    let mut memo = SpillMemo::new();
+    evaluate(ctx.surface(), |qa| {
+        let mut oracle = CachedOracle::at_grid(ctx, qa, &mut memo);
+        let report = sb.run(&mut oracle)?;
+        Ok(report.sub_optimality(ctx.surface().opt_cost(qa)))
+    })
+}
+
+/// Parallel [`evaluate_spillbound_ctx`]: each worker owns a SpillBound
+/// instance and spill memo, so per-location results stay bit-equal.
+pub fn evaluate_spillbound_parallel(
+    ctx: &EvalContext<'_>,
+    ratio: f64,
+    threads: usize,
+) -> Result<SubOptStats> {
+    evaluate_parallel(ctx.surface(), threads, || {
+        let mut sb = SpillBound::new(ctx.surface(), ctx.opt(), ratio);
+        let mut memo = SpillMemo::new();
+        move |qa| {
+            let mut oracle = CachedOracle::at_grid(ctx, qa, &mut memo);
+            let report = sb.run(&mut oracle)?;
+            Ok(report.sub_optimality(ctx.surface().opt_cost(qa)))
+        }
     })
 }
 
@@ -127,6 +199,63 @@ pub fn evaluate_alignedbound(
         Ok(report.sub_optimality(surface.opt_cost(qa)))
     })?;
     Ok((stats, ab.observed_max_penalty()))
+}
+
+/// Exhaustive AlignedBound evaluation through the shared cost matrix
+/// (bit-equal to [`evaluate_alignedbound`], asserted by tests).
+pub fn evaluate_alignedbound_ctx(ctx: &EvalContext<'_>, ratio: f64) -> Result<(SubOptStats, f64)> {
+    let mut ab = AlignedBound::new(ctx.surface(), ctx.opt(), ratio);
+    let mut memo = SpillMemo::new();
+    let stats = evaluate(ctx.surface(), |qa| {
+        let mut oracle = CachedOracle::at_grid(ctx, qa, &mut memo);
+        let report = ab.run(&mut oracle)?;
+        Ok(report.sub_optimality(ctx.surface().opt_cost(qa)))
+    })?;
+    Ok((stats, ab.observed_max_penalty()))
+}
+
+/// Parallel [`evaluate_alignedbound_ctx`]. Each worker owns an
+/// AlignedBound instance; the observed maximum penalties combine by
+/// `max`, which equals the sequential sweep's running maximum.
+pub fn evaluate_alignedbound_parallel(
+    ctx: &EvalContext<'_>,
+    ratio: f64,
+    threads: usize,
+) -> Result<(SubOptStats, f64)> {
+    let bounds = chunk_bounds(ctx.surface().len(), threads);
+    if bounds.len() <= 1 {
+        return evaluate_alignedbound_ctx(ctx, ratio);
+    }
+    let chunks = std::thread::scope(|s| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                s.spawn(move || -> Result<(Vec<f64>, f64)> {
+                    let mut ab = AlignedBound::new(ctx.surface(), ctx.opt(), ratio);
+                    let mut memo = SpillMemo::new();
+                    let mut subopts = Vec::with_capacity(hi - lo);
+                    for qa in lo..hi {
+                        let mut oracle = CachedOracle::at_grid(ctx, qa, &mut memo);
+                        let report = ab.run(&mut oracle)?;
+                        subopts.push(report.sub_optimality(ctx.surface().opt_cost(qa)));
+                    }
+                    Ok((subopts, ab.observed_max_penalty()))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut subopts = Vec::with_capacity(ctx.surface().len());
+    let mut max_penalty = 1.0f64;
+    for chunk in chunks {
+        let (s, p) = chunk?;
+        subopts.extend(s);
+        max_penalty = max_penalty.max(p);
+    }
+    Ok((SubOptStats::from_subopts(subopts), max_penalty))
 }
 
 /// Exhaustive MSOe/ASO evaluation of PlanBouquet, by running the full
@@ -148,49 +277,69 @@ pub fn evaluate_planbouquet(
 /// Exhaustive PlanBouquet evaluation via a precomputed plan-cost matrix.
 ///
 /// Semantically identical to [`evaluate_planbouquet`] (asserted by test)
-/// but `O(|bouquet|·|grid|)` recosting instead of re-walking plan trees
+/// but `O(|POSP|·|grid|)` recosting instead of re-walking plan trees
 /// inside every discovery run — the bouquet executes the same plan list
-/// at every location, so the cost matrix is shared.
+/// at every location, so the cost matrix is shared. Builds a throwaway
+/// [`EvalContext`]; callers that also evaluate SB/AB/native should build
+/// the context once and use [`evaluate_planbouquet_ctx`].
 pub fn evaluate_planbouquet_fast(
     surface: &EssSurface,
     opt: &Optimizer<'_>,
     ratio: f64,
     lambda: f64,
 ) -> Result<SubOptStats> {
-    let pb = PlanBouquet::new(surface, opt, ratio, lambda);
-    let grid = surface.grid();
-    // Distinct bouquet plans.
-    let mut bouquet: Vec<usize> = (0..pb.contours().len())
-        .flat_map(|i| pb.contour_plans(i).iter().copied())
-        .collect();
-    bouquet.sort_unstable();
-    bouquet.dedup();
-    let slot_of = |pid: usize| bouquet.binary_search(&pid).expect("bouquet plan");
-    // cost[slot][qa]; one selectivity assignment per location, shared
-    // across plans.
-    let mut cost = vec![vec![0.0f64; grid.len()]; bouquet.len()];
-    for qa in grid.iter() {
-        let sels = opt.sels_at(&grid.sels(qa));
-        for (s, &pid) in bouquet.iter().enumerate() {
-            cost[s][qa] = opt.cost_plan(surface.pool().get(pid), &sels);
+    let ctx = EvalContext::new(surface, opt);
+    evaluate_planbouquet_ctx(&ctx, ratio, lambda)
+}
+
+/// PlanBouquet's discovery sequence replayed at `qa` as plain budget
+/// arithmetic over the cost matrix: charge the budget for every plan
+/// that times out, the true cost for the first that completes.
+fn bouquet_subopt(
+    ctx: &EvalContext<'_>,
+    pb: &PlanBouquet<'_>,
+    lambda: f64,
+    qa: GridIdx,
+) -> Result<f64> {
+    let mut total = 0.0;
+    for i in 0..pb.contours().len() {
+        let budget = (1.0 + lambda) * pb.contours().cost(i);
+        for &pid in pb.contour_plans(i) {
+            let c = ctx.matrix().cost(pid, qa);
+            if rqp_common::cost_le(c, budget) {
+                total += c;
+                return Ok(total / ctx.surface().opt_cost(qa));
+            }
+            total += budget;
         }
     }
-    evaluate(surface, |qa| {
-        let mut total = 0.0;
-        for i in 0..pb.contours().len() {
-            let budget = (1.0 + lambda) * pb.contours().cost(i);
-            for &pid in pb.contour_plans(i) {
-                let c = cost[slot_of(pid)][qa];
-                if rqp_common::cost_le(c, budget) {
-                    total += c;
-                    return Ok(total / surface.opt_cost(qa));
-                }
-                total += budget;
-            }
-        }
-        Err(rqp_common::RqpError::Discovery(
-            "bouquet fast path exhausted contours".into(),
-        ))
+    Err(rqp_common::RqpError::Discovery(
+        "bouquet fast path exhausted contours".into(),
+    ))
+}
+
+/// Exhaustive PlanBouquet evaluation through a shared [`EvalContext`].
+pub fn evaluate_planbouquet_ctx(
+    ctx: &EvalContext<'_>,
+    ratio: f64,
+    lambda: f64,
+) -> Result<SubOptStats> {
+    let pb = PlanBouquet::new(ctx.surface(), ctx.opt(), ratio, lambda);
+    evaluate(ctx.surface(), |qa| bouquet_subopt(ctx, &pb, lambda, qa))
+}
+
+/// Parallel [`evaluate_planbouquet_ctx`]: the compiled bouquet is
+/// immutable during replay, so one instance is shared by all workers.
+pub fn evaluate_planbouquet_parallel(
+    ctx: &EvalContext<'_>,
+    ratio: f64,
+    lambda: f64,
+    threads: usize,
+) -> Result<SubOptStats> {
+    let pb = PlanBouquet::new(ctx.surface(), ctx.opt(), ratio, lambda);
+    let pb = &pb;
+    evaluate_parallel(ctx.surface(), threads, move || {
+        move |qa| bouquet_subopt(ctx, pb, lambda, qa)
     })
 }
 
@@ -199,6 +348,22 @@ pub fn evaluate_planbouquet_fast(
 pub fn evaluate_native(surface: &EssSurface, opt: &Optimizer<'_>) -> Result<SubOptStats> {
     let choice = crate::native::NativeChoice::compute(surface, opt);
     evaluate(surface, |qa| Ok(choice.sub_optimality(surface, opt, qa)))
+}
+
+/// Exhaustive native-optimizer evaluation through a shared
+/// [`EvalContext`]: when the native plan is in the POSP pool its matrix
+/// row already holds every recost; otherwise costs are computed directly
+/// (same arithmetic either way).
+pub fn evaluate_native_ctx(ctx: &EvalContext<'_>) -> Result<SubOptStats> {
+    let choice = crate::native::NativeChoice::compute(ctx.surface(), ctx.opt());
+    match ctx.surface().pool().find(&choice.plan) {
+        Some(pid) => evaluate(ctx.surface(), |qa| {
+            Ok(ctx.matrix().cost(pid, qa) / ctx.surface().opt_cost(qa))
+        }),
+        None => evaluate(ctx.surface(), |qa| {
+            Ok(choice.sub_optimality(ctx.surface(), ctx.opt(), qa))
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +399,67 @@ mod tests {
                 (a - b).abs() <= 1e-9 * a.max(1.0),
                 "qa {qa}: oracle {a} vs fast {b}"
             );
+        }
+    }
+
+    fn assert_bit_equal(label: &str, a: &SubOptStats, b: &SubOptStats) {
+        assert_eq!(a.subopts.len(), b.subopts.len(), "{label}: length");
+        for (qa, (x, y)) in a.subopts.iter().zip(&b.subopts).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: qa {qa}: {x} vs {y}");
+        }
+        assert_eq!(a.mso.to_bits(), b.mso.to_bits(), "{label}: mso");
+        assert_eq!(a.worst_qa, b.worst_qa, "{label}: worst_qa");
+    }
+
+    #[test]
+    fn cached_evaluators_bit_equal_to_oracle_path() {
+        let fx = star2_surface(10);
+        let ctx = EvalContext::new(&fx.surface, &fx.opt);
+
+        let sb = evaluate_spillbound(&fx.surface, &fx.opt, 2.0).unwrap();
+        let sb_ctx = evaluate_spillbound_ctx(&ctx, 2.0).unwrap();
+        assert_bit_equal("spillbound", &sb, &sb_ctx);
+
+        let (ab, ab_pen) = evaluate_alignedbound(&fx.surface, &fx.opt, 2.0).unwrap();
+        let (ab_ctx, ab_ctx_pen) = evaluate_alignedbound_ctx(&ctx, 2.0).unwrap();
+        assert_bit_equal("alignedbound", &ab, &ab_ctx);
+        assert_eq!(ab_pen.to_bits(), ab_ctx_pen.to_bits(), "penalty");
+
+        let native = evaluate_native(&fx.surface, &fx.opt).unwrap();
+        let native_ctx = evaluate_native_ctx(&ctx).unwrap();
+        assert_bit_equal("native", &native, &native_ctx);
+    }
+
+    #[test]
+    fn parallel_evaluators_bit_equal_to_sequential() {
+        let fx = star2_surface(10);
+        let ctx = EvalContext::new(&fx.surface, &fx.opt);
+        let sb_seq = evaluate_spillbound_ctx(&ctx, 2.0).unwrap();
+        let (ab_seq, ab_seq_pen) = evaluate_alignedbound_ctx(&ctx, 2.0).unwrap();
+        let pb_seq = evaluate_planbouquet_ctx(&ctx, 2.0, 0.2).unwrap();
+        for threads in [1usize, 2, 3, 7] {
+            let sb = evaluate_spillbound_parallel(&ctx, 2.0, threads).unwrap();
+            assert_bit_equal(&format!("SB x{threads}"), &sb_seq, &sb);
+            let (ab, ab_pen) = evaluate_alignedbound_parallel(&ctx, 2.0, threads).unwrap();
+            assert_bit_equal(&format!("AB x{threads}"), &ab_seq, &ab);
+            assert_eq!(
+                ab_seq_pen.to_bits(),
+                ab_pen.to_bits(),
+                "AB penalty x{threads}"
+            );
+            let pb = evaluate_planbouquet_parallel(&ctx, 2.0, 0.2, threads).unwrap();
+            assert_bit_equal(&format!("PB x{threads}"), &pb_seq, &pb);
+        }
+    }
+
+    #[test]
+    fn generic_evaluate_parallel_matches_sequential() {
+        let fx = star2_surface(8);
+        let subopt = |qa: GridIdx| Ok((qa as f64).sin().abs() + 1.0);
+        let seq = evaluate(&fx.surface, subopt).unwrap();
+        for threads in [2usize, 5, 64] {
+            let par = evaluate_parallel(&fx.surface, threads, || subopt).unwrap();
+            assert_bit_equal(&format!("generic x{threads}"), &seq, &par);
         }
     }
 

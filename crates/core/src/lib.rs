@@ -61,6 +61,7 @@
 
 pub mod accounting;
 pub mod alignedbound;
+pub mod cached;
 pub(crate) mod discovery;
 pub mod eval;
 pub mod lowerbound;
@@ -72,7 +73,8 @@ pub mod report;
 pub mod spillbound;
 
 pub use alignedbound::AlignedBound;
-pub use eval::{evaluate, SubOptStats};
+pub use cached::{CachedOracle, EvalContext, SpillMemo};
+pub use eval::{evaluate, evaluate_parallel, SubOptStats};
 pub use native::NativeChoice;
 pub use oracle::{CostOracle, ExecutionOracle, FullOutcome, NoisyCostOracle, SpillOutcome};
 pub use planbouquet::PlanBouquet;
@@ -158,12 +160,14 @@ pub(crate) mod test_fixtures {
         let mut fact_cols = Vec::new();
         let dim_rows = [10_000u64, 1_000, 300, 5_000, 100, 2_000];
         for (j, &rows) in dim_rows.iter().take(dims).enumerate() {
-            fact_cols
-                .push(Column::new(format!("f{j}"), DataType::Int, ColumnStats::uniform(rows))
-                    .with_index());
+            fact_cols.push(
+                Column::new(format!("f{j}"), DataType::Int, ColumnStats::uniform(rows))
+                    .with_index(),
+            );
         }
         fact_cols.push(Column::new("v", DataType::Int, ColumnStats::uniform(1_000)));
-        cat.add_table(Table::new("fact", 1_000_000, fact_cols)).unwrap();
+        cat.add_table(Table::new("fact", 1_000_000, fact_cols))
+            .unwrap();
         for (j, &rows) in dim_rows.iter().take(dims).enumerate() {
             cat.add_table(Table::new(
                 format!("dim{j}"),
@@ -210,9 +214,8 @@ pub(crate) mod test_fixtures {
     pub fn star_surface(dims: usize, n: usize) -> Fixture {
         let cat: &'static Catalog = Box::leak(Box::new(star_catalog(dims)));
         let query: &'static QuerySpec = Box::leak(Box::new(star_query(dims)));
-        let opt =
-            Optimizer::new(cat, query, CostParams::default(), EnumerationMode::LeftDeep)
-                .expect("fixture query valid");
+        let opt = Optimizer::new(cat, query, CostParams::default(), EnumerationMode::LeftDeep)
+            .expect("fixture query valid");
         let surface = EssSurface::build(&opt, MultiGrid::uniform(dims, 1e-5, n));
         Fixture {
             opt,
@@ -234,8 +237,10 @@ mod tests {
         assert_eq!(super::spillbound_guarantee(2), 10.0);
         // ratio-generalized formula reduces to D²+3D at r=2
         for d in 2..=6 {
-            assert!((super::spillbound_guarantee_ratio(d, 2.0)
-                - super::spillbound_guarantee(d)).abs() < 1e-12);
+            assert!(
+                (super::spillbound_guarantee_ratio(d, 2.0) - super::spillbound_guarantee(d)).abs()
+                    < 1e-12
+            );
         }
         assert!((super::spillbound_guarantee_ratio(2, 1.8) - 9.9).abs() < 1e-12);
         // the ideal 2-epp ratio is near 1.8 (§4.2); higher D pushes the

@@ -27,8 +27,12 @@ pub fn adversarial_query(d: usize) -> (Catalog, QuerySpec) {
     let dim_rows = 50_000u64;
     let mut fact_cols: Vec<Column> = (0..d)
         .map(|j| {
-            Column::new(format!("f{j}"), DataType::Int, ColumnStats::uniform(dim_rows))
-                .with_index()
+            Column::new(
+                format!("f{j}"),
+                DataType::Int,
+                ColumnStats::uniform(dim_rows),
+            )
+            .with_index()
         })
         .collect();
     fact_cols.push(Column::new(
@@ -36,7 +40,8 @@ pub fn adversarial_query(d: usize) -> (Catalog, QuerySpec) {
         DataType::Int,
         ColumnStats::uniform(1_000),
     ));
-    cat.add_table(Table::new("fact", 2_000_000, fact_cols)).unwrap();
+    cat.add_table(Table::new("fact", 2_000_000, fact_cols))
+        .unwrap();
     for j in 0..d {
         cat.add_table(Table::new(
             format!("dim{j}"),
@@ -92,8 +97,7 @@ mod tests {
         for (d, n) in [(2usize, 10usize), (3, 7)] {
             let (cat, q) = adversarial_query(d);
             let opt =
-                Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-                    .unwrap();
+                Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
             let surface = EssSurface::build(&opt, MultiGrid::uniform(d, 1e-6, n));
             let stats = evaluate_spillbound(&surface, &opt, 2.0).unwrap();
             assert!(

@@ -72,6 +72,21 @@ pub fn native_mso_worst_case(surface: &EssSurface, opt: &Optimizer<'_>) -> f64 {
     mso
 }
 
+/// [`native_mso_worst_case`] over a prebuilt evaluation context: the cost
+/// matrix already holds every `(plan, qa)` recost, so this is a pure
+/// scan. Bit-equal to the recomputing version (same costs, same
+/// iteration order).
+pub fn native_mso_worst_case_ctx(ctx: &crate::cached::EvalContext<'_>) -> f64 {
+    let surface = ctx.surface();
+    let mut mso: f64 = 1.0;
+    for pid in 0..ctx.matrix().nplans() {
+        for (qa, &cost) in ctx.matrix().row(pid).iter().enumerate() {
+            mso = mso.max(cost / surface.opt_cost(qa));
+        }
+    }
+    mso
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,7 @@
 //! the workspace root crate.
 
 use rqp_common::{cost_le, Cost, MultiGrid, Selectivity};
-use rqp_optimizer::{Optimizer, PlanNode, Sels};
+use rqp_optimizer::{Optimizer, PlanId, PlanNode, Sels};
 
 /// Result of a spill-mode budgeted execution (Lemma 3.1): either the exact
 /// selectivity of the spilled epp is learnt, or a half-space is pruned.
@@ -56,6 +56,35 @@ pub trait ExecutionOracle {
 
     /// Executes `plan` normally with the given cost budget.
     fn full_execute(&mut self, plan: &PlanNode, budget: Cost) -> FullOutcome;
+
+    /// Like [`spill_execute`](Self::spill_execute), carrying the plan's
+    /// interned POSP pool id when the caller knows it (`None` for plans
+    /// synthesized outside the pool). Cache-backed oracles key on the id;
+    /// the default ignores it.
+    fn spill_execute_id(
+        &mut self,
+        pid: Option<PlanId>,
+        plan: &PlanNode,
+        dim: usize,
+        budget: Cost,
+    ) -> SpillOutcome {
+        let _ = pid;
+        self.spill_execute(plan, dim, budget)
+    }
+
+    /// Like [`full_execute`](Self::full_execute), carrying the plan's
+    /// interned POSP pool id when the caller knows it. Cache-backed
+    /// oracles answer from the plan×location cost matrix; the default
+    /// ignores the id.
+    fn full_execute_id(
+        &mut self,
+        pid: Option<PlanId>,
+        plan: &PlanNode,
+        budget: Cost,
+    ) -> FullOutcome {
+        let _ = pid;
+        self.full_execute(plan, budget)
+    }
 }
 
 /// Cost-model-based oracle: decides completion analytically at a hidden
@@ -221,9 +250,7 @@ mod tests {
     use super::*;
     use rqp_catalog::{Catalog, Column, ColumnStats, DataType, Table};
     use rqp_common::MultiGrid;
-    use rqp_optimizer::{
-        CostParams, EnumerationMode, Predicate, PredicateKind, QuerySpec,
-    };
+    use rqp_optimizer::{CostParams, EnumerationMode, Predicate, PredicateKind, QuerySpec};
 
     fn fixture() -> (Catalog, QuerySpec) {
         let mut cat = Catalog::new();
@@ -275,8 +302,8 @@ mod tests {
     #[test]
     fn full_execute_thresholds() {
         let (cat, q) = fixture();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let grid = MultiGrid::uniform(2, 1e-5, 8);
         let qa = [1e-3, 1e-2];
         let mut oracle = CostOracle::new(&opt, &grid, &qa);
@@ -295,8 +322,8 @@ mod tests {
     #[test]
     fn spill_completes_with_exact_selectivity() {
         let (cat, q) = fixture();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let grid = MultiGrid::uniform(2, 1e-5, 8);
         let qa = [1e-3, 1e-2];
         let mut oracle = CostOracle::new(&opt, &grid, &qa);
@@ -314,8 +341,8 @@ mod tests {
     #[test]
     fn spill_timeout_gives_sound_lower_bound() {
         let (cat, q) = fixture();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let grid = MultiGrid::uniform(2, 1e-5, 12);
         let qa = [0.5, 1e-2]; // dim 0 is large
         let mut oracle = CostOracle::new(&opt, &grid, &qa);
@@ -335,8 +362,8 @@ mod tests {
     #[test]
     fn spill_lower_bound_is_max_fitting_grid_point() {
         let (cat, q) = fixture();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let grid = MultiGrid::uniform(2, 1e-5, 12);
         let qa = [1.0, 1e-2];
         let mut oracle = CostOracle::new(&opt, &grid, &qa);
@@ -344,20 +371,24 @@ mod tests {
         let model = opt.cost_model();
         let pred = q.epps[0];
         let budget = 0.5 * oracle.true_cost(&plan);
-        if let SpillOutcome::TimedOut { lower_bound, .. } =
-            oracle.spill_execute(&plan, 0, budget)
-        {
+        if let SpillOutcome::TimedOut { lower_bound, .. } = oracle.spill_execute(&plan, 0, budget) {
             // verify maximality: lb fits, next grid point does not
             let mut probe = oracle.qa_sels().clone();
             if lower_bound > 0.0 {
                 probe.set(pred, lower_bound);
-                let c = model.spill_subtree_estimate(&plan, pred, &probe).unwrap().cost;
+                let c = model
+                    .spill_subtree_estimate(&plan, pred, &probe)
+                    .unwrap()
+                    .cost;
                 assert!(cost_le(c, budget));
             }
             let g = grid.dim(0);
             let next_idx = g.points().iter().position(|&s| s > lower_bound).unwrap();
             probe.set(pred, g.sel(next_idx));
-            let c = model.spill_subtree_estimate(&plan, pred, &probe).unwrap().cost;
+            let c = model
+                .spill_subtree_estimate(&plan, pred, &probe)
+                .unwrap()
+                .cost;
             assert!(!cost_le(c, budget), "next grid point must not fit");
         } else {
             panic!("half budget must time out");
@@ -375,9 +406,7 @@ mod noisy_tests {
     fn eps_is_bounded_and_deterministic() {
         let fx = star2_surface(8);
         let qa = [1e-3, 1e-2];
-        let mk = || NoisyCostOracle::new(
-            CostOracle::new(&fx.opt, fx.surface.grid(), &qa), 0.3, 42,
-        );
+        let mk = || NoisyCostOracle::new(CostOracle::new(&fx.opt, fx.surface.grid(), &qa), 0.3, 42);
         let o1 = mk();
         let o2 = mk();
         for fp in [1u64, 99, 12345, u64::MAX] {
@@ -422,7 +451,10 @@ mod noisy_tests {
         let report = sb.run(&mut oracle).unwrap();
         for (j, learnt) in report.learnt.iter().enumerate() {
             if let Some(s) = learnt {
-                assert!((s - sels[j]).abs() <= 1e-12, "noisy learning must stay exact");
+                assert!(
+                    (s - sels[j]).abs() <= 1e-12,
+                    "noisy learning must stay exact"
+                );
             }
         }
     }

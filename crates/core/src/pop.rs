@@ -68,8 +68,11 @@ impl<'a> PopReoptimizer<'a> {
         assert_eq!(qa.len(), d);
         let truth: Sels = self.opt.sels_at(qa);
         // Current estimates: statistics until observed/learnt.
-        let mut est: Vec<Selectivity> =
-            query.epps.iter().map(|&p| self.opt.base_sels().get(p)).collect();
+        let mut est: Vec<Selectivity> = query
+            .epps
+            .iter()
+            .map(|&p| self.opt.base_sels().get(p))
+            .collect();
         // settled[j]: validated-in-range or learnt-by-restart.
         let mut settled = vec![false; d];
         let mut total = 0.0;
@@ -84,8 +87,7 @@ impl<'a> PopReoptimizer<'a> {
                     continue;
                 }
                 let true_sel = truth.get(pred);
-                let within =
-                    true_sel <= est[dim] * self.alpha && true_sel >= est[dim] / self.alpha;
+                let within = true_sel <= est[dim] * self.alpha && true_sel >= est[dim] / self.alpha;
                 if within {
                     // validated in-flight; execution continues
                     settled[dim] = true;

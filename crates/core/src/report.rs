@@ -212,9 +212,24 @@ mod trace_tests {
         };
         let report = RunReport {
             records: vec![
-                rec(0, Outcome::TimedOut { lower_bound: grid.dim(0).sel(3) }),
-                rec(1, Outcome::TimedOut { lower_bound: grid.dim(1).sel(2) }),
-                rec(0, Outcome::Completed { sel: Some(grid.dim(0).sel(5)) }),
+                rec(
+                    0,
+                    Outcome::TimedOut {
+                        lower_bound: grid.dim(0).sel(3),
+                    },
+                ),
+                rec(
+                    1,
+                    Outcome::TimedOut {
+                        lower_bound: grid.dim(1).sel(2),
+                    },
+                ),
+                rec(
+                    0,
+                    Outcome::Completed {
+                        sel: Some(grid.dim(0).sel(5)),
+                    },
+                ),
             ],
             total_cost: 3.0,
             completed: true,

@@ -117,7 +117,8 @@ impl<'a> SpillBound<'a> {
 
         if d <= 1 {
             // Degenerate: straight to the (≤1)-dimensional bouquet phase.
-            self.shared.run_terminal_phase(&pins, 0, oracle, &mut report)?;
+            self.shared
+                .run_terminal_phase(&pins, 0, oracle, &mut report)?;
             return Ok(report);
         }
 
@@ -129,7 +130,8 @@ impl<'a> SpillBound<'a> {
         loop {
             let free: Vec<usize> = (0..d).filter(|&j| pins[j].is_none()).collect();
             if free.len() == 1 {
-                self.shared.run_terminal_phase(&pins, i, oracle, &mut report)?;
+                self.shared
+                    .run_terminal_phase(&pins, i, oracle, &mut report)?;
                 return Ok(report);
             }
             if i >= m {
@@ -151,7 +153,7 @@ impl<'a> SpillBound<'a> {
                     continue; // identical repeat: outcome already known
                 }
                 let plan = self.shared.surface.pool().get(pid);
-                match oracle.spill_execute(plan, j, budget) {
+                match oracle.spill_execute_id(Some(pid), plan, j, budget) {
                     SpillOutcome::Completed { sel, spent } => {
                         report.total_cost += spent;
                         report.records.push(ExecutionRecord {

@@ -244,8 +244,8 @@ mod tests {
     fn fixture() -> (EssSurface, rqp_catalog::Catalog, rqp_optimizer::QuerySpec) {
         let (cat, q) = star2();
         let surface = {
-            let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-                .unwrap();
+            let opt =
+                Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
             EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 12))
         };
         (surface, cat, q)
@@ -271,8 +271,8 @@ mod tests {
     #[test]
     fn alignment_report_is_complete_and_bounded() {
         let (surface, cat, q) = fixture();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let contours = ContourSet::build(&surface, 2.0);
         let report = analyze(&surface, &opt, &contours);
         assert_eq!(report.contours.len(), contours.len());
@@ -290,8 +290,8 @@ mod tests {
     #[test]
     fn native_alignment_has_penalty_one() {
         let (surface, cat, q) = fixture();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let contours = ContourSet::build(&surface, 2.0);
         let view = EssView::full(2);
         let mut cache = SpillDimCache::new();

@@ -126,8 +126,8 @@ mod tests {
     #[test]
     fn reduction_never_increases_density_and_covers() {
         let (cat, q) = star2();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 16));
         let contours = ContourSet::build(&surface, 2.0);
         let view = EssView::full(2);
@@ -154,8 +154,8 @@ mod tests {
     #[test]
     fn zero_lambda_still_valid() {
         let (cat, q) = star2();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 8));
         let contours = ContourSet::build(&surface, 2.0);
         let (reduced, rho) = reduce_all(&surface, &opt, &contours, 0.0);
@@ -166,8 +166,8 @@ mod tests {
     #[test]
     fn larger_lambda_reduces_no_less() {
         let (cat, q) = star2();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 16));
         let contours = ContourSet::build(&surface, 2.0);
         let (_, rho_0) = reduce_all(&surface, &opt, &contours, 0.0);

@@ -139,8 +139,8 @@ mod tests {
 
     fn surface() -> EssSurface {
         let (cat, q) = star2();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 16))
     }
 

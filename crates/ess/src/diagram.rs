@@ -76,7 +76,9 @@ pub fn analyze_diagram(surface: &EssSurface) -> DiagramStats {
 
     DiagramStats {
         plan_cardinality: n,
-        largest_region_frac: region_sizes.first().map_or(0.0, |&s| s as f64 / total as f64),
+        largest_region_frac: region_sizes
+            .first()
+            .map_or(0.0, |&s| s as f64 / total as f64),
         splinter_frac: region_sizes.iter().filter(|&&s| s == 1).count() as f64 / n.max(1) as f64,
         region_sizes,
         gini,
@@ -97,8 +99,8 @@ mod tests {
 
     fn surface() -> EssSurface {
         let (cat, q) = star2();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 16))
     }
 

@@ -132,20 +132,21 @@ impl EssSurface {
     /// chunk of the grid (§7: contour/POSP construction parallelizes
     /// trivially because locations are independent).
     ///
-    /// Produces a surface identical to [`build`](Self::build) (plan ids
-    /// included — interning order is by flat index either way).
+    /// Produces a surface **bit-identical** to [`build`](Self::build) —
+    /// plan ids and pool contents included: workers only optimize, and
+    /// interning happens afterwards in flat-index order regardless of the
+    /// thread count (the same [`rqp_common::chunk_bounds`] partitioning
+    /// every parallel sweep in the workspace uses).
     pub fn build_parallel(optimizer: &Optimizer<'_>, grid: MultiGrid, threads: usize) -> Self {
-        let threads = threads.max(1);
         let total = grid.len();
-        let chunk = total.div_ceil(threads);
+        let bounds = rqp_common::chunk_bounds(total, threads);
         let pieces: Vec<Vec<(Cost, PlanNode)>> = std::thread::scope(|s| {
             let grid = &grid;
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .map(|&(lo, hi)| {
                     s.spawn(move || {
-                        let lo = t * chunk;
-                        let hi = ((t + 1) * chunk).min(total);
-                        let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                        let mut out = Vec::with_capacity(hi - lo);
                         let mut sels = vec![0.0; grid.ndims()];
                         let mut coords = vec![0usize; grid.ndims()];
                         for idx in lo..hi {
@@ -160,7 +161,10 @@ impl EssSurface {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
         });
         let mut pool = PlanPool::new();
         let mut opt_cost = Vec::with_capacity(total);
@@ -271,8 +275,8 @@ mod tests {
 
     fn surface(n: usize) -> EssSurface {
         let (cat, q) = star2();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let grid = MultiGrid::uniform(2, 1e-5, n);
         EssSurface::build(&opt, grid)
     }
@@ -305,10 +309,7 @@ mod tests {
     #[test]
     fn origin_plan_differs_from_terminus_plan() {
         let s = surface(12);
-        assert_ne!(
-            s.plan_id(s.grid().origin()),
-            s.plan_id(s.grid().terminus())
-        );
+        assert_ne!(s.plan_id(s.grid().origin()), s.plan_id(s.grid().terminus()));
     }
 }
 
@@ -321,16 +322,33 @@ mod persistence_tests {
     #[test]
     fn parallel_build_matches_sequential() {
         let (cat, q) = star2();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let seq = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 10));
         for threads in [1, 2, 3, 7] {
-            let par =
-                EssSurface::build_parallel(&opt, MultiGrid::uniform(2, 1e-5, 10), threads);
+            let par = EssSurface::build_parallel(&opt, MultiGrid::uniform(2, 1e-5, 10), threads);
             assert_eq!(par.len(), seq.len());
-            assert_eq!(par.posp_size(), seq.posp_size());
+            // Pool contents must be bit-equal: same plans, same ids, same
+            // order — interning order is thread-count-independent.
+            assert_eq!(par.posp_size(), seq.posp_size(), "{threads} threads");
+            for pid in 0..seq.posp_size() {
+                assert_eq!(
+                    par.pool().get(pid),
+                    seq.pool().get(pid),
+                    "{threads} threads: pool plan {pid}"
+                );
+            }
             for idx in seq.grid().iter() {
-                assert_eq!(par.opt_cost(idx), seq.opt_cost(idx), "{threads} threads");
+                assert_eq!(
+                    par.opt_cost(idx).to_bits(),
+                    seq.opt_cost(idx).to_bits(),
+                    "{threads} threads: cost at {idx}"
+                );
+                assert_eq!(
+                    par.plan_id(idx),
+                    seq.plan_id(idx),
+                    "{threads} threads: plan id at {idx}"
+                );
                 assert_eq!(par.plan(idx), seq.plan(idx));
             }
         }
@@ -339,8 +357,8 @@ mod persistence_tests {
     #[test]
     fn json_roundtrip_preserves_everything() {
         let (cat, q) = star2();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let s = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 8));
         let restored = EssSurface::from_json(&s.to_json()).unwrap();
         assert_eq!(restored.len(), s.len());

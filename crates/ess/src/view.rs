@@ -81,11 +81,7 @@ impl EssView {
         // Iterate the free sub-grid in mixed-radix order.
         let sizes: Vec<usize> = free.iter().map(|&j| grid.dim(j).len()).collect();
         let total: usize = sizes.iter().product();
-        let mut base_coords: Vec<usize> = self
-            .pins
-            .iter()
-            .map(|p| p.unwrap_or(0))
-            .collect();
+        let mut base_coords: Vec<usize> = self.pins.iter().map(|p| p.unwrap_or(0)).collect();
         let mut out = Vec::with_capacity(total);
         for mut k in 0..total {
             for (f, &j) in free.iter().enumerate() {
@@ -137,8 +133,8 @@ mod tests {
 
     fn surface() -> EssSurface {
         let (cat, q) = star2();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let grid = MultiGrid::uniform(2, 1e-5, 8);
         EssSurface::build(&opt, grid)
     }

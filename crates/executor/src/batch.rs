@@ -231,11 +231,7 @@ impl<'a> BatchExecutor<'a> {
 
     /// Compiles to a batch operator tree, returning the output schema as
     /// relation order.
-    fn compile(
-        &self,
-        node: &PlanNode,
-        meter: &Meter,
-    ) -> Result<(BoxBatchOp<'a>, Vec<usize>)> {
+    fn compile(&self, node: &PlanNode, meter: &Meter) -> Result<(BoxBatchOp<'a>, Vec<usize>)> {
         let p = &self.params;
         match node {
             PlanNode::Scan {
@@ -256,9 +252,9 @@ impl<'a> BatchExecutor<'a> {
                     .map(|&f| match self.query.predicates[f].kind {
                         PredicateKind::FilterLe { col, value, .. } => Ok((col, true, value)),
                         PredicateKind::FilterEq { col, value, .. } => Ok((col, false, value)),
-                        PredicateKind::Join { .. } => Err(RqpError::Execution(
-                            "join predicate in scan filters".into(),
-                        )),
+                        PredicateKind::Join { .. } => {
+                            Err(RqpError::Execution("join predicate in scan filters".into()))
+                        }
                     })
                     .collect::<Result<_>>()?;
                 let row_charge = width / 8192.0 * p.seq_page_cost

@@ -8,9 +8,7 @@ use crate::ops::{
 use crate::store::DataStore;
 use rqp_catalog::Catalog;
 use rqp_common::{Cost, Result, RqpError};
-use rqp_optimizer::{
-    CostParams, JoinMethod, PlanNode, PredicateKind, QuerySpec, ScanMethod,
-};
+use rqp_optimizer::{CostParams, JoinMethod, PlanNode, PredicateKind, QuerySpec, ScanMethod};
 
 /// Result of a regular budgeted execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -163,9 +161,9 @@ impl<'a> Executor<'a> {
     /// Executes the subtree of `plan` rooted at predicate `pred`'s node in
     /// spill-mode: output is counted and discarded (§3.1.2).
     pub fn run_spill(&self, plan: &PlanNode, pred: usize, budget: Cost) -> Result<SpillRun> {
-        let subtree = plan.subtree_applying(pred).ok_or_else(|| {
-            RqpError::Execution(format!("plan does not apply predicate {pred}"))
-        })?;
+        let subtree = plan
+            .subtree_applying(pred)
+            .ok_or_else(|| RqpError::Execution(format!("plan does not apply predicate {pred}")))?;
         let meter = Meter::new(budget);
         let (mut op, _) = self.compile(subtree, &meter)?;
         loop {
@@ -329,7 +327,9 @@ impl<'a> Executor<'a> {
                 let (lop, lschema) = self.compile(left, meter)?;
                 if *method == JoinMethod::IndexNLJoin {
                     let PlanNode::Scan {
-                        rel, filters: rfilters, ..
+                        rel,
+                        filters: rfilters,
+                        ..
                     } = right.as_ref()
                     else {
                         return Err(RqpError::Execution(
@@ -364,8 +364,7 @@ impl<'a> Executor<'a> {
                             self.catalog.table(tid).name
                         ))
                     })?;
-                    let outer_key =
-                        lschema.offset(outer_rel, outer_col, self.query, self.catalog);
+                    let outer_key = lschema.offset(outer_rel, outer_col, self.query, self.catalog);
                     // Residual equi-preds: (outer offset, inner column).
                     let mut residual = Vec::new();
                     for &q in &preds[1..] {
@@ -383,15 +382,11 @@ impl<'a> Executor<'a> {
                         } else {
                             (al, alc, arc)
                         };
-                        residual.push((
-                            lschema.offset(orel, ocol, self.query, self.catalog),
-                            icol,
-                        ));
+                        residual.push((lschema.offset(orel, ocol, self.query, self.catalog), icol));
                     }
                     let nrows = table.rows().max(1) as f64;
-                    let probe_charge =
-                        (nrows + 2.0).log2().max(1.0) * p.cpu_operator_cost
-                            + 0.1 * p.random_page_cost;
+                    let probe_charge = (nrows + 2.0).log2().max(1.0) * p.cpu_operator_cost
+                        + 0.1 * p.random_page_cost;
                     let match_charge = p.cpu_index_tuple_cost
                         + 0.2 * p.random_page_cost
                         + p.cpu_tuple_cost
@@ -685,14 +680,17 @@ pub(crate) mod tests {
         // the cost model's estimate when cardinality estimates are exact.
         let (cat, query, store) = fixture();
         let exec = Executor::new(&cat, &query, &store, CostParams::default());
-        let opt =
-            Optimizer::new(&cat, &query, CostParams::default(), EnumerationMode::LeftDeep)
-                .unwrap();
+        let opt = Optimizer::new(
+            &cat,
+            &query,
+            CostParams::default(),
+            EnumerationMode::LeftDeep,
+        )
+        .unwrap();
         let fact = store.table(0).unwrap();
         let true_join_sel = 0.01; // planted
         let true_filter_sel =
-            (0..fact.rows()).filter(|&r| fact.col(1)[r] <= 49).count() as f64
-                / fact.rows() as f64;
+            (0..fact.rows()).filter(|&r| fact.col(1)[r] <= 49).count() as f64 / fact.rows() as f64;
         let mut sels = opt.base_sels().clone();
         sels.set(0, true_join_sel);
         sels.set(1, true_filter_sel);

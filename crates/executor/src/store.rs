@@ -27,7 +27,9 @@ impl ColumnIndex {
 
     /// Row ids with value `<= v`, in value order.
     pub fn le(&self, v: i64) -> impl Iterator<Item = u32> + '_ {
-        self.tree.range(..=v).flat_map(|(_, ids)| ids.iter().copied())
+        self.tree
+            .range(..=v)
+            .flat_map(|(_, ids)| ids.iter().copied())
     }
 
     /// Number of distinct keys.

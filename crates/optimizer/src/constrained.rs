@@ -282,8 +282,8 @@ mod tests {
     #[test]
     fn returned_plan_spills_on_target() {
         let (cat, q) = fixture();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let sels = opt.sels_at(&[1e-3, 1e-2]);
         for target in 0..2 {
             let (plan, cost) =
@@ -303,8 +303,8 @@ mod tests {
     #[test]
     fn constrained_cost_matches_recosting() {
         let (cat, q) = fixture();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let sels = opt.sels_at(&[0.05, 0.2]);
         let (plan, cost) = best_plan_spilling_on(&opt, &sels, 1, 0b11).unwrap();
         let recost = opt.cost_plan(&plan, &sels);
@@ -314,8 +314,8 @@ mod tests {
     #[test]
     fn learnt_dimension_yields_none() {
         let (cat, q) = fixture();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let sels = opt.sels_at(&[1e-3, 1e-2]);
         assert!(best_plan_spilling_on(&opt, &sels, 0, 0b10).is_none());
     }
@@ -323,8 +323,8 @@ mod tests {
     #[test]
     fn single_unlearnt_dim_always_spillable() {
         let (cat, q) = fixture();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let sels = opt.sels_at(&[1e-3, 1e-2]);
         let (plan, _) = best_plan_spilling_on(&opt, &sels, 1, 0b10).unwrap();
         assert_eq!(spill_dim(&plan, &q, 0b10), Some(1));

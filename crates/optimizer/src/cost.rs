@@ -189,7 +189,10 @@ impl<'a> CostModel<'a> {
             }
             JoinMethod::SortMergeJoin => {
                 let sort = |n: f64| 2.0 * n * (n + 2.0).log2().max(1.0) * p.cpu_operator_cost;
-                l.cost + r.cost + sort(l.rows) + sort(r.rows)
+                l.cost
+                    + r.cost
+                    + sort(l.rows)
+                    + sort(r.rows)
                     + (l.rows + r.rows) * p.cpu_operator_cost
                     + emit
             }
@@ -380,7 +383,12 @@ mod tests {
         let inl = m.index_nl_estimate(l, 0, &[], &[0], &tiny);
         let r = m.scan_estimate(0, ScanMethod::SeqScan, &[], &tiny);
         let hash = m.join_estimate(JoinMethod::HashJoin, l, r, &[0], &tiny);
-        assert!(inl.cost < hash.cost, "INL {} vs hash {}", inl.cost, hash.cost);
+        assert!(
+            inl.cost < hash.cost,
+            "INL {} vs hash {}",
+            inl.cost,
+            hash.cost
+        );
         // At selectivity 0.1 the probe-per-match cost explodes; hash wins.
         let big = Sels(vec![0.1, 1.0]);
         let inl = m.index_nl_estimate(l, 0, &[], &[0], &big);

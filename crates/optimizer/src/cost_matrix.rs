@@ -1,0 +1,159 @@
+//! The shared plan×location cost matrix.
+//!
+//! Every empirical-evaluation pass (PlanBouquet, SpillBound, AlignedBound,
+//! the native-optimizer baseline) ultimately asks the same question over
+//! and over: *what does plan `p` cost at ESS location `q`?* Recosting a
+//! plan tree is the hot path, and an exhaustive sweep over the grid asks
+//! it `|POSP| × |grid|` times with heavy repetition. [`CostMatrix`]
+//! answers it once per (plan, location) pair: a dense row-major matrix of
+//! recosts keyed by interned [`PlanId`] × flat grid index, computed either
+//! sequentially or with the same deterministic scoped-thread fan-out the
+//! surface builder uses — both produce bit-identical cells, because each
+//! cell is a pure function of (plan, location).
+
+use crate::{Optimizer, PlanId, PlanPool};
+use rqp_common::{chunk_bounds, Cost, GridIdx, MultiGrid};
+
+/// Dense matrix of `cost(plan, location)` over a plan pool and an ESS
+/// grid. Row-major: `cells[pid * grid_len + qa]`.
+#[derive(Debug, Clone)]
+pub struct CostMatrix {
+    nplans: usize,
+    grid_len: usize,
+    cells: Vec<Cost>,
+}
+
+impl CostMatrix {
+    /// Recosts every pool plan at every grid location, sequentially.
+    pub fn build(opt: &Optimizer<'_>, pool: &PlanPool, grid: &MultiGrid) -> Self {
+        Self::build_parallel(opt, pool, grid, 1)
+    }
+
+    /// Recosts every pool plan at every grid location across `threads`
+    /// scoped worker threads.
+    ///
+    /// The grid is split with [`chunk_bounds`] and each worker fills the
+    /// column block for its locations; results are written by index, so
+    /// the matrix is bit-equal to the sequential build regardless of
+    /// thread count.
+    pub fn build_parallel(
+        opt: &Optimizer<'_>,
+        pool: &PlanPool,
+        grid: &MultiGrid,
+        threads: usize,
+    ) -> Self {
+        let nplans = pool.len();
+        let grid_len = grid.len();
+        let mut cells = vec![0.0; nplans * grid_len];
+        if cells.is_empty() {
+            return Self {
+                nplans,
+                grid_len,
+                cells,
+            };
+        }
+        let bounds = chunk_bounds(grid_len, threads);
+        if bounds.len() <= 1 {
+            Self::fill_columns(opt, pool, grid, 0, grid_len, &mut cells);
+        } else {
+            let blocks = std::thread::scope(|s| {
+                let handles: Vec<_> = bounds
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        s.spawn(move || {
+                            let mut block = vec![0.0; nplans * (hi - lo)];
+                            Self::fill_block(opt, pool, grid, lo, hi, &mut block);
+                            (lo, hi, block)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("cost matrix worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (lo, hi, block) in blocks {
+                let width = hi - lo;
+                for pid in 0..nplans {
+                    cells[pid * grid_len + lo..pid * grid_len + hi]
+                        .copy_from_slice(&block[pid * width..(pid + 1) * width]);
+                }
+            }
+        }
+        Self {
+            nplans,
+            grid_len,
+            cells,
+        }
+    }
+
+    /// Fills locations `lo..hi` directly into the full matrix.
+    fn fill_columns(
+        opt: &Optimizer<'_>,
+        pool: &PlanPool,
+        grid: &MultiGrid,
+        lo: usize,
+        hi: usize,
+        cells: &mut [Cost],
+    ) {
+        let grid_len = grid.len();
+        for qa in lo..hi {
+            let sels = opt.sels_at(&grid.sels(qa));
+            for (pid, plan) in pool.iter() {
+                cells[pid * grid_len + qa] = opt.cost_plan(plan, &sels);
+            }
+        }
+    }
+
+    /// Fills a worker-local column block for locations `lo..hi`
+    /// (block-local stride `hi - lo`).
+    fn fill_block(
+        opt: &Optimizer<'_>,
+        pool: &PlanPool,
+        grid: &MultiGrid,
+        lo: usize,
+        hi: usize,
+        block: &mut [Cost],
+    ) {
+        let width = hi - lo;
+        for qa in lo..hi {
+            let sels = opt.sels_at(&grid.sels(qa));
+            for (pid, plan) in pool.iter() {
+                block[pid * width + (qa - lo)] = opt.cost_plan(plan, &sels);
+            }
+        }
+    }
+
+    /// Cost of plan `pid` at flat grid location `qa`.
+    #[inline]
+    pub fn cost(&self, pid: PlanId, qa: GridIdx) -> Cost {
+        debug_assert!(pid < self.nplans && qa < self.grid_len);
+        self.cells[pid * self.grid_len + qa]
+    }
+
+    /// All grid locations' costs for plan `pid`, in flat-index order.
+    #[inline]
+    pub fn row(&self, pid: PlanId) -> &[Cost] {
+        &self.cells[pid * self.grid_len..(pid + 1) * self.grid_len]
+    }
+
+    /// Number of plans (rows).
+    pub fn nplans(&self) -> usize {
+        self.nplans
+    }
+
+    /// Number of grid locations (columns).
+    pub fn grid_len(&self) -> usize {
+        self.grid_len
+    }
+
+    /// Total number of cached recosts (`|POSP| × |grid|`).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the matrix has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}

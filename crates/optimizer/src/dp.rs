@@ -499,8 +499,8 @@ mod tests {
     #[test]
     fn optimizes_and_costs_consistently() {
         let (cat, q) = star();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let sels = opt.sels_at(&[1e-4, 1e-3]);
         let (plan, cost) = opt.optimize_with(&sels);
         // Recosting the returned plan reproduces the DP cost exactly.
@@ -519,8 +519,8 @@ mod tests {
     #[test]
     fn bushy_never_worse_than_left_deep() {
         let (cat, q) = star();
-        let ld = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let ld =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let bushy =
             Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::Bushy).unwrap();
         for sels in [[1e-5, 1e-5], [1e-3, 1e-2], [0.1, 0.5], [1.0, 1.0]] {
@@ -536,8 +536,8 @@ mod tests {
     #[test]
     fn optimal_cost_monotone_over_dominance() {
         let (cat, q) = star();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let mut prev = 0.0;
         for i in 0..8 {
             let s = 10f64.powf(-5.0 + 5.0 * i as f64 / 7.0);
@@ -550,8 +550,8 @@ mod tests {
     #[test]
     fn plan_changes_across_the_space() {
         let (cat, q) = star();
-        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep)
-            .unwrap();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
         let (p_low, _) = opt.optimize_at(&[1e-5, 1e-5]);
         let (p_high, _) = opt.optimize_at(&[1.0, 1.0]);
         assert_ne!(
@@ -566,8 +566,7 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let (cat, q) = star();
-        let opt =
-            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::Bushy).unwrap();
+        let opt = Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::Bushy).unwrap();
         let sels = opt.sels_at(&[1e-3, 1e-2]);
         let (_, best) = opt.optimize_with(&sels);
         // Random left-deep orders with random methods must never beat DP.

@@ -49,10 +49,10 @@ pub fn optimize_dphyp(opt: &Optimizer<'_>, sels: &Sels) -> (PlanNode, Cost) {
     let n = opt.query().relations.len();
     assert!(n <= 16);
     let mut neighbors = vec![0u32; n];
-    for i in 0..n {
+    for (i, nbr) in neighbors.iter_mut().enumerate() {
         for j in 0..n {
             if i != j && !opt.connecting_preds(1 << i, 1 << j).is_empty() {
-                neighbors[i] |= 1 << j;
+                *nbr |= 1 << j;
             }
         }
     }

@@ -51,17 +51,19 @@
 //! ```
 
 pub mod constrained;
-pub mod parser;
 pub mod cost;
+pub mod cost_matrix;
 pub mod dp;
 pub mod dphyp;
+pub mod parser;
 pub mod pipeline;
 pub mod plan;
 pub mod query;
 
 pub use cost::{CostModel, CostParams};
+pub use cost_matrix::CostMatrix;
 pub use dp::{EnumerationMode, Optimizer};
 pub use dphyp::optimize_dphyp;
-pub use plan::{JoinMethod, PlanId, PlanNode, PlanPool, ScanMethod};
 pub use parser::parse_sql;
+pub use plan::{JoinMethod, PlanId, PlanNode, PlanPool, ScanMethod};
 pub use query::{PredId, Predicate, PredicateKind, QuerySpec, RelIdx, Sels};

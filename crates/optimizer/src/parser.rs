@@ -134,9 +134,7 @@ fn tokenize(sql: &str) -> Result<Vec<Tok>> {
     Ok(out)
 }
 
-fn lex_number(
-    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
-) -> Result<i64> {
+fn lex_number(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) -> Result<i64> {
     let mut s = String::new();
     while let Some(&(_, c)) = chars.peek() {
         if c.is_ascii_digit() {
@@ -445,12 +443,15 @@ mod tests {
             "SELECT * FROM customer c WHERE c.no_such_col = 1"
         )
         .is_err());
-        assert!(parse_sql(
-            &cat,
-            "x",
-            "SELECT * FROM customer c, customer c WHERE c.c_customer_sk = 1"
-        )
-        .is_err(), "duplicate alias");
+        assert!(
+            parse_sql(
+                &cat,
+                "x",
+                "SELECT * FROM customer c, customer c WHERE c.c_customer_sk = 1"
+            )
+            .is_err(),
+            "duplicate alias"
+        );
         assert!(parse_sql(&cat, "x", "FROM customer").is_err(), "no SELECT");
         assert!(
             parse_sql(

@@ -198,7 +198,12 @@ mod tests {
     fn order_is_build_side_first_then_probe_then_node() {
         let q = query();
         // HJ( HJ(scan a(fa), scan b)[ab], scan c )[bc]
-        let inner = join(JoinMethod::HashJoin, scan(0, vec![2]), scan(1, vec![]), vec![0]);
+        let inner = join(
+            JoinMethod::HashJoin,
+            scan(0, vec![2]),
+            scan(1, vec![]),
+            vec![0],
+        );
         let plan = join(JoinMethod::HashJoin, inner, scan(2, vec![]), vec![1]);
         // top build = scan c (no epp); probe = inner join:
         //   inner build = scan b (none); probe = scan a (fa, dim 2);
@@ -209,7 +214,12 @@ mod tests {
     #[test]
     fn spill_dim_respects_learnt_set() {
         let q = query();
-        let inner = join(JoinMethod::HashJoin, scan(0, vec![2]), scan(1, vec![]), vec![0]);
+        let inner = join(
+            JoinMethod::HashJoin,
+            scan(0, vec![2]),
+            scan(1, vec![]),
+            vec![0],
+        );
         let plan = join(JoinMethod::HashJoin, inner, scan(2, vec![]), vec![1]);
         assert_eq!(spill_dim(&plan, &q, 0b111), Some(2));
         // once dim 2 learnt, the next is dim 0
@@ -238,7 +248,12 @@ mod tests {
 
     #[test]
     fn pipelines_of_hash_join_tree() {
-        let inner = join(JoinMethod::HashJoin, scan(0, vec![2]), scan(1, vec![]), vec![0]);
+        let inner = join(
+            JoinMethod::HashJoin,
+            scan(0, vec![2]),
+            scan(1, vec![]),
+            vec![0],
+        );
         let plan = join(JoinMethod::HashJoin, inner, scan(2, vec![]), vec![1]);
         let ps = pipelines(&plan);
         // build of top (scan c), build of inner (scan b), then the probe

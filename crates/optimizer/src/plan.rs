@@ -273,6 +273,15 @@ impl PlanPool {
         &self.plans[id]
     }
 
+    /// Looks up a structurally equal plan without interning it.
+    pub fn find(&self, plan: &PlanNode) -> Option<PlanId> {
+        let candidates = self.index.get(&plan.fingerprint())?;
+        candidates
+            .iter()
+            .copied()
+            .find(|&id| &self.plans[id] == plan)
+    }
+
     /// Number of distinct plans.
     pub fn len(&self) -> usize {
         self.plans.len()

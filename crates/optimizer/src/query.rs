@@ -297,15 +297,14 @@ pub fn base_selectivities(catalog: &Catalog, query: &QuerySpec) -> Sels {
                 let rs = &catalog.table(query.relations[right]).columns[right_col].stats;
                 rqp_catalog::ColumnStats::join_selectivity(ls, rs)
             }
-            PredicateKind::FilterLe { rel, col, value } => catalog
-                .table(query.relations[rel])
-                .columns[col]
-                .stats
-                .le_selectivity(value)
-                .max(rqp_common::EPS),
-            PredicateKind::FilterEq { rel, col, .. } => catalog
-                .table(query.relations[rel])
-                .columns[col]
+            PredicateKind::FilterLe { rel, col, value } => {
+                catalog.table(query.relations[rel]).columns[col]
+                    .stats
+                    .le_selectivity(value)
+                    .max(rqp_common::EPS)
+            }
+            PredicateKind::FilterEq { rel, col, .. } => catalog.table(query.relations[rel]).columns
+                [col]
                 .stats
                 .eq_selectivity(),
         })

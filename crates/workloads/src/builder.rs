@@ -41,27 +41,17 @@ impl<'a> QueryBuilder<'a> {
 
     fn col(&self, rel: RelIdx, name: &str) -> usize {
         let tid = self.relations[rel];
-        self.catalog
-            .table(tid)
-            .col_id(name)
-            .unwrap_or_else(|| {
-                panic!(
-                    "workload column lookup: {}.{name}",
-                    self.catalog.table(tid).name
-                )
-            })
+        self.catalog.table(tid).col_id(name).unwrap_or_else(|| {
+            panic!(
+                "workload column lookup: {}.{name}",
+                self.catalog.table(tid).name
+            )
+        })
     }
 
     /// Adds an equi-join; `epp` marks it error-prone (ESS dimensions are
     /// assigned in call order).
-    pub fn join(
-        &mut self,
-        l: RelIdx,
-        lcol: &str,
-        r: RelIdx,
-        rcol: &str,
-        epp: bool,
-    ) -> PredId {
+    pub fn join(&mut self, l: RelIdx, lcol: &str, r: RelIdx, rcol: &str, epp: bool) -> PredId {
         let kind = PredicateKind::Join {
             left: l,
             left_col: self.col(l, lcol),

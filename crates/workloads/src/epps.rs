@@ -53,14 +53,16 @@ pub fn identify_epps(catalog: &Catalog, query: &QuerySpec, policy: EppPolicy) ->
             (
                 EppPolicy::Uncertain { .. },
                 PredicateKind::FilterLe { rel, col, .. } | PredicateKind::FilterEq { rel, col, .. },
-            ) => catalog.table(query.relations[rel]).columns[col]
-                .stats
-                .histogram
-                .is_none()
-                && catalog.table(query.relations[rel]).columns[col]
+            ) => {
+                catalog.table(query.relations[rel]).columns[col]
                     .stats
-                    .domain
-                    .is_none(),
+                    .histogram
+                    .is_none()
+                    && catalog.table(query.relations[rel]).columns[col]
+                        .stats
+                        .domain
+                        .is_none()
+            }
         })
         .map(|(i, _)| i)
         .collect()
@@ -128,8 +130,11 @@ mod tests {
         assert!(tight.len() < loose.len());
         // threshold 1.1 over-approximates AllJoins on join predicates
         let joins: Vec<usize> = q.join_preds().collect();
-        let loose_joins: Vec<usize> =
-            loose.iter().copied().filter(|&p| q.predicates[p].kind.is_join()).collect();
+        let loose_joins: Vec<usize> = loose
+            .iter()
+            .copied()
+            .filter(|&p| q.predicates[p].kind.is_join())
+            .collect();
         assert_eq!(loose_joins, joins);
     }
 

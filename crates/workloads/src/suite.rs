@@ -140,9 +140,8 @@ pub fn executable_genspec_with_errors(
             right_col,
         } = query.predicates[p].kind
         {
-            let ndv = |rel: usize, col: usize| {
-                catalog.table(query.relations[rel]).columns[col].stats.ndv
-            };
+            let ndv =
+                |rel: usize, col: usize| catalog.table(query.relations[rel]).columns[col].stats.ndv;
             let n = ndv(left, left_col).max(ndv(right, right_col)).max(2);
             let target_sel = error[j].max(1.0) / n as f64;
             let s = if error[j] <= 1.0 {
@@ -328,7 +327,9 @@ mod tests {
         let hd = cat.table_id("household_demographics").unwrap();
         let hd_rows = cat.table(hd).rows as f64;
         let ss_hd_col = cat.table(ss).col_id("ss_hdemo_sk").unwrap();
-        let sel = data.true_join_selectivity((ss, ss_hd_col), (hd, 0)).unwrap();
+        let sel = data
+            .true_join_selectivity((ss, ss_hd_col), (hd, 0))
+            .unwrap();
         let expect = 1.0 / hd_rows;
         assert!(
             (sel - expect).abs() / expect < 0.5,
@@ -347,7 +348,11 @@ pub fn with_first_epps(query: &QuerySpec, d: usize) -> QuerySpec {
     assert!(d >= 1 && d <= query.ndims(), "d must be in 1..=D");
     let mut q = query.clone();
     q.epps.truncate(d);
-    q.name = format!("{}D_{}", d, q.name.split('_').next_back().unwrap_or(&q.name));
+    q.name = format!(
+        "{}D_{}",
+        d,
+        q.name.split('_').next_back().unwrap_or(&q.name)
+    );
     q
 }
 

@@ -33,7 +33,13 @@ pub fn q91(catalog: &Catalog, dims: usize) -> QuerySpec {
     // the customer-address join, then deeper customer dimensions.
     qb.join(cr, "cr_returned_date_sk", d, "d_date_sk", dims >= 1);
     qb.join(c, "c_current_addr_sk", ca, "ca_address_sk", dims >= 2);
-    qb.join(cr, "cr_returning_customer_sk", c, "c_customer_sk", dims >= 3);
+    qb.join(
+        cr,
+        "cr_returning_customer_sk",
+        c,
+        "c_customer_sk",
+        dims >= 3,
+    );
     qb.join(c, "c_current_hdemo_sk", hd, "hd_demo_sk", dims >= 4);
     qb.join(c, "c_current_cdemo_sk", cd, "cd_demo_sk", dims >= 5);
     qb.join(cr, "cr_call_center_sk", cc, "cc_call_center_sk", dims >= 6);

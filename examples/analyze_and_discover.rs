@@ -35,8 +35,13 @@ fn main() {
     // 3. Even so, the join estimates miss the truth by the planted factor.
     let store = DataStore::new(&catalog, data);
     let qa = measure_qa(&store, &query);
-    let opt = Optimizer::new(&catalog, &query, CostParams::default(), EnumerationMode::LeftDeep)
-        .expect("valid");
+    let opt = Optimizer::new(
+        &catalog,
+        &query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("valid");
     println!("\nepp join predicates — estimate vs truth after ANALYZE:");
     for (j, &p) in query.epps.iter().enumerate() {
         let est = opt.base_sels().get(p);
@@ -46,14 +51,21 @@ fn main() {
             qa[j],
             (qa[j] / est).round()
         );
-        assert!(matches!(query.predicates[p].kind, PredicateKind::Join { .. }));
+        assert!(matches!(
+            query.predicates[p].kind,
+            PredicateKind::Join { .. }
+        ));
     }
 
     // 4. SpillBound does not care: bounded discovery regardless.
     let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-7, 16));
     let mut sb = SpillBound::new(&surface, &opt, 2.0);
     let grid = surface.grid();
-    let coords: Vec<usize> = qa.iter().enumerate().map(|(j, &s)| grid.dim(j).nearest_idx(s)).collect();
+    let coords: Vec<usize> = qa
+        .iter()
+        .enumerate()
+        .map(|(j, &s)| grid.dim(j).nearest_idx(s))
+        .collect();
     let qa_idx = grid.flat(&coords);
     let mut oracle = CostOracle::at_grid(&opt, grid, qa_idx);
     let report = sb.run(&mut oracle).expect("discovery completes");

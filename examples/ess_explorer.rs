@@ -55,9 +55,17 @@ fn main() {
 
     // The optimal plan at the origin and at the terminus.
     println!("\noptimal plan at the origin:");
-    print!("{}", s.plan(s.grid().origin()).render(&exp.bench.query, &exp.catalog));
+    print!(
+        "{}",
+        s.plan(s.grid().origin())
+            .render(&exp.bench.query, &exp.catalog)
+    );
     println!("optimal plan at the terminus:");
-    print!("{}", s.plan(s.grid().terminus()).render(&exp.bench.query, &exp.catalog));
+    print!(
+        "{}",
+        s.plan(s.grid().terminus())
+            .render(&exp.bench.query, &exp.catalog)
+    );
 
     // Contour anatomy + alignment.
     let contours = ContourSet::build(s, 2.0);

@@ -21,10 +21,18 @@ use rqp::workloads::example_query_eq;
 fn main() {
     let catalog = tpch::catalog(1.0);
     let query = example_query_eq(&catalog);
-    println!("the paper's example query EQ (Fig. 1):\n{}\n", query.to_sql(&catalog));
+    println!(
+        "the paper's example query EQ (Fig. 1):\n{}\n",
+        query.to_sql(&catalog)
+    );
 
-    let opt = Optimizer::new(&catalog, &query, CostParams::default(), EnumerationMode::LeftDeep)
-        .expect("EQ is valid");
+    let opt = Optimizer::new(
+        &catalog,
+        &query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("EQ is valid");
     let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-7, 24));
     println!(
         "2D ESS: {} locations, {} POSP plans, costs [{:.3e}, {:.3e}]",

@@ -18,12 +18,21 @@ fn main() {
         .expect("known query");
     let t = Instant::now();
     let exp = Experiment::build(catalog, bench, EnumerationMode::LeftDeep);
-    println!("surface: {:.2}s ({} locs, {} plans)", t.elapsed().as_secs_f64(), exp.surface.len(), exp.surface.posp_size());
+    println!(
+        "surface: {:.2}s ({} locs, {} plans)",
+        t.elapsed().as_secs_f64(),
+        exp.surface.len(),
+        exp.surface.posp_size()
+    );
     let opt = exp.optimizer();
 
     let t = Instant::now();
     let pbc = rqp::core::PlanBouquet::new(&exp.surface, &opt, 2.0, 0.2);
-    println!("PB compile (anorexic): {:.2}s (rho_red {})", t.elapsed().as_secs_f64(), pbc.rho_red());
+    println!(
+        "PB compile (anorexic): {:.2}s (rho_red {})",
+        t.elapsed().as_secs_f64(),
+        pbc.rho_red()
+    );
     drop(pbc);
     let t = Instant::now();
     let pb = eval::evaluate_planbouquet_fast(&exp.surface, &opt, 2.0, 0.2).unwrap();
@@ -35,11 +44,19 @@ fn main() {
 
     let t = Instant::now();
     let (ab, pen) = eval::evaluate_alignedbound(&exp.surface, &opt, 2.0).unwrap();
-    println!("AB : {:.2}s (mso {:.1}, max penalty {pen:.2})", t.elapsed().as_secs_f64(), ab.mso);
+    println!(
+        "AB : {:.2}s (mso {:.1}, max penalty {pen:.2})",
+        t.elapsed().as_secs_f64(),
+        ab.mso
+    );
 
     let t = Instant::now();
     let nat = eval::evaluate_native(&exp.surface, &opt).unwrap();
-    println!("NAT: {:.2}s (mso {:.1})", t.elapsed().as_secs_f64(), nat.mso);
+    println!(
+        "NAT: {:.2}s (mso {:.1})",
+        t.elapsed().as_secs_f64(),
+        nat.mso
+    );
 }
 
 #[allow(dead_code)]

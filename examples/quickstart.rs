@@ -23,7 +23,11 @@ fn main() {
     let catalog = tpcds::catalog_sf100();
     let bench = workloads::q91_with_dims(&catalog, 2);
     let d = bench.query.ndims();
-    println!("query: {} ({} relations, D = {d} error-prone joins)", bench.query.name, bench.query.relations.len());
+    println!(
+        "query: {} ({} relations, D = {d} error-prone joins)",
+        bench.query.name,
+        bench.query.relations.len()
+    );
     for (j, &p) in bench.query.epps.iter().enumerate() {
         println!("  dim {j}: {}", bench.query.predicates[p].label);
     }

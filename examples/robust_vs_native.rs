@@ -43,7 +43,11 @@ fn main() {
     let row = compare(&exp, 2.0, 0.2);
     let opt = exp.optimizer();
     let native_worst = native_mso_worst_case(&exp.surface, &opt);
-    println!("exhaustive evaluation over {} locations ({:.2}s)", exp.surface.len(), t.elapsed().as_secs_f64());
+    println!(
+        "exhaustive evaluation over {} locations ({:.2}s)",
+        exp.surface.len(),
+        t.elapsed().as_secs_f64()
+    );
 
     print_table(
         &format!("{want}: worst/average sub-optimality"),

@@ -32,11 +32,14 @@ fn glyph(sub: f64) -> char {
 }
 
 fn heatmap(title: &str, stats: &SubOptStats, nx: usize, ny: usize) {
-    println!("\n{title}: MSO {:.1}, ASO {:.2}, median {:.2}", stats.mso, stats.aso, stats.percentile(50.0));
+    println!(
+        "\n{title}: MSO {:.1}, ASO {:.2}, median {:.2}",
+        stats.mso,
+        stats.aso,
+        stats.percentile(50.0)
+    );
     for y in (0..ny).rev() {
-        let row: String = (0..nx)
-            .map(|x| glyph(stats.subopts[y * nx + x]))
-            .collect();
+        let row: String = (0..nx).map(|x| glyph(stats.subopts[y * nx + x])).collect();
         println!("  |{row}|");
     }
     println!("  +{}+", "-".repeat(nx));
@@ -49,9 +52,7 @@ fn main() {
     let opt = exp.optimizer();
     let grid = exp.surface.grid();
     let (nx, ny) = (grid.dim(0).len(), grid.dim(1).len());
-    println!(
-        "sub-optimality heat maps over the 2D_Q91 ESS ({nx}×{ny}, x = dim 0 →, y = dim 1 ↑)"
-    );
+    println!("sub-optimality heat maps over the 2D_Q91 ESS ({nx}×{ny}, x = dim 0 →, y = dim 1 ↑)");
     println!("legend: · <1.5   : <3   + <5   x <10   X <30   % <100   # ≥100");
 
     let native = evaluate_native(&exp.surface, &opt).expect("native");

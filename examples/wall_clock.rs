@@ -64,7 +64,10 @@ fn main() {
     let catalog = tpcds::catalog(0.1);
     let bench = q91_with_dims(&catalog, 4);
     let query = &bench.query;
-    println!("wall-clock experiment: {} over TPC-DS at reduced scale", query.name);
+    println!(
+        "wall-clock experiment: {} over TPC-DS at reduced scale",
+        query.name
+    );
 
     // Materialize the data — with estimation error injected: the true epp
     // selectivities are 10–50× the statistics-derived estimates, which is
@@ -78,15 +81,22 @@ fn main() {
     println!("true epp selectivities qa = ({})", qa_fmt.join(", "));
 
     // Optimizer + ESS surface at this scale.
-    let opt = Optimizer::new(&catalog, query, CostParams::default(), EnumerationMode::LeftDeep)
-        .expect("query valid");
+    let opt = Optimizer::new(
+        &catalog,
+        query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("query valid");
     let surface = EssSurface::build(&opt, bench.grid());
     let exec = || Executor::new(&catalog, query, &store, CostParams::default());
 
     // Oracle-optimal: the plan an omniscient optimizer would pick.
     let (opt_plan, _) = opt.optimize_at(&qa);
     let t = Instant::now();
-    let out = exec().run_full(&opt_plan, f64::INFINITY).expect("optimal plan runs");
+    let out = exec()
+        .run_full(&opt_plan, f64::INFINITY)
+        .expect("optimal plan runs");
     let t_opt = t.elapsed();
     println!(
         "\noracle-optimal plan: {} result rows in {:.3}s",
@@ -101,7 +111,9 @@ fn main() {
     let (native_plan, _) = opt.optimize_at(&est);
     let native_cap = 200.0 * out.spent;
     let t = Instant::now();
-    let nat = exec().run_full(&native_plan, native_cap).expect("native plan runs");
+    let nat = exec()
+        .run_full(&native_plan, native_cap)
+        .expect("native plan runs");
     let t_native = t.elapsed();
     if nat.completed {
         println!(

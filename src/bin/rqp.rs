@@ -50,7 +50,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("explore") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(bench) = find_query(name) else {
                 eprintln!("unknown query {name}; try `rqp list`");
                 return ExitCode::FAILURE;
@@ -83,10 +85,14 @@ fn main() -> ExitCode {
             };
             let d = bench.query.ndims();
             let qa: Vec<f64> = if args.len() > 3 {
-                let parsed: Option<Vec<f64>> =
-                    args[3..].iter().map(|s| s.parse().ok()).collect();
+                let parsed: Option<Vec<f64>> = args[3..].iter().map(|s| s.parse().ok()).collect();
                 match parsed {
-                    Some(v) if v.len() == d && v.iter().all(|s| (0.0..=1.0).contains(s) && *s > 0.0) => v,
+                    Some(v)
+                        if v.len() == d
+                            && v.iter().all(|s| (0.0..=1.0).contains(s) && *s > 0.0) =>
+                    {
+                        v
+                    }
                     _ => {
                         eprintln!("expected {d} selectivities in (0,1]");
                         return ExitCode::FAILURE;
@@ -99,8 +105,11 @@ fn main() -> ExitCode {
             let opt = exp.optimizer();
             let grid = exp.surface.grid();
             // Snap qa to the grid so the oracle's optimum is well-defined.
-            let coords: Vec<usize> =
-                qa.iter().enumerate().map(|(j, &s)| grid.dim(j).nearest_idx(s)).collect();
+            let coords: Vec<usize> = qa
+                .iter()
+                .enumerate()
+                .map(|(j, &s)| grid.dim(j).nearest_idx(s))
+                .collect();
             let qa_idx = grid.flat(&coords);
             let opt_cost = exp.surface.opt_cost(qa_idx);
             let report = match algo.as_str() {
@@ -170,7 +179,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run-sql") => {
-            let Some(sql) = args.get(1) else { return usage() };
+            let Some(sql) = args.get(1) else {
+                return usage();
+            };
             let catalog = tpcds::catalog_sf100();
             let query = match rqp::optimizer::parse_sql(&catalog, "adhoc", sql) {
                 Ok(q) => q,
@@ -186,8 +197,17 @@ fn main() -> ExitCode {
             }
             println!("parsed {d}-epp query:\n{}\n", query.to_sql(&catalog));
             let qa: Vec<f64> = if args.len() > 2 {
-                match args[2..].iter().map(|s| s.parse().ok()).collect::<Option<Vec<f64>>>() {
-                    Some(v) if v.len() == d && v.iter().all(|s| (0.0..=1.0).contains(s) && *s > 0.0) => v,
+                match args[2..]
+                    .iter()
+                    .map(|s| s.parse().ok())
+                    .collect::<Option<Vec<f64>>>()
+                {
+                    Some(v)
+                        if v.len() == d
+                            && v.iter().all(|s| (0.0..=1.0).contains(s) && *s > 0.0) =>
+                    {
+                        v
+                    }
                     _ => {
                         eprintln!("expected {d} selectivities in (0,1]");
                         return ExitCode::FAILURE;
@@ -200,14 +220,20 @@ fn main() -> ExitCode {
             use rqp::ess::EssSurface;
             use rqp::optimizer::{CostParams, Optimizer};
             let opt = Optimizer::new(
-                &catalog, &query, CostParams::default(), EnumerationMode::LeftDeep,
+                &catalog,
+                &query,
+                CostParams::default(),
+                EnumerationMode::LeftDeep,
             )
             .expect("parsed query validated");
             let points = rqp::workloads::suite::default_grid_points(d);
             let surface = EssSurface::build(&opt, MultiGrid::uniform(d, 1e-7, points));
             let grid = surface.grid();
-            let coords: Vec<usize> =
-                qa.iter().enumerate().map(|(j, &s)| grid.dim(j).nearest_idx(s)).collect();
+            let coords: Vec<usize> = qa
+                .iter()
+                .enumerate()
+                .map(|(j, &s)| grid.dim(j).nearest_idx(s))
+                .collect();
             let qa_idx = grid.flat(&coords);
             let mut sb = SpillBound::new(&surface, &opt, 2.0);
             let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
@@ -224,7 +250,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("compare") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(bench) = find_query(name) else {
                 eprintln!("unknown query {name}; try `rqp list`");
                 return ExitCode::FAILURE;
@@ -235,7 +263,12 @@ fn main() -> ExitCode {
                 &format!("{name}: comparison"),
                 &["strategy", "MSOg", "MSOe", "ASO"],
                 &[
-                    vec!["native".into(), "∞".into(), fmt(row.msoe_native, 1), "-".into()],
+                    vec![
+                        "native".into(),
+                        "∞".into(),
+                        fmt(row.msoe_native, 1),
+                        "-".into(),
+                    ],
                     vec![
                         "PlanBouquet".into(),
                         fmt(row.msog_pb, 1),

@@ -8,15 +8,20 @@
 
 use rqp_catalog::Catalog;
 use rqp_core::eval::{
-    evaluate_alignedbound, evaluate_native, evaluate_spillbound,
+    evaluate_alignedbound_parallel, evaluate_native_ctx, evaluate_planbouquet_parallel,
+    evaluate_spillbound_parallel,
 };
-use rqp_core::PlanBouquet;
+use rqp_core::{EvalContext, PlanBouquet};
 use rqp_ess::EssSurface;
 use rqp_optimizer::{CostParams, EnumerationMode, Optimizer};
 use rqp_workloads::BenchQuery;
 use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Worker threads for parallel evaluation, from the `RQP_THREADS`
+/// environment variable (defaults to the machine's parallelism).
+pub use rqp_common::env_threads;
 
 /// A workload query compiled against its catalog, with the POSP surface
 /// built.
@@ -100,21 +105,35 @@ pub struct ComparisonRow {
 }
 
 /// Runs the complete per-query comparison (all four algorithms,
-/// exhaustive over the grid).
+/// exhaustive over the grid) with `RQP_THREADS` worker threads.
 pub fn compare(exp: &Experiment, ratio: f64, lambda: f64) -> ComparisonRow {
+    compare_with_threads(exp, ratio, lambda, env_threads())
+}
+
+/// [`compare`] with an explicit thread count. All four algorithms share a
+/// single plan×location cost matrix ([`EvalContext`]); the matrix build
+/// and the per-location sweeps both fan out across `threads` workers, and
+/// the results are bit-equal to a sequential run.
+pub fn compare_with_threads(
+    exp: &Experiment,
+    ratio: f64,
+    lambda: f64,
+    threads: usize,
+) -> ComparisonRow {
     let opt = exp.optimizer();
     let d = exp.bench.query.ndims();
     let pb = PlanBouquet::new(&exp.surface, &opt, ratio, lambda);
     let rho_red = pb.rho_red();
     let msog_pb = pb.mso_guarantee();
     drop(pb);
-    let pb_stats = rqp_core::eval::evaluate_planbouquet_fast(&exp.surface, &opt, ratio, lambda)
+    let ctx = EvalContext::with_threads(&exp.surface, &opt, threads);
+    let pb_stats = evaluate_planbouquet_parallel(&ctx, ratio, lambda, threads)
         .unwrap_or_else(|e| panic!("{}: PB evaluation: {e}", exp.bench.query.name));
-    let sb_stats = evaluate_spillbound(&exp.surface, &opt, ratio)
+    let sb_stats = evaluate_spillbound_parallel(&ctx, ratio, threads)
         .unwrap_or_else(|e| panic!("{}: SB evaluation: {e}", exp.bench.query.name));
-    let (ab_stats, ab_max_penalty) = evaluate_alignedbound(&exp.surface, &opt, ratio)
+    let (ab_stats, ab_max_penalty) = evaluate_alignedbound_parallel(&ctx, ratio, threads)
         .unwrap_or_else(|e| panic!("{}: AB evaluation: {e}", exp.bench.query.name));
-    let native = evaluate_native(&exp.surface, &opt)
+    let native = evaluate_native_ctx(&ctx)
         .unwrap_or_else(|e| panic!("{}: native evaluation: {e}", exp.bench.query.name));
     ComparisonRow {
         name: exp.bench.query.name.clone(),
@@ -133,6 +152,129 @@ pub fn compare(exp: &Experiment, ratio: f64, lambda: f64) -> ComparisonRow {
         ab_max_penalty,
         build_secs: exp.build_secs,
     }
+}
+
+/// Sequential-vs-parallel wall-clock comparison for one query's
+/// exhaustive evaluation (matrix build + PB/SB/AB/native sweeps).
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct SpeedupRow {
+    /// Query name.
+    pub name: String,
+    /// Worker threads used for the parallel run.
+    pub threads: usize,
+    /// Wall-clock seconds of the seed's evaluation path (recost per
+    /// location, no shared matrix, single-threaded).
+    pub seed_secs: f64,
+    /// Wall-clock seconds of the single-threaded cached evaluation.
+    pub seq_secs: f64,
+    /// Wall-clock seconds of the `threads`-worker cached evaluation.
+    pub par_secs: f64,
+    /// `seq_secs / par_secs` (thread scaling alone).
+    pub speedup: f64,
+    /// `seed_secs / par_secs` (shared matrix + memoization + threads).
+    pub speedup_vs_seed: f64,
+}
+
+/// Times the full four-algorithm evaluation of `exp` sequentially and
+/// with `threads` workers, panicking if the two disagree bit-for-bit on
+/// any reported statistic. The returned row is what the fig10–fig13 and
+/// micro harnesses print as their "parallel evaluation" section.
+pub fn measure_speedup(exp: &Experiment, ratio: f64, lambda: f64, threads: usize) -> SpeedupRow {
+    // The seed's evaluation path: one full recost (or spill binary search
+    // with per-probe recosting) per algorithm per grid location.
+    let opt = exp.optimizer();
+    let ts = Instant::now();
+    let seed_pb = rqp_core::eval::evaluate_planbouquet(&exp.surface, &opt, ratio, lambda)
+        .unwrap_or_else(|e| panic!("{}: seed PB evaluation: {e}", exp.bench.query.name));
+    let seed_sb = rqp_core::eval::evaluate_spillbound(&exp.surface, &opt, ratio)
+        .unwrap_or_else(|e| panic!("{}: seed SB evaluation: {e}", exp.bench.query.name));
+    let (seed_ab, _) = rqp_core::eval::evaluate_alignedbound(&exp.surface, &opt, ratio)
+        .unwrap_or_else(|e| panic!("{}: seed AB evaluation: {e}", exp.bench.query.name));
+    let _ = rqp_core::eval::evaluate_native(&exp.surface, &opt)
+        .unwrap_or_else(|e| panic!("{}: seed native evaluation: {e}", exp.bench.query.name));
+    let seed_secs = ts.elapsed().as_secs_f64();
+    drop(opt);
+
+    let t0 = Instant::now();
+    let seq = compare_with_threads(exp, ratio, lambda, 1);
+    let seq_secs = t0.elapsed().as_secs_f64();
+    for (label, a, b) in [
+        ("SB MSOe", seed_sb.mso, seq.msoe_sb),
+        ("AB MSOe", seed_ab.mso, seq.msoe_ab),
+        ("PB MSOe", seed_pb.mso, seq.msoe_pb),
+    ] {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{}: {label} diverged between the seed path ({a}) and the cached path ({b})",
+            exp.bench.query.name
+        );
+    }
+    let t1 = Instant::now();
+    let par = compare_with_threads(exp, ratio, lambda, threads);
+    let par_secs = t1.elapsed().as_secs_f64();
+    for (label, s, p) in [
+        ("PB MSOe", seq.msoe_pb, par.msoe_pb),
+        ("SB MSOe", seq.msoe_sb, par.msoe_sb),
+        ("AB MSOe", seq.msoe_ab, par.msoe_ab),
+        ("PB ASO", seq.aso_pb, par.aso_pb),
+        ("SB ASO", seq.aso_sb, par.aso_sb),
+        ("AB ASO", seq.aso_ab, par.aso_ab),
+        ("native MSOe", seq.msoe_native, par.msoe_native),
+        ("AB max ε", seq.ab_max_penalty, par.ab_max_penalty),
+    ] {
+        assert_eq!(
+            s.to_bits(),
+            p.to_bits(),
+            "{}: {label} diverged between sequential ({s}) and {threads}-thread ({p}) runs",
+            exp.bench.query.name
+        );
+    }
+    SpeedupRow {
+        name: exp.bench.query.name.clone(),
+        threads,
+        seed_secs,
+        seq_secs,
+        par_secs,
+        speedup: seq_secs / par_secs,
+        speedup_vs_seed: seed_secs / par_secs,
+    }
+}
+
+/// Prints a [`SpeedupRow`] in the shared harness format.
+pub fn print_speedup(row: &SpeedupRow) {
+    println!(
+        "[parallel evaluation] {}: seed path {:.3}s, cached sequential {:.3}s, {} threads \
+         {:.3}s -> {:.2}x vs cached sequential, {:.2}x vs the seed path \
+         (bit-equal results; set RQP_THREADS to change the worker count)",
+        row.name,
+        row.seed_secs,
+        row.seq_secs,
+        row.threads,
+        row.par_secs,
+        row.speedup,
+        row.speedup_vs_seed
+    );
+}
+
+/// The standard "parallel evaluation" trailer shared by the figure
+/// harnesses: measures the sequential-vs-parallel speedup of the full
+/// four-algorithm sweep on `dD_Q91`, prints it, and persists it as
+/// `target/experiments/<json_name>.json`. The worker count comes from
+/// `RQP_THREADS`, defaulting to 4.
+pub fn speedup_section(d: usize, json_name: &str) -> SpeedupRow {
+    let threads = if std::env::var_os("RQP_THREADS").is_some() {
+        env_threads()
+    } else {
+        4
+    };
+    let catalog = rqp_catalog::tpcds::catalog_sf100();
+    let bench = rqp_workloads::q91_with_dims(&catalog, d);
+    let exp = Experiment::build(catalog, bench, EnumerationMode::LeftDeep);
+    let row = measure_speedup(&exp, 2.0, 0.2, threads);
+    print_speedup(&row);
+    write_json(json_name, &row);
+    row
 }
 
 /// Directory where benchmark harnesses persist their results.
@@ -171,7 +313,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -209,10 +354,11 @@ pub fn suite_comparison_cached() -> Vec<ComparisonRow> {
     }
     let catalog = rqp_catalog::tpcds::catalog_sf100();
     let suite = rqp_workloads::paper_suite(&catalog);
+    let threads = env_threads();
     let mut rows = Vec::with_capacity(suite.len());
     for bench in suite {
         let name = bench.query.name.clone();
-        eprintln!("[evaluating {name} ...]");
+        eprintln!("[evaluating {name} with {threads} thread(s) ...]");
         let exp = Experiment::build(
             rqp_catalog::tpcds::catalog_sf100(),
             bench,
@@ -323,10 +469,7 @@ mod tests {
         print_table(
             "t",
             &["a", "long-header"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
     }
 }

@@ -5,8 +5,8 @@
 use rqp::catalog::tpch;
 use rqp::core::accounting::verify_spillbound_run;
 use rqp::core::{
-    planbouquet_guarantee_ratio, spillbound_guarantee_ratio, AlignedBound, CostOracle,
-    PlanBouquet, SpillBound,
+    planbouquet_guarantee_ratio, spillbound_guarantee_ratio, AlignedBound, CostOracle, PlanBouquet,
+    SpillBound,
 };
 use rqp::ess::EssSurface;
 use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
@@ -21,8 +21,13 @@ struct Fx {
 fn eq_fixture(n: usize) -> Fx {
     let catalog: &'static _ = Box::leak(Box::new(tpch::catalog(0.5)));
     let query: &'static _ = Box::leak(Box::new(example_query_eq(catalog)));
-    let opt = Optimizer::new(catalog, query, CostParams::default(), EnumerationMode::LeftDeep)
-        .expect("EQ valid");
+    let opt = Optimizer::new(
+        catalog,
+        query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("EQ valid");
     let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-7, n));
     Fx { opt, surface }
 }
@@ -33,9 +38,7 @@ fn planbouquet_guarantee_holds_at_non_doubling_ratios() {
     for ratio in [1.5, 2.0, 3.0] {
         let pb = PlanBouquet::new(&fx.surface, &fx.opt, ratio, 0.2);
         let bound = pb.mso_guarantee();
-        assert!(
-            (bound - planbouquet_guarantee_ratio(0.2, pb.rho_red(), ratio)).abs() < 1e-9
-        );
+        assert!((bound - planbouquet_guarantee_ratio(0.2, pb.rho_red(), ratio)).abs() < 1e-9);
         for qa in fx.surface.grid().iter() {
             let mut oracle = CostOracle::at_grid(&fx.opt, fx.surface.grid(), qa);
             let report = pb.run(&mut oracle).expect("PB completes");
@@ -141,8 +144,13 @@ fn filter_epps_are_discoverable_too() {
     query.epps = vec![0, 2];
     let query: &'static _ = Box::leak(Box::new(query));
     query.validate(catalog).unwrap();
-    let opt = Optimizer::new(catalog, query, CostParams::default(), EnumerationMode::LeftDeep)
-        .expect("filter-epp EQ valid");
+    let opt = Optimizer::new(
+        catalog,
+        query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("filter-epp EQ valid");
     let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 9));
     surface.check_monotone().unwrap();
     let mut sb = SpillBound::new(&surface, &opt, 2.0);

@@ -41,8 +41,13 @@ fn fixture(scale: f64, dims: usize, errors: Option<&[f64]>) -> Fixture {
 #[test]
 fn spillbound_completes_with_real_executor() {
     let fx = fixture(0.05, 2, Some(&[50.0, 20.0]));
-    let opt = Optimizer::new(fx.catalog, fx.query, CostParams::default(), EnumerationMode::LeftDeep)
-        .unwrap();
+    let opt = Optimizer::new(
+        fx.catalog,
+        fx.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .unwrap();
     let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-7, 12));
     let mut sb = SpillBound::new(&surface, &opt, 2.0);
     let exec = Executor::new(fx.catalog, fx.query, &fx.store, CostParams::default());
@@ -56,8 +61,13 @@ fn spillbound_completes_with_real_executor() {
 #[test]
 fn alignedbound_completes_with_real_executor() {
     let fx = fixture(0.05, 2, Some(&[50.0, 20.0]));
-    let opt = Optimizer::new(fx.catalog, fx.query, CostParams::default(), EnumerationMode::LeftDeep)
-        .unwrap();
+    let opt = Optimizer::new(
+        fx.catalog,
+        fx.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .unwrap();
     let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-7, 12));
     let mut ab = AlignedBound::new(&surface, &opt, 2.0);
     let exec = Executor::new(fx.catalog, fx.query, &fx.store, CostParams::default());
@@ -69,8 +79,13 @@ fn alignedbound_completes_with_real_executor() {
 #[test]
 fn real_runs_learn_true_selectivities() {
     let fx = fixture(0.05, 2, Some(&[100.0, 10.0]));
-    let opt = Optimizer::new(fx.catalog, fx.query, CostParams::default(), EnumerationMode::LeftDeep)
-        .unwrap();
+    let opt = Optimizer::new(
+        fx.catalog,
+        fx.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .unwrap();
     let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-7, 12));
     let qa = measure_qa(&fx.store, fx.query);
     let mut sb = SpillBound::new(&surface, &opt, 2.0);
@@ -96,8 +111,13 @@ fn executor_result_counts_are_plan_invariant() {
     // Robustness cornerstone: whatever plan discovery executes, the final
     // result is the same relation.
     let fx = fixture(0.03, 2, None);
-    let opt = Optimizer::new(fx.catalog, fx.query, CostParams::default(), EnumerationMode::LeftDeep)
-        .unwrap();
+    let opt = Optimizer::new(
+        fx.catalog,
+        fx.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .unwrap();
     let exec = Executor::new(fx.catalog, fx.query, &fx.store, CostParams::default());
     let mut counts = Vec::new();
     for sels in [[1e-6, 1e-6], [1e-3, 1e-2], [0.5, 0.9]] {
@@ -115,8 +135,13 @@ fn executor_result_counts_are_plan_invariant() {
 #[test]
 fn budget_timeouts_discard_results_and_charge_budget() {
     let fx = fixture(0.03, 2, None);
-    let opt = Optimizer::new(fx.catalog, fx.query, CostParams::default(), EnumerationMode::LeftDeep)
-        .unwrap();
+    let opt = Optimizer::new(
+        fx.catalog,
+        fx.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .unwrap();
     let exec = Executor::new(fx.catalog, fx.query, &fx.store, CostParams::default());
     let (plan, _) = opt.optimize_at(&[1e-3, 1e-3]);
     let full = exec.run_full(&plan, f64::INFINITY).expect("runs");
@@ -132,8 +157,13 @@ fn cost_oracle_and_exec_oracle_agree_on_plan_choices() {
     // With data generated to match the statistics, both oracles should
     // drive SpillBound through the same contour progression.
     let fx = fixture(0.05, 2, None);
-    let opt = Optimizer::new(fx.catalog, fx.query, CostParams::default(), EnumerationMode::LeftDeep)
-        .unwrap();
+    let opt = Optimizer::new(
+        fx.catalog,
+        fx.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .unwrap();
     let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-7, 10));
     let qa = measure_qa(&fx.store, fx.query);
 

@@ -20,8 +20,13 @@ fn build(
     // test process.
     let catalog: &'static _ = Box::leak(Box::new(catalog.clone()));
     let query: &'static _ = Box::leak(Box::new(query.clone()));
-    let opt = Optimizer::new(catalog, query, CostParams::default(), EnumerationMode::LeftDeep)
-        .expect("valid");
+    let opt = Optimizer::new(
+        catalog,
+        query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("valid");
     let grid = MultiGrid::uniform(query.ndims(), 1e-7, n);
     let surface = EssSurface::build(&opt, grid);
     (opt, surface)
@@ -151,5 +156,10 @@ fn spillbound_beats_planbouquet_empirically_on_q91_4d() {
         pb.mso
     );
     // Fig. 11's shape: nor does its average case.
-    assert!(sb.aso <= pb.aso * 1.1, "SB ASO {} vs PB ASO {}", sb.aso, pb.aso);
+    assert!(
+        sb.aso <= pb.aso * 1.1,
+        "SB ASO {} vs PB ASO {}",
+        sb.aso,
+        pb.aso
+    );
 }

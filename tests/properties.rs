@@ -9,7 +9,10 @@
 
 use proptest::prelude::*;
 use rqp::catalog::{tpcds, Catalog};
-use rqp::core::{spillbound_guarantee, CostOracle, SpillBound};
+use rqp::core::eval::{
+    evaluate_alignedbound_parallel, evaluate_planbouquet_parallel, evaluate_spillbound_parallel,
+};
+use rqp::core::{spillbound_guarantee, CostOracle, EvalContext, SpillBound};
 use rqp::ess::EssSurface;
 use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
 use rqp::workloads::tpcds_queries as q;
@@ -143,5 +146,40 @@ proptest! {
                 prop_assert!((s - truth).abs() <= 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn parallel_evaluation_bit_equal_to_sequential(
+        n in 5usize..9,
+        min_exp in 5u32..8,
+        threads in 2usize..8,
+        ratio_tenths in 15u32..26,
+    ) {
+        let f = fx();
+        let opt = Optimizer::new(&f.catalog, &f.query, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let min_sel = 10f64.powi(-(min_exp as i32));
+        let surface = EssSurface::build(&opt, MultiGrid::uniform(2, min_sel, n));
+        let ratio = ratio_tenths as f64 / 10.0;
+        let ctx = EvalContext::with_threads(&surface, &opt, threads);
+
+        let bit_equal = |s: &rqp::core::SubOptStats, p: &rqp::core::SubOptStats| {
+            s.mso.to_bits() == p.mso.to_bits()
+                && s.worst_qa == p.worst_qa
+                && s.subopts.len() == p.subopts.len()
+                && s.subopts.iter().zip(&p.subopts).all(|(a, b)| a.to_bits() == b.to_bits())
+        };
+
+        let sb_seq = evaluate_spillbound_parallel(&ctx, ratio, 1).unwrap();
+        let sb_par = evaluate_spillbound_parallel(&ctx, ratio, threads).unwrap();
+        prop_assert!(bit_equal(&sb_seq, &sb_par), "SB diverged at {threads} threads");
+
+        let (ab_seq, pen_seq) = evaluate_alignedbound_parallel(&ctx, ratio, 1).unwrap();
+        let (ab_par, pen_par) = evaluate_alignedbound_parallel(&ctx, ratio, threads).unwrap();
+        prop_assert!(bit_equal(&ab_seq, &ab_par), "AB diverged at {threads} threads");
+        prop_assert_eq!(pen_seq.to_bits(), pen_par.to_bits());
+
+        let pb_seq = evaluate_planbouquet_parallel(&ctx, ratio, 0.2, 1).unwrap();
+        let pb_par = evaluate_planbouquet_parallel(&ctx, ratio, 0.2, threads).unwrap();
+        prop_assert!(bit_equal(&pb_seq, &pb_par), "PB diverged at {threads} threads");
     }
 }

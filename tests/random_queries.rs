@@ -7,9 +7,7 @@ use proptest::prelude::*;
 use rqp::catalog::{Catalog, Column, ColumnStats, DataType, Table};
 use rqp::core::{spillbound_guarantee, CostOracle, SpillBound};
 use rqp::ess::{ContourSet, EssSurface, EssView};
-use rqp::optimizer::{
-    CostParams, EnumerationMode, Optimizer, Predicate, PredicateKind, QuerySpec,
-};
+use rqp::optimizer::{CostParams, EnumerationMode, Optimizer, Predicate, PredicateKind, QuerySpec};
 use rqp_common::MultiGrid;
 
 /// A randomly-shaped acyclic query over a randomly-sized catalog.
@@ -34,7 +32,11 @@ fn random_query_strategy() -> impl Strategy<Value = RandomQuery> {
             for (i, rows) in sizes.iter().take(n).enumerate() {
                 let mut cols = vec![
                     Column::new("k", DataType::Int, ColumnStats::uniform(*rows)).with_index(),
-                    Column::new("fk", DataType::Int, ColumnStats::uniform((*rows).max(10) / 2)),
+                    Column::new(
+                        "fk",
+                        DataType::Int,
+                        ColumnStats::uniform((*rows).max(10) / 2),
+                    ),
                 ];
                 if index_all {
                     cols[1].indexed = true;
@@ -44,8 +46,8 @@ fn random_query_strategy() -> impl Strategy<Value = RandomQuery> {
                     .unwrap();
             }
             let mut predicates = Vec::new();
-            for r in 1..n {
-                let parent = attach[r] % r;
+            for (r, &a) in attach.iter().enumerate().take(n).skip(1) {
+                let parent = a % r;
                 predicates.push(Predicate {
                     label: format!("t{parent}~t{r}"),
                     kind: PredicateKind::Join {

@@ -1,0 +1,173 @@
+//! Offline shim for the subset of `criterion` used by the rqp benches:
+//! `Criterion` with `sample_size`/`measurement_time`/`warm_up_time`,
+//! `bench_function`, `Bencher::iter`/`iter_batched`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros. Timing is a plain
+//! mean-of-samples wall-clock loop printed to stdout — no statistics
+//! engine, plots, or saved baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (accepted, unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every routine call.
+    PerIteration,
+}
+
+/// Runs timing loops for one benchmark (shim of `criterion::Bencher`).
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh `setup()` inputs, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Benchmark harness configuration and runner (shim of
+/// `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints the mean time per
+    /// iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: run single iterations until the warm-up budget is spent,
+        // which also calibrates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::ZERO;
+        let mut warm_runs: u32 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_runs == 0 {
+            b.iters = 1;
+            f(&mut b);
+            per_iter += b.elapsed;
+            warm_runs += 1;
+            if warm_runs >= 1000 {
+                break;
+            }
+        }
+        per_iter = (per_iter / warm_runs).max(Duration::from_nanos(1));
+
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut count: u64 = 0;
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            f(&mut b);
+            total += b.elapsed;
+            count += iters;
+        }
+
+        let mean_ns = total.as_nanos() as f64 / count as f64;
+        if mean_ns >= 1e6 {
+            println!("{name:<40} {:>12.3} ms/iter ({count} iters)", mean_ns / 1e6);
+        } else if mean_ns >= 1e3 {
+            println!("{name:<40} {:>12.3} us/iter ({count} iters)", mean_ns / 1e3);
+        } else {
+            println!("{name:<40} {mean_ns:>12.1} ns/iter ({count} iters)");
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function (shim of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut c = $cfg;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running each group (shim of
+/// `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,285 @@
+//! Offline shim for the subset of `serde` the rqp workspace uses.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the same *names* (`Serialize`, `Deserialize`, the derive macros, the
+//! `#[serde(default)]` / `#[serde(skip)]` attributes) over a much simpler
+//! data model: values serialize into an owned [`Value`] tree which
+//! `serde_json` (the sibling shim) renders to / parses from JSON text.
+//! Only the shapes the workspace actually serializes are supported.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the entire (simplified) serde data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All numbers are carried as `f64`; exact for the integer magnitudes
+    /// this workspace serializes (< 2^53).
+    Num(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object (no duplicate keys are ever produced).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field by key in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to the serde data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the serde data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- derive support helpers -------------------------------------------
+
+/// Fetches and deserializes a required object field (derive helper).
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => Err(Error::msg(format!("missing field `{name}`"))),
+    }
+}
+
+/// Like [`field`] but substitutes `Default` when absent
+/// (`#[serde(default)]`).
+pub fn field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    name: &str,
+) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => Ok(T::default()),
+    }
+}
+
+// ---- primitive impls ---------------------------------------------------
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| Error::msg(concat!("expected number for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        Ok(($( {
+                            let _ = $n; // positional
+                            $t::from_value(
+                                it.next().ok_or_else(|| Error::msg("tuple too short"))?,
+                            )?
+                        },)+))
+                    }
+                    _ => Err(Error::msg("expected array for tuple")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sorted keys so serialized output is deterministic.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Object(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            _ => Err(Error::msg("expected object for map")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,488 @@
+//! Offline `#[derive(Serialize, Deserialize)]` shim.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` available in
+//! this offline build) and emits impls of the simplified traits in the
+//! vendored `serde` crate. Supports non-generic named-field structs and
+//! enums with unit / named-field / tuple variants, plus the
+//! `#[serde(default)]` and `#[serde(skip)]` field attributes — exactly
+//! the shapes the rqp workspace derives.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name plus serde attribute flags.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    /// `None` for unit, `Some(Named(fields))` or `Some(Tuple(arity))`.
+    body: Option<VariantBody>,
+}
+
+enum VariantBody {
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+/// The parsed derive input.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Extracts `default` / `skip` flags from a `#[serde(...)]` attribute
+/// group body.
+fn serde_flags(group: &proc_macro::Group, skip: &mut bool, default: &mut bool) {
+    let mut inner = group.stream().into_iter();
+    let Some(TokenTree::Ident(head)) = inner.next() else {
+        return;
+    };
+    if head.to_string() != "serde" {
+        return;
+    }
+    if let Some(TokenTree::Group(args)) = inner.next() {
+        for tok in args.stream() {
+            if let TokenTree::Ident(flag) = tok {
+                match flag.to_string().as_str() {
+                    "skip" => *skip = true,
+                    "default" => *default = true,
+                    other => panic!("unsupported #[serde({other})] in offline serde shim"),
+                }
+            }
+        }
+    }
+}
+
+/// Parses named fields from a brace-group token stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        let mut skip = false;
+        let mut default = false;
+        // attributes
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        serde_flags(&g, &mut skip, &mut default);
+                    }
+                }
+                _ => break,
+            }
+        }
+        // visibility (`pub`, `pub(crate)`, ...)
+        if let Some(TokenTree::Ident(id)) = toks.peek() {
+            if id.to_string() == "pub" {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+        }
+        // field name
+        let Some(TokenTree::Ident(name)) = toks.next() else {
+            break;
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+            default,
+        });
+        // expect ':' then consume the type up to a comma at angle-depth 0
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        let mut angle = 0i32;
+        loop {
+            match toks.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Splits a tuple-variant paren group into its arity (top-level commas at
+/// angle-depth 0, plus one for a trailing type).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tok in stream {
+        any = true;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+/// Parses the derive input item.
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // skip outer attributes and visibility
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("generic types are not supported by the offline serde shim");
+        }
+    }
+    let Some(TokenTree::Group(body)) = toks.next() else {
+        panic!("expected item body");
+    };
+    match kind.as_str() {
+        "struct" => match body.delimiter() {
+            Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(body.stream()),
+            },
+            Delimiter::Parenthesis => Item::TupleStruct {
+                arity: tuple_arity(body.stream()),
+                name,
+            },
+            other => panic!("unsupported struct body delimiter {other:?}"),
+        },
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut vt = body.stream().into_iter().peekable();
+            loop {
+                // attributes on the variant
+                loop {
+                    match vt.peek() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                            vt.next();
+                            vt.next();
+                        }
+                        _ => break,
+                    }
+                }
+                let Some(TokenTree::Ident(vname)) = vt.next() else {
+                    break;
+                };
+                let body = match vt.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        vt.next();
+                        Some(VariantBody::Named(fields))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = tuple_arity(g.stream());
+                        vt.next();
+                        Some(VariantBody::Tuple(n))
+                    }
+                    _ => None,
+                };
+                variants.push(Variant {
+                    name: vname.to_string(),
+                    body,
+                });
+                // consume optional discriminant-free comma
+                if let Some(TokenTree::Punct(p)) = vt.peek() {
+                    if p.as_char() == ',' {
+                        vt.next();
+                    }
+                }
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Derives the shimmed `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut o: Vec<(String, ::serde::Value)> = Vec::new();\n"
+            ));
+            for f in fields.iter().filter(|f| !f.skip) {
+                out.push_str(&format!(
+                    "o.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            out.push_str("::serde::Value::Object(o)\n}\n}\n");
+        }
+        Item::TupleStruct { name, arity } => {
+            // Newtype structs serialize transparently (as in real serde);
+            // wider tuple structs serialize as arrays.
+            let inner = if arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                format!(
+                    "::serde::Value::Array(vec![{}])",
+                    (0..arity)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 {inner}\n}}\n}}\n"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n"
+            ));
+            for v in &variants {
+                let vn = &v.name;
+                match &v.body {
+                    None => out.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Some(VariantBody::Named(fields)) => {
+                        let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let mut o: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                            pat.join(", ")
+                        ));
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            out.push_str(&format!(
+                                "o.push((\"{0}\".to_string(), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Object(o))])\n}}\n"
+                        ));
+                    }
+                    Some(VariantBody::Tuple(n)) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Array(vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        out.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out.parse().expect("derive(Serialize) emitted invalid Rust")
+}
+
+/// Derives the shimmed `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 let o = v.as_object().ok_or_else(|| ::serde::Error::msg(\"expected object for {name}\"))?;\n\
+                 let _ = o;\n\
+                 Ok({name} {{\n"
+            ));
+            for f in &fields {
+                if f.skip {
+                    out.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else if f.default {
+                    out.push_str(&format!(
+                        "{0}: ::serde::field_or_default(o, \"{0}\")?,\n",
+                        f.name
+                    ));
+                } else {
+                    out.push_str(&format!("{0}: ::serde::field(o, \"{0}\")?,\n", f.name));
+                }
+            }
+            out.push_str("})\n}\n}\n");
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let elems: Vec<String> = (0..arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::Error::msg(\"tuple struct too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match v {{\n\
+                     ::serde::Value::Array(items) => Ok({name}({})),\n\
+                     _ => Err(::serde::Error::msg(\"expected array for {name}\")),\n\
+                     }}",
+                    elems.join(", ")
+                )
+            };
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n}}\n}}\n"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n"
+            ));
+            for v in variants.iter().filter(|v| v.body.is_none()) {
+                out.push_str(&format!("\"{0}\" => Ok({name}::{0}),\n", v.name));
+            }
+            out.push_str(&format!(
+                "other => Err(::serde::Error::msg(format!(\"unknown {name} variant {{other}}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                 let (tag, inner) = &o[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n"
+            ));
+            for v in &variants {
+                let vn = &v.name;
+                match &v.body {
+                    None => {}
+                    Some(VariantBody::Named(fields)) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let fo = inner.as_object().ok_or_else(|| ::serde::Error::msg(\"expected object for {name}::{vn}\"))?;\n\
+                             let _ = fo;\n\
+                             Ok({name}::{vn} {{\n"
+                        ));
+                        for f in fields {
+                            if f.skip {
+                                out.push_str(&format!(
+                                    "{}: ::core::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else if f.default {
+                                out.push_str(&format!(
+                                    "{0}: ::serde::field_or_default(fo, \"{0}\")?,\n",
+                                    f.name
+                                ));
+                            } else {
+                                out.push_str(&format!(
+                                    "{0}: ::serde::field(fo, \"{0}\")?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        out.push_str("})\n}\n");
+                    }
+                    Some(VariantBody::Tuple(n)) => {
+                        if *n == 1 {
+                            out.push_str(&format!(
+                                "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                            ));
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::Error::msg(\"tuple variant too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            out.push_str(&format!(
+                                "\"{vn}\" => match inner {{\n\
+                                 ::serde::Value::Array(items) => Ok({name}::{vn}({})),\n\
+                                 _ => Err(::serde::Error::msg(\"expected array for {name}::{vn}\")),\n\
+                                 }},\n",
+                                elems.join(", ")
+                            ));
+                        }
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "other => Err(::serde::Error::msg(format!(\"unknown {name} variant {{other}}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::Error::msg(\"bad value for {name}\")),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n"
+            ));
+        }
+    }
+    out.parse()
+        .expect("derive(Deserialize) emitted invalid Rust")
+}
