@@ -8,7 +8,7 @@
 use rqp::catalog::tpcds;
 use rqp::core::eval::{evaluate_planbouquet_parallel, evaluate_spillbound_parallel};
 use rqp::core::EvalContext;
-use rqp::experiments::{env_threads, fmt, print_table, write_json, Experiment};
+use rqp::experiments::{fmt, harness_threads, print_table, write_json, Experiment};
 use rqp::optimizer::EnumerationMode;
 use rqp::workloads::q91_with_dims;
 use serde::Serialize;
@@ -25,12 +25,10 @@ fn main() {
     let bench = q91_with_dims(&catalog, 4);
     let exp = Experiment::build(catalog, bench, EnumerationMode::LeftDeep);
     let opt = exp.optimizer();
-    let threads = if std::env::var_os("RQP_THREADS").is_some() {
-        env_threads()
-    } else {
-        4
-    };
-    println!("[evaluating 4D_Q91 with {threads} thread(s); set RQP_THREADS to change]");
+    let threads = harness_threads(4);
+    println!(
+        "[evaluating 4D_Q91 with {threads} thread(s); set RQP_THREADS or pass --threads N to change]"
+    );
     let ctx = EvalContext::with_threads(&exp.surface, &opt, threads);
     let t_par = std::time::Instant::now();
     let pb = evaluate_planbouquet_parallel(&ctx, 2.0, 0.2, threads).expect("PB eval");

@@ -1,0 +1,684 @@
+//! Persistent store for compiled robust-query artifacts.
+//!
+//! The paper's robustness guarantees rest on an expensive offline
+//! compilation step — POSP enumeration over the ESS grid, iso-cost
+//! contour construction, anorexic reduction, and (since PR 1) the dense
+//! plan×location [`CostMatrix`] — that §7 explicitly suggests amortizing:
+//! "for canned queries, it may be feasible to carry out an offline
+//! enumeration". This crate makes that amortization concrete: a
+//! [`CompiledArtifact`] bundles everything the online algorithms need,
+//! and persists it in a versioned, integrity-checked on-disk format so a
+//! query template is compiled once and warm-started from disk thereafter.
+//!
+//! # File format
+//!
+//! An artifact file is two lines of UTF-8 text:
+//!
+//! ```text
+//! {"magic":"rqp-artifact","version":1,"checksum":"<16-hex-digit 8-lane FNV-1a>","payload_len":N}
+//! <payload: compact JSON of CompiledArtifact, exactly N bytes>
+//! ```
+//!
+//! The header is a single JSON line; the payload is everything after the
+//! first newline. The checksum is [`checksum64`] (8-lane FNV-1a 64) over
+//! the raw payload bytes, hex-encoded — a string, not a JSON number,
+//! because the vendored `serde` shim carries numbers as `f64` and u64
+//! checksums exceed 2^53.
+//! Loading validates magic → version → length → checksum → decode →
+//! structural invariants, and every failure surfaces as a typed
+//! [`ArtifactError`]; nothing in the load path panics on bad input.
+//!
+//! Float fields round-trip bit-exactly: the `serde_json` shim renders
+//! floats with Rust's shortest-round-trip `Display`, so a loaded artifact
+//! evaluates bit-identically to the freshly compiled one (property-tested
+//! in `tests/artifact_roundtrip.rs` at the workspace root).
+
+use rqp_common::MultiGrid;
+use rqp_ess::anorexic::{reduce_all, ReducedContour};
+use rqp_ess::{ContourSet, EssSurface};
+use rqp_optimizer::{CostMatrix, Optimizer, QuerySpec};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Magic string identifying an rqp artifact file.
+pub const MAGIC: &str = "rqp-artifact";
+
+/// Current on-disk format version. Bump on any incompatible change to
+/// [`CompiledArtifact`]'s serialized shape.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Typed artifact-store failure. Every load-path failure maps to one of
+/// these; the load path never panics on malformed input.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem failure (open/read/write/rename).
+    Io(String),
+    /// The file's first line is not a well-formed artifact header.
+    BadHeader(String),
+    /// The header's magic string is not [`MAGIC`] — not an rqp artifact.
+    BadMagic(String),
+    /// The header declares a format version this build cannot read.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The payload is shorter than the header promised.
+    Truncated { expected: usize, found: usize },
+    /// The payload's FNV-1a checksum does not match the header.
+    ChecksumMismatch { expected: String, found: String },
+    /// The payload is not a decodable `CompiledArtifact`.
+    Decode(String),
+    /// The payload decoded but violates a structural invariant (e.g. a
+    /// cost-matrix shape that contradicts the surface).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(m) => write!(f, "artifact io error: {m}"),
+            ArtifactError::BadHeader(m) => write!(f, "bad artifact header: {m}"),
+            ArtifactError::BadMagic(found) => {
+                write!(f, "bad magic `{found}` (expected `{MAGIC}`)")
+            }
+            ArtifactError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (supported: {supported})"
+                )
+            }
+            ArtifactError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "truncated payload: header promised {expected} bytes, found {found}"
+                )
+            }
+            ArtifactError::ChecksumMismatch { expected, found } => {
+                write!(
+                    f,
+                    "checksum mismatch: header says {expected}, payload hashes to {found}"
+                )
+            }
+            ArtifactError::Decode(m) => write!(f, "artifact payload decode: {m}"),
+            ArtifactError::Invalid(m) => write!(f, "artifact invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e.to_string())
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 8-lane FNV-1a 64-bit checksum of a byte slice.
+///
+/// Byte `i` feeds lane `i mod 8` of an ordinary FNV-1a chain; the eight
+/// lane hashes plus the input length are then folded through one final
+/// FNV-1a pass. Same diffusion family the plan pool uses for
+/// fingerprints, but the eight independent multiply chains let the CPU
+/// pipeline them — a serial FNV over a multi-megabyte payload would
+/// otherwise dominate warm artifact loads.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut lanes = [FNV_OFFSET; 8];
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        for (lane, &b) in lanes.iter_mut().zip(chunk) {
+            *lane = (*lane ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    for (lane, &b) in lanes.iter_mut().zip(chunks.remainder()) {
+        *lane = (*lane ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    let mut h = FNV_OFFSET;
+    for byte in lanes
+        .iter()
+        .flat_map(|lane| lane.to_le_bytes())
+        .chain((bytes.len() as u64).to_le_bytes())
+    {
+        h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The artifact file header — the first line of the file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Header {
+    magic: String,
+    version: u32,
+    /// Hex-encoded [`checksum64`] of the payload bytes (string, not
+    /// number: the serde shim's f64 numbers cannot carry u64 exactly).
+    checksum: String,
+    payload_len: usize,
+}
+
+/// Everything the online algorithms need to serve one query template:
+/// the compiled POSP surface, its contour schedule, the anorexic-reduced
+/// bouquet, and the dense plan×location recost matrix, together with the
+/// compilation parameters that produced them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompiledArtifact {
+    /// The query template this artifact was compiled for.
+    pub query: QuerySpec,
+    /// Inter-contour cost ratio (the paper uses 2.0).
+    pub ratio: f64,
+    /// Anorexic swallowing threshold λ (the paper uses 0.2).
+    pub lambda: f64,
+    /// The POSP surface over the ESS grid (includes the interned pool in
+    /// stable id order).
+    pub surface: EssSurface,
+    /// Geometric iso-cost contour schedule.
+    pub contours: ContourSet,
+    /// Anorexic-reduced plan sets, one per contour, in execution order.
+    pub bouquet: Vec<ReducedContour>,
+    /// Post-reduction maximum contour density ρ_red.
+    pub rho_red: usize,
+    /// Dense plan×location recost matrix over the surface's pool/grid.
+    pub matrix: CostMatrix,
+}
+
+impl CompiledArtifact {
+    /// Runs the full offline compilation pipeline: POSP sweep, contour
+    /// schedule, anorexic reduction, and the recost matrix, each with
+    /// `threads` workers where parallel builds exist. All stages are
+    /// deterministic and thread-count-independent.
+    pub fn compile(
+        opt: &Optimizer<'_>,
+        grid: MultiGrid,
+        ratio: f64,
+        lambda: f64,
+        threads: usize,
+    ) -> Self {
+        let surface = EssSurface::build_parallel(opt, grid, threads);
+        let contours = ContourSet::build(&surface, ratio);
+        let (bouquet, rho_red) = reduce_all(&surface, opt, &contours, lambda);
+        let matrix = CostMatrix::build_parallel(opt, surface.pool(), surface.grid(), threads);
+        Self {
+            query: opt.query().clone(),
+            ratio,
+            lambda,
+            surface,
+            contours,
+            bouquet,
+            rho_red,
+            matrix,
+        }
+    }
+
+    /// Serializes to the on-disk byte format (header line + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = serde_json::to_string(self).expect("artifact serializes");
+        let header = Header {
+            magic: MAGIC.into(),
+            version: FORMAT_VERSION,
+            checksum: format!("{:016x}", checksum64(payload.as_bytes())),
+            payload_len: payload.len(),
+        };
+        let mut out = serde_json::to_string(&header)
+            .expect("header serializes")
+            .into_bytes();
+        out.push(b'\n');
+        out.extend_from_slice(payload.as_bytes());
+        out
+    }
+
+    /// Parses and validates the on-disk byte format. Checks, in order:
+    /// header shape, magic, format version, payload length, checksum,
+    /// payload decode, and structural invariants. Never panics on
+    /// malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let nl = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or(ArtifactError::Truncated {
+                expected: 1,
+                found: 0,
+            })?;
+        let header_text = std::str::from_utf8(&bytes[..nl])
+            .map_err(|e| ArtifactError::BadHeader(e.to_string()))?;
+        let header: Header = serde_json::from_str(header_text)
+            .map_err(|e| ArtifactError::BadHeader(e.to_string()))?;
+        if header.magic != MAGIC {
+            return Err(ArtifactError::BadMagic(header.magic));
+        }
+        if header.version != FORMAT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: header.version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let payload = &bytes[nl + 1..];
+        if payload.len() < header.payload_len {
+            return Err(ArtifactError::Truncated {
+                expected: header.payload_len,
+                found: payload.len(),
+            });
+        }
+        if payload.len() > header.payload_len {
+            return Err(ArtifactError::Decode(format!(
+                "{} trailing bytes after payload",
+                payload.len() - header.payload_len
+            )));
+        }
+        let found = format!("{:016x}", checksum64(payload));
+        if found != header.checksum {
+            return Err(ArtifactError::ChecksumMismatch {
+                expected: header.checksum,
+                found,
+            });
+        }
+        let payload_text =
+            std::str::from_utf8(payload).map_err(|e| ArtifactError::Decode(e.to_string()))?;
+        let mut artifact: CompiledArtifact =
+            serde_json::from_str(payload_text).map_err(|e| ArtifactError::Decode(e.to_string()))?;
+        artifact.rehydrate()?;
+        Ok(artifact)
+    }
+
+    /// Rebuilds non-serialized state (the pool's fingerprint index) and
+    /// validates cross-component invariants.
+    fn rehydrate(&mut self) -> Result<(), ArtifactError> {
+        self.surface
+            .rehydrate()
+            .map_err(|e| ArtifactError::Invalid(e.to_string()))?;
+        if self.query.ndims() != self.surface.grid().ndims() {
+            return Err(ArtifactError::Invalid(format!(
+                "query has {} error-prone predicates but the grid has {} dimensions",
+                self.query.ndims(),
+                self.surface.grid().ndims()
+            )));
+        }
+        if !self
+            .matrix
+            .shape_matches(self.surface.posp_size(), self.surface.grid().len())
+        {
+            return Err(ArtifactError::Invalid(format!(
+                "cost matrix shape {}x{} does not match surface ({} plans, {} locations)",
+                self.matrix.nplans(),
+                self.matrix.grid_len(),
+                self.surface.posp_size(),
+                self.surface.grid().len()
+            )));
+        }
+        if self.bouquet.len() != self.contours.len() {
+            return Err(ArtifactError::Invalid(format!(
+                "bouquet has {} contours but the schedule has {}",
+                self.bouquet.len(),
+                self.contours.len()
+            )));
+        }
+        let nplans = self.surface.posp_size();
+        for (i, rc) in self.bouquet.iter().enumerate() {
+            if rc.plans.is_empty() || rc.plans.iter().any(|&pid| pid >= nplans) {
+                return Err(ArtifactError::Invalid(format!(
+                    "reduced contour {i} is empty or references a plan outside the pool"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the artifact atomically (`path.tmp` then rename).
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and validates an artifact file.
+    pub fn load(path: &Path) -> Result<Self, ArtifactError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// True if this artifact was compiled for the given configuration —
+    /// the staleness check `compile_or_load` uses before trusting a file.
+    pub fn matches(&self, opt: &Optimizer<'_>, grid: &MultiGrid, ratio: f64, lambda: f64) -> bool {
+        self.query.name == opt.query().name
+            && self.query.ndims() == opt.query().ndims()
+            && self.surface.grid() == grid
+            && self.ratio == ratio
+            && self.lambda == lambda
+    }
+}
+
+/// Why `compile_or_load` went cold instead of loading.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColdReason {
+    /// No artifact file existed at the path.
+    Missing,
+    /// A file existed but failed validation (corrupt / wrong version).
+    Corrupt(String),
+    /// A valid file existed but was compiled for a different
+    /// query/grid/ratio/lambda configuration.
+    Stale,
+}
+
+/// How an artifact was obtained, with wall-clock timings — the
+/// cold-vs-warm evidence the CLI prints.
+#[derive(Debug, Clone)]
+pub enum Provenance {
+    /// Loaded from disk without recompiling.
+    Warm {
+        /// Time to read + validate + rehydrate the file.
+        load: Duration,
+    },
+    /// Compiled from scratch (and saved).
+    Cold {
+        /// Why the load path was not taken.
+        reason: ColdReason,
+        /// Time of the full offline compilation pipeline.
+        compile: Duration,
+        /// Time to serialize + write the file.
+        save: Duration,
+    },
+}
+
+impl Provenance {
+    /// True if the artifact came from disk.
+    pub fn is_warm(&self) -> bool {
+        matches!(self, Provenance::Warm { .. })
+    }
+}
+
+/// Loads `path` if it holds a valid artifact for this exact
+/// configuration; otherwise compiles from scratch and saves. The
+/// warm-start entry point: corrupt or stale files are transparently
+/// recompiled, never trusted.
+pub fn compile_or_load(
+    path: &Path,
+    opt: &Optimizer<'_>,
+    grid: &MultiGrid,
+    ratio: f64,
+    lambda: f64,
+    threads: usize,
+) -> Result<(CompiledArtifact, Provenance), ArtifactError> {
+    let reason = if path.exists() {
+        let t0 = Instant::now();
+        match CompiledArtifact::load(path) {
+            Ok(artifact) if artifact.matches(opt, grid, ratio, lambda) => {
+                return Ok((artifact, Provenance::Warm { load: t0.elapsed() }));
+            }
+            Ok(_) => ColdReason::Stale,
+            Err(e @ ArtifactError::Io(_)) => return Err(e),
+            Err(e) => ColdReason::Corrupt(e.to_string()),
+        }
+    } else {
+        ColdReason::Missing
+    };
+    let t0 = Instant::now();
+    let artifact = CompiledArtifact::compile(opt, grid.clone(), ratio, lambda, threads);
+    let compile = t0.elapsed();
+    let t1 = Instant::now();
+    artifact.save(path)?;
+    let save = t1.elapsed();
+    Ok((
+        artifact,
+        Provenance::Cold {
+            reason,
+            compile,
+            save,
+        },
+    ))
+}
+
+/// A directory of artifacts keyed by query name: `<root>/<name>.rqpa`.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (without touching the filesystem) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the artifact for query `name`.
+    pub fn path_for(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.rqpa"))
+    }
+
+    /// [`compile_or_load`] keyed by the optimizer's query name.
+    pub fn compile_or_load(
+        &self,
+        opt: &Optimizer<'_>,
+        grid: &MultiGrid,
+        ratio: f64,
+        lambda: f64,
+        threads: usize,
+    ) -> Result<(CompiledArtifact, Provenance), ArtifactError> {
+        compile_or_load(
+            &self.path_for(&opt.query().name),
+            opt,
+            grid,
+            ratio,
+            lambda,
+            threads,
+        )
+    }
+
+    /// Names of the artifacts present in the store (files ending in
+    /// `.rqpa`), sorted.
+    pub fn list(&self) -> Result<Vec<String>, ArtifactError> {
+        let mut names = Vec::new();
+        let entries = match std::fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(names),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("rqpa") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_catalog::{Catalog, Column, ColumnStats, DataType, Table};
+    use rqp_optimizer::{CostParams, EnumerationMode, Predicate, PredicateKind};
+
+    /// A 2-epp star query over a small synthetic catalog (mirrors the ess
+    /// test fixture).
+    fn star2() -> (Catalog, QuerySpec) {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "fact",
+            1_000_000,
+            vec![
+                Column::new("f1", DataType::Int, ColumnStats::uniform(10_000)).with_index(),
+                Column::new("f2", DataType::Int, ColumnStats::uniform(1_000)).with_index(),
+                Column::new("v", DataType::Int, ColumnStats::uniform(1_000)),
+            ],
+        ))
+        .unwrap();
+        for (name, rows) in [("d1", 10_000u64), ("d2", 1_000)] {
+            cat.add_table(Table::new(
+                name,
+                rows,
+                vec![
+                    Column::new("k", DataType::Int, ColumnStats::uniform(rows)).with_index(),
+                    Column::new("a", DataType::Int, ColumnStats::uniform(50)),
+                ],
+            ))
+            .unwrap();
+        }
+        let query = QuerySpec {
+            name: "star2".into(),
+            relations: vec![0, 1, 2],
+            predicates: vec![
+                Predicate {
+                    label: "f-d1".into(),
+                    kind: PredicateKind::Join {
+                        left: 0,
+                        left_col: 0,
+                        right: 1,
+                        right_col: 0,
+                    },
+                },
+                Predicate {
+                    label: "f-d2".into(),
+                    kind: PredicateKind::Join {
+                        left: 0,
+                        left_col: 1,
+                        right: 2,
+                        right_col: 0,
+                    },
+                },
+            ],
+            epps: vec![0, 1],
+        };
+        (cat, query)
+    }
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "rqp-artifact-test-{}-{tag}.rqpa",
+            std::process::id()
+        ))
+    }
+
+    fn compile_fixture() -> (Catalog, QuerySpec, MultiGrid) {
+        let (cat, q) = star2();
+        let grid = MultiGrid::uniform(2, 1e-5, 8);
+        (cat, q, grid)
+    }
+
+    #[test]
+    fn bytes_roundtrip_is_bit_identical() {
+        let (cat, q, grid) = compile_fixture();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let art = CompiledArtifact::compile(&opt, grid, 2.0, 0.2, 2);
+        let loaded = CompiledArtifact::from_bytes(&art.to_bytes()).unwrap();
+        assert_eq!(loaded.surface.posp_size(), art.surface.posp_size());
+        for idx in art.surface.grid().iter() {
+            assert_eq!(
+                loaded.surface.opt_cost(idx).to_bits(),
+                art.surface.opt_cost(idx).to_bits()
+            );
+            assert_eq!(loaded.surface.plan_id(idx), art.surface.plan_id(idx));
+        }
+        assert_eq!(loaded.matrix, art.matrix);
+        assert_eq!(loaded.bouquet, art.bouquet);
+        assert_eq!(loaded.rho_red, art.rho_red);
+        assert_eq!(loaded.contours, art.contours);
+    }
+
+    #[test]
+    fn save_load_and_warm_start() {
+        let (cat, q, grid) = compile_fixture();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let path = tmp_path("warm");
+        let _ = std::fs::remove_file(&path);
+
+        let (_, prov) = compile_or_load(&path, &opt, &grid, 2.0, 0.2, 1).unwrap();
+        assert!(!prov.is_warm(), "first call must compile");
+        let (art, prov) = compile_or_load(&path, &opt, &grid, 2.0, 0.2, 1).unwrap();
+        assert!(prov.is_warm(), "second call must load");
+        assert!(art.matches(&opt, &grid, 2.0, 0.2));
+
+        // A different lambda is stale: recompiles rather than trusting.
+        let (_, prov) = compile_or_load(&path, &opt, &grid, 2.0, 0.3, 1).unwrap();
+        match prov {
+            Provenance::Cold {
+                reason: ColdReason::Stale,
+                ..
+            } => {}
+            other => panic!("expected stale recompile, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_yields_typed_errors_never_panics() {
+        let (cat, q, grid) = compile_fixture();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let art = CompiledArtifact::compile(&opt, grid, 2.0, 0.2, 1);
+        let bytes = art.to_bytes();
+        let nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+
+        // Truncated payload.
+        let truncated = &bytes[..bytes.len() - 10];
+        assert!(matches!(
+            CompiledArtifact::from_bytes(truncated),
+            Err(ArtifactError::Truncated { .. })
+        ));
+
+        // Flipped payload byte → checksum mismatch.
+        let mut flipped = bytes.clone();
+        let mid = nl + 1 + (bytes.len() - nl) / 2;
+        flipped[mid] = flipped[mid].wrapping_add(1);
+        assert!(matches!(
+            CompiledArtifact::from_bytes(&flipped),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+
+        // Wrong version.
+        let header_text = std::str::from_utf8(&bytes[..nl]).unwrap();
+        let bumped = header_text.replace("\"version\":1", "\"version\":99");
+        let mut wrong_version = bumped.into_bytes();
+        wrong_version.extend_from_slice(&bytes[nl..]);
+        assert!(matches!(
+            CompiledArtifact::from_bytes(&wrong_version),
+            Err(ArtifactError::UnsupportedVersion { found: 99, .. })
+        ));
+
+        // Wrong magic.
+        let swapped = header_text.replace(MAGIC, "not-an-artifact");
+        let mut wrong_magic = swapped.into_bytes();
+        wrong_magic.extend_from_slice(&bytes[nl..]);
+        assert!(matches!(
+            CompiledArtifact::from_bytes(&wrong_magic),
+            Err(ArtifactError::BadMagic(_))
+        ));
+
+        // Headerless garbage.
+        assert!(CompiledArtifact::from_bytes(b"garbage, no newline").is_err());
+        assert!(CompiledArtifact::from_bytes(b"{}\n{}").is_err());
+        assert!(CompiledArtifact::from_bytes(b"").is_err());
+    }
+
+    #[test]
+    fn store_paths_and_listing() {
+        let root = std::env::temp_dir().join(format!("rqp-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = ArtifactStore::new(&root);
+        assert_eq!(store.list().unwrap(), Vec::<String>::new());
+        assert!(store.path_for("q").ends_with("q.rqpa"));
+
+        let (cat, q, grid) = compile_fixture();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let (_, prov) = store.compile_or_load(&opt, &grid, 2.0, 0.2, 1).unwrap();
+        assert!(!prov.is_warm());
+        assert_eq!(store.list().unwrap(), vec!["star2".to_string()]);
+        let (_, prov) = store.compile_or_load(&opt, &grid, 2.0, 0.2, 1).unwrap();
+        assert!(prov.is_warm());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

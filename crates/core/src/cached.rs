@@ -53,6 +53,31 @@ impl<'a> EvalContext<'a> {
         }
     }
 
+    /// Builds the context from an already-computed matrix (e.g. one loaded
+    /// from a persisted artifact), skipping the `|POSP| × |grid|` recost
+    /// sweep entirely. Fails if the matrix shape does not match the
+    /// surface's pool and grid.
+    pub fn from_parts(
+        surface: &'a EssSurface,
+        opt: &'a Optimizer<'a>,
+        matrix: CostMatrix,
+    ) -> rqp_common::Result<Self> {
+        if !matrix.shape_matches(surface.posp_size(), surface.grid().len()) {
+            return Err(rqp_common::RqpError::Config(format!(
+                "cost matrix shape {}x{} does not match surface ({} plans, {} locations)",
+                matrix.nplans(),
+                matrix.grid_len(),
+                surface.posp_size(),
+                surface.grid().len(),
+            )));
+        }
+        Ok(Self {
+            surface,
+            opt,
+            matrix,
+        })
+    }
+
     /// The POSP surface.
     pub fn surface(&self) -> &'a EssSurface {
         self.surface

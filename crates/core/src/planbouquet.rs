@@ -41,9 +41,53 @@ impl<'a> PlanBouquet<'a> {
         }
     }
 
+    /// Rebuilds a bouquet from an already-reduced contour schedule (e.g.
+    /// loaded from a persisted artifact), skipping the anorexic set-cover
+    /// — the expensive part of [`new`](Self::new). The cheap contour
+    /// schedule is rebuilt from the surface; `reduced` / `rho_red` must be
+    /// the output of [`reduce_all`] for the same surface, ratio and
+    /// lambda.
+    pub fn from_parts(
+        surface: &'a EssSurface,
+        opt: &'a Optimizer<'a>,
+        ratio: f64,
+        lambda: f64,
+        reduced: Vec<ReducedContour>,
+        rho_red: usize,
+    ) -> Result<Self> {
+        let shared = Shared::new(surface, opt, ratio);
+        if reduced.len() != shared.contours.len() {
+            return Err(rqp_common::RqpError::Config(format!(
+                "reduced bouquet has {} contours but the surface yields {}",
+                reduced.len(),
+                shared.contours.len(),
+            )));
+        }
+        let nplans = surface.posp_size();
+        for (i, rc) in reduced.iter().enumerate() {
+            if rc.plans.is_empty() || rc.plans.iter().any(|&pid| pid >= nplans) {
+                return Err(rqp_common::RqpError::Config(format!(
+                    "reduced contour {i} is empty or references a plan outside the pool"
+                )));
+            }
+        }
+        Ok(Self {
+            shared,
+            reduced,
+            rho_red,
+            lambda,
+            ratio,
+        })
+    }
+
     /// Post-reduction maximum contour density `ρ_red`.
     pub fn rho_red(&self) -> usize {
         self.rho_red
+    }
+
+    /// The reduced contour schedule, in execution order.
+    pub fn reduced(&self) -> &[ReducedContour] {
+        &self.reduced
     }
 
     /// The behavioral MSO guarantee `(1+λ)·ρ_red·r²/(r−1)` — `4(1+λ)ρ_red`

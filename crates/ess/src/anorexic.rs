@@ -12,9 +12,10 @@
 use crate::surface::EssSurface;
 use rqp_common::{Cost, GridIdx};
 use rqp_optimizer::{Optimizer, PlanId};
+use serde::{Deserialize, Serialize};
 
 /// A contour after anorexic reduction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReducedContour {
     /// Contour cost `CC_i` (uninflated).
     pub cost: Cost,

@@ -191,13 +191,33 @@ impl EssSurface {
     pub fn from_json(text: &str) -> Result<Self> {
         let mut s: Self = serde_json::from_str(text)
             .map_err(|e| RqpError::Config(format!("surface deserialization: {e}")))?;
-        s.pool.rebuild_index();
-        if s.opt_cost.len() != s.grid.len() || s.opt_plan.len() != s.grid.len() {
+        s.rehydrate()?;
+        Ok(s)
+    }
+
+    /// Rebuilds the (non-serialized) pool fingerprint index and validates
+    /// every structural invariant of a freshly deserialized surface: array
+    /// lengths match the grid, and every recorded plan id resolves inside
+    /// the pool. The plan interning order is itself part of the serialized
+    /// state (`pool.plans` in id order), so a rehydrated surface is
+    /// bit-identical to the one that was saved.
+    ///
+    /// Must be called on any surface obtained through `Deserialize` before
+    /// use; [`from_json`](Self::from_json) does so automatically.
+    pub fn rehydrate(&mut self) -> Result<()> {
+        self.pool.rebuild_index();
+        if self.opt_cost.len() != self.grid.len() || self.opt_plan.len() != self.grid.len() {
             return Err(RqpError::Config(
                 "surface arrays inconsistent with grid".into(),
             ));
         }
-        Ok(s)
+        let nplans = self.pool.len();
+        if let Some(&bad) = self.opt_plan.iter().find(|&&pid| pid >= nplans) {
+            return Err(RqpError::Config(format!(
+                "surface references plan id {bad} but pool holds only {nplans} plans"
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -351,6 +371,33 @@ mod persistence_tests {
                 );
                 assert_eq!(par.plan(idx), seq.plan(idx));
             }
+
+            // Save → load must also be bit-identical: the interning order
+            // is serialized state, and float text is shortest-round-trip.
+            let loaded = EssSurface::from_json(&par.to_json()).unwrap();
+            assert_eq!(loaded.posp_size(), seq.posp_size());
+            for pid in 0..seq.posp_size() {
+                assert_eq!(
+                    loaded.pool().get(pid),
+                    seq.pool().get(pid),
+                    "{threads} threads: loaded pool plan {pid}"
+                );
+            }
+            for idx in seq.grid().iter() {
+                assert_eq!(
+                    loaded.opt_cost(idx).to_bits(),
+                    seq.opt_cost(idx).to_bits(),
+                    "{threads} threads: loaded cost at {idx}"
+                );
+                assert_eq!(loaded.plan_id(idx), seq.plan_id(idx));
+            }
+            // The rebuilt fingerprint index must re-intern every plan to
+            // its original id — interning is stable across save → load.
+            let mut pool = loaded.pool().clone();
+            for pid in 0..seq.posp_size() {
+                let plan = seq.pool().get(pid).clone();
+                assert_eq!(pool.intern(plan), pid, "{threads} threads: re-intern {pid}");
+            }
         }
     }
 
@@ -382,5 +429,16 @@ mod persistence_tests {
     fn from_json_rejects_garbage() {
         assert!(EssSurface::from_json("not json").is_err());
         assert!(EssSurface::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn rehydrate_rejects_out_of_range_plan_ids() {
+        let (cat, q) = star2();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let mut s = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 6));
+        s.opt_plan[0] = s.pool.len(); // dangling reference
+        let err = EssSurface::from_json(&s.to_json()).unwrap_err();
+        assert!(err.to_string().contains("plan id"), "{err}");
     }
 }

@@ -13,14 +13,95 @@
 
 use crate::{Optimizer, PlanId, PlanPool};
 use rqp_common::{chunk_bounds, Cost, GridIdx, MultiGrid};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Dense matrix of `cost(plan, location)` over a plan pool and an ESS
 /// grid. Row-major: `cells[pid * grid_len + qa]`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostMatrix {
     nplans: usize,
     grid_len: usize,
     cells: Vec<Cost>,
+}
+
+// The cells are serialized as ONE packed string — 16 lowercase hex digits
+// of each cost's IEEE-754 bit pattern — instead of a JSON number array.
+// Equally bit-exact, but a warm artifact load scans a single string token
+// rather than allocating hundreds of thousands of parsed floats, which is
+// what keeps `rqp-artifacts` warm starts an order of magnitude faster
+// than recompiling.
+impl Serialize for CostMatrix {
+    fn to_value(&self) -> Value {
+        const DIGITS: &[u8; 16] = b"0123456789abcdef";
+        let mut hex = Vec::with_capacity(self.cells.len() * 16);
+        for &c in &self.cells {
+            let bits = c.to_bits();
+            for shift in (0..16u32).rev() {
+                hex.push(DIGITS[((bits >> (shift * 4)) & 0xf) as usize]);
+            }
+        }
+        Value::Object(vec![
+            ("nplans".to_string(), self.nplans.to_value()),
+            ("grid_len".to_string(), self.grid_len.to_value()),
+            (
+                "cells_hex".to_string(),
+                Value::String(String::from_utf8(hex).expect("hex digits are ascii")),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for CostMatrix {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::msg("expected object for CostMatrix"))?;
+        let nplans: usize = serde::field(obj, "nplans")?;
+        let grid_len: usize = serde::field(obj, "grid_len")?;
+        let hex = match v.get("cells_hex") {
+            Some(Value::String(s)) => s.as_bytes(),
+            _ => return Err(Error::msg("missing `cells_hex` string")),
+        };
+        if hex.len() % 16 != 0 {
+            return Err(Error::msg("`cells_hex` length is not a multiple of 16"));
+        }
+        // Table-driven nibble decode: this loop walks millions of bytes
+        // on every warm artifact load, so it must not branch per byte.
+        // Invalid characters map to 0xff and are detected once per chunk.
+        const NIBBLE: [u8; 256] = {
+            let mut t = [0xffu8; 256];
+            let mut i = 0;
+            while i < 10 {
+                t[b'0' as usize + i] = i as u8;
+                i += 1;
+            }
+            let mut i = 0;
+            while i < 6 {
+                t[b'a' as usize + i] = 10 + i as u8;
+                i += 1;
+            }
+            t
+        };
+        let mut cells = Vec::with_capacity(hex.len() / 16);
+        for chunk in hex.chunks_exact(16) {
+            let mut bits = 0u64;
+            let mut bad = 0u8;
+            for &b in chunk {
+                let nibble = NIBBLE[b as usize];
+                bad |= nibble;
+                bits = (bits << 4) | u64::from(nibble & 0xf);
+            }
+            if bad & 0xf0 != 0 {
+                return Err(Error::msg("non-hex digit in `cells_hex`"));
+            }
+            cells.push(Cost::from_bits(bits));
+        }
+        Ok(Self {
+            nplans,
+            grid_len,
+            cells,
+        })
+    }
 }
 
 impl CostMatrix {
@@ -155,5 +236,12 @@ impl CostMatrix {
     /// True if the matrix has no cells.
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()
+    }
+
+    /// True if the matrix's declared shape matches its cell storage and the
+    /// given pool/grid sizes — the invariant a deserialized matrix must be
+    /// checked against before use.
+    pub fn shape_matches(&self, nplans: usize, grid_len: usize) -> bool {
+        self.nplans == nplans && self.grid_len == grid_len && self.cells.len() == nplans * grid_len
     }
 }

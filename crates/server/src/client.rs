@@ -1,0 +1,81 @@
+//! Minimal blocking client for the newline-delimited JSON protocol —
+//! used by the `rqp client` subcommand, the CI smoke test, and the
+//! concurrency tests.
+
+use crate::protocol::{num_arr, string};
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client. One request/response at a time, in order.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line.
+    pub fn call_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Builds and sends a request, returning the parsed response.
+    pub fn call(
+        &mut self,
+        id: f64,
+        method: &str,
+        query: Option<&str>,
+        qa: &[f64],
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<Value> {
+        let line = request_line(id, method, query, qa, deadline_ms);
+        let raw = self.call_raw(&line)?;
+        serde_json::from_str(&raw)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Renders a request line (no trailing newline).
+pub fn request_line(
+    id: f64,
+    method: &str,
+    query: Option<&str>,
+    qa: &[f64],
+    deadline_ms: Option<u64>,
+) -> String {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("id".into(), Value::Num(id)),
+        ("method".into(), string(method)),
+    ];
+    if let Some(q) = query {
+        fields.push(("query".into(), string(q)));
+    }
+    if !qa.is_empty() {
+        fields.push(("qa".into(), num_arr(qa.iter().copied())));
+    }
+    if let Some(d) = deadline_ms {
+        fields.push(("deadline_ms".into(), Value::Num(d as f64)));
+    }
+    serde_json::to_string(&Value::Object(fields)).expect("request serializes")
+}

@@ -1,0 +1,33 @@
+//! `rqp-server` — a concurrent robust-query service over persisted
+//! compiled-ESS artifacts.
+//!
+//! The daemon answers the question the paper leaves to deployment: once
+//! the expensive ESS compilation is done offline (see `rqp-artifacts`),
+//! how is it *served*? This crate is a std-only thread-pool TCP server
+//! speaking newline-delimited JSON ([`protocol`]): it loads
+//! [`rqp_artifacts::CompiledArtifact`]s at startup ([`service`]),
+//! executes `run_spillbound` / `run_alignedbound` / `run_planbouquet` /
+//! `run_native` requests against injected "actual" selectivities through
+//! the existing `ExecutionOracle` machinery, and applies real serving
+//! discipline ([`server`]): a bounded admission queue that sheds load
+//! with an explicit `overloaded` error, per-request deadlines enforced
+//! at dequeue, and per-method request/latency/shed counters ([`metrics`])
+//! reported on a `stats` request.
+//!
+//! Responses are deterministic: every handler is a pure function of the
+//! loaded artifact and the request (fresh per-request memo state), so
+//! concurrent identical requests receive byte-identical `result` bodies
+//! regardless of interleaving — the property the integration tests
+//! assert with ≥8 concurrent clients.
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use client::{request_line, Client};
+pub use metrics::Metrics;
+pub use protocol::{parse_request, Request};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use service::{Registry, ServedQuery};

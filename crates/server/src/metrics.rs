@@ -1,0 +1,141 @@
+//! Per-method request / latency / shed counters.
+
+use crate::protocol::{num, obj};
+use serde::Value;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Counters for one method.
+#[derive(Debug, Default, Clone)]
+struct MethodCounters {
+    requests: u64,
+    ok: u64,
+    errors: u64,
+    shed: u64,
+    deadline_expired: u64,
+    total_micros: u64,
+    max_micros: u64,
+}
+
+/// Thread-safe service metrics, snapshotted by the `stats` method.
+#[derive(Debug)]
+pub struct Metrics {
+    per_method: Mutex<BTreeMap<String, MethodCounters>>,
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Creates zeroed metrics with the uptime clock started now.
+    pub fn new() -> Self {
+        Self {
+            per_method: Mutex::new(BTreeMap::new()),
+            started: Instant::now(),
+        }
+    }
+
+    fn with<F: FnOnce(&mut MethodCounters)>(&self, method: &str, f: F) {
+        let mut map = self.per_method.lock().expect("metrics lock");
+        f(map.entry(method.to_string()).or_default());
+    }
+
+    /// Records a completed request (success or error response) and its
+    /// handler latency.
+    pub fn record(&self, method: &str, success: bool, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.with(method, |c| {
+            c.requests += 1;
+            if success {
+                c.ok += 1;
+            } else {
+                c.errors += 1;
+            }
+            c.total_micros += micros;
+            c.max_micros = c.max_micros.max(micros);
+        });
+    }
+
+    /// Records a request rejected by admission control (queue full).
+    pub fn record_shed(&self, method: &str) {
+        self.with(method, |c| {
+            c.requests += 1;
+            c.shed += 1;
+        });
+    }
+
+    /// Records a request whose deadline expired while queued.
+    pub fn record_deadline_expired(&self, method: &str) {
+        self.with(method, |c| {
+            c.requests += 1;
+            c.deadline_expired += 1;
+        });
+    }
+
+    /// Total requests shed so far, across methods.
+    pub fn total_shed(&self) -> u64 {
+        let map = self.per_method.lock().expect("metrics lock");
+        map.values().map(|c| c.shed).sum()
+    }
+
+    /// Snapshot as the `stats` response body.
+    pub fn to_value(&self, workers: usize, queue_capacity: usize) -> Value {
+        let map = self.per_method.lock().expect("metrics lock");
+        let methods: Vec<(String, Value)> = map
+            .iter()
+            .map(|(name, c)| {
+                let executed = c.ok + c.errors;
+                let mean = if executed > 0 {
+                    c.total_micros as f64 / executed as f64
+                } else {
+                    0.0
+                };
+                (
+                    name.clone(),
+                    obj(vec![
+                        ("requests", num(c.requests as f64)),
+                        ("ok", num(c.ok as f64)),
+                        ("errors", num(c.errors as f64)),
+                        ("shed", num(c.shed as f64)),
+                        ("deadline_expired", num(c.deadline_expired as f64)),
+                        ("mean_latency_us", num(mean)),
+                        ("max_latency_us", num(c.max_micros as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        obj(vec![
+            ("uptime_secs", num(self.started.elapsed().as_secs_f64())),
+            ("workers", num(workers as f64)),
+            ("queue_capacity", num(queue_capacity as f64)),
+            ("methods", Value::Object(methods)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.record("run_spillbound", true, Duration::from_micros(100));
+        m.record("run_spillbound", false, Duration::from_micros(300));
+        m.record_shed("run_spillbound");
+        m.record_deadline_expired("explain");
+        assert_eq!(m.total_shed(), 1);
+        let v = m.to_value(4, 16);
+        let sb = v.get("methods").unwrap().get("run_spillbound").unwrap();
+        assert_eq!(sb.get("requests").unwrap().as_f64(), Some(3.0));
+        assert_eq!(sb.get("shed").unwrap().as_f64(), Some(1.0));
+        assert_eq!(sb.get("mean_latency_us").unwrap().as_f64(), Some(200.0));
+        let ex = v.get("methods").unwrap().get("explain").unwrap();
+        assert_eq!(ex.get("deadline_expired").unwrap().as_f64(), Some(1.0));
+    }
+}

@@ -1,0 +1,334 @@
+//! The thread-pool TCP daemon.
+//!
+//! Admission control is a bounded `sync_channel`: connection threads
+//! parse each request line and `try_send` it to the worker pool. A full
+//! queue sheds the request immediately with an `overloaded` error —
+//! bounded queueing, never unbounded buffering. Workers check each job's
+//! deadline *at dequeue time*: a request that waited out its
+//! `deadline_ms` in the queue is answered `deadline_exceeded` instead of
+//! executed. Responses travel back on a per-request channel, so each
+//! connection sees its responses in request order.
+
+use crate::metrics::Metrics;
+use crate::protocol::{err_response, ok_response, parse_request, Request};
+use crate::service::Registry;
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded admission-queue capacity; requests beyond it are shed.
+    pub queue_capacity: usize,
+    /// Deadline applied when a request carries no `deadline_ms`.
+    pub default_deadline: Duration,
+    /// Honor the debug `sleep_ms` request field (load tests only).
+    pub allow_debug_sleep: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline: Duration::from_secs(30),
+            allow_debug_sleep: false,
+        }
+    }
+}
+
+/// One admitted request travelling to the worker pool.
+struct Job {
+    req: Request,
+    enqueued: Instant,
+    deadline: Duration,
+    reply: std::sync::mpsc::Sender<String>,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`stop`](Self::stop).
+pub struct ServerHandle {
+    /// The bound address (useful with port 0).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+}
+
+impl ServerHandle {
+    /// The server's metrics (shared with the `stats` method).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Signals shutdown and joins the acceptor and worker threads.
+    /// Connection threads drain on their own once their clients hang up
+    /// or their next read times out.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// True once a `shutdown` request or [`stop`](Self::stop) was seen.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server stops (via a `shutdown` request), then
+    /// joins its threads.
+    pub fn wait(mut self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves `registry` until stopped. Returns immediately
+/// with a [`ServerHandle`]; all work happens on background threads.
+pub fn serve(
+    registry: Registry,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let registry = Arc::new(registry);
+    let metrics = Arc::new(Metrics::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_capacity);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
+            let stop = Arc::clone(&stop);
+            let config = config.clone();
+            std::thread::spawn(move || worker_loop(&rx, &registry, &metrics, &stop, &config))
+        })
+        .collect();
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let metrics = Arc::clone(&metrics);
+        let config = config.clone();
+        std::thread::spawn(move || {
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let tx = tx.clone();
+                        let stop = Arc::clone(&stop);
+                        let metrics = Arc::clone(&metrics);
+                        let config = config.clone();
+                        std::thread::spawn(move || {
+                            connection_loop(stream, &tx, &stop, &metrics, &config)
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // tx drops here; workers see Disconnected and exit.
+        })
+    };
+
+    Ok(ServerHandle {
+        addr: local_addr,
+        stop,
+        acceptor: Some(acceptor),
+        workers,
+        metrics,
+    })
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    registry: &Registry,
+    metrics: &Metrics,
+    stop: &AtomicBool,
+    config: &ServerConfig,
+) {
+    loop {
+        let job = {
+            let guard = rx.lock().expect("worker queue lock");
+            guard.recv_timeout(Duration::from_millis(50))
+        };
+        match job {
+            Ok(job) => {
+                let waited = job.enqueued.elapsed();
+                let response = if waited > job.deadline {
+                    metrics.record_deadline_expired(&job.req.method);
+                    err_response(
+                        &job.req.id,
+                        "deadline_exceeded",
+                        &format!(
+                            "request waited {}ms in queue, past its {}ms deadline",
+                            waited.as_millis(),
+                            job.deadline.as_millis()
+                        ),
+                    )
+                } else {
+                    execute(&job.req, registry, metrics, stop, config)
+                };
+                // A dead client is fine; drop the response.
+                let _ = job.reply.send(response);
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Executes one admitted request and renders its response line.
+fn execute(
+    req: &Request,
+    registry: &Registry,
+    metrics: &Metrics,
+    stop: &AtomicBool,
+    config: &ServerConfig,
+) -> String {
+    let t0 = Instant::now();
+    if config.allow_debug_sleep && req.sleep_ms > 0 {
+        std::thread::sleep(Duration::from_millis(req.sleep_ms));
+    }
+    let result = match req.method.as_str() {
+        "stats" => Ok(metrics.to_value(config.workers, config.queue_capacity)),
+        "shutdown" => {
+            stop.store(true, Ordering::SeqCst);
+            Ok(Value::Object(vec![("stopping".into(), Value::Bool(true))]))
+        }
+        _ => registry.dispatch(req),
+    };
+    let latency = t0.elapsed();
+    match result {
+        Ok(body) => {
+            metrics.record(&req.method, true, latency);
+            ok_response(&req.id, body)
+        }
+        Err((kind, message)) => {
+            metrics.record(&req.method, false, latency);
+            err_response(&req.id, &kind, &message)
+        }
+    }
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    tx: &SyncSender<Job>,
+    stop: &AtomicBool,
+    metrics: &Metrics,
+    config: &ServerConfig,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client hung up
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let response = admit(trimmed, tx, metrics, config);
+                    if writer
+                        .write_all(format!("{response}\n").as_bytes())
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Partial line (if any) stays buffered in `line`.
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses one request line and pushes it through admission control,
+/// returning the response line.
+fn admit(line: &str, tx: &SyncSender<Job>, metrics: &Metrics, config: &ServerConfig) -> String {
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err((kind, message)) => {
+            metrics.record("<invalid>", false, Duration::ZERO);
+            return err_response(&Value::Null, &kind, &message);
+        }
+    };
+    let deadline = req
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(config.default_deadline);
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+    let method = req.method.clone();
+    let id = req.id.clone();
+    let job = Job {
+        req,
+        enqueued: Instant::now(),
+        deadline,
+        reply: reply_tx,
+    };
+    match tx.try_send(job) {
+        Ok(()) => match reply_rx.recv() {
+            Ok(response) => response,
+            Err(_) => err_response(&id, "internal", "worker dropped the request"),
+        },
+        Err(TrySendError::Full(_)) => {
+            metrics.record_shed(&method);
+            err_response(
+                &id,
+                "overloaded",
+                &format!(
+                    "admission queue full ({} slots); retry later",
+                    config.queue_capacity
+                ),
+            )
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            err_response(&id, "internal", "server is shutting down")
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Artifact-backed query service: one [`ServedQuery`] per compiled
+//! template, dispatching `explain` / `run_*` requests.
+//!
+//! A served query is constructed from a [`CompiledArtifact`] without
+//! re-running any offline work: the surface, contour schedule, reduced
+//! bouquet and recost matrix all come straight off disk, and only the
+//! cheap pieces (optimizer instantiation, contour re-derivation, the
+//! native choice) are rebuilt. The daemon owns its state for the process
+//! lifetime, so the borrowed `Optimizer<'a>`/`EssSurface` plumbing is
+//! grounded with `Box::leak` — the same idiom the workspace's test
+//! fixtures use for `'static` fixtures.
+
+use crate::protocol::{num, num_arr, obj, string, Request};
+use rqp_artifacts::CompiledArtifact;
+use rqp_catalog::Catalog;
+use rqp_common::GridIdx;
+use rqp_core::{
+    AlignedBound, CachedOracle, EvalContext, NativeChoice, PlanBouquet, RunReport, SpillBound,
+    SpillMemo,
+};
+use rqp_ess::EssSurface;
+use rqp_optimizer::{CostParams, EnumerationMode, Optimizer};
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// One query template, warm-started from its artifact and ready to serve
+/// concurrent requests (all request-handling state is per-call).
+pub struct ServedQuery {
+    name: String,
+    ratio: f64,
+    lambda: f64,
+    surface: &'static EssSurface,
+    opt: &'static Optimizer<'static>,
+    ctx: EvalContext<'static>,
+    bouquet: PlanBouquet<'static>,
+    native: NativeChoice,
+}
+
+impl ServedQuery {
+    /// Grounds the artifact into `'static` service state. Fails (with a
+    /// human-readable message) if the artifact's query does not validate
+    /// against `catalog` or its components disagree with each other.
+    ///
+    /// Leaks the query, surface and optimizer — intentional: served
+    /// queries live for the daemon's lifetime.
+    pub fn from_artifact(
+        artifact: CompiledArtifact,
+        catalog: &'static Catalog,
+    ) -> Result<Self, String> {
+        let CompiledArtifact {
+            query,
+            ratio,
+            lambda,
+            surface,
+            contours: _,
+            bouquet,
+            rho_red,
+            matrix,
+        } = artifact;
+        let name = query.name.clone();
+        let query = &*Box::leak(Box::new(query));
+        let surface: &'static EssSurface = &*Box::leak(Box::new(surface));
+        let opt = Optimizer::new(
+            catalog,
+            query,
+            CostParams::default(),
+            EnumerationMode::LeftDeep,
+        )
+        .map_err(|e| format!("artifact query `{name}` rejected by catalog: {e}"))?;
+        let opt: &'static Optimizer<'static> = &*Box::leak(Box::new(opt));
+        let ctx = EvalContext::from_parts(surface, opt, matrix)
+            .map_err(|e| format!("artifact `{name}`: {e}"))?;
+        let bouquet = PlanBouquet::from_parts(surface, opt, ratio, lambda, bouquet, rho_red)
+            .map_err(|e| format!("artifact `{name}`: {e}"))?;
+        let native = NativeChoice::compute(surface, opt);
+        Ok(Self {
+            name,
+            ratio,
+            lambda,
+            surface,
+            opt,
+            ctx,
+            bouquet,
+            native,
+        })
+    }
+
+    /// The query template name requests address this query by.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Snaps requested selectivities onto the grid; errors if the arity
+    /// is wrong.
+    fn snap(&self, qa: &[f64]) -> Result<(GridIdx, Vec<usize>), String> {
+        let grid = self.surface.grid();
+        if qa.len() != grid.ndims() {
+            return Err(format!(
+                "query `{}` has {} error-prone predicates, got {} selectivities",
+                self.name,
+                grid.ndims(),
+                qa.len()
+            ));
+        }
+        let coords: Vec<usize> = qa
+            .iter()
+            .enumerate()
+            .map(|(j, &s)| grid.dim(j).nearest_idx(s))
+            .collect();
+        Ok((grid.flat(&coords), coords))
+    }
+
+    fn run_common(&self, algorithm: &str, qa_idx: GridIdx, coords: &[usize]) -> Vec<(&str, Value)> {
+        let grid = self.surface.grid();
+        vec![
+            ("algorithm", string(algorithm)),
+            ("query", string(&self.name)),
+            ("qa_grid", num_arr(grid.sels(qa_idx))),
+            ("qa_coords", num_arr(coords.iter().map(|&c| c as f64))),
+            ("opt_cost", num(self.surface.opt_cost(qa_idx))),
+        ]
+    }
+
+    fn report_fields(
+        &self,
+        report: &RunReport,
+        qa_idx: GridIdx,
+        guarantee: f64,
+    ) -> Vec<(String, Value)> {
+        let learnt = Value::Array(
+            report
+                .learnt
+                .iter()
+                .map(|l| match l {
+                    Some(s) => Value::Num(*s),
+                    None => Value::Null,
+                })
+                .collect(),
+        );
+        vec![
+            ("total_cost".into(), num(report.total_cost)),
+            (
+                "sub_optimality".into(),
+                num(report.sub_optimality(self.surface.opt_cost(qa_idx))),
+            ),
+            ("mso_guarantee".into(), num(guarantee)),
+            ("executions".into(), num(report.executions() as f64)),
+            ("completed".into(), Value::Bool(report.completed)),
+            (
+                "last_contour".into(),
+                match report.last_contour() {
+                    Some(i) => num(i as f64),
+                    None => Value::Null,
+                },
+            ),
+            ("learnt".into(), learnt),
+        ]
+    }
+
+    /// Dispatches one `explain` / `run_*` method. Returns
+    /// `Err((kind, message))` for protocol-level failures.
+    pub fn handle(&self, method: &str, qa: &[f64]) -> Result<Value, (String, String)> {
+        let bad = |m: String| ("bad_request".to_string(), m);
+        let internal = |m: String| ("internal".to_string(), m);
+        match method {
+            "explain" => Ok(self.explain()),
+            "run_native" => {
+                let (qa_idx, coords) = self.snap(qa).map_err(bad)?;
+                let mut fields = self.run_common("native", qa_idx, &coords);
+                let sub = self.native.sub_optimality(self.surface, self.opt, qa_idx);
+                let opt_cost = self.surface.opt_cost(qa_idx);
+                fields.push(("est_sels", num_arr(self.native.qe_sels.iter().copied())));
+                fields.push(("est_cost", num(self.native.est_cost)));
+                fields.push(("total_cost", num(sub * opt_cost)));
+                fields.push(("sub_optimality", num(sub)));
+                fields.push(("completed", Value::Bool(true)));
+                Ok(obj(fields))
+            }
+            "run_spillbound" => {
+                let (qa_idx, coords) = self.snap(qa).map_err(bad)?;
+                let mut sb = SpillBound::new(self.surface, self.opt, self.ratio);
+                let mut memo = SpillMemo::new();
+                let mut oracle = CachedOracle::at_grid(&self.ctx, qa_idx, &mut memo);
+                let report = sb.run(&mut oracle).map_err(|e| internal(e.to_string()))?;
+                let guarantee = sb.mso_guarantee();
+                let mut fields: Vec<(String, Value)> = self
+                    .run_common("spillbound", qa_idx, &coords)
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect();
+                fields.extend(self.report_fields(&report, qa_idx, guarantee));
+                Ok(Value::Object(fields))
+            }
+            "run_alignedbound" => {
+                let (qa_idx, coords) = self.snap(qa).map_err(bad)?;
+                let mut ab = AlignedBound::new(self.surface, self.opt, self.ratio);
+                let mut memo = SpillMemo::new();
+                let mut oracle = CachedOracle::at_grid(&self.ctx, qa_idx, &mut memo);
+                let report = ab.run(&mut oracle).map_err(|e| internal(e.to_string()))?;
+                let guarantee = ab.mso_guarantee();
+                let mut fields: Vec<(String, Value)> = self
+                    .run_common("alignedbound", qa_idx, &coords)
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect();
+                fields.extend(self.report_fields(&report, qa_idx, guarantee));
+                Ok(Value::Object(fields))
+            }
+            "run_planbouquet" => {
+                let (qa_idx, coords) = self.snap(qa).map_err(bad)?;
+                let mut memo = SpillMemo::new();
+                let mut oracle = CachedOracle::at_grid(&self.ctx, qa_idx, &mut memo);
+                let report = self
+                    .bouquet
+                    .run(&mut oracle)
+                    .map_err(|e| internal(e.to_string()))?;
+                let guarantee = self.bouquet.mso_guarantee();
+                let mut fields: Vec<(String, Value)> = self
+                    .run_common("planbouquet", qa_idx, &coords)
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect();
+                fields.extend(self.report_fields(&report, qa_idx, guarantee));
+                Ok(Value::Object(fields))
+            }
+            other => Err(("unknown_method".into(), format!("unknown method `{other}`"))),
+        }
+    }
+
+    fn explain(&self) -> Value {
+        let grid = self.surface.grid();
+        let d = grid.ndims();
+        let contours = self.bouquet.contours();
+        obj(vec![
+            ("query", string(&self.name)),
+            ("ndims", num(d as f64)),
+            ("grid_len", num(grid.len() as f64)),
+            (
+                "grid_points_per_dim",
+                num_arr((0..d).map(|j| grid.dim(j).len() as f64)),
+            ),
+            ("posp_size", num(self.surface.posp_size() as f64)),
+            ("cmin", num(self.surface.cmin())),
+            ("cmax", num(self.surface.cmax())),
+            ("ratio", num(self.ratio)),
+            ("lambda", num(self.lambda)),
+            ("contours", num(contours.len() as f64)),
+            ("contour_costs", num_arr(contours.costs().iter().copied())),
+            ("rho_red", num(self.bouquet.rho_red() as f64)),
+            (
+                "guarantees",
+                obj(vec![
+                    ("spillbound", num(rqp_core::spillbound_guarantee(d))),
+                    (
+                        "alignedbound_lower",
+                        num(rqp_core::aligned_guarantee_lower(d)),
+                    ),
+                    ("planbouquet", num(self.bouquet.mso_guarantee())),
+                ]),
+            ),
+            (
+                "native",
+                obj(vec![
+                    ("est_sels", num_arr(self.native.qe_sels.iter().copied())),
+                    ("est_cost", num(self.native.est_cost)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// The set of query templates a server instance exposes, keyed by name.
+#[derive(Default)]
+pub struct Registry {
+    queries: BTreeMap<String, ServedQuery>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a served query (replacing any previous one of the same name).
+    pub fn insert(&mut self, q: ServedQuery) {
+        self.queries.insert(q.name().to_string(), q);
+    }
+
+    /// Served query names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.queries.keys().cloned().collect()
+    }
+
+    /// Number of served queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Dispatches a query-addressed request to the right [`ServedQuery`].
+    pub fn dispatch(&self, req: &Request) -> Result<Value, (String, String)> {
+        match req.method.as_str() {
+            "list_queries" => Ok(Value::Array(
+                self.names().into_iter().map(Value::String).collect(),
+            )),
+            _ => {
+                let name = req.query.as_deref().ok_or_else(|| {
+                    (
+                        "bad_request".to_string(),
+                        format!("method `{}` requires a `query` field", req.method),
+                    )
+                })?;
+                let served = self.queries.get(name).ok_or_else(|| {
+                    (
+                        "unknown_query".to_string(),
+                        format!(
+                            "query `{name}` is not served (available: {})",
+                            self.names().join(", ")
+                        ),
+                    )
+                })?;
+                served.handle(&req.method, &req.qa)
+            }
+        }
+    }
+}

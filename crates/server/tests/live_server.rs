@@ -1,0 +1,300 @@
+//! Integration tests against a live server on an ephemeral port:
+//! concurrent-client determinism, load shedding, queued-deadline
+//! enforcement, and clean shutdown.
+
+use rqp_artifacts::CompiledArtifact;
+use rqp_catalog::{Catalog, Column, ColumnStats, DataType, Table};
+use rqp_common::MultiGrid;
+use rqp_optimizer::{CostParams, EnumerationMode, Optimizer, Predicate, PredicateKind, QuerySpec};
+use rqp_server::{serve, Client, Registry, ServedQuery, ServerConfig};
+use std::time::Duration;
+
+/// A 2-epp star query over a small synthetic catalog.
+fn star2() -> (Catalog, QuerySpec) {
+    let mut cat = Catalog::new();
+    cat.add_table(Table::new(
+        "fact",
+        1_000_000,
+        vec![
+            Column::new("f1", DataType::Int, ColumnStats::uniform(10_000)).with_index(),
+            Column::new("f2", DataType::Int, ColumnStats::uniform(1_000)).with_index(),
+            Column::new("v", DataType::Int, ColumnStats::uniform(1_000)),
+        ],
+    ))
+    .unwrap();
+    for (name, rows) in [("d1", 10_000u64), ("d2", 1_000)] {
+        cat.add_table(Table::new(
+            name,
+            rows,
+            vec![
+                Column::new("k", DataType::Int, ColumnStats::uniform(rows)).with_index(),
+                Column::new("a", DataType::Int, ColumnStats::uniform(50)),
+            ],
+        ))
+        .unwrap();
+    }
+    let query = QuerySpec {
+        name: "star2".into(),
+        relations: vec![0, 1, 2],
+        predicates: vec![
+            Predicate {
+                label: "f-d1".into(),
+                kind: PredicateKind::Join {
+                    left: 0,
+                    left_col: 0,
+                    right: 1,
+                    right_col: 0,
+                },
+            },
+            Predicate {
+                label: "f-d2".into(),
+                kind: PredicateKind::Join {
+                    left: 0,
+                    left_col: 1,
+                    right: 2,
+                    right_col: 0,
+                },
+            },
+        ],
+        epps: vec![0, 1],
+    };
+    (cat, query)
+}
+
+/// Compiles the star2 artifact and registers it on a leaked catalog.
+fn registry() -> Registry {
+    let (cat, q) = star2();
+    let cat: &'static Catalog = Box::leak(Box::new(cat));
+    let opt = Optimizer::new(cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+    let artifact = CompiledArtifact::compile(&opt, MultiGrid::uniform(2, 1e-5, 8), 2.0, 0.2, 2);
+    // Round-trip through the wire format: the server must work from
+    // exactly what a file holds.
+    let artifact = CompiledArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+    let mut reg = Registry::new();
+    reg.insert(ServedQuery::from_artifact(artifact, cat).unwrap());
+    reg
+}
+
+#[test]
+fn concurrent_clients_get_deterministic_responses() {
+    let handle = serve(
+        registry(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr;
+
+    const CLIENTS: usize = 10;
+    let results: Vec<Vec<String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let qa = [0.02, 0.4];
+                    vec![
+                        c.call_raw(&rqp_server::request_line(
+                            1.0,
+                            "run_spillbound",
+                            Some("star2"),
+                            &qa,
+                            None,
+                        ))
+                        .unwrap(),
+                        c.call_raw(&rqp_server::request_line(
+                            2.0,
+                            "run_planbouquet",
+                            Some("star2"),
+                            &qa,
+                            None,
+                        ))
+                        .unwrap(),
+                        c.call_raw(&rqp_server::request_line(
+                            3.0,
+                            "run_alignedbound",
+                            Some("star2"),
+                            &qa,
+                            None,
+                        ))
+                        .unwrap(),
+                        c.call_raw(&rqp_server::request_line(
+                            4.0,
+                            "run_native",
+                            Some("star2"),
+                            &qa,
+                            None,
+                        ))
+                        .unwrap(),
+                        c.call_raw(&rqp_server::request_line(
+                            5.0,
+                            "explain",
+                            Some("star2"),
+                            &[],
+                            None,
+                        ))
+                        .unwrap(),
+                    ]
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Byte-identical responses across all concurrent clients.
+    for other in &results[1..] {
+        assert_eq!(&results[0], other);
+    }
+    for line in &results[0] {
+        assert!(line.contains("\"ok\":true"), "unexpected error: {line}");
+    }
+    assert!(results[0][0].contains("\"algorithm\":\"spillbound\""));
+    assert!(results[0][0].contains("\"completed\":true"));
+
+    // The guarantee holds on the served run too.
+    let mut c = Client::connect(addr).unwrap();
+    let v = c
+        .call(9.0, "run_spillbound", Some("star2"), &[0.02, 0.4], None)
+        .unwrap();
+    let result = v.get("result").unwrap();
+    let subopt = result.get("sub_optimality").unwrap().as_f64().unwrap();
+    let guarantee = result.get("mso_guarantee").unwrap().as_f64().unwrap();
+    assert!(
+        subopt <= guarantee * (1.0 + 1e-6),
+        "{subopt} vs {guarantee}"
+    );
+
+    // Stats saw the traffic.
+    let stats = c.call(10.0, "stats", None, &[], None).unwrap();
+    let sb = stats
+        .get("result")
+        .unwrap()
+        .get("methods")
+        .unwrap()
+        .get("run_spillbound")
+        .unwrap();
+    assert!(sb.get("requests").unwrap().as_f64().unwrap() >= (CLIENTS + 1) as f64);
+    assert_eq!(sb.get("shed").unwrap().as_f64(), Some(0.0));
+
+    handle.stop();
+}
+
+#[test]
+fn overload_sheds_with_explicit_error() {
+    let handle = serve(
+        registry(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            allow_debug_sleep: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr;
+
+    // Occupy the single worker with a slow request...
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.call_raw(r#"{"id":1,"method":"list_queries","sleep_ms":600}"#)
+            .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // ...fill the one queue slot...
+    let queued = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.call_raw(r#"{"id":2,"method":"list_queries","sleep_ms":100}"#)
+            .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // ...and watch the next request shed instead of hang.
+    let mut c = Client::connect(addr).unwrap();
+    let shed = c.call_raw(r#"{"id":3,"method":"list_queries"}"#).unwrap();
+    assert!(
+        shed.contains("\"ok\":false") && shed.contains("\"kind\":\"overloaded\""),
+        "expected overloaded, got: {shed}"
+    );
+
+    assert!(slow.join().unwrap().contains("\"ok\":true"));
+    assert!(queued.join().unwrap().contains("\"ok\":true"));
+
+    // The shed shows up in stats.
+    let stats = c.call(4.0, "stats", None, &[], None).unwrap();
+    let lq = stats
+        .get("result")
+        .unwrap()
+        .get("methods")
+        .unwrap()
+        .get("list_queries")
+        .unwrap();
+    assert!(lq.get("shed").unwrap().as_f64().unwrap() >= 1.0);
+    assert!(handle.metrics().total_shed() >= 1);
+
+    handle.stop();
+}
+
+#[test]
+fn queued_deadline_is_enforced() {
+    let handle = serve(
+        registry(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            allow_debug_sleep: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr;
+
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.call_raw(r#"{"id":1,"method":"list_queries","sleep_ms":500}"#)
+            .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // This request can only be dequeued after ~350ms — past its deadline.
+    let mut c = Client::connect(addr).unwrap();
+    let late = c
+        .call_raw(r#"{"id":2,"method":"list_queries","deadline_ms":50}"#)
+        .unwrap();
+    assert!(
+        late.contains("\"kind\":\"deadline_exceeded\""),
+        "expected deadline_exceeded, got: {late}"
+    );
+    assert!(slow.join().unwrap().contains("\"ok\":true"));
+    handle.stop();
+}
+
+#[test]
+fn errors_are_typed_and_shutdown_stops() {
+    let handle = serve(registry(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.addr;
+    let mut c = Client::connect(addr).unwrap();
+
+    let r = c.call_raw("this is not json").unwrap();
+    assert!(r.contains("\"kind\":\"bad_request\""), "{r}");
+    let r = c
+        .call_raw(r#"{"id":1,"method":"run_spillbound","query":"nope","qa":[0.1,0.1]}"#)
+        .unwrap();
+    assert!(r.contains("\"kind\":\"unknown_query\""), "{r}");
+    let r = c
+        .call_raw(r#"{"id":2,"method":"frobnicate","query":"star2"}"#)
+        .unwrap();
+    assert!(r.contains("\"kind\":\"unknown_method\""), "{r}");
+    let r = c
+        .call_raw(r#"{"id":3,"method":"run_spillbound","query":"star2","qa":[0.1]}"#)
+        .unwrap();
+    assert!(r.contains("\"kind\":\"bad_request\""), "{r}");
+
+    let r = c.call_raw(r#"{"id":4,"method":"shutdown"}"#).unwrap();
+    assert!(r.contains("\"stopping\":true"), "{r}");
+    // wait() returns because the shutdown request flipped the stop flag.
+    assert!(handle.is_stopped());
+    handle.wait();
+}

@@ -1,0 +1,94 @@
+//! Warm start: persist a compiled ESS to disk and serve it.
+//!
+//! The expensive part of robust query processing is entirely offline —
+//! the POSP sweep, iso-cost contours, anorexic reduction, and the recost
+//! matrix. This example compiles that state once for 3D_Q91 into an
+//! [`ArtifactStore`], shows that the second start is a pure load (orders
+//! of magnitude faster), then stands up an in-process `rqp-server` on an
+//! ephemeral port and answers a `run_spillbound` request from the warm
+//! artifact.
+//!
+//! Run with: `cargo run --release --example warm_start`
+
+use rqp::artifacts::{ArtifactStore, Provenance};
+use rqp::catalog::tpcds;
+use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
+use rqp::server::{request_line, serve, Client, Registry, ServedQuery, ServerConfig};
+use rqp::workloads::q91_with_dims;
+
+fn main() {
+    // 1. Optimizer for the workload query, exactly as the harness builds it.
+    let catalog = tpcds::catalog_sf100();
+    let bench = q91_with_dims(&catalog, 3);
+    let name = bench.query.name.clone();
+    let opt = Optimizer::new(
+        &catalog,
+        &bench.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("workload query is valid");
+
+    // 2. First pass: cold — compile the full pipeline and save it.
+    let store = ArtifactStore::new(std::env::temp_dir().join("rqp-warm-start-example"));
+    std::fs::remove_file(store.path_for(&name)).ok();
+    let (artifact, prov) = store
+        .compile_or_load(&opt, &bench.grid(), 2.0, 0.2, 4)
+        .expect("compile + save");
+    let cold = match prov {
+        Provenance::Cold { compile, save, .. } => {
+            println!(
+                "cold start: compiled {name} in {:.3}s (+ {:.3}s to save {})",
+                compile.as_secs_f64(),
+                save.as_secs_f64(),
+                store.path_for(&name).display()
+            );
+            compile + save
+        }
+        Provenance::Warm { .. } => unreachable!("file was removed above"),
+    };
+    println!(
+        "  {} grid locations, {} POSP plans, {} contours, bouquet rho_red = {}",
+        artifact.surface.len(),
+        artifact.surface.posp_size(),
+        artifact.contours.len(),
+        artifact.rho_red
+    );
+
+    // 3. Second pass: warm — same call, now a pure load + validate.
+    let (artifact, prov) = store
+        .compile_or_load(&opt, &bench.grid(), 2.0, 0.2, 4)
+        .expect("load");
+    let warm = match prov {
+        Provenance::Warm { load } => {
+            println!("warm start: loaded in {:.4}s", load.as_secs_f64());
+            load
+        }
+        Provenance::Cold { .. } => unreachable!("file was just written"),
+    };
+    println!(
+        "  -> warm start is {:.0}x faster\n",
+        cold.as_secs_f64() / warm.as_secs_f64().max(1e-9)
+    );
+
+    // 4. Serve the warm artifact and talk to it over TCP.
+    let catalog: &'static _ = Box::leak(Box::new(tpcds::catalog_sf100()));
+    let mut registry = Registry::new();
+    registry.insert(ServedQuery::from_artifact(artifact, catalog).expect("artifact is consistent"));
+    let handle = serve(registry, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    println!("serving on {}", handle.addr);
+
+    let mut client = Client::connect(handle.addr).expect("connect");
+    for (id, method, qa) in [
+        (1.0, "run_spillbound", vec![0.01, 0.2, 0.05]),
+        (2.0, "run_native", vec![0.01, 0.2, 0.05]),
+        (3.0, "stats", vec![]),
+    ] {
+        let query = (method != "stats").then_some(name.as_str());
+        let response = client
+            .call_raw(&request_line(id, method, query, &qa, None))
+            .expect("request");
+        println!("{method}: {response}");
+    }
+    handle.stop();
+}

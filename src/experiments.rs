@@ -257,17 +257,35 @@ pub fn print_speedup(row: &SpeedupRow) {
     );
 }
 
+/// Worker-thread count for a harness or CLI invocation, resolved in
+/// priority order: a `--threads N` command-line override, then the
+/// `RQP_THREADS` environment knob, then `default`. Every bench harness
+/// and the `rqp` CLI share this one resolution (it used to be
+/// copy-pasted per harness).
+pub fn harness_threads(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        if let Some(n) = args.get(pos + 1).and_then(|s| s.parse::<usize>().ok()) {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("--threads expects a positive integer; falling back to RQP_THREADS/default");
+    }
+    if std::env::var_os("RQP_THREADS").is_some() {
+        env_threads()
+    } else {
+        default
+    }
+}
+
 /// The standard "parallel evaluation" trailer shared by the figure
 /// harnesses: measures the sequential-vs-parallel speedup of the full
 /// four-algorithm sweep on `dD_Q91`, prints it, and persists it as
 /// `target/experiments/<json_name>.json`. The worker count comes from
-/// `RQP_THREADS`, defaulting to 4.
+/// [`harness_threads`] (`--threads N`, then `RQP_THREADS`, then 4).
 pub fn speedup_section(d: usize, json_name: &str) -> SpeedupRow {
-    let threads = if std::env::var_os("RQP_THREADS").is_some() {
-        env_threads()
-    } else {
-        4
-    };
+    let threads = harness_threads(4);
     let catalog = rqp_catalog::tpcds::catalog_sf100();
     let bench = rqp_workloads::q91_with_dims(&catalog, d);
     let exp = Experiment::build(catalog, bench, EnumerationMode::LeftDeep);

@@ -39,12 +39,14 @@
 //! assert!(report.sub_optimality(surface.opt_cost(qa)) <= sb.mso_guarantee());
 //! ```
 
+pub use rqp_artifacts as artifacts;
 pub use rqp_catalog as catalog;
 pub use rqp_common as common;
 pub use rqp_core as core;
 pub use rqp_ess as ess;
 pub use rqp_executor as executor;
 pub use rqp_optimizer as optimizer;
+pub use rqp_server as server;
 pub use rqp_workloads as workloads;
 
 pub mod experiments;

@@ -1,0 +1,167 @@
+//! Property-based round-trip tests for the artifact store (rqp-artifacts):
+//! compile → save → load must evaluate bit-equal to the in-memory build
+//! for every algorithm (PB / SB / AB / native) across random grids, and
+//! arbitrary single-byte corruption must surface as a typed error, never
+//! a panic.
+
+use proptest::prelude::*;
+use rqp::artifacts::{ArtifactError, CompiledArtifact};
+use rqp::catalog::{tpcds, Catalog};
+use rqp::core::eval::{
+    evaluate_alignedbound_parallel, evaluate_native_ctx, evaluate_planbouquet_parallel,
+    evaluate_spillbound_parallel,
+};
+use rqp::core::{EvalContext, SubOptStats};
+use rqp::optimizer::{CostParams, EnumerationMode, Optimizer, QuerySpec};
+use rqp_common::MultiGrid;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+struct Fx {
+    catalog: Catalog,
+    query: QuerySpec,
+}
+
+// Reuse one catalog/query across proptest cases (construction dominates).
+fn fx() -> &'static Fx {
+    static FX: OnceLock<Fx> = OnceLock::new();
+    FX.get_or_init(|| {
+        let catalog = tpcds::catalog_sf100();
+        let query = rqp::workloads::q91_with_dims(&catalog, 2).query;
+        Fx { catalog, query }
+    })
+}
+
+fn optimizer(f: &Fx) -> Optimizer<'_> {
+    Optimizer::new(
+        &f.catalog,
+        &f.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .unwrap()
+}
+
+/// A scratch path unique to this process and call site.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "rqp-roundtrip-{}-{tag}-{n}.rqpa",
+        std::process::id()
+    ))
+}
+
+fn bit_equal(a: &SubOptStats, b: &SubOptStats) -> bool {
+    a.mso.to_bits() == b.mso.to_bits()
+        && a.worst_qa == b.worst_qa
+        && a.subopts.len() == b.subopts.len()
+        && a.subopts
+            .iter()
+            .zip(&b.subopts)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    // Each case compiles a full (small) ESS; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// compile → save → load → evaluate is bit-equal to the in-memory
+    /// pipeline for all four algorithms, over random grids and ratios.
+    #[test]
+    fn saved_artifact_evaluates_bit_equal(
+        n in 5usize..9,
+        min_exp in 5u32..8,
+        ratio_tenths in 15u32..26,
+        threads in 1usize..4,
+    ) {
+        let f = fx();
+        let opt = optimizer(f);
+        let grid = MultiGrid::uniform(2, 10f64.powi(-(min_exp as i32)), n);
+        let ratio = ratio_tenths as f64 / 10.0;
+
+        let artifact = CompiledArtifact::compile(&opt, grid, ratio, 0.2, threads);
+        let path = scratch("eval");
+        artifact.save(&path).unwrap();
+        let loaded = CompiledArtifact::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // The loaded half runs entirely off deserialized state: its own
+        // optimizer is rebuilt from the stored QuerySpec.
+        let loaded_opt = Optimizer::new(
+            &f.catalog,
+            &loaded.query,
+            CostParams::default(),
+            EnumerationMode::LeftDeep,
+        )
+        .unwrap();
+        let mem = EvalContext::from_parts(&artifact.surface, &opt, artifact.matrix.clone()).unwrap();
+        let warm =
+            EvalContext::from_parts(&loaded.surface, &loaded_opt, loaded.matrix.clone()).unwrap();
+
+        let sb_m = evaluate_spillbound_parallel(&mem, ratio, threads).unwrap();
+        let sb_w = evaluate_spillbound_parallel(&warm, ratio, threads).unwrap();
+        prop_assert!(bit_equal(&sb_m, &sb_w), "SB diverged after round-trip");
+
+        let (ab_m, pen_m) = evaluate_alignedbound_parallel(&mem, ratio, threads).unwrap();
+        let (ab_w, pen_w) = evaluate_alignedbound_parallel(&warm, ratio, threads).unwrap();
+        prop_assert!(bit_equal(&ab_m, &ab_w), "AB diverged after round-trip");
+        prop_assert_eq!(pen_m.to_bits(), pen_w.to_bits());
+
+        let pb_m = evaluate_planbouquet_parallel(&mem, ratio, 0.2, threads).unwrap();
+        let pb_w = evaluate_planbouquet_parallel(&warm, ratio, 0.2, threads).unwrap();
+        prop_assert!(bit_equal(&pb_m, &pb_w), "PB diverged after round-trip");
+
+        let nat_m = evaluate_native_ctx(&mem).unwrap();
+        let nat_w = evaluate_native_ctx(&warm).unwrap();
+        prop_assert!(bit_equal(&nat_m, &nat_w), "native diverged after round-trip");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single-byte mutation of a valid artifact either still decodes
+    /// to the identical artifact (a byte the checksum ignores does not
+    /// exist — so in practice: header-field typos, checksum mismatches,
+    /// or truncation) or yields a typed error. It never panics.
+    #[test]
+    fn corrupted_bytes_never_panic(
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+        truncate_to_seed in any::<usize>(),
+    ) {
+        static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+        let bytes = BYTES.get_or_init(|| {
+            let f = fx();
+            let opt = optimizer(f);
+            CompiledArtifact::compile(&opt, MultiGrid::uniform(2, 1e-5, 5), 2.0, 0.2, 1)
+                .to_bytes()
+        });
+
+        // Flip one byte anywhere in the stream.
+        let mut flipped = bytes.clone();
+        let pos = pos_seed % flipped.len();
+        flipped[pos] ^= xor;
+        match CompiledArtifact::from_bytes(&flipped) {
+            Ok(_) => prop_assert!(false, "corruption at byte {pos} went undetected"),
+            Err(
+                ArtifactError::BadHeader(_)
+                | ArtifactError::BadMagic(_)
+                | ArtifactError::UnsupportedVersion { .. }
+                | ArtifactError::Truncated { .. }
+                | ArtifactError::ChecksumMismatch { .. }
+                | ArtifactError::Decode(_)
+                | ArtifactError::Invalid(_),
+            ) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+
+        // Truncate to an arbitrary prefix.
+        let cut = truncate_to_seed % bytes.len();
+        prop_assert!(
+            CompiledArtifact::from_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes went undetected"
+        );
+    }
+}

@@ -108,14 +108,15 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
 }
 
 fn write_num(n: f64, out: &mut String) {
+    use std::fmt::Write;
     if !n.is_finite() {
         // JSON has no inf/NaN; real serde_json errors here, we degrade.
         out.push_str("null");
     } else if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
-        out.push_str(&format!("{}", n as i64));
+        let _ = write!(out, "{}", n as i64);
     } else {
         // Rust float Display is shortest-round-trip.
-        out.push_str(&format!("{n}"));
+        let _ = write!(out, "{n}");
     }
 }
 
@@ -136,6 +137,31 @@ fn write_string(s: &str, out: &mut String) {
 }
 
 // ---- parser ------------------------------------------------------------
+
+/// Index of the first `"` or `\` in `haystack` (or `haystack.len()`),
+/// found eight bytes at a time with the classic SWAR zero-byte test.
+fn find_quote_or_backslash(haystack: &[u8]) -> usize {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let mut offset = 0;
+    let mut chunks = haystack.chunks_exact(8);
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+        let q = w ^ (LO * u64::from(b'"'));
+        let s = w ^ (LO * u64::from(b'\\'));
+        let hit = (q.wrapping_sub(LO) & !q & HI) | (s.wrapping_sub(LO) & !s & HI);
+        if hit != 0 {
+            return offset + (hit.trailing_zeros() / 8) as usize;
+        }
+        offset += 8;
+    }
+    let tail = chunks.remainder();
+    offset
+        + tail
+            .iter()
+            .position(|&b| b == b'"' || b == b'\\')
+            .unwrap_or(tail.len())
+}
 
 struct Parser<'a> {
     bytes: &'a [u8],
@@ -273,13 +299,10 @@ impl Parser<'_> {
         let mut out = String::new();
         loop {
             let start = self.pos;
-            // fast path: raw UTF-8 run
-            while let Some(&b) = self.bytes.get(self.pos) {
-                if b == b'"' || b == b'\\' {
-                    break;
-                }
-                self.pos += 1;
-            }
+            // fast path: raw UTF-8 run up to the next `"` or `\` (large
+            // strings — e.g. packed artifact payloads — stay in this path
+            // for megabytes, so it scans a word at a time)
+            self.pos += find_quote_or_backslash(&self.bytes[self.pos..]);
             out.push_str(
                 std::str::from_utf8(&self.bytes[start..self.pos])
                     .map_err(|_| Error("invalid utf8 in string".into()))?,
