@@ -36,9 +36,11 @@
 use rqp_common::MultiGrid;
 use rqp_ess::anorexic::{reduce_all, ReducedContour};
 use rqp_ess::{ContourSet, EssSurface};
+use rqp_faults::{FaultPlan, FaultSite};
 use rqp_optimizer::{CostMatrix, Optimizer, QuerySpec};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Magic string identifying an rqp artifact file.
@@ -323,19 +325,60 @@ impl CompiledArtifact {
 
     /// Writes the artifact atomically (`path.tmp` then rename).
     pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        self.save_with(path, None)
+    }
+
+    /// [`save`](Self::save) under an optional fault plan. An injected
+    /// `store.save` fault simulates a torn write: a truncated prefix
+    /// lands in the `.tmp` file and an I/O error is returned *before*
+    /// the rename — the artifact path itself is never touched, so a
+    /// previously saved artifact (or its absence) stays intact. This is
+    /// exactly the crash window tmp+rename exists to protect.
+    pub fn save_with(&self, path: &Path, faults: Option<&FaultPlan>) -> Result<(), ArtifactError> {
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir)?;
             }
         }
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_bytes())?;
+        let bytes = self.to_bytes();
+        if let Some(shot) = faults.and_then(|p| p.shot(FaultSite::StoreSave)) {
+            let cut = ((bytes.len() as f64) * shot.frac) as usize;
+            let _ = std::fs::write(&tmp, &bytes[..cut.min(bytes.len())]);
+            return Err(ArtifactError::Io(format!(
+                "injected torn write at {} ({} of {} bytes)",
+                tmp.display(),
+                cut,
+                bytes.len()
+            )));
+        }
+        std::fs::write(&tmp, bytes)?;
         std::fs::rename(&tmp, path)?;
         Ok(())
     }
 
     /// Loads and validates an artifact file.
     pub fn load(path: &Path) -> Result<Self, ArtifactError> {
+        Self::load_with(path, None)
+    }
+
+    /// [`load`](Self::load) under an optional fault plan: the plan's
+    /// `slow_load` latency is served first, then an injected
+    /// `store.load` fault surfaces as an interrupted-read I/O error
+    /// before the file is touched.
+    pub fn load_with(path: &Path, faults: Option<&FaultPlan>) -> Result<Self, ArtifactError> {
+        if let Some(plan) = faults {
+            let lag = plan.slow_load();
+            if !lag.is_zero() {
+                std::thread::sleep(lag);
+            }
+            if plan.should_inject(FaultSite::StoreLoad) {
+                return Err(ArtifactError::Io(format!(
+                    "injected read fault at {} (Interrupted)",
+                    path.display()
+                )));
+            }
+        }
         let bytes = std::fs::read(path)?;
         Self::from_bytes(&bytes)
     }
@@ -393,7 +436,11 @@ impl Provenance {
 /// Loads `path` if it holds a valid artifact for this exact
 /// configuration; otherwise compiles from scratch and saves. The
 /// warm-start entry point: corrupt or stale files are transparently
-/// recompiled, never trusted.
+/// recompiled, never trusted. An I/O failure on the first load attempt
+/// (possibly transient: NFS hiccup, interrupted read, injected fault) is
+/// retried once; a second failure degrades to recompilation instead of
+/// failing the request — the artifact cache is an accelerator, never a
+/// point of failure.
 pub fn compile_or_load(
     path: &Path,
     opt: &Optimizer<'_>,
@@ -402,14 +449,35 @@ pub fn compile_or_load(
     lambda: f64,
     threads: usize,
 ) -> Result<(CompiledArtifact, Provenance), ArtifactError> {
+    compile_or_load_with(path, opt, grid, ratio, lambda, threads, None)
+}
+
+/// [`compile_or_load`] under an optional fault plan (threaded into the
+/// underlying load/save; see [`CompiledArtifact::load_with`] /
+/// [`CompiledArtifact::save_with`]).
+#[allow(clippy::too_many_arguments)]
+pub fn compile_or_load_with(
+    path: &Path,
+    opt: &Optimizer<'_>,
+    grid: &MultiGrid,
+    ratio: f64,
+    lambda: f64,
+    threads: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<(CompiledArtifact, Provenance), ArtifactError> {
     let reason = if path.exists() {
         let t0 = Instant::now();
-        match CompiledArtifact::load(path) {
+        let loaded = CompiledArtifact::load_with(path, faults).or_else(|first| match first {
+            // One retry for I/O-class failures before giving up on
+            // the warm path.
+            ArtifactError::Io(_) => CompiledArtifact::load_with(path, faults),
+            other => Err(other),
+        });
+        match loaded {
             Ok(artifact) if artifact.matches(opt, grid, ratio, lambda) => {
                 return Ok((artifact, Provenance::Warm { load: t0.elapsed() }));
             }
             Ok(_) => ColdReason::Stale,
-            Err(e @ ArtifactError::Io(_)) => return Err(e),
             Err(e) => ColdReason::Corrupt(e.to_string()),
         }
     } else {
@@ -419,7 +487,7 @@ pub fn compile_or_load(
     let artifact = CompiledArtifact::compile(opt, grid.clone(), ratio, lambda, threads);
     let compile = t0.elapsed();
     let t1 = Instant::now();
-    artifact.save(path)?;
+    artifact.save_with(path, faults)?;
     let save = t1.elapsed();
     Ok((
         artifact,
@@ -435,12 +503,22 @@ pub fn compile_or_load(
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
     root: PathBuf,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ArtifactStore {
     /// Opens (without touching the filesystem) a store rooted at `root`.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        Self { root: root.into() }
+        Self {
+            root: root.into(),
+            faults: None,
+        }
+    }
+
+    /// Attaches a fault plan to every load/save this store performs.
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The store's root directory.
@@ -462,13 +540,14 @@ impl ArtifactStore {
         lambda: f64,
         threads: usize,
     ) -> Result<(CompiledArtifact, Provenance), ArtifactError> {
-        compile_or_load(
+        compile_or_load_with(
             &self.path_for(&opt.query().name),
             opt,
             grid,
             ratio,
             lambda,
             threads,
+            self.faults.as_deref(),
         )
     }
 

@@ -24,6 +24,27 @@ pub enum RqpError {
     Discovery(String),
     /// Configuration error (bad grid resolution, bad contour ratio, ...).
     Config(String),
+    /// An injected (or otherwise transient) operational fault that
+    /// persisted through the retry layer. Distinguished from
+    /// [`Execution`](Self::Execution) so servers can degrade gracefully
+    /// instead of treating it as a logic bug.
+    Fault(String),
+}
+
+impl RqpError {
+    /// Stable wire-protocol error kind for this error — the typed
+    /// alternative to stringifying at the service boundary.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RqpError::UnknownObject(_) => "unknown_object",
+            RqpError::InvalidQuery(_) | RqpError::InvalidSelectivity(_) => "bad_request",
+            RqpError::Planning(_)
+            | RqpError::Execution(_)
+            | RqpError::Discovery(_)
+            | RqpError::Config(_) => "internal",
+            RqpError::Fault(_) => "execution_fault",
+        }
+    }
 }
 
 impl fmt::Display for RqpError {
@@ -36,6 +57,7 @@ impl fmt::Display for RqpError {
             RqpError::Execution(s) => write!(f, "execution failed: {s}"),
             RqpError::Discovery(s) => write!(f, "discovery failed: {s}"),
             RqpError::Config(s) => write!(f, "bad configuration: {s}"),
+            RqpError::Fault(s) => write!(f, "injected fault: {s}"),
         }
     }
 }
@@ -52,6 +74,14 @@ mod tests {
         assert!(e.to_string().contains("lineitem"));
         let e = RqpError::InvalidQuery("disconnected".into());
         assert!(e.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn kinds_are_stable_protocol_strings() {
+        assert_eq!(RqpError::Fault("x".into()).kind(), "execution_fault");
+        assert_eq!(RqpError::InvalidQuery("x".into()).kind(), "bad_request");
+        assert_eq!(RqpError::Execution("x".into()).kind(), "internal");
+        assert_eq!(RqpError::UnknownObject("x".into()).kind(), "unknown_object");
     }
 
     #[test]

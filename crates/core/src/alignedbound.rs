@@ -351,7 +351,7 @@ impl<'a> AlignedBound<'a> {
                 if !executed.insert((plan.fingerprint(), j)) {
                     continue; // identical repeat: outcome already settled
                 }
-                match oracle.spill_execute_id(plan_id, plan, j, part.budget) {
+                match oracle.try_spill_execute_id(plan_id, plan, j, part.budget)? {
                     SpillOutcome::Completed { sel, spent } => {
                         report.total_cost += spent;
                         report.records.push(ExecutionRecord {

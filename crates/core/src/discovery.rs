@@ -54,7 +54,7 @@ impl<'a> Shared<'a> {
             for q in self.contours.locations(self.surface, &view, i) {
                 let pid = self.surface.plan_id(q);
                 let plan = self.surface.pool().get(pid);
-                match oracle.full_execute_id(Some(pid), plan, budget) {
+                match oracle.try_full_execute_id(Some(pid), plan, budget)? {
                     FullOutcome::Completed { spent } => {
                         report.total_cost += spent;
                         report.records.push(ExecutionRecord {
@@ -109,7 +109,7 @@ impl<'a> Shared<'a> {
         let mut budget = self.contours.cost(last) * 2.0;
         // 64 doublings ≈ a 1.8e19× cost-model error: unambiguously a bug.
         for _ in 0..64 {
-            match oracle.full_execute_id(Some(pid), plan, budget) {
+            match oracle.try_full_execute_id(Some(pid), plan, budget)? {
                 FullOutcome::Completed { spent } => {
                     report.total_cost += spent;
                     report.records.push(ExecutionRecord {

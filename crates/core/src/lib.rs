@@ -64,6 +64,7 @@ pub mod alignedbound;
 pub mod cached;
 pub(crate) mod discovery;
 pub mod eval;
+pub mod faulty;
 pub mod lowerbound;
 pub mod native;
 pub mod oracle;
@@ -75,6 +76,7 @@ pub mod spillbound;
 pub use alignedbound::AlignedBound;
 pub use cached::{CachedOracle, EvalContext, SpillMemo};
 pub use eval::{evaluate, evaluate_parallel, SubOptStats};
+pub use faulty::{FaultStats, FaultyOracle};
 pub use native::NativeChoice;
 pub use oracle::{CostOracle, ExecutionOracle, FullOutcome, NoisyCostOracle, SpillOutcome};
 pub use planbouquet::PlanBouquet;

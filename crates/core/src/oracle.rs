@@ -9,7 +9,7 @@
 //! §6.3). The executor-backed implementation for wall-clock runs lives in
 //! the workspace root crate.
 
-use rqp_common::{cost_le, Cost, MultiGrid, Selectivity};
+use rqp_common::{cost_le, Cost, MultiGrid, Result, Selectivity};
 use rqp_optimizer::{Optimizer, PlanId, PlanNode, Sels};
 
 /// Result of a spill-mode budgeted execution (Lemma 3.1): either the exact
@@ -84,6 +84,32 @@ pub trait ExecutionOracle {
     ) -> FullOutcome {
         let _ = pid;
         self.full_execute(plan, budget)
+    }
+
+    /// Fallible [`spill_execute_id`](Self::spill_execute_id): the variant
+    /// the discovery algorithms call, so oracles with an operational
+    /// failure mode (executor-backed, fault-injected) can surface
+    /// `RqpError::Fault` instead of panicking. Infallible oracles inherit
+    /// this default.
+    fn try_spill_execute_id(
+        &mut self,
+        pid: Option<PlanId>,
+        plan: &PlanNode,
+        dim: usize,
+        budget: Cost,
+    ) -> Result<SpillOutcome> {
+        Ok(self.spill_execute_id(pid, plan, dim, budget))
+    }
+
+    /// Fallible [`full_execute_id`](Self::full_execute_id); see
+    /// [`try_spill_execute_id`](Self::try_spill_execute_id).
+    fn try_full_execute_id(
+        &mut self,
+        pid: Option<PlanId>,
+        plan: &PlanNode,
+        budget: Cost,
+    ) -> Result<FullOutcome> {
+        Ok(self.full_execute_id(pid, plan, budget))
     }
 }
 

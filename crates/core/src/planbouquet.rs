@@ -116,7 +116,7 @@ impl<'a> PlanBouquet<'a> {
             let budget = (1.0 + self.lambda) * rc.cost;
             for &pid in &rc.plans {
                 let plan = self.shared.surface.pool().get(pid);
-                match oracle.full_execute_id(Some(pid), plan, budget) {
+                match oracle.try_full_execute_id(Some(pid), plan, budget)? {
                     FullOutcome::Completed { spent } => {
                         report.total_cost += spent;
                         report.records.push(ExecutionRecord {

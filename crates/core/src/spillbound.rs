@@ -153,7 +153,7 @@ impl<'a> SpillBound<'a> {
                     continue; // identical repeat: outcome already known
                 }
                 let plan = self.shared.surface.pool().get(pid);
-                match oracle.spill_execute_id(Some(pid), plan, j, budget) {
+                match oracle.try_spill_execute_id(Some(pid), plan, j, budget)? {
                     SpillOutcome::Completed { sel, spent } => {
                         report.total_cost += spent;
                         report.records.push(ExecutionRecord {

@@ -8,7 +8,9 @@ use crate::ops::{
 use crate::store::DataStore;
 use rqp_catalog::Catalog;
 use rqp_common::{Cost, Result, RqpError};
+use rqp_faults::{FaultPlan, FaultSite};
 use rqp_optimizer::{CostParams, JoinMethod, PlanNode, PredicateKind, QuerySpec, ScanMethod};
+use std::sync::Arc;
 
 /// Result of a regular budgeted execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,6 +88,7 @@ pub struct Executor<'a> {
     query: &'a QuerySpec,
     store: &'a DataStore,
     params: CostParams,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// Output schema of an operator: the query-local relations concatenated in
@@ -128,15 +131,42 @@ impl<'a> Executor<'a> {
             query,
             store,
             params,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault-injection plan: `run_full` / `run_spill` abort
+    /// with [`ExecError::Injected`] after a seeded fraction of budget on
+    /// scheduled calls.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Metered-cost threshold at which this call aborts, if the fault
+    /// plan scheduled an injection for it. Unbudgeted runs abort
+    /// immediately (threshold 0): a fault does not wait for spending.
+    fn fault_abort_at(&self, site: FaultSite, budget: Cost) -> Option<Cost> {
+        let shot = self.faults.as_ref()?.shot(site)?;
+        Some(if budget.is_finite() {
+            budget * shot.frac
+        } else {
+            0.0
+        })
     }
 
     /// Executes `plan` with the given budget; drains and counts the result.
     pub fn run_full(&self, plan: &PlanNode, budget: Cost) -> Result<ExecOutcome> {
+        let abort_at = self.fault_abort_at(FaultSite::ExecFull, budget);
         let meter = Meter::new(budget);
         let (mut op, _) = self.compile(plan, &meter)?;
         let mut rows_out = 0u64;
         loop {
+            if let Some(at) = abort_at {
+                if meter.spent() >= at {
+                    return Err(ExecError::Injected(FaultSite::ExecFull.name().into()).into());
+                }
+            }
             match op.next() {
                 Ok(Some(_)) => rows_out += 1,
                 Ok(None) => {
@@ -153,7 +183,7 @@ impl<'a> Executor<'a> {
                         spent: budget,
                     })
                 }
-                Err(e) => return Err(RqpError::Execution(e.to_string())),
+                Err(e) => return Err(e.into()),
             }
         }
     }
@@ -164,9 +194,15 @@ impl<'a> Executor<'a> {
         let subtree = plan
             .subtree_applying(pred)
             .ok_or_else(|| RqpError::Execution(format!("plan does not apply predicate {pred}")))?;
+        let abort_at = self.fault_abort_at(FaultSite::ExecSpill, budget);
         let meter = Meter::new(budget);
         let (mut op, _) = self.compile(subtree, &meter)?;
         loop {
+            if let Some(at) = abort_at {
+                if meter.spent() >= at {
+                    return Err(ExecError::Injected(FaultSite::ExecSpill.name().into()).into());
+                }
+            }
             match op.next() {
                 Ok(Some(_)) => {}
                 Ok(None) => {
@@ -197,7 +233,7 @@ impl<'a> Executor<'a> {
                         observation: None,
                     })
                 }
-                Err(e) => return Err(RqpError::Execution(e.to_string())),
+                Err(e) => return Err(e.into()),
             }
         }
     }
@@ -663,6 +699,66 @@ pub(crate) mod tests {
     }
 
     #[test]
+    fn injected_faults_abort_with_typed_error() {
+        let (cat, query, store) = fixture();
+        let plan = PlanNode::Join {
+            method: JoinMethod::HashJoin,
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                method: ScanMethod::SeqScan,
+                filters: vec![1],
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                method: ScanMethod::SeqScan,
+                filters: vec![],
+            }),
+            preds: vec![0],
+        };
+        let always = Arc::new(FaultPlan::new(7).with_site(FaultSite::ExecFull, 1.0));
+        let exec = Executor::new(&cat, &query, &store, CostParams::default()).with_faults(always);
+        let err = exec.run_full(&plan, f64::INFINITY).unwrap_err();
+        assert!(matches!(err, RqpError::Fault(_)), "got {err:?}");
+        assert_eq!(err.kind(), "execution_fault");
+
+        // A zero-rate plan is a no-op: results match the plain executor.
+        let quiet = Arc::new(FaultPlan::new(7));
+        let faulted = Executor::new(&cat, &query, &store, CostParams::default()).with_faults(quiet);
+        let plain = Executor::new(&cat, &query, &store, CostParams::default());
+        assert_eq!(
+            faulted.run_full(&plan, f64::INFINITY).unwrap(),
+            plain.run_full(&plan, f64::INFINITY).unwrap()
+        );
+    }
+
+    #[test]
+    fn injected_spill_fault_respects_budget_fraction() {
+        let (cat, query, store) = fixture();
+        let plan = PlanNode::Join {
+            method: JoinMethod::HashJoin,
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                method: ScanMethod::SeqScan,
+                filters: vec![1],
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                method: ScanMethod::SeqScan,
+                filters: vec![],
+            }),
+            preds: vec![0],
+        };
+        let exec = Executor::new(&cat, &query, &store, CostParams::default());
+        let full = exec.run_spill(&plan, 0, f64::INFINITY).unwrap();
+        let plan_faults = Arc::new(FaultPlan::new(3).with_site(FaultSite::ExecSpill, 1.0));
+        let exec =
+            Executor::new(&cat, &query, &store, CostParams::default()).with_faults(plan_faults);
+        // With a finite budget the abort lands strictly inside it.
+        let err = exec.run_spill(&plan, 0, full.spent * 2.0).unwrap_err();
+        assert!(matches!(err, RqpError::Fault(_)));
+    }
+
+    #[test]
     fn spill_on_missing_predicate_errors() {
         let (cat, query, store) = fixture();
         let exec = Executor::new(&cat, &query, &store, CostParams::default());
@@ -787,7 +883,7 @@ impl<'a> Executor<'a> {
                         Vec::new(),
                     ))
                 }
-                Err(e) => return Err(RqpError::Execution(e.to_string())),
+                Err(e) => return Err(e.into()),
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Cost metering and budget enforcement.
 
-use rqp_common::Cost;
+use rqp_common::{Cost, RqpError};
 use std::cell::Cell;
 use std::fmt;
 use std::rc::Rc;
@@ -11,6 +11,9 @@ pub enum ExecError {
     /// The assigned cost budget was exhausted; execution was aborted and
     /// partial results discarded.
     BudgetExceeded,
+    /// A deterministic injected fault (see `rqp-faults`) aborted the
+    /// execution; carries the injection-site name.
+    Injected(String),
     /// Any other runtime failure.
     Other(String),
 }
@@ -19,12 +22,25 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::BudgetExceeded => write!(f, "execution budget exceeded"),
+            ExecError::Injected(site) => write!(f, "injected fault at {site}"),
             ExecError::Other(s) => write!(f, "execution failed: {s}"),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// Typed propagation into the workspace error: injected faults keep
+/// their fault identity (so servers can retry / degrade), everything
+/// else is an execution failure.
+impl From<ExecError> for RqpError {
+    fn from(e: ExecError) -> Self {
+        match e {
+            ExecError::Injected(site) => RqpError::Fault(format!("executor abort at {site}")),
+            other => RqpError::Execution(other.to_string()),
+        }
+    }
+}
 
 /// A shared cost meter: operators charge work against it; the first charge
 /// that pushes spending past the budget aborts the plan.
@@ -97,6 +113,15 @@ mod tests {
         m.charge(3.0).unwrap();
         assert_eq!(m2.spent(), 3.0);
         assert!(m2.charge(3.0).is_err());
+    }
+
+    #[test]
+    fn exec_errors_convert_to_typed_rqp_errors() {
+        let e: RqpError = ExecError::Injected("exec.run_full".into()).into();
+        assert!(matches!(e, RqpError::Fault(_)));
+        assert_eq!(e.kind(), "execution_fault");
+        let e: RqpError = ExecError::Other("boom".into()).into();
+        assert!(matches!(e, RqpError::Execution(_)));
     }
 
     #[test]

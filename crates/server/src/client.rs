@@ -1,14 +1,20 @@
 //! Minimal blocking client for the newline-delimited JSON protocol —
 //! used by the `rqp client` subcommand, the CI smoke test, and the
-//! concurrency tests.
+//! concurrency tests. [`Client::call_raw_retry`] adds the fault-tolerant
+//! path: per-attempt I/O timeouts plus reconnect-and-retry with capped
+//! exponential backoff, so transient connection drops (injected or real)
+//! do not surface to the caller.
 
 use crate::protocol::{num_arr, string};
+use rqp_faults::RetryPolicy;
 use serde::Value;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A connected client. One request/response at a time, in order.
 pub struct Client {
+    addr: SocketAddr,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
@@ -17,11 +23,32 @@ impl Client {
     /// Connects to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        let addr = stream.peer_addr()?;
         let writer = stream.try_clone()?;
         Ok(Self {
+            addr,
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// Applies (or clears) a read+write timeout on the underlying socket
+    /// — the per-attempt cap the retry path uses so one wedged exchange
+    /// cannot block a caller indefinitely.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Drops the (possibly poisoned) connection and dials the same
+    /// address again. Any buffered partial response is discarded.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        Ok(())
     }
 
     /// Sends one raw request line and returns the raw response line.
@@ -38,6 +65,40 @@ impl Client {
             ));
         }
         Ok(response.trim_end().to_string())
+    }
+
+    /// [`call_raw`](Self::call_raw) with retries: each attempt runs
+    /// under `per_attempt_timeout`; a failed attempt (drop, timeout,
+    /// refused write) reconnects and backs off per `policy` before the
+    /// next one. The last error surfaces if every attempt fails.
+    ///
+    /// Only safe for idempotent requests (everything this protocol
+    /// serves except `shutdown`): an attempt that died mid-exchange may
+    /// have been executed by the server before the connection dropped.
+    pub fn call_raw_retry(
+        &mut self,
+        line: &str,
+        policy: &RetryPolicy,
+        per_attempt_timeout: Option<Duration>,
+    ) -> std::io::Result<String> {
+        let attempts = policy.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            self.set_io_timeout(per_attempt_timeout)?;
+            match self.call_raw(line) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    last_err = Some(e);
+                    if attempt + 1 < attempts {
+                        policy.pause(attempt);
+                        // A fresh connection: the old one may hold a
+                        // half-written request or a stale partial read.
+                        let _ = self.reconnect();
+                    }
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
     }
 
     /// Builds and sends a request, returning the parsed response.

@@ -30,4 +30,4 @@ pub use client::{request_line, Client};
 pub use metrics::Metrics;
 pub use protocol::{parse_request, Request};
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use service::{Registry, ServedQuery};
+pub use service::{CallStats, Registry, ServedQuery};

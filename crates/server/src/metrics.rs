@@ -1,8 +1,11 @@
-//! Per-method request / latency / shed counters.
+//! Per-method request / latency / shed counters, plus service-wide
+//! fault/retry/degradation counters.
 
 use crate::protocol::{num, obj};
+use crate::service::CallStats;
 use serde::Value;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -23,6 +26,10 @@ struct MethodCounters {
 pub struct Metrics {
     per_method: Mutex<BTreeMap<String, MethodCounters>>,
     started: Instant,
+    faults_injected: AtomicU64,
+    retries: AtomicU64,
+    breaker_open: AtomicU64,
+    degraded_responses: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -37,6 +44,10 @@ impl Metrics {
         Self {
             per_method: Mutex::new(BTreeMap::new()),
             started: Instant::now(),
+            faults_injected: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            breaker_open: AtomicU64::new(0),
+            degraded_responses: AtomicU64::new(0),
         }
     }
 
@@ -83,6 +94,49 @@ impl Metrics {
         map.values().map(|c| c.shed).sum()
     }
 
+    /// Folds one dispatched call's fault accounting into the
+    /// service-wide counters.
+    pub fn record_call(&self, stats: &CallStats) {
+        self.faults_injected
+            .fetch_add(stats.faults_injected, Ordering::Relaxed);
+        self.retries.fetch_add(stats.retries, Ordering::Relaxed);
+        if stats.breaker_opened {
+            self.breaker_open.fetch_add(1, Ordering::Relaxed);
+        }
+        if stats.degraded {
+            self.degraded_responses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a connection-level injected fault (dropped read/write).
+    pub fn record_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total degraded responses served so far.
+    pub fn total_degraded(&self) -> u64 {
+        self.degraded_responses.load(Ordering::Relaxed)
+    }
+
+    /// The fault-counter block of the `stats` / `health` responses.
+    pub fn faults_value(&self) -> Value {
+        obj(vec![
+            (
+                "faults_injected",
+                num(self.faults_injected.load(Ordering::Relaxed) as f64),
+            ),
+            ("retries", num(self.retries.load(Ordering::Relaxed) as f64)),
+            (
+                "breaker_open",
+                num(self.breaker_open.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "degraded_responses",
+                num(self.degraded_responses.load(Ordering::Relaxed) as f64),
+            ),
+        ])
+    }
+
     /// Snapshot as the `stats` response body.
     pub fn to_value(&self, workers: usize, queue_capacity: usize) -> Value {
         let map = self.per_method.lock().expect("metrics lock");
@@ -114,6 +168,7 @@ impl Metrics {
             ("workers", num(workers as f64)),
             ("queue_capacity", num(queue_capacity as f64)),
             ("methods", Value::Object(methods)),
+            ("faults", self.faults_value()),
         ])
     }
 }
@@ -137,5 +192,24 @@ mod tests {
         assert_eq!(sb.get("mean_latency_us").unwrap().as_f64(), Some(200.0));
         let ex = v.get("methods").unwrap().get("explain").unwrap();
         assert_eq!(ex.get("deadline_expired").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let m = Metrics::new();
+        m.record_call(&CallStats {
+            faults_injected: 3,
+            retries: 2,
+            degraded: true,
+            breaker_opened: true,
+        });
+        m.record_injected();
+        assert_eq!(m.total_degraded(), 1);
+        let v = m.to_value(1, 1);
+        let f = v.get("faults").unwrap();
+        assert_eq!(f.get("faults_injected").unwrap().as_f64(), Some(4.0));
+        assert_eq!(f.get("retries").unwrap().as_f64(), Some(2.0));
+        assert_eq!(f.get("breaker_open").unwrap().as_f64(), Some(1.0));
+        assert_eq!(f.get("degraded_responses").unwrap().as_f64(), Some(1.0));
     }
 }

@@ -11,8 +11,11 @@
 //!
 //! Errors come back as `{"id":...,"ok":false,"error":{"kind":...,
 //! "message":...}}`; the `kind` values are stable strings
-//! (`bad_request`, `unknown_method`, `unknown_query`, `overloaded`,
-//! `deadline_exceeded`, `internal`).
+//! (`bad_request`, `unknown_method`, `unknown_query`, `unknown_object`,
+//! `overloaded`, `deadline_exceeded`, `execution_fault`, `timeout`,
+//! `internal`). Successful `run_*` responses carry a `degraded` boolean:
+//! `true` marks a circuit-breaker fallback answered by the native
+//! baseline instead of the requested algorithm.
 
 use serde::Value;
 
@@ -25,6 +28,7 @@ pub const METHODS: &[&str] = &[
     "run_native",
     "list_queries",
     "stats",
+    "health",
     "shutdown",
 ];
 

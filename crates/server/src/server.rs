@@ -10,8 +10,9 @@
 //! connection sees its responses in request order.
 
 use crate::metrics::Metrics;
-use crate::protocol::{err_response, ok_response, parse_request, Request};
+use crate::protocol::{err_response, obj, ok_response, parse_request, Request};
 use crate::service::Registry;
+use rqp_faults::{FaultPlan, FaultSite};
 use serde::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -32,6 +33,18 @@ pub struct ServerConfig {
     pub default_deadline: Duration,
     /// Honor the debug `sleep_ms` request field (load tests only).
     pub allow_debug_sleep: bool,
+    /// Hard cap on one request line; a longer line is answered
+    /// `bad_request` and the connection closed, so an unbounded client
+    /// cannot grow a worker's buffer without limit.
+    pub max_line_bytes: usize,
+    /// How long a connection may sit mid-line (bytes received, no
+    /// terminating newline) before it is answered `timeout` and closed —
+    /// a stalled client cannot pin its connection thread forever. Idle
+    /// connections *between* requests are unaffected.
+    pub read_timeout: Duration,
+    /// Connection-level fault plan (`server.read` / `server.write`
+    /// drops); `None` serves faithfully.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -41,6 +54,9 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             default_deadline: Duration::from_secs(30),
             allow_debug_sleep: false,
+            max_line_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(30),
+            faults: None,
         }
     }
 }
@@ -225,11 +241,19 @@ fn execute(
     }
     let result = match req.method.as_str() {
         "stats" => Ok(metrics.to_value(config.workers, config.queue_capacity)),
+        "health" => Ok(obj(vec![
+            ("queries", registry.health()),
+            ("faults", metrics.faults_value()),
+        ])),
         "shutdown" => {
             stop.store(true, Ordering::SeqCst);
             Ok(Value::Object(vec![("stopping".into(), Value::Bool(true))]))
         }
-        _ => registry.dispatch(req),
+        _ => {
+            let (result, stats) = registry.dispatch(req);
+            metrics.record_call(&stats);
+            result
+        }
     };
     let latency = t0.elapsed();
     match result {
@@ -257,14 +281,73 @@ fn connection_loop(
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut line: Vec<u8> = Vec::new();
+    // Set while `line` holds a partial request (bytes but no newline
+    // yet); a client stalled mid-line past `read_timeout` is cut off.
+    let mut partial_since: Option<Instant> = None;
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client hung up
-            Ok(_) => {
-                let trimmed = line.trim();
+        let chunk = match reader.fill_buf() {
+            Ok([]) => return, // client hung up
+            Ok(buf) => buf,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if let Some(since) = partial_since {
+                    if since.elapsed() >= config.read_timeout {
+                        let response = err_response(
+                            &Value::Null,
+                            "timeout",
+                            &format!(
+                                "request stalled mid-line for over {}ms",
+                                config.read_timeout.as_millis()
+                            ),
+                        );
+                        let _ = writer.write_all(format!("{response}\n").as_bytes());
+                        return;
+                    }
+                }
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        if let Some(plan) = &config.faults {
+            if plan.should_inject(FaultSite::ServerRead) {
+                metrics.record_injected();
+                return; // injected connection drop mid-read
+            }
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                line.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                partial_since = None;
+                if line.len() > config.max_line_bytes {
+                    let response = err_response(
+                        &Value::Null,
+                        "bad_request",
+                        &format!(
+                            "request line of {} bytes exceeds the {}-byte cap",
+                            line.len(),
+                            config.max_line_bytes
+                        ),
+                    );
+                    let _ = writer.write_all(format!("{response}\n").as_bytes());
+                    return;
+                }
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
                 if !trimmed.is_empty() {
                     let response = admit(trimmed, tx, metrics, config);
+                    if let Some(plan) = &config.faults {
+                        if plan.should_inject(FaultSite::ServerWrite) {
+                            metrics.record_injected();
+                            return; // injected connection drop pre-write
+                        }
+                    }
                     if writer
                         .write_all(format!("{response}\n").as_bytes())
                         .is_err()
@@ -274,16 +357,24 @@ fn connection_loop(
                 }
                 line.clear();
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Partial line (if any) stays buffered in `line`.
-                if stop.load(Ordering::SeqCst) {
+            None => {
+                let n = chunk.len();
+                line.extend_from_slice(chunk);
+                reader.consume(n);
+                partial_since.get_or_insert_with(Instant::now);
+                if line.len() > config.max_line_bytes {
+                    let response = err_response(
+                        &Value::Null,
+                        "bad_request",
+                        &format!(
+                            "unterminated request exceeds the {}-byte cap",
+                            config.max_line_bytes
+                        ),
+                    );
+                    let _ = writer.write_all(format!("{response}\n").as_bytes());
                     return;
                 }
             }
-            Err(_) => return,
         }
     }
 }

@@ -13,15 +13,31 @@
 use crate::protocol::{num, num_arr, obj, string, Request};
 use rqp_artifacts::CompiledArtifact;
 use rqp_catalog::Catalog;
-use rqp_common::GridIdx;
+use rqp_common::{GridIdx, RqpError};
 use rqp_core::{
-    AlignedBound, CachedOracle, EvalContext, NativeChoice, PlanBouquet, RunReport, SpillBound,
-    SpillMemo,
+    AlignedBound, CachedOracle, EvalContext, ExecutionOracle, FaultyOracle, NativeChoice,
+    PlanBouquet, RunReport, SpillBound, SpillMemo,
 };
 use rqp_ess::EssSurface;
+use rqp_faults::{Attempt, BreakerConfig, CircuitBreaker, FaultPlan, RetryPolicy};
 use rqp_optimizer::{CostParams, EnumerationMode, Optimizer};
 use serde::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-call fault accounting, merged into the server-wide counters by
+/// the dispatch layer.
+#[derive(Debug, Default, Clone)]
+pub struct CallStats {
+    /// Oracle faults injected while serving this call.
+    pub faults_injected: u64,
+    /// Retries that absorbed those faults.
+    pub retries: u64,
+    /// The response is a native-baseline fallback (`degraded: true`).
+    pub degraded: bool,
+    /// This call's failure tripped the breaker open.
+    pub breaker_opened: bool,
+}
 
 /// One query template, warm-started from its artifact and ready to serve
 /// concurrent requests (all request-handling state is per-call).
@@ -34,6 +50,9 @@ pub struct ServedQuery {
     ctx: EvalContext<'static>,
     bouquet: PlanBouquet<'static>,
     native: NativeChoice,
+    faults: Option<Arc<FaultPlan>>,
+    retry: RetryPolicy,
+    breaker: CircuitBreaker,
 }
 
 impl ServedQuery {
@@ -82,12 +101,39 @@ impl ServedQuery {
             ctx,
             bouquet,
             native,
+            faults: None,
+            retry: RetryPolicy::no_sleep(6),
+            breaker: CircuitBreaker::new(BreakerConfig::default()),
         })
+    }
+
+    /// Injects oracle faults from `plan` into every discovery run this
+    /// query serves, absorbing transients under `retry`.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>, retry: RetryPolicy) -> Self {
+        self.faults = Some(plan);
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the circuit-breaker configuration (threshold/cooldown).
+    pub fn with_breaker(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker = CircuitBreaker::new(cfg);
+        self
     }
 
     /// The query template name requests address this query by.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Per-query health snapshot: breaker state and failure counters.
+    pub fn health(&self) -> Value {
+        let snap = self.breaker.snapshot();
+        obj(vec![
+            ("breaker", string(snap.state.name())),
+            ("consecutive_failures", num(snap.consecutive as f64)),
+            ("open_events", num(snap.open_events as f64)),
+        ])
     }
 
     /// Snaps requested selectivities onto the grid; errors if the arity
@@ -157,74 +203,151 @@ impl ServedQuery {
         ]
     }
 
-    /// Dispatches one `explain` / `run_*` method. Returns
-    /// `Err((kind, message))` for protocol-level failures.
-    pub fn handle(&self, method: &str, qa: &[f64]) -> Result<Value, (String, String)> {
-        let bad = |m: String| ("bad_request".to_string(), m);
-        let internal = |m: String| ("internal".to_string(), m);
-        match method {
-            "explain" => Ok(self.explain()),
-            "run_native" => {
-                let (qa_idx, coords) = self.snap(qa).map_err(bad)?;
-                let mut fields = self.run_common("native", qa_idx, &coords);
-                let sub = self.native.sub_optimality(self.surface, self.opt, qa_idx);
-                let opt_cost = self.surface.opt_cost(qa_idx);
-                fields.push(("est_sels", num_arr(self.native.qe_sels.iter().copied())));
-                fields.push(("est_cost", num(self.native.est_cost)));
-                fields.push(("total_cost", num(sub * opt_cost)));
-                fields.push(("sub_optimality", num(sub)));
-                fields.push(("completed", Value::Bool(true)));
-                Ok(obj(fields))
+    /// The native-baseline response body. With a `degraded_reason`, the
+    /// body is explicitly labelled as a fallback (`degraded: true`,
+    /// plus the algorithm the client actually asked for).
+    fn native_response(
+        &self,
+        requested: &str,
+        qa_idx: GridIdx,
+        coords: &[usize],
+        degraded_reason: Option<&str>,
+    ) -> Value {
+        let mut fields = self.run_common("native", qa_idx, coords);
+        let sub = self.native.sub_optimality(self.surface, self.opt, qa_idx);
+        let opt_cost = self.surface.opt_cost(qa_idx);
+        fields.push(("est_sels", num_arr(self.native.qe_sels.iter().copied())));
+        fields.push(("est_cost", num(self.native.est_cost)));
+        fields.push(("total_cost", num(sub * opt_cost)));
+        fields.push(("sub_optimality", num(sub)));
+        fields.push(("completed", Value::Bool(true)));
+        match degraded_reason {
+            Some(reason) => {
+                fields.push(("degraded", Value::Bool(true)));
+                fields.push(("degraded_reason", string(reason)));
+                fields.push(("requested_algorithm", string(requested)));
             }
+            None => fields.push(("degraded", Value::Bool(false))),
+        }
+        obj(fields)
+    }
+
+    /// Runs the discovery algorithm behind `method` against a fresh
+    /// per-call oracle, wrapped in the fault plan when one is attached.
+    fn run_discovery(
+        &self,
+        method: &str,
+        qa_idx: GridIdx,
+        stats: &mut CallStats,
+    ) -> rqp_common::Result<(RunReport, f64, &'static str)> {
+        let mut memo = SpillMemo::new();
+        let mut cached = CachedOracle::at_grid(&self.ctx, qa_idx, &mut memo);
+        let go = |oracle: &mut dyn ExecutionOracle| match method {
             "run_spillbound" => {
-                let (qa_idx, coords) = self.snap(qa).map_err(bad)?;
                 let mut sb = SpillBound::new(self.surface, self.opt, self.ratio);
-                let mut memo = SpillMemo::new();
-                let mut oracle = CachedOracle::at_grid(&self.ctx, qa_idx, &mut memo);
-                let report = sb.run(&mut oracle).map_err(|e| internal(e.to_string()))?;
-                let guarantee = sb.mso_guarantee();
-                let mut fields: Vec<(String, Value)> = self
-                    .run_common("spillbound", qa_idx, &coords)
-                    .into_iter()
-                    .map(|(k, v)| (k.to_string(), v))
-                    .collect();
-                fields.extend(self.report_fields(&report, qa_idx, guarantee));
-                Ok(Value::Object(fields))
+                let report = sb.run(oracle)?;
+                Ok((report, sb.mso_guarantee(), "spillbound"))
             }
             "run_alignedbound" => {
-                let (qa_idx, coords) = self.snap(qa).map_err(bad)?;
                 let mut ab = AlignedBound::new(self.surface, self.opt, self.ratio);
-                let mut memo = SpillMemo::new();
-                let mut oracle = CachedOracle::at_grid(&self.ctx, qa_idx, &mut memo);
-                let report = ab.run(&mut oracle).map_err(|e| internal(e.to_string()))?;
-                let guarantee = ab.mso_guarantee();
-                let mut fields: Vec<(String, Value)> = self
-                    .run_common("alignedbound", qa_idx, &coords)
-                    .into_iter()
-                    .map(|(k, v)| (k.to_string(), v))
-                    .collect();
-                fields.extend(self.report_fields(&report, qa_idx, guarantee));
-                Ok(Value::Object(fields))
+                let report = ab.run(oracle)?;
+                Ok((report, ab.mso_guarantee(), "alignedbound"))
             }
             "run_planbouquet" => {
-                let (qa_idx, coords) = self.snap(qa).map_err(bad)?;
-                let mut memo = SpillMemo::new();
-                let mut oracle = CachedOracle::at_grid(&self.ctx, qa_idx, &mut memo);
-                let report = self
-                    .bouquet
-                    .run(&mut oracle)
-                    .map_err(|e| internal(e.to_string()))?;
-                let guarantee = self.bouquet.mso_guarantee();
+                let report = self.bouquet.run(oracle)?;
+                Ok((report, self.bouquet.mso_guarantee(), "planbouquet"))
+            }
+            other => Err(RqpError::InvalidQuery(format!(
+                "`{other}` is not a discovery method"
+            ))),
+        };
+        match &self.faults {
+            Some(plan) => {
+                let mut faulty =
+                    FaultyOracle::new(cached, plan.as_ref()).with_retry(self.retry.clone());
+                let result = go(&mut faulty);
+                let fs = faulty.stats();
+                stats.faults_injected += fs.faults_injected;
+                stats.retries += fs.retries;
+                result
+            }
+            None => go(&mut cached),
+        }
+    }
+
+    /// Runs `method` under the per-query circuit breaker: an open
+    /// breaker (or a failure that opens it) is answered by the native
+    /// baseline with `degraded: true` instead of an error — every
+    /// request gets a well-formed response while the breaker recovers
+    /// via its half-open probe.
+    fn run_guarded(
+        &self,
+        method: &str,
+        qa_idx: GridIdx,
+        coords: &[usize],
+        stats: &mut CallStats,
+    ) -> Result<Value, (String, String)> {
+        let requested = method.strip_prefix("run_").unwrap_or(method);
+        if matches!(self.breaker.allow_attempt(), Attempt::Degrade) {
+            stats.degraded = true;
+            return Ok(self.native_response(
+                requested,
+                qa_idx,
+                coords,
+                Some("circuit breaker open; serving native fallback"),
+            ));
+        }
+        match self.run_discovery(method, qa_idx, stats) {
+            Ok((report, guarantee, algorithm)) => {
+                self.breaker.record_success();
                 let mut fields: Vec<(String, Value)> = self
-                    .run_common("planbouquet", qa_idx, &coords)
+                    .run_common(algorithm, qa_idx, coords)
                     .into_iter()
                     .map(|(k, v)| (k.to_string(), v))
                     .collect();
                 fields.extend(self.report_fields(&report, qa_idx, guarantee));
+                fields.push(("degraded".into(), Value::Bool(false)));
                 Ok(Value::Object(fields))
             }
-            other => Err(("unknown_method".into(), format!("unknown method `{other}`"))),
+            Err(e @ RqpError::Fault(_)) => {
+                stats.breaker_opened = self.breaker.record_failure();
+                if self.breaker.is_open() {
+                    stats.degraded = true;
+                    Ok(self.native_response(
+                        requested,
+                        qa_idx,
+                        coords,
+                        Some("execution faults tripped the circuit breaker"),
+                    ))
+                } else {
+                    Err((e.kind().into(), e.to_string()))
+                }
+            }
+            Err(e) => Err((e.kind().into(), e.to_string())),
         }
+    }
+
+    /// Dispatches one `explain` / `run_*` method. Returns
+    /// `Err((kind, message))` for protocol-level failures, plus the
+    /// call's fault accounting.
+    pub fn handle(&self, method: &str, qa: &[f64]) -> (Result<Value, (String, String)>, CallStats) {
+        let mut stats = CallStats::default();
+        let bad = |m: String| ("bad_request".to_string(), m);
+        let result = match method {
+            "explain" => Ok(self.explain()),
+            "run_native" => self
+                .snap(qa)
+                .map_err(bad)
+                .map(|(qa_idx, coords)| self.native_response("native", qa_idx, &coords, None)),
+            "run_spillbound" | "run_alignedbound" | "run_planbouquet" => {
+                match self.snap(qa).map_err(bad) {
+                    Ok((qa_idx, coords)) => self.run_guarded(method, qa_idx, &coords, &mut stats),
+                    Err(e) => Err(e),
+                }
+            }
+            other => Err(("unknown_method".into(), format!("unknown method `{other}`"))),
+        };
+        (result, stats)
     }
 
     fn explain(&self) -> Value {
@@ -301,29 +424,52 @@ impl Registry {
         self.queries.is_empty()
     }
 
-    /// Dispatches a query-addressed request to the right [`ServedQuery`].
-    pub fn dispatch(&self, req: &Request) -> Result<Value, (String, String)> {
+    /// Per-query health snapshots, keyed by query name.
+    pub fn health(&self) -> Value {
+        Value::Object(
+            self.queries
+                .iter()
+                .map(|(name, q)| (name.clone(), q.health()))
+                .collect(),
+        )
+    }
+
+    /// Dispatches a query-addressed request to the right [`ServedQuery`],
+    /// returning the response and the call's fault accounting.
+    pub fn dispatch(&self, req: &Request) -> (Result<Value, (String, String)>, CallStats) {
         match req.method.as_str() {
-            "list_queries" => Ok(Value::Array(
-                self.names().into_iter().map(Value::String).collect(),
-            )),
+            "list_queries" => (
+                Ok(Value::Array(
+                    self.names().into_iter().map(Value::String).collect(),
+                )),
+                CallStats::default(),
+            ),
             _ => {
-                let name = req.query.as_deref().ok_or_else(|| {
-                    (
-                        "bad_request".to_string(),
-                        format!("method `{}` requires a `query` field", req.method),
-                    )
-                })?;
-                let served = self.queries.get(name).ok_or_else(|| {
-                    (
-                        "unknown_query".to_string(),
-                        format!(
-                            "query `{name}` is not served (available: {})",
-                            self.names().join(", ")
-                        ),
-                    )
-                })?;
-                served.handle(&req.method, &req.qa)
+                let name = match req.query.as_deref() {
+                    Some(n) => n,
+                    None => {
+                        return (
+                            Err((
+                                "bad_request".to_string(),
+                                format!("method `{}` requires a `query` field", req.method),
+                            )),
+                            CallStats::default(),
+                        )
+                    }
+                };
+                match self.queries.get(name) {
+                    Some(served) => served.handle(&req.method, &req.qa),
+                    None => (
+                        Err((
+                            "unknown_query".to_string(),
+                            format!(
+                                "query `{name}` is not served (available: {})",
+                                self.names().join(", ")
+                            ),
+                        )),
+                        CallStats::default(),
+                    ),
+                }
             }
         }
     }

@@ -5,8 +5,10 @@
 use rqp_artifacts::CompiledArtifact;
 use rqp_catalog::{Catalog, Column, ColumnStats, DataType, Table};
 use rqp_common::MultiGrid;
+use rqp_faults::{FaultPlan, FaultSite, RetryPolicy};
 use rqp_optimizer::{CostParams, EnumerationMode, Optimizer, Predicate, PredicateKind, QuerySpec};
 use rqp_server::{serve, Client, Registry, ServedQuery, ServerConfig};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A 2-epp star query over a small synthetic catalog.
@@ -268,6 +270,68 @@ fn queued_deadline_is_enforced() {
         "expected deadline_exceeded, got: {late}"
     );
     assert!(slow.join().unwrap().contains("\"ok\":true"));
+    handle.stop();
+}
+
+/// Under a transient fault plan the retry layer absorbs every injected
+/// fault — responses stay full-fidelity (`degraded:false`) — while the
+/// `stats` and `health` methods surface what happened underneath.
+#[test]
+fn fault_counters_and_health_are_exposed() {
+    let (cat, q) = star2();
+    let cat: &'static Catalog = Box::leak(Box::new(cat));
+    let opt = Optimizer::new(cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+    let artifact = CompiledArtifact::compile(&opt, MultiGrid::uniform(2, 1e-5, 8), 2.0, 0.2, 2);
+    let plan = Arc::new(
+        FaultPlan::new(21)
+            .with_site(FaultSite::OracleSpill, 0.2)
+            .with_site(FaultSite::OracleFull, 0.2),
+    );
+    let mut reg = Registry::new();
+    reg.insert(
+        ServedQuery::from_artifact(artifact, cat)
+            .unwrap()
+            .with_faults(Arc::clone(&plan), RetryPolicy::no_sleep(6)),
+    );
+    let handle = serve(reg, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(handle.addr).unwrap();
+
+    for (i, qa) in [[0.02, 0.4], [0.1, 0.1], [0.9, 0.01]].iter().enumerate() {
+        let r = c
+            .call_raw(&rqp_server::request_line(
+                i as f64,
+                "run_spillbound",
+                Some("star2"),
+                qa,
+                None,
+            ))
+            .unwrap();
+        assert!(r.contains("\"ok\":true"), "{r}");
+        assert!(r.contains("\"degraded\":false"), "{r}");
+    }
+
+    // The plan fired (seed 21 injects on these runs) and every fault
+    // was absorbed by a retry, so the breaker never opened.
+    assert!(plan.injected_total() >= 1, "fault plan never fired");
+    let stats = c.call(10.0, "stats", None, &[], None).unwrap();
+    let faults = stats.get("result").unwrap().get("faults").unwrap();
+    let count = |k: &str| faults.get(k).unwrap().as_f64().unwrap();
+    assert_eq!(count("faults_injected"), plan.injected_total() as f64);
+    assert!(count("retries") >= count("faults_injected"));
+    assert_eq!(count("breaker_open"), 0.0);
+    assert_eq!(count("degraded_responses"), 0.0);
+
+    let health = c.call(11.0, "health", None, &[], None).unwrap();
+    let breaker = health
+        .get("result")
+        .unwrap()
+        .get("queries")
+        .unwrap()
+        .get("star2")
+        .unwrap();
+    assert_eq!(breaker.get("breaker").unwrap().as_str(), Some("closed"));
+    assert_eq!(breaker.get("open_events").unwrap().as_f64(), Some(0.0));
+
     handle.stop();
 }
 

@@ -8,6 +8,7 @@
 //! rqp compile <query>               compile + persist the query's artifact
 //! rqp serve                         serve compiled artifacts over TCP
 //! rqp client <addr> <method> ...    issue one request to a server
+//! rqp chaos [query]                 seeded fault-injection sweep (MSO under faults)
 //! ```
 //!
 //! `<algo>` is one of `sb` (SpillBound), `ab` (AlignedBound),
@@ -17,17 +18,22 @@
 
 use rqp::artifacts::{ArtifactStore, CompiledArtifact, Provenance};
 use rqp::catalog::tpcds;
+use rqp::common::RqpError;
 use rqp::core::report::ExecMode;
-use rqp::core::{AlignedBound, CostOracle, Outcome, PlanBouquet, PopReoptimizer, SpillBound};
+use rqp::core::{
+    AlignedBound, CostOracle, FaultyOracle, Outcome, PlanBouquet, PopReoptimizer, SpillBound,
+};
 use rqp::experiments::{compare, fmt, harness_threads, print_table, Experiment};
+use rqp::faults::{FaultPlan, FaultSite, RetryPolicy};
 use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
 use rqp::server::{serve, Client, Registry, ServedQuery, ServerConfig};
 use rqp::workloads::{paper_suite, q91_with_dims};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]"
+        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n           (env: RQP_FAULT_RATE=R RQP_FAULT_SEED=N enable fault injection)\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]\n  rqp chaos [query] [--seed N] [--rate R]   (defaults: 2D_Q91, seed 42, rate 0.1)"
     );
     ExitCode::FAILURE
 }
@@ -443,6 +449,10 @@ fn main() -> ExitCode {
                 .filter(|s| !s.is_empty())
                 .collect();
             let catalog: &'static _ = Box::leak(Box::new(tpcds::catalog_sf100()));
+            // RQP_FAULT_RATE / RQP_FAULT_SEED turn on deterministic fault
+            // injection across the oracles and socket paths; the breaker
+            // + retry machinery absorbs it.
+            let fault_plan = FaultPlan::from_env().map(Arc::new);
             let mut registry = Registry::new();
             for name in &names {
                 let artifact = match compile_one(&store, name, threads, false) {
@@ -453,12 +463,24 @@ fn main() -> ExitCode {
                     }
                 };
                 match ServedQuery::from_artifact(artifact, catalog) {
-                    Ok(q) => registry.insert(q),
+                    Ok(q) => {
+                        let q = match &fault_plan {
+                            Some(p) => q.with_faults(Arc::clone(p), RetryPolicy::no_sleep(6)),
+                            None => q,
+                        };
+                        registry.insert(q)
+                    }
                     Err(e) => {
                         eprintln!("{e}");
                         return ExitCode::FAILURE;
                     }
                 }
+            }
+            if let Some(p) = &fault_plan {
+                println!(
+                    "fault injection active: seed {}, socket read/write faults enabled",
+                    p.seed()
+                );
             }
             let config = ServerConfig {
                 workers: flag_value(&args, "--workers")
@@ -467,6 +489,7 @@ fn main() -> ExitCode {
                 queue_capacity: flag_value(&args, "--queue")
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(64),
+                faults: fault_plan,
                 ..ServerConfig::default()
             };
             match serve(registry, addr.as_str(), config) {
@@ -506,7 +529,18 @@ fn main() -> ExitCode {
                 }
             };
             let line = rqp::server::request_line(1.0, method, query.as_deref(), &qa, deadline_ms);
-            match client.call_raw(&line) {
+            // Retry transient drops (including injected ones) with
+            // backoff; `shutdown` is the one non-idempotent method.
+            let result = if method == "shutdown" {
+                client.call_raw(&line)
+            } else {
+                client.call_raw_retry(
+                    &line,
+                    &RetryPolicy::default(),
+                    Some(std::time::Duration::from_secs(30)),
+                )
+            };
+            match result {
                 Ok(response) => {
                     println!("{response}");
                     if response.contains("\"ok\":true") {
@@ -519,6 +553,156 @@ fn main() -> ExitCode {
                     eprintln!("request failed: {e}");
                     ExitCode::FAILURE
                 }
+            }
+        }
+        Some("chaos") => {
+            let name = args
+                .get(1)
+                .filter(|n| !n.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "2D_Q91".into());
+            let seed: u64 = flag_value(&args, "--seed")
+                .or_else(|| std::env::var("RQP_FAULT_SEED").ok())
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(42);
+            let rate: f64 = flag_value(&args, "--rate")
+                .or_else(|| std::env::var("RQP_FAULT_RATE").ok())
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.1);
+            if !(0.0..=0.5).contains(&rate) {
+                eprintln!("--rate must be in [0, 0.5] for the transient sweep (got {rate})");
+                return ExitCode::FAILURE;
+            }
+            let Some(bench) = find_query(&name) else {
+                eprintln!("unknown query {name}; try `rqp list`");
+                return ExitCode::FAILURE;
+            };
+            let exp = Experiment::build(tpcds::catalog_sf100(), bench, EnumerationMode::LeftDeep);
+            let opt = exp.optimizer();
+            let grid = exp.surface.grid();
+            let d = exp.bench.query.ndims();
+            let bound = rqp::core::spillbound_guarantee(d);
+            println!(
+                "chaos sweep on {name}: seed {seed}, transient fault rate {rate}, \
+                 {} locations, MSO bound {bound}",
+                exp.surface.len()
+            );
+
+            // Per-location plan: the seed is salted with the location and
+            // the algorithm so every (point, algo) pair sees an
+            // independent but fully reproducible fault stream.
+            let point_plan = |qa: usize, salt: u64| {
+                FaultPlan::new(seed ^ (qa as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt)
+                    .with_site(FaultSite::OracleSpill, rate)
+                    .with_site(FaultSite::OracleFull, rate)
+            };
+            let mut sb = SpillBound::new(&exp.surface, &opt, 2.0);
+            let mut ab = AlignedBound::new(&exp.surface, &opt, 2.0);
+            let mut faults = 0u64;
+            let mut retries = 0u64;
+            let mut wasted = 0.0f64;
+            let mut worst_sb = 0.0f64;
+            let mut worst_ab = 0.0f64;
+            let mut violations = 0usize;
+            for qa in 0..exp.surface.len() {
+                let opt_cost = exp.surface.opt_cost(qa);
+                for (label, salt) in [("SB", 1u64), ("AB", 2u64)] {
+                    let plan = point_plan(qa, salt);
+                    let inner = CostOracle::at_grid(&opt, grid, qa);
+                    let mut oracle = FaultyOracle::new(inner, &plan);
+                    let res = match label {
+                        "SB" => sb.run(&mut oracle),
+                        _ => ab.run(&mut oracle),
+                    };
+                    let stats = oracle.stats();
+                    faults += stats.faults_injected;
+                    retries += stats.retries;
+                    wasted += stats.wasted_cost;
+                    match res {
+                        Ok(report) => {
+                            let sub = report.sub_optimality(opt_cost);
+                            let worst = if label == "SB" {
+                                &mut worst_sb
+                            } else {
+                                &mut worst_ab
+                            };
+                            if sub > *worst {
+                                *worst = sub;
+                            }
+                            if sub > bound * (1.0 + 1e-9) {
+                                violations += 1;
+                                eprintln!(
+                                    "VIOLATION: {label} at location {qa}: \
+                                     sub-optimality {sub:.3} exceeds the MSO bound {bound}"
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            violations += 1;
+                            eprintln!("VIOLATION: {label} at location {qa}: {e}");
+                        }
+                    }
+                }
+            }
+
+            // Determinism: the same seed must replay to bit-identical
+            // results, fault stream included.
+            let qa0 = exp.surface.len() / 2;
+            let mut replay = || {
+                let plan = point_plan(qa0, 1);
+                let inner = CostOracle::at_grid(&opt, grid, qa0);
+                let mut oracle = FaultyOracle::new(inner, &plan);
+                let outcome = sb.run(&mut oracle).map(|r| r.total_cost.to_bits()).ok();
+                (
+                    outcome,
+                    oracle.stats().faults_injected,
+                    oracle.stats().retries,
+                )
+            };
+            let (first, second) = (replay(), replay());
+            if first != second {
+                violations += 1;
+                eprintln!("VIOLATION: replay with seed {seed} diverged: {first:?} vs {second:?}");
+            }
+
+            // Persistent faults: every probe fails, so discovery must
+            // surface a typed error quickly — never hang or panic.
+            let plan = FaultPlan::new(seed)
+                .with_site(FaultSite::OracleSpill, 1.0)
+                .with_site(FaultSite::OracleFull, 1.0);
+            let inner = CostOracle::at_grid(&opt, grid, qa0);
+            let mut oracle = FaultyOracle::new(inner, &plan);
+            let t0 = std::time::Instant::now();
+            match sb.run(&mut oracle) {
+                Err(RqpError::Fault(msg)) => println!(
+                    "persistent faults: typed error in {:.1}ms ({msg})",
+                    t0.elapsed().as_secs_f64() * 1e3
+                ),
+                Err(e) => {
+                    violations += 1;
+                    eprintln!("VIOLATION: persistent faults surfaced as `{e}` (expected a fault)");
+                }
+                Ok(_) => {
+                    violations += 1;
+                    eprintln!("VIOLATION: persistent faults still produced a completed run");
+                }
+            }
+
+            println!(
+                "sweep: {} locations x 2 algorithms, {faults} faults injected, \
+                 {retries} retries, wasted cost {wasted:.0}",
+                exp.surface.len()
+            );
+            println!(
+                "worst sub-optimality under faults: SB {worst_sb:.2}, AB {worst_ab:.2} \
+                 (bound {bound})"
+            );
+            if violations == 0 {
+                println!("chaos sweep passed: guarantees hold under rate-{rate} transient faults");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("chaos sweep FAILED: {violations} violation(s)");
+                ExitCode::FAILURE
             }
         }
         _ => usage(),

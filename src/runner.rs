@@ -7,10 +7,11 @@
 //! durations are recorded per execution, which is how the paper's Table 3
 //! drill-down is regenerated.
 
-use rqp_common::{cost_le, Cost, MultiGrid, Selectivity, EPS};
+use rqp_common::{cost_le, Cost, MultiGrid, Result, RqpError, Selectivity, EPS};
 use rqp_core::{ExecutionOracle, FullOutcome, SpillOutcome};
 use rqp_executor::{Executor, NodeObservation};
-use rqp_optimizer::{Optimizer, PlanNode, PredicateKind, Sels};
+use rqp_faults::RetryPolicy;
+use rqp_optimizer::{Optimizer, PlanId, PlanNode, PredicateKind, Sels};
 use std::time::{Duration, Instant};
 
 /// An [`ExecutionOracle`] backed by real plan executions.
@@ -23,6 +24,11 @@ pub struct ExecOracle<'a> {
     /// residual predicates out of combined node observations and to invert
     /// subtree costs on timeouts.
     known: Sels,
+    /// Retry policy for transient (injected) executor faults on the
+    /// fallible `try_*` path.
+    retry: RetryPolicy,
+    /// Transient faults absorbed by retries.
+    pub retries: u64,
     /// Wall-clock duration of each oracle call, in call order (aligned
     /// with the discovery report's execution records).
     pub timings: Vec<Duration>,
@@ -36,13 +42,45 @@ impl<'a> ExecOracle<'a> {
             opt,
             grid,
             known: opt.base_sels().clone(),
+            retry: RetryPolicy::default(),
+            retries: 0,
             timings: Vec::new(),
         }
+    }
+
+    /// Replaces the transient-fault retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Total wall-clock time across all oracle calls.
     pub fn total_time(&self) -> Duration {
         self.timings.iter().sum()
+    }
+
+    /// Runs `call` retrying injected-fault errors with capped exponential
+    /// backoff; other errors and final exhaustion propagate.
+    fn retry_faults<T>(
+        &mut self,
+        mut call: impl FnMut(&mut Executor<'a>) -> Result<T>,
+    ) -> Result<T> {
+        let attempts = self.retry.max_attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            match call(&mut self.executor) {
+                Ok(v) => return Ok(v),
+                Err(e @ RqpError::Fault(_)) => {
+                    last = Some(e);
+                    if attempt + 1 < attempts {
+                        self.retries += 1;
+                        self.retry.pause(attempt);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("loop runs at least once"))
     }
 
     /// Product of the *other* predicates applied at the node carrying
@@ -66,12 +104,25 @@ impl<'a> ExecOracle<'a> {
 
 impl ExecutionOracle for ExecOracle<'_> {
     fn spill_execute(&mut self, plan: &PlanNode, dim: usize, budget: Cost) -> SpillOutcome {
+        self.try_spill_execute_id(None, plan, dim, budget)
+            .unwrap_or_else(|e| panic!("spill execution failed: {e}"))
+    }
+
+    fn full_execute(&mut self, plan: &PlanNode, budget: Cost) -> FullOutcome {
+        self.try_full_execute_id(None, plan, budget)
+            .unwrap_or_else(|e| panic!("full execution failed: {e}"))
+    }
+
+    fn try_spill_execute_id(
+        &mut self,
+        _pid: Option<PlanId>,
+        plan: &PlanNode,
+        dim: usize,
+        budget: Cost,
+    ) -> Result<SpillOutcome> {
         let start = Instant::now();
         let pred = self.opt.query().epps[dim];
-        let run = self
-            .executor
-            .run_spill(plan, pred, budget)
-            .unwrap_or_else(|e| panic!("spill execution failed: {e}"));
+        let run = self.retry_faults(|ex| ex.run_spill(plan, pred, budget))?;
         let outcome = if run.completed {
             let obs = run.observation.expect("completed spill has counts");
             let combined = obs.combined_selectivity();
@@ -116,21 +167,23 @@ impl ExecutionOracle for ExecOracle<'_> {
             }
         };
         self.timings.push(start.elapsed());
-        outcome
+        Ok(outcome)
     }
 
-    fn full_execute(&mut self, plan: &PlanNode, budget: Cost) -> FullOutcome {
+    fn try_full_execute_id(
+        &mut self,
+        _pid: Option<PlanId>,
+        plan: &PlanNode,
+        budget: Cost,
+    ) -> Result<FullOutcome> {
         let start = Instant::now();
-        let out = self
-            .executor
-            .run_full(plan, budget)
-            .unwrap_or_else(|e| panic!("full execution failed: {e}"));
+        let out = self.retry_faults(|ex| ex.run_full(plan, budget))?;
         self.timings.push(start.elapsed());
-        if out.completed {
+        Ok(if out.completed {
             FullOutcome::Completed { spent: out.spent }
         } else {
             FullOutcome::TimedOut { spent: out.spent }
-        }
+        })
     }
 }
 

@@ -5,13 +5,16 @@
 //! a panic.
 
 use proptest::prelude::*;
-use rqp::artifacts::{ArtifactError, CompiledArtifact};
+use rqp::artifacts::{
+    compile_or_load_with, ArtifactError, ColdReason, CompiledArtifact, Provenance,
+};
 use rqp::catalog::{tpcds, Catalog};
 use rqp::core::eval::{
     evaluate_alignedbound_parallel, evaluate_native_ctx, evaluate_planbouquet_parallel,
     evaluate_spillbound_parallel,
 };
 use rqp::core::{EvalContext, SubOptStats};
+use rqp::faults::{FaultPlan, FaultSite};
 use rqp::optimizer::{CostParams, EnumerationMode, Optimizer, QuerySpec};
 use rqp_common::MultiGrid;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -164,4 +167,88 @@ proptest! {
             "truncation to {cut} bytes went undetected"
         );
     }
+}
+
+/// One small compiled artifact for the fault-injection tests.
+fn small_artifact() -> CompiledArtifact {
+    let f = fx();
+    let opt = optimizer(f);
+    CompiledArtifact::compile(&opt, MultiGrid::uniform(2, 1e-5, 5), 2.0, 0.2, 1)
+}
+
+/// A torn (injected short) write must error out before the atomic
+/// rename: whatever was visible at the path beforehand stays visible
+/// and intact, and only the `.tmp` scratch file holds the truncation.
+#[test]
+fn torn_write_never_exposes_a_partial_artifact() {
+    let artifact = small_artifact();
+    let path = scratch("torn");
+
+    // Torn write onto an empty path: nothing becomes visible.
+    let plan = FaultPlan::new(3).with_site(FaultSite::StoreSave, 1.0);
+    let err = artifact.save_with(&path, Some(&plan)).unwrap_err();
+    assert!(matches!(err, ArtifactError::Io(_)), "{err}");
+    assert!(!path.exists(), "torn write must not surface at {path:?}");
+
+    // Torn write over a valid artifact: the old one survives bit-equal.
+    artifact.save(&path).unwrap();
+    let before = std::fs::read(&path).unwrap();
+    let err = artifact.save_with(&path, Some(&plan)).unwrap_err();
+    assert!(matches!(err, ArtifactError::Io(_)), "{err}");
+    assert_eq!(std::fs::read(&path).unwrap(), before, "artifact was torn");
+    CompiledArtifact::load(&path).unwrap();
+
+    // The truncated scratch file is where the tear landed.
+    let tmp = path.with_extension("tmp");
+    assert!(std::fs::metadata(&tmp).unwrap().len() < before.len() as u64);
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&tmp).ok();
+}
+
+/// A single transient read fault is retried once and the warm load
+/// still succeeds.
+#[test]
+fn transient_load_fault_is_retried_to_a_warm_load() {
+    let f = fx();
+    let opt = optimizer(f);
+    let grid = MultiGrid::uniform(2, 1e-5, 5);
+    let path = scratch("retry");
+    small_artifact().save(&path).unwrap();
+
+    let plan = FaultPlan::new(5).with_fail_first(FaultSite::StoreLoad, 1);
+    let (_, prov) = compile_or_load_with(&path, &opt, &grid, 2.0, 0.2, 1, Some(&plan)).unwrap();
+    assert!(
+        matches!(prov, Provenance::Warm { .. }),
+        "one transient fault must not force a recompile: {prov:?}"
+    );
+    assert_eq!(plan.injected(FaultSite::StoreLoad), 1);
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// Persistent read faults degrade to a recompile (the store is an
+/// accelerator, never a point of failure): cold provenance with a
+/// `Corrupt` reason, and a usable artifact either way.
+#[test]
+fn persistent_load_faults_degrade_to_recompile() {
+    let f = fx();
+    let opt = optimizer(f);
+    let grid = MultiGrid::uniform(2, 1e-5, 5);
+    let path = scratch("degrade");
+    small_artifact().save(&path).unwrap();
+
+    let plan = FaultPlan::new(9).with_site(FaultSite::StoreLoad, 1.0);
+    let (artifact, prov) =
+        compile_or_load_with(&path, &opt, &grid, 2.0, 0.2, 1, Some(&plan)).unwrap();
+    match &prov {
+        Provenance::Cold {
+            reason: ColdReason::Corrupt(msg),
+            ..
+        } => assert!(msg.contains("injected"), "unexpected reason: {msg}"),
+        other => panic!("expected a cold recompile with a corrupt reason, got {other:?}"),
+    }
+    assert_eq!(artifact.surface.len(), 25);
+
+    std::fs::remove_file(&path).ok();
 }

@@ -1,0 +1,355 @@
+//! Chaos guarantees: the paper's MSO bounds must survive fault
+//! injection. With transient faults at realistic rates, SpillBound and
+//! AlignedBound still terminate with sub-optimality within the
+//! guarantee at *every* grid location, bit-identically reproducible
+//! from the seed. With persistent faults, every caller gets a typed
+//! degraded/error response — never a hang or a panic (a wall-clock
+//! watchdog enforces this). The live-server test drives the circuit
+//! breaker through its full open → degraded → half-open → closed cycle.
+
+use rqp::artifacts::CompiledArtifact;
+use rqp::catalog::{tpcds, Catalog, Column, ColumnStats, DataType, Table};
+use rqp::common::{MultiGrid, RqpError};
+use rqp::core::{spillbound_guarantee, AlignedBound, CostOracle, FaultyOracle, SpillBound};
+use rqp::ess::EssSurface;
+use rqp::faults::{BreakerConfig, FaultPlan, FaultSite, RetryPolicy};
+use rqp::optimizer::{CostParams, EnumerationMode, Optimizer, Predicate, PredicateKind, QuerySpec};
+use rqp::server::{serve, Client, Registry, ServedQuery, ServerConfig};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Fails the test if `body` runs longer than `secs` — faults must
+/// surface as typed errors, never as hangs.
+fn with_watchdog(secs: u64, body: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        body();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        // Completed or panicked: join either way so a panic propagates.
+        Ok(()) | Err(RecvTimeoutError::Disconnected) => worker.join().unwrap(),
+        Err(RecvTimeoutError::Timeout) => {
+            panic!("watchdog: test body still running after {secs}s — a fault caused a hang")
+        }
+    }
+}
+
+struct Fx {
+    opt: Optimizer<'static>,
+    surface: EssSurface,
+}
+
+/// 2D Q91 over an 8×8 grid, shared across tests (compile dominates).
+fn fx() -> &'static Fx {
+    static FX: OnceLock<Fx> = OnceLock::new();
+    FX.get_or_init(|| {
+        let catalog: &'static Catalog = Box::leak(Box::new(tpcds::catalog_sf100()));
+        let query: &'static QuerySpec =
+            Box::leak(Box::new(rqp::workloads::q91_with_dims(catalog, 2).query));
+        let opt = Optimizer::new(
+            catalog,
+            query,
+            CostParams::default(),
+            EnumerationMode::LeftDeep,
+        )
+        .unwrap();
+        let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-5, 8));
+        Fx { opt, surface }
+    })
+}
+
+/// Per-(location, algorithm) plan: independent but reproducible streams.
+fn point_plan(seed: u64, qa: usize, salt: u64, rate: f64) -> FaultPlan {
+    FaultPlan::new(seed ^ (qa as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt)
+        .with_site(FaultSite::OracleSpill, rate)
+        .with_site(FaultSite::OracleFull, rate)
+}
+
+#[test]
+fn transient_faults_preserve_the_mso_bound_at_every_location() {
+    with_watchdog(300, || {
+        let f = fx();
+        let bound = spillbound_guarantee(2);
+        let mut sb = SpillBound::new(&f.surface, &f.opt, 2.0);
+        let mut ab = AlignedBound::new(&f.surface, &f.opt, 2.0);
+        for rate in [0.05, 0.1] {
+            let mut injected = 0u64;
+            for qa in 0..f.surface.len() {
+                let opt_cost = f.surface.opt_cost(qa);
+                for salt in [1u64, 2] {
+                    let plan = point_plan(9001, qa, salt, rate);
+                    let inner = CostOracle::at_grid(&f.opt, f.surface.grid(), qa);
+                    let mut oracle = FaultyOracle::new(inner, &plan);
+                    let report = match salt {
+                        1 => sb.run(&mut oracle),
+                        _ => ab.run(&mut oracle),
+                    }
+                    .unwrap_or_else(|e| {
+                        panic!("rate-{rate} transients must be absorbed at {qa}: {e}")
+                    });
+                    assert!(report.completed, "discovery incomplete at {qa}");
+                    let sub = report.sub_optimality(opt_cost);
+                    assert!(
+                        sub <= bound * (1.0 + 1e-9),
+                        "sub-optimality {sub} exceeds MSO bound {bound} at {qa} (rate {rate})"
+                    );
+                    injected += oracle.stats().faults_injected;
+                }
+            }
+            // The sweep actually exercised the fault paths.
+            assert!(injected > 0, "rate-{rate} sweep injected no faults");
+        }
+    });
+}
+
+#[test]
+fn fault_streams_replay_bit_identically_from_the_seed() {
+    with_watchdog(300, || {
+        let f = fx();
+        let sweep = || {
+            let mut sb = SpillBound::new(&f.surface, &f.opt, 2.0);
+            let mut out = Vec::new();
+            for qa in 0..f.surface.len() {
+                let plan = point_plan(4242, qa, 1, 0.1);
+                let inner = CostOracle::at_grid(&f.opt, f.surface.grid(), qa);
+                let mut oracle = FaultyOracle::new(inner, &plan);
+                let report = sb.run(&mut oracle).unwrap();
+                out.push((
+                    report.total_cost.to_bits(),
+                    report.executions(),
+                    oracle.stats().clone(),
+                ));
+            }
+            out
+        };
+        let (first, second) = (sweep(), sweep());
+        assert_eq!(first, second, "same seed must replay bit-identically");
+        // And transients leave the discovery cost untouched: the
+        // retried run costs exactly what a fault-free run costs.
+        let mut sb = SpillBound::new(&f.surface, &f.opt, 2.0);
+        for (qa, faulty) in first.iter().enumerate() {
+            let mut clean = CostOracle::at_grid(&f.opt, f.surface.grid(), qa);
+            let report = sb.run(&mut clean).unwrap();
+            assert_eq!(
+                report.total_cost.to_bits(),
+                faulty.0,
+                "absorbed faults changed the reported cost at {qa}"
+            );
+        }
+    });
+}
+
+#[test]
+fn persistent_faults_become_typed_errors_not_hangs() {
+    with_watchdog(60, || {
+        let f = fx();
+        let mut sb = SpillBound::new(&f.surface, &f.opt, 2.0);
+        let mut ab = AlignedBound::new(&f.surface, &f.opt, 2.0);
+        for salt in [1u64, 2] {
+            let plan = FaultPlan::new(7 ^ salt)
+                .with_site(FaultSite::OracleSpill, 1.0)
+                .with_site(FaultSite::OracleFull, 1.0);
+            let inner = CostOracle::at_grid(&f.opt, f.surface.grid(), 0);
+            let mut oracle = FaultyOracle::new(inner, &plan);
+            let res = match salt {
+                1 => sb.run(&mut oracle),
+                _ => ab.run(&mut oracle),
+            };
+            match res {
+                Err(RqpError::Fault(msg)) => {
+                    assert!(msg.contains("persisted"), "unexpected message: {msg}")
+                }
+                other => panic!("expected a typed fault, got {other:?}"),
+            }
+        }
+        // A fault budget of zero degrades immediately, also typed.
+        let plan = FaultPlan::new(7).with_site(FaultSite::OracleSpill, 1.0);
+        let inner = CostOracle::at_grid(&f.opt, f.surface.grid(), 0);
+        let mut oracle = FaultyOracle::new(inner, &plan).with_fault_budget(0);
+        match sb.run(&mut oracle) {
+            Err(RqpError::Fault(_)) => {}
+            other => panic!("expected a typed fault, got {other:?}"),
+        }
+    });
+}
+
+/// A 2-epp star query over a small synthetic catalog (the served-query
+/// fixture; core's test fixtures are crate-private).
+fn star2() -> (Catalog, QuerySpec) {
+    let mut cat = Catalog::new();
+    cat.add_table(Table::new(
+        "fact",
+        1_000_000,
+        vec![
+            Column::new("f1", DataType::Int, ColumnStats::uniform(10_000)).with_index(),
+            Column::new("f2", DataType::Int, ColumnStats::uniform(1_000)).with_index(),
+            Column::new("v", DataType::Int, ColumnStats::uniform(1_000)),
+        ],
+    ))
+    .unwrap();
+    for (name, rows) in [("d1", 10_000u64), ("d2", 1_000)] {
+        cat.add_table(Table::new(
+            name,
+            rows,
+            vec![
+                Column::new("k", DataType::Int, ColumnStats::uniform(rows)).with_index(),
+                Column::new("a", DataType::Int, ColumnStats::uniform(50)),
+            ],
+        ))
+        .unwrap();
+    }
+    let query = QuerySpec {
+        name: "star2".into(),
+        relations: vec![0, 1, 2],
+        predicates: vec![
+            Predicate {
+                label: "f-d1".into(),
+                kind: PredicateKind::Join {
+                    left: 0,
+                    left_col: 0,
+                    right: 1,
+                    right_col: 0,
+                },
+            },
+            Predicate {
+                label: "f-d2".into(),
+                kind: PredicateKind::Join {
+                    left: 0,
+                    left_col: 1,
+                    right: 2,
+                    right_col: 0,
+                },
+            },
+        ],
+        epps: vec![0, 1],
+    };
+    (cat, query)
+}
+
+#[test]
+fn server_breaker_degrades_then_recovers() {
+    with_watchdog(120, || {
+        let (cat, q) = star2();
+        let cat: &'static Catalog = Box::leak(Box::new(cat));
+        let opt =
+            Optimizer::new(cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let artifact = CompiledArtifact::compile(&opt, MultiGrid::uniform(2, 1e-5, 8), 2.0, 0.2, 2);
+
+        // The first two spill probes fail hard, then the fault heals.
+        // No retries, so each injected probe fails one whole request.
+        let plan = Arc::new(FaultPlan::new(11).with_fail_first(FaultSite::OracleSpill, 2));
+        let served = ServedQuery::from_artifact(artifact, cat)
+            .unwrap()
+            .with_faults(Arc::clone(&plan), RetryPolicy::no_sleep(1))
+            .with_breaker(BreakerConfig {
+                threshold: 2,
+                cooldown: Duration::from_millis(200),
+            });
+        let mut reg = Registry::new();
+        reg.insert(served);
+        let handle = serve(reg, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = handle.addr;
+        let mut c = Client::connect(addr).unwrap();
+        let qa = [0.02, 0.4];
+
+        // Request 1: fault propagates as a typed execution error.
+        let r1 = c
+            .call_raw(&rqp::server::request_line(
+                1.0,
+                "run_spillbound",
+                Some("star2"),
+                &qa,
+                None,
+            ))
+            .unwrap();
+        assert!(
+            r1.contains("\"kind\":\"execution_fault\""),
+            "expected execution_fault, got: {r1}"
+        );
+
+        // Request 2: second consecutive fault trips the breaker, and the
+        // response degrades to the native plan — labelled as such.
+        let r2 = c
+            .call_raw(&rqp::server::request_line(
+                2.0,
+                "run_spillbound",
+                Some("star2"),
+                &qa,
+                None,
+            ))
+            .unwrap();
+        assert!(r2.contains("\"ok\":true"), "{r2}");
+        assert!(r2.contains("\"degraded\":true"), "{r2}");
+        assert!(r2.contains("\"algorithm\":\"native\""), "{r2}");
+        assert!(
+            r2.contains("\"requested_algorithm\":\"spillbound\""),
+            "{r2}"
+        );
+
+        // Request 3: breaker is open — degraded without touching the
+        // (now healed) execution path.
+        let r3 = c
+            .call_raw(&rqp::server::request_line(
+                3.0,
+                "run_spillbound",
+                Some("star2"),
+                &qa,
+                None,
+            ))
+            .unwrap();
+        assert!(r3.contains("\"degraded\":true"), "{r3}");
+
+        // Health reflects the open breaker.
+        let health = c.call(4.0, "health", None, &[], None).unwrap();
+        let breaker = health
+            .get("result")
+            .unwrap()
+            .get("queries")
+            .unwrap()
+            .get("star2")
+            .unwrap();
+        assert_eq!(
+            breaker.get("breaker").unwrap().as_str(),
+            Some("open"),
+            "{health:?}"
+        );
+
+        // After the cooldown the half-open probe finds the fault healed:
+        // the breaker closes and full service resumes.
+        std::thread::sleep(Duration::from_millis(300));
+        let r4 = c
+            .call_raw(&rqp::server::request_line(
+                5.0,
+                "run_spillbound",
+                Some("star2"),
+                &qa,
+                None,
+            ))
+            .unwrap();
+        assert!(r4.contains("\"ok\":true"), "{r4}");
+        assert!(r4.contains("\"degraded\":false"), "{r4}");
+        assert!(r4.contains("\"algorithm\":\"spillbound\""), "{r4}");
+
+        let health = c.call(6.0, "health", None, &[], None).unwrap();
+        let breaker = health
+            .get("result")
+            .unwrap()
+            .get("queries")
+            .unwrap()
+            .get("star2")
+            .unwrap();
+        assert_eq!(breaker.get("breaker").unwrap().as_str(), Some("closed"));
+        assert!(breaker.get("open_events").unwrap().as_f64().unwrap() >= 1.0);
+
+        // The fault counters surfaced in stats.
+        let stats = c.call(7.0, "stats", None, &[], None).unwrap();
+        let faults = stats.get("result").unwrap().get("faults").unwrap();
+        assert!(faults.get("faults_injected").unwrap().as_f64().unwrap() >= 2.0);
+        assert!(faults.get("breaker_open").unwrap().as_f64().unwrap() >= 1.0);
+        assert!(faults.get("degraded_responses").unwrap().as_f64().unwrap() >= 2.0);
+
+        handle.stop();
+    });
+}

@@ -40,6 +40,14 @@ impl Value {
         }
     }
 
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Looks up a field by key in an object.
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object()
