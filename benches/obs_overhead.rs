@@ -1,0 +1,142 @@
+//! Observability overhead budget — fig10-style SpillBound sweep.
+//!
+//! The tracing hooks compile down to a single `Option` branch per event
+//! when no sink is attached, and the `span!` profiler guard to one
+//! relaxed atomic load. This harness proves the budget holds on the
+//! Fig. 10 workload (exhaustive 2D_Q91 MSOe sweep): the default
+//! construction (hooks present, tracer disabled) must be within
+//! `RQP_OBS_BUDGET_PCT` (default 2%) of an explicitly disabled-tracer
+//! sweep, interleaved round-robin so drift hits every variant equally.
+//! Enabled ring/JSONL sinks are measured alongside for context and
+//! printed, but only the disabled path is budget-gated.
+//!
+//! Prints `obs overhead check: PASS` (grepped by CI's trace-smoke job)
+//! and exits non-zero on a budget violation.
+
+use rqp::catalog::tpcds;
+use rqp::core::{CostOracle, SpillBound};
+use rqp::experiments::Experiment;
+use rqp::obs::{JsonlSink, RingSink, Tracer};
+use rqp::optimizer::EnumerationMode;
+use rqp::workloads::q91_with_dims;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One exhaustive MSOe sweep: SpillBound at every grid location, with
+/// `tracer` attached. Returns the summed sub-optimality as a checksum so
+/// the work cannot be optimized away and variants can be cross-checked.
+fn sweep(exp: &Experiment, tracer: Tracer) -> f64 {
+    let opt = exp.optimizer();
+    let surface = &exp.surface;
+    let mut sb = SpillBound::new(surface, &opt, 2.0);
+    sb.set_tracer(tracer);
+    let mut acc = 0.0;
+    for qa in 0..surface.len() {
+        let mut oracle = CostOracle::at_grid(&opt, surface.grid(), qa);
+        let report = sb.run(&mut oracle).expect("discovery completes");
+        acc += report.sub_optimality(surface.opt_cost(qa));
+    }
+    acc
+}
+
+/// Noise-robust estimate of a variant's true cost: the fastest sample.
+fn best(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+type Variant = (&'static str, Box<dyn Fn() -> Tracer>);
+
+fn main() {
+    let budget_pct: f64 = std::env::var("RQP_OBS_BUDGET_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    let rounds: usize = std::env::var("RQP_OBS_ROUNDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    // Sweeps per timed sample: one 2D sweep is only a few milliseconds, so
+    // batch several to push each sample well above scheduler jitter.
+    const INNER: usize = 10;
+
+    let catalog = tpcds::catalog_sf100();
+    let bench = q91_with_dims(&catalog, 2);
+    let exp = Experiment::build(catalog, bench, EnumerationMode::LeftDeep);
+    println!(
+        "obs overhead harness: 2D_Q91, {} locations, {} rounds per variant",
+        exp.surface.len(),
+        rounds
+    );
+
+    let jsonl_path = std::env::temp_dir().join("rqp_obs_overhead_trace.jsonl");
+    let variants: Vec<Variant> = vec![
+        ("baseline", Box::new(Tracer::disabled)),
+        ("disabled", Box::new(Tracer::disabled)),
+        (
+            "ring",
+            Box::new(|| Tracer::to_sink(Arc::new(RingSink::new(1 << 16)))),
+        ),
+        (
+            "jsonl",
+            Box::new({
+                let path = jsonl_path.clone();
+                move || {
+                    Tracer::to_sink(Arc::new(JsonlSink::create(&path).expect("temp trace file")))
+                }
+            }),
+        ),
+    ];
+
+    // Warm-up: one untimed sweep, and a checksum every variant must match.
+    let checksum = sweep(&exp, Tracer::disabled());
+
+    let mut times: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for _ in 0..rounds {
+        for (i, (name, mk)) in variants.iter().enumerate() {
+            let tracer = mk();
+            let start = Instant::now();
+            for _ in 0..INNER {
+                let acc = black_box(sweep(&exp, tracer.clone()));
+                assert_eq!(
+                    acc.to_bits(),
+                    checksum.to_bits(),
+                    "variant {name} diverged from the untraced sweep"
+                );
+            }
+            let secs = start.elapsed().as_secs_f64() / INNER as f64;
+            tracer.flush();
+            times[i].push(secs);
+        }
+    }
+    let _ = std::fs::remove_file(&jsonl_path);
+
+    let base = best(&times[0]);
+    let mut disabled_pct = 0.0;
+    for (i, (name, _)) in variants.iter().enumerate() {
+        let m = best(&times[i]);
+        let pct = (m / base - 1.0) * 100.0;
+        if *name == "disabled" {
+            disabled_pct = pct;
+        }
+        println!(
+            "  {name:<10} best {:>8.1} ms  ({pct:+.2}% vs baseline)",
+            m * 1e3
+        );
+    }
+
+    // One-sided gate: measuring faster than the identical baseline is
+    // jitter, never a violation.
+    if disabled_pct < budget_pct {
+        println!(
+            "obs overhead check: PASS (disabled-tracer overhead {disabled_pct:+.2}% \
+             within {budget_pct}% budget)"
+        );
+    } else {
+        println!(
+            "obs overhead check: FAIL (disabled-tracer overhead {disabled_pct:+.2}% \
+             exceeds {budget_pct}% budget)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -37,6 +37,7 @@ use rqp_common::MultiGrid;
 use rqp_ess::anorexic::{reduce_all, ReducedContour};
 use rqp_ess::{ContourSet, EssSurface};
 use rqp_faults::{FaultPlan, FaultSite};
+use rqp_obs::{TraceEvent, Tracer};
 use rqp_optimizer::{CostMatrix, Optimizer, QuerySpec};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -504,6 +505,7 @@ pub fn compile_or_load_with(
 pub struct ArtifactStore {
     root: PathBuf,
     faults: Option<Arc<FaultPlan>>,
+    tracer: Tracer,
 }
 
 impl ArtifactStore {
@@ -512,12 +514,21 @@ impl ArtifactStore {
         Self {
             root: root.into(),
             faults: None,
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Attaches a fault plan to every load/save this store performs.
     pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Attaches a structured tracer: warm loads emit `cache_hit`, cold
+    /// compiles emit `cache_miss` (cache `"artifact_store"`, keyed by the
+    /// checksum of the query name).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -540,7 +551,8 @@ impl ArtifactStore {
         lambda: f64,
         threads: usize,
     ) -> Result<(CompiledArtifact, Provenance), ArtifactError> {
-        compile_or_load_with(
+        rqp_obs::span!("artifacts.compile_or_load");
+        let result = compile_or_load_with(
             &self.path_for(&opt.query().name),
             opt,
             grid,
@@ -548,7 +560,22 @@ impl ArtifactStore {
             lambda,
             threads,
             self.faults.as_deref(),
-        )
+        );
+        if let Ok((_, provenance)) = &result {
+            let key = checksum64(opt.query().name.as_bytes());
+            if provenance.is_warm() {
+                self.tracer.emit(|| TraceEvent::CacheHit {
+                    cache: "artifact_store",
+                    key,
+                });
+            } else {
+                self.tracer.emit(|| TraceEvent::CacheMiss {
+                    cache: "artifact_store",
+                    key,
+                });
+            }
+        }
+        result
     }
 
     /// Names of the artifacts present in the store (files ending in

@@ -18,6 +18,7 @@ use crate::report::{ExecMode, ExecutionRecord, Outcome, RunReport};
 use rqp_common::{Cost, GridIdx, Result};
 use rqp_ess::alignment::SpillDimCache;
 use rqp_ess::{ContourSet, EssSurface, EssView};
+use rqp_obs::{TraceEvent, Tracer};
 use rqp_optimizer::{constrained, Optimizer, PlanId, PlanNode};
 use std::collections::{HashMap, HashSet};
 
@@ -83,6 +84,13 @@ impl<'a> AlignedBound<'a> {
     /// The contour schedule.
     pub fn contours(&self) -> &ContourSet {
         &self.shared.contours
+    }
+
+    /// Attach a structured tracer; subsequent [`run`](Self::run) calls
+    /// emit typed events for every contour entry, execution, and learnt
+    /// selectivity.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.shared.tracer = tracer;
     }
 
     /// Maximum per-part penalty encountered over all runs so far (the
@@ -310,18 +318,22 @@ impl<'a> AlignedBound<'a> {
             learnt: vec![None; d],
             ..RunReport::default()
         };
+        self.shared.trace_run_started("alignedbound");
         if d <= 1 {
             self.shared
                 .run_terminal_phase(&pins, 0, oracle, &mut report)?;
+            self.shared.trace_run_finished(&report);
             return Ok(report);
         }
         let mut i = 0usize;
+        let mut entered: Option<usize> = None;
         let mut executed: HashSet<(u64, usize)> = HashSet::new();
         loop {
             let free: Vec<usize> = (0..d).filter(|&j| pins[j].is_none()).collect();
             if free.len() == 1 {
                 self.shared
                     .run_terminal_phase(&pins, i, oracle, &mut report)?;
+                self.shared.trace_run_finished(&report);
                 return Ok(report);
             }
             if i >= m {
@@ -330,10 +342,18 @@ impl<'a> AlignedBound<'a> {
                 // the overflow phase finishes the query within the
                 // inflated guarantee (§7).
                 self.shared.run_overflow_phase(&pins, oracle, &mut report)?;
+                self.shared.trace_run_finished(&report);
                 return Ok(report);
             }
             let decision = self.contour_decision(i, &pins);
             self.observed_max_penalty = self.observed_max_penalty.max(decision.max_part_penalty);
+            if entered != Some(i) {
+                entered = Some(i);
+                let budget = self.shared.contours.cost(i);
+                self.shared
+                    .tracer
+                    .emit(|| TraceEvent::ContourEntered { contour: i, budget });
+            }
             let mut learnt_dim: Option<usize> = None;
             for part in &decision.parts {
                 let j = part.leader;
@@ -363,6 +383,11 @@ impl<'a> AlignedBound<'a> {
                             spent,
                             outcome: Outcome::Completed { sel: Some(sel) },
                         });
+                        self.shared
+                            .trace_execution(report.records.last().unwrap(), report.total_cost);
+                        self.shared
+                            .tracer
+                            .emit(|| TraceEvent::SelectivityLearnt { dim: j, sel });
                         report.learnt[j] = Some(sel);
                         pins[j] = Some(grid.dim(j).ceil_idx(sel));
                         learnt_dim = Some(j);
@@ -379,6 +404,8 @@ impl<'a> AlignedBound<'a> {
                             spent,
                             outcome: Outcome::TimedOut { lower_bound },
                         });
+                        self.shared
+                            .trace_execution(report.records.last().unwrap(), report.total_cost);
                     }
                 }
             }

@@ -23,6 +23,7 @@
 use crate::oracle::{CostOracle, ExecutionOracle, FullOutcome, SpillOutcome};
 use rqp_common::{cost_le, Cost, GridIdx, MultiGrid};
 use rqp_ess::EssSurface;
+use rqp_obs::{TraceEvent, Tracer};
 use rqp_optimizer::{CostMatrix, Optimizer, PlanId, PlanNode, Sels};
 use std::collections::HashMap;
 
@@ -141,6 +142,7 @@ pub struct CachedOracle<'c, 'a, 'm> {
     qa_coords: Vec<usize>,
     qa: Sels,
     memo: &'m mut SpillMemo,
+    tracer: Tracer,
 }
 
 impl<'c, 'a, 'm> CachedOracle<'c, 'a, 'm> {
@@ -154,7 +156,15 @@ impl<'c, 'a, 'm> CachedOracle<'c, 'a, 'm> {
             qa_coords: grid.coords(qa),
             qa: ctx.opt().sels_at(&grid.sels(qa)),
             memo,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a structured tracer: spill-memo lookups emit
+    /// `cache_hit`/`cache_miss` events keyed by the probe grid location.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// An uncached [`CostOracle`] at the same location (reference
@@ -173,8 +183,16 @@ impl<'c, 'a, 'm> CachedOracle<'c, 'a, 'm> {
         coords[dim] = coord;
         let key = (fp, dim, grid.flat(&coords));
         if let Some(&c) = self.memo.subtree.get(&key) {
+            self.tracer.emit(|| TraceEvent::CacheHit {
+                cache: "spill_memo",
+                key: key.2 as u64,
+            });
             return c;
         }
+        self.tracer.emit(|| TraceEvent::CacheMiss {
+            cache: "spill_memo",
+            key: key.2 as u64,
+        });
         let opt = self.ctx.opt();
         let pred = opt.query().epps[dim];
         let mut probe = self.qa.clone();

@@ -4,6 +4,7 @@ use crate::oracle::{ExecutionOracle, FullOutcome};
 use crate::report::{ExecMode, ExecutionRecord, Outcome, RunReport};
 use rqp_common::{Result, RqpError};
 use rqp_ess::{ContourSet, EssSurface, EssView};
+use rqp_obs::{TraceEvent, Tracer};
 use rqp_optimizer::Optimizer;
 
 /// Immutable context shared by every discovery algorithm: the POSP
@@ -16,6 +17,8 @@ pub struct Shared<'a> {
     pub opt: &'a Optimizer<'a>,
     /// Geometric contour schedule.
     pub contours: ContourSet,
+    /// Structured trace destination (disabled by default).
+    pub tracer: Tracer,
 }
 
 impl<'a> Shared<'a> {
@@ -26,7 +29,59 @@ impl<'a> Shared<'a> {
             surface,
             opt,
             contours,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Emit the run-level start event.
+    pub fn trace_run_started(&self, algo: &'static str) {
+        let dims = self.ndims();
+        let contours = self.contours.len();
+        self.tracer.emit(|| TraceEvent::RunStarted {
+            algo,
+            dims,
+            contours,
+        });
+    }
+
+    /// Emit the run-level finish event and flush file-backed sinks.
+    pub fn trace_run_finished(&self, report: &RunReport) {
+        self.tracer.emit(|| TraceEvent::RunFinished {
+            total_cost: report.total_cost,
+            executions: report.records.len(),
+            completed: report.completed,
+        });
+        self.tracer.flush();
+    }
+
+    /// Emit the per-execution pair of events every discovery loop shares:
+    /// the execution itself plus the running budget account.
+    pub fn trace_execution(&self, rec: &ExecutionRecord, total: f64) {
+        self.tracer.emit(|| {
+            let (mode, dim) = match rec.mode {
+                ExecMode::Spill { dim } => ("spill", Some(dim)),
+                ExecMode::Full => ("full", None),
+            };
+            let outcome = match rec.outcome {
+                Outcome::Completed { .. } => "completed",
+                Outcome::TimedOut { .. } => "timed_out",
+            };
+            TraceEvent::PlanExecuted {
+                contour: rec.contour,
+                plan_fingerprint: rec.plan_fingerprint,
+                plan_id: rec.plan_id,
+                mode,
+                dim,
+                budget: rec.budget,
+                spent: rec.spent,
+                outcome,
+            }
+        });
+        self.tracer.emit(|| TraceEvent::BudgetCharged {
+            contour: rec.contour,
+            spent: rec.spent,
+            total,
+        });
     }
 
     /// ESS dimensionality.
@@ -51,6 +106,8 @@ impl<'a> Shared<'a> {
         debug_assert!(view.nfree() <= 1, "terminal phase needs ≤ 1 free dim");
         for i in start_contour..self.contours.len() {
             let budget = self.contours.cost(i);
+            self.tracer
+                .emit(|| TraceEvent::ContourEntered { contour: i, budget });
             for q in self.contours.locations(self.surface, &view, i) {
                 let pid = self.surface.plan_id(q);
                 let plan = self.surface.pool().get(pid);
@@ -66,6 +123,7 @@ impl<'a> Shared<'a> {
                             spent,
                             outcome: Outcome::Completed { sel: None },
                         });
+                        self.trace_execution(report.records.last().unwrap(), report.total_cost);
                         report.completed = true;
                         return Ok(());
                     }
@@ -80,6 +138,7 @@ impl<'a> Shared<'a> {
                             spent,
                             outcome: Outcome::TimedOut { lower_bound: 0.0 },
                         });
+                        self.trace_execution(report.records.last().unwrap(), report.total_cost);
                     }
                 }
             }
@@ -121,6 +180,7 @@ impl<'a> Shared<'a> {
                         spent,
                         outcome: Outcome::Completed { sel: None },
                     });
+                    self.trace_execution(report.records.last().unwrap(), report.total_cost);
                     report.completed = true;
                     return Ok(());
                 }
@@ -135,6 +195,7 @@ impl<'a> Shared<'a> {
                         spent,
                         outcome: Outcome::TimedOut { lower_bound: 0.0 },
                     });
+                    self.trace_execution(report.records.last().unwrap(), report.total_cost);
                     budget *= 2.0;
                 }
             }

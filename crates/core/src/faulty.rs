@@ -23,6 +23,7 @@
 use crate::oracle::{ExecutionOracle, FullOutcome, SpillOutcome};
 use rqp_common::{Cost, Result, RqpError};
 use rqp_faults::{FaultPlan, FaultSite, RetryPolicy};
+use rqp_obs::{TraceEvent, Tracer};
 use rqp_optimizer::{PlanId, PlanNode};
 use std::time::Duration;
 
@@ -49,6 +50,7 @@ pub struct FaultyOracle<'p, O> {
     retry: RetryPolicy,
     fault_budget: u64,
     stats: FaultStats,
+    tracer: Tracer,
 }
 
 impl<'p, O: ExecutionOracle> FaultyOracle<'p, O> {
@@ -62,12 +64,20 @@ impl<'p, O: ExecutionOracle> FaultyOracle<'p, O> {
             retry: RetryPolicy::no_sleep(6),
             fault_budget: u64::MAX,
             stats: FaultStats::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Replaces the retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Attach a structured tracer: injected faults and retries emit
+    /// `fault_injected`/`fault_retried` events.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -105,6 +115,10 @@ impl<'p, O: ExecutionOracle> FaultyOracle<'p, O> {
                 None => return Ok(call(&mut self.inner)),
                 Some(shot) => {
                     self.stats.faults_injected += 1;
+                    self.tracer.emit(|| TraceEvent::FaultInjected {
+                        site: site.name(),
+                        seq: shot.seq,
+                    });
                     if budget.is_finite() {
                         self.stats.wasted_cost += budget * shot.frac;
                     }
@@ -117,6 +131,10 @@ impl<'p, O: ExecutionOracle> FaultyOracle<'p, O> {
                     }
                     if attempt + 1 < attempts {
                         self.stats.retries += 1;
+                        self.tracer.emit(|| TraceEvent::FaultRetried {
+                            site: site.name(),
+                            attempt,
+                        });
                         self.stats.backoff_total += self.retry.backoff(attempt);
                         self.retry.pause(attempt);
                     }

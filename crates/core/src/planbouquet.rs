@@ -14,6 +14,7 @@ use crate::report::{ExecMode, ExecutionRecord, Outcome, RunReport};
 use rqp_common::Result;
 use rqp_ess::anorexic::{reduce_all, ReducedContour};
 use rqp_ess::{ContourSet, EssSurface};
+use rqp_obs::{TraceEvent, Tracer};
 use rqp_optimizer::Optimizer;
 
 /// A compiled PlanBouquet: contour schedule plus reduced plan sets.
@@ -106,14 +107,24 @@ impl<'a> PlanBouquet<'a> {
         &self.reduced[i].plans
     }
 
+    /// Attach a structured tracer; subsequent [`run`](Self::run) calls
+    /// emit typed events for every contour entry and execution.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.shared.tracer = tracer;
+    }
+
     /// Runs the bouquet discovery sequence against `oracle`.
     pub fn run(&self, oracle: &mut dyn ExecutionOracle) -> Result<RunReport> {
         let mut report = RunReport {
             learnt: vec![None; self.shared.ndims()],
             ..RunReport::default()
         };
+        self.shared.trace_run_started("planbouquet");
         for (i, rc) in self.reduced.iter().enumerate() {
             let budget = (1.0 + self.lambda) * rc.cost;
+            self.shared
+                .tracer
+                .emit(|| TraceEvent::ContourEntered { contour: i, budget });
             for &pid in &rc.plans {
                 let plan = self.shared.surface.pool().get(pid);
                 match oracle.try_full_execute_id(Some(pid), plan, budget)? {
@@ -128,7 +139,10 @@ impl<'a> PlanBouquet<'a> {
                             spent,
                             outcome: Outcome::Completed { sel: None },
                         });
+                        self.shared
+                            .trace_execution(report.records.last().unwrap(), report.total_cost);
                         report.completed = true;
+                        self.shared.trace_run_finished(&report);
                         return Ok(report);
                     }
                     FullOutcome::TimedOut { spent } => {
@@ -142,6 +156,8 @@ impl<'a> PlanBouquet<'a> {
                             spent,
                             outcome: Outcome::TimedOut { lower_bound: 0.0 },
                         });
+                        self.shared
+                            .trace_execution(report.records.last().unwrap(), report.total_cost);
                     }
                 }
             }
@@ -151,6 +167,7 @@ impl<'a> PlanBouquet<'a> {
         // (§7) keep doubling budgets on the terminus plan.
         self.shared
             .run_overflow_phase(&vec![None; self.shared.ndims()], oracle, &mut report)?;
+        self.shared.trace_run_finished(&report);
         Ok(report)
     }
 }

@@ -27,6 +27,7 @@ use crate::report::{ExecMode, ExecutionRecord, Outcome, RunReport};
 use rqp_common::{GridIdx, Result};
 use rqp_ess::alignment::SpillDimCache;
 use rqp_ess::{ContourSet, EssSurface, EssView};
+use rqp_obs::{TraceEvent, Tracer};
 use rqp_optimizer::{Optimizer, PlanId};
 use std::collections::{HashMap, HashSet};
 
@@ -68,6 +69,13 @@ impl<'a> SpillBound<'a> {
     /// The contour schedule.
     pub fn contours(&self) -> &ContourSet {
         &self.shared.contours
+    }
+
+    /// Attach a structured tracer; subsequent [`run`](Self::run) calls
+    /// emit typed events for every contour entry, execution, and learnt
+    /// selectivity.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.shared.tracer = tracer;
     }
 
     /// Computes (memoized) the per-dimension `(q^j_max, P^j_max)` choices
@@ -115,14 +123,17 @@ impl<'a> SpillBound<'a> {
             ..RunReport::default()
         };
 
+        self.shared.trace_run_started("spillbound");
         if d <= 1 {
             // Degenerate: straight to the (≤1)-dimensional bouquet phase.
             self.shared
                 .run_terminal_phase(&pins, 0, oracle, &mut report)?;
+            self.shared.trace_run_finished(&report);
             return Ok(report);
         }
 
         let mut i = 0usize;
+        let mut entered: Option<usize> = None;
         // Executions already performed on the current contour; identical
         // (plan, dim) re-selections are provably identical timeouts, so we
         // neither re-run nor re-charge them.
@@ -132,6 +143,7 @@ impl<'a> SpillBound<'a> {
             if free.len() == 1 {
                 self.shared
                     .run_terminal_phase(&pins, i, oracle, &mut report)?;
+                self.shared.trace_run_finished(&report);
                 return Ok(report);
             }
             if i >= m {
@@ -140,10 +152,17 @@ impl<'a> SpillBound<'a> {
                 // the overflow phase finishes the query within the
                 // inflated guarantee (§7).
                 self.shared.run_overflow_phase(&pins, oracle, &mut report)?;
+                self.shared.trace_run_finished(&report);
                 return Ok(report);
             }
             let selections = self.contour_selections(i, &pins);
             let budget = self.shared.contours.cost(i);
+            if entered != Some(i) {
+                entered = Some(i);
+                self.shared
+                    .tracer
+                    .emit(|| TraceEvent::ContourEntered { contour: i, budget });
+            }
             let mut learnt_dim: Option<usize> = None;
             for &j in &free {
                 let Some((_, pid)) = selections[j] else {
@@ -165,6 +184,11 @@ impl<'a> SpillBound<'a> {
                             spent,
                             outcome: Outcome::Completed { sel: Some(sel) },
                         });
+                        self.shared
+                            .trace_execution(report.records.last().unwrap(), report.total_cost);
+                        self.shared
+                            .tracer
+                            .emit(|| TraceEvent::SelectivityLearnt { dim: j, sel });
                         report.learnt[j] = Some(sel);
                         pins[j] = Some(grid.dim(j).ceil_idx(sel));
                         learnt_dim = Some(j);
@@ -181,6 +205,8 @@ impl<'a> SpillBound<'a> {
                             spent,
                             outcome: Outcome::TimedOut { lower_bound },
                         });
+                        self.shared
+                            .trace_execution(report.records.last().unwrap(), report.total_cost);
                     }
                 }
             }

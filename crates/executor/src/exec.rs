@@ -157,6 +157,7 @@ impl<'a> Executor<'a> {
 
     /// Executes `plan` with the given budget; drains and counts the result.
     pub fn run_full(&self, plan: &PlanNode, budget: Cost) -> Result<ExecOutcome> {
+        rqp_obs::span!("executor.run_full");
         let abort_at = self.fault_abort_at(FaultSite::ExecFull, budget);
         let meter = Meter::new(budget);
         let (mut op, _) = self.compile(plan, &meter)?;
@@ -191,6 +192,7 @@ impl<'a> Executor<'a> {
     /// Executes the subtree of `plan` rooted at predicate `pred`'s node in
     /// spill-mode: output is counted and discarded (§3.1.2).
     pub fn run_spill(&self, plan: &PlanNode, pred: usize, budget: Cost) -> Result<SpillRun> {
+        rqp_obs::span!("executor.run_spill");
         let subtree = plan
             .subtree_applying(pred)
             .ok_or_else(|| RqpError::Execution(format!("plan does not apply predicate {pred}")))?;

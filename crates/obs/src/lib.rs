@@ -1,0 +1,25 @@
+//! `rqp-obs` — structured observability for the rqp stack.
+//!
+//! Three independent, zero-dependency pieces:
+//!
+//! * **Tracing** ([`Tracer`], [`TraceSink`], [`TraceEvent`]): typed events
+//!   from the discovery algorithms, caches, and fault layer, stamped with a
+//!   monotonic step counter and *no* wall-clock state — replays of the same
+//!   run are bit-comparable across thread counts and sinks.
+//! * **Metrics** ([`MetricsRegistry`]): named counters / gauges /
+//!   histograms on atomics with a lock-free hot path, unifying the server's
+//!   ad-hoc counters and the fault layer's waste accounting.
+//! * **Profiling** ([`span!`](crate::span), [`prof::folded_stacks`]):
+//!   scoped timers that fold into `inferno`/`flamegraph.pl`-compatible
+//!   stack lines, compiled down to one atomic load when disabled.
+
+pub mod event;
+pub mod metrics;
+pub mod prof;
+pub mod sink;
+pub mod tracer;
+
+pub use event::{TraceEvent, TraceRecord};
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry};
+pub use sink::{JsonlSink, RingSink, TeeSink, TraceSink};
+pub use tracer::Tracer;

@@ -1,0 +1,313 @@
+//! Atomic counter/gauge/histogram registry.
+//!
+//! Registration takes a `RwLock` write once per metric name; after that
+//! every handle operation is a plain atomic on the shared cell, so the
+//! hot path is lock-free. Gauges and histogram sums store `f64` bits in
+//! an `AtomicU64` and update with compare-and-swap loops.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Monotonically increasing integer metric.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating point metric with atomic accumulate.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically add `v` to the gauge.
+    #[inline]
+    pub fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+const BUCKETS: usize = 64;
+
+struct HistogramInner {
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    max_bits: AtomicU64,
+    /// Log2 buckets: bucket `i` holds observations in `[2^i, 2^(i+1))`
+    /// (bucket 0 additionally holds everything below 1).
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            max_bits: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Lock-free histogram over non-negative observations (latencies, costs).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let inner = &self.0;
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        // sum += v
+        let mut cur = inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match inner.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        // max = max(max, v)
+        let mut cur = inner.max_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match inner.max_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let idx = if v < 1.0 {
+            0
+        } else {
+            (v.log2() as usize).min(BUCKETS - 1)
+        };
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.0.max_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Non-empty log2 buckets as `(lower_bound, count)` pairs.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (if i == 0 { 0.0 } else { (i as f64).exp2() }, n))
+            })
+            .collect()
+    }
+}
+
+/// Snapshot of one metric, for export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram { count: u64, sum: f64, max: f64 },
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<HistogramInner>>>,
+}
+
+/// Shared, cloneable registry of named metrics.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("metrics", &self.snapshot().len())
+            .finish()
+    }
+}
+
+fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().unwrap().get(name) {
+        return found.clone();
+    }
+    map.write()
+        .unwrap()
+        .entry(name.to_string())
+        .or_default()
+        .clone()
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter named `name`. Hold the returned handle
+    /// for lock-free increments.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(get_or_create(&self.inner.counters, name))
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(get_or_create(&self.inner.gauges, name))
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(get_or_create(&self.inner.histograms, name))
+    }
+
+    /// All registered metrics, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let mut out = Vec::new();
+        for (name, c) in self.inner.counters.read().unwrap().iter() {
+            out.push((
+                name.clone(),
+                MetricValue::Counter(c.load(Ordering::Relaxed)),
+            ));
+        }
+        for (name, g) in self.inner.gauges.read().unwrap().iter() {
+            out.push((
+                name.clone(),
+                MetricValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed))),
+            ));
+        }
+        for (name, h) in self.inner.histograms.read().unwrap().iter() {
+            let h = Histogram(h.clone());
+            out.push((
+                name.clone(),
+                MetricValue::Histogram {
+                    count: h.count(),
+                    sum: h.sum(),
+                    max: h.max(),
+                },
+            ));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("requests");
+        c.inc();
+        c.add(2);
+        assert_eq!(reg.counter("requests").value(), 3);
+        let g = reg.gauge("wasted_cost");
+        g.add(1.5);
+        g.add(2.25);
+        assert_eq!(g.value(), 3.75);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_max() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency_us");
+        for v in [1.0, 3.0, 1000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1004.0);
+        assert_eq!(h.max(), 1000.0);
+        assert!(!h.buckets().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b").inc();
+        reg.gauge("a").set(2.0);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn handles_are_shared_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("x").value(), 4000);
+    }
+}

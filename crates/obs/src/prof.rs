@@ -1,0 +1,150 @@
+//! Scoped span timers with a folded-stack dump.
+//!
+//! `span!("executor.run_spill")` opens a scope timer; on drop the span's
+//! *self time* (elapsed minus child-span time) is accumulated under its
+//! semicolon-joined stack path, the line format `inferno`/`flamegraph.pl`
+//! consume. Profiling is off by default: a disabled span is one relaxed
+//! atomic load and no allocation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn folded() -> &'static Mutex<HashMap<String, u128>> {
+    static FOLDED: OnceLock<Mutex<HashMap<String, u128>>> = OnceLock::new();
+    FOLDED.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    child_micros: u128,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turn span timing on or off globally. `true` also applies retroactively
+/// to nothing: only spans opened while enabled are recorded.
+pub fn set_profiling(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+#[inline]
+pub fn profiling_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drop all accumulated folded stacks.
+pub fn reset_profiling() {
+    folded().lock().unwrap().clear();
+}
+
+/// RAII guard returned by [`span`]; records on drop when active.
+pub struct SpanGuard {
+    active: bool,
+}
+
+/// Open a scoped timer named `name`. Prefer the [`span!`](crate::span)
+/// macro, which hides the guard binding.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !profiling_enabled() {
+        return SpanGuard { active: false };
+    }
+    STACK.with(|stack| {
+        stack.borrow_mut().push(Frame {
+            name,
+            start: Instant::now(),
+            child_micros: 0,
+        });
+    });
+    SpanGuard { active: true }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let Some(frame) = stack.pop() else { return };
+            let elapsed = frame.start.elapsed().as_micros();
+            let self_micros = elapsed.saturating_sub(frame.child_micros);
+            let mut path = String::new();
+            for f in stack.iter() {
+                path.push_str(f.name);
+                path.push(';');
+            }
+            path.push_str(frame.name);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_micros += elapsed;
+            }
+            *folded().lock().unwrap().entry(path).or_insert(0) += self_micros;
+        });
+    }
+}
+
+/// Folded-stack dump: one `path;to;span micros` line per stack, sorted,
+/// ready for `inferno-flamegraph` / `flamegraph.pl`.
+pub fn folded_stacks() -> String {
+    let map = folded().lock().unwrap();
+    let mut lines: Vec<String> = map
+        .iter()
+        .map(|(path, us)| format!("{path} {us}"))
+        .collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Open a scoped profiling span for the rest of the enclosing block.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _rqp_obs_span_guard = $crate::prof::span($name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Single test: the profiler state is global, so the disabled and
+    // enabled phases must not run as concurrent #[test] functions.
+    #[test]
+    fn spans_fold_only_while_profiling_is_enabled() {
+        reset_profiling();
+        set_profiling(false);
+        {
+            crate::span!("quiet");
+        }
+        assert_eq!(folded_stacks(), "");
+
+        set_profiling(true);
+        {
+            crate::span!("outer");
+            {
+                crate::span!("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        set_profiling(false);
+        let dump = folded_stacks();
+        assert!(dump.contains("outer;inner "), "missing nested path: {dump}");
+        assert!(
+            dump.lines().any(|l| l.starts_with("outer ")),
+            "missing self line: {dump}"
+        );
+        reset_profiling();
+    }
+}

@@ -1,0 +1,133 @@
+//! The `Tracer` handle threaded through the discovery pipeline.
+//!
+//! A disabled tracer is a single `Option` branch per emission point: the
+//! event constructor closure is never called, so building a `TraceEvent`
+//! costs nothing unless a sink is attached.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::sink::{JsonlSink, RingSink, TraceSink};
+
+struct TracerInner {
+    sink: Arc<dyn TraceSink>,
+    step: AtomicU64,
+}
+
+/// Cloneable tracing handle. Clones share the sink *and* the monotonic
+/// step counter, so events from cooperating components interleave into a
+/// single totally-ordered stream.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A tracer that drops everything (the default).
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A tracer writing to `sink`, starting from step 0.
+    pub fn to_sink(sink: Arc<dyn TraceSink>) -> Self {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                sink,
+                step: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Build a tracer from the `RQP_TRACE` environment variable:
+    /// `off` (or unset) → disabled, `ring` / `ring:CAP` → in-memory ring,
+    /// `jsonl:PATH` → JSONL file. Unparseable values fall back to disabled.
+    pub fn from_env() -> Self {
+        let Ok(spec) = std::env::var("RQP_TRACE") else {
+            return Tracer::disabled();
+        };
+        let spec = spec.trim();
+        if spec.is_empty() || spec.eq_ignore_ascii_case("off") || spec == "0" {
+            return Tracer::disabled();
+        }
+        if let Some(rest) = spec.strip_prefix("ring") {
+            let cap = rest
+                .strip_prefix(':')
+                .and_then(|c| c.parse::<usize>().ok())
+                .unwrap_or(65_536);
+            return Tracer::to_sink(Arc::new(RingSink::new(cap)));
+        }
+        if let Some(path) = spec.strip_prefix("jsonl:") {
+            if let Ok(sink) = JsonlSink::create(path) {
+                return Tracer::to_sink(Arc::new(sink));
+            }
+        }
+        Tracer::disabled()
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit one event. The closure runs only when a sink is attached.
+    #[inline]
+    pub fn emit(&self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(inner) = &self.inner {
+            let step = inner.step.fetch_add(1, Ordering::Relaxed);
+            inner.sink.record(&TraceRecord {
+                step,
+                event: build(),
+            });
+        }
+    }
+
+    /// Steps emitted so far (0 when disabled).
+    pub fn steps(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.step.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .field("steps", &self.steps())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let t = Tracer::disabled();
+        t.emit(|| unreachable!("closure must not run when disabled"));
+        assert!(!t.enabled());
+        assert_eq!(t.steps(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_step_counter() {
+        let ring = Arc::new(RingSink::new(16));
+        let a = Tracer::to_sink(ring.clone());
+        let b = a.clone();
+        a.emit(|| TraceEvent::SelectivityLearnt { dim: 0, sel: 0.1 });
+        b.emit(|| TraceEvent::SelectivityLearnt { dim: 1, sel: 0.2 });
+        let steps: Vec<u64> = ring.snapshot().iter().map(|r| r.step).collect();
+        assert_eq!(steps, vec![0, 1]);
+        assert_eq!(a.steps(), 2);
+    }
+}

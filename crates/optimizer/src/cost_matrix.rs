@@ -123,6 +123,7 @@ impl CostMatrix {
         grid: &MultiGrid,
         threads: usize,
     ) -> Self {
+        rqp_obs::span!("optimizer.cost_matrix.build");
         let nplans = pool.len();
         let grid_len = grid.len();
         let mut cells = vec![0.0; nplans * grid_len];

@@ -124,6 +124,7 @@ impl<'a> Optimizer<'a> {
 
     /// Optimizes under a fully-resolved selectivity assignment.
     pub fn optimize_with(&self, sels: &Sels) -> (PlanNode, Cost) {
+        rqp_obs::span!("optimizer.optimize_with");
         let n = self.query.relations.len();
         debug_assert!(n <= 16);
         let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };

@@ -37,6 +37,9 @@ pub struct CallStats {
     pub degraded: bool,
     /// This call's failure tripped the breaker open.
     pub breaker_opened: bool,
+    /// Budget burnt by fault-aborted oracle attempts (operational waste,
+    /// never counted as sub-optimality).
+    pub wasted_cost: f64,
 }
 
 /// One query template, warm-started from its artifact and ready to serve
@@ -269,6 +272,7 @@ impl ServedQuery {
                 let fs = faulty.stats();
                 stats.faults_injected += fs.faults_injected;
                 stats.retries += fs.retries;
+                stats.wasted_cost += fs.wasted_cost;
                 result
             }
             None => go(&mut cached),

@@ -9,6 +9,8 @@
 //! rqp serve                         serve compiled artifacts over TCP
 //! rqp client <addr> <method> ...    issue one request to a server
 //! rqp chaos [query]                 seeded fault-injection sweep (MSO under faults)
+//! rqp trace <query> [algo] [qa...]  per-contour budget/cost timeline of one run
+//! rqp trace --check <file>          validate a JSONL trace against the event schema
 //! ```
 //!
 //! `<algo>` is one of `sb` (SpillBound), `ab` (AlignedBound),
@@ -25,6 +27,7 @@ use rqp::core::{
 };
 use rqp::experiments::{compare, fmt, harness_threads, print_table, Experiment};
 use rqp::faults::{FaultPlan, FaultSite, RetryPolicy};
+use rqp::obs::{prof, JsonlSink, RingSink, TeeSink, TraceEvent, TraceRecord, TraceSink, Tracer};
 use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
 use rqp::server::{serve, Client, Registry, ServedQuery, ServerConfig};
 use rqp::workloads::{paper_suite, q91_with_dims};
@@ -33,7 +36,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n           (env: RQP_FAULT_RATE=R RQP_FAULT_SEED=N enable fault injection)\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]\n  rqp chaos [query] [--seed N] [--rate R]   (defaults: 2D_Q91, seed 42, rate 0.1)"
+        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n           (env: RQP_FAULT_RATE=R RQP_FAULT_SEED=N enable fault injection)\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]\n  rqp chaos [query] [--seed N] [--rate R]   (defaults: 2D_Q91, seed 42, rate 0.1)\n  rqp trace <query> [sb|ab|pb] [qa...] [--jsonl FILE] [--flame FILE]\n           (env: RQP_TRACE=jsonl:FILE mirrors the event stream to FILE)\n  rqp trace --check <file>   validate a JSONL trace file"
     );
     ExitCode::FAILURE
 }
@@ -104,6 +107,148 @@ fn compile_one(
         ),
     }
     Ok((artifact, prov))
+}
+
+/// Render a recorded event stream as a per-contour budget/cost timeline.
+fn render_timeline(records: &[TraceRecord]) {
+    // A `PlanExecuted` is always followed by its `BudgetCharged`; merge the
+    // pair onto one line so each execution shows spent, budget and the
+    // cumulative total side by side.
+    let mut pending: Option<String> = None;
+    for rec in records {
+        if let Some(line) = pending.take() {
+            if let TraceEvent::BudgetCharged { total, .. } = rec.event {
+                println!("{line}  cum {total:>12.0}");
+                continue;
+            }
+            println!("{line}");
+        }
+        match &rec.event {
+            TraceEvent::RunStarted {
+                algo,
+                dims,
+                contours,
+            } => println!("[{:>4}] run {algo}: {dims} error-prone dims, {contours} contours", rec.step),
+            TraceEvent::ContourEntered { contour, budget } => {
+                println!("[{:>4}] IC{:<3} budget {budget:>12.0}", rec.step, contour + 1)
+            }
+            TraceEvent::PlanExecuted {
+                plan_fingerprint,
+                plan_id,
+                mode,
+                dim,
+                budget,
+                spent,
+                outcome,
+                ..
+            } => {
+                let plan = match plan_id {
+                    Some(p) => format!("plan#{p}"),
+                    None => format!("plan@{plan_fingerprint:08x}"),
+                };
+                let mode = match (mode, dim) {
+                    (&"spill", Some(j)) => format!("spill(e{j})"),
+                    _ => (*mode).to_string(),
+                };
+                pending = Some(format!(
+                    "[{:>4}]   {:<10} {:<10} spent {spent:>12.0} / {budget:>12.0}  {outcome}",
+                    rec.step, mode, plan
+                ));
+            }
+            TraceEvent::BudgetCharged { total, .. } => {
+                println!("[{:>4}]   cumulative cost {total:>12.0}", rec.step)
+            }
+            TraceEvent::SelectivityLearnt { dim, sel } => {
+                println!("[{:>4}]   learnt e{dim} = {sel:.3e}", rec.step)
+            }
+            TraceEvent::CacheHit { cache, key } => {
+                println!("[{:>4}]   cache hit  {cache} key {key:08x}", rec.step)
+            }
+            TraceEvent::CacheMiss { cache, key } => {
+                println!("[{:>4}]   cache miss {cache} key {key:08x}", rec.step)
+            }
+            TraceEvent::FaultInjected { site, seq } => {
+                println!("[{:>4}]   fault injected at {site} (seq {seq})", rec.step)
+            }
+            TraceEvent::FaultRetried { site, attempt } => {
+                println!("[{:>4}]   retry {attempt} at {site}", rec.step)
+            }
+            TraceEvent::RunFinished {
+                total_cost,
+                executions,
+                completed,
+            } => println!(
+                "[{:>4}] run finished: {executions} executions, total cost {total_cost:.0}, completed: {completed}",
+                rec.step
+            ),
+        }
+    }
+    if let Some(line) = pending {
+        println!("{line}");
+    }
+}
+
+/// Validate a JSONL trace file: every line must parse as a JSON object with
+/// a monotonically increasing integer `step` and a known `kind`.
+fn check_trace_file(path: &str) -> ExitCode {
+    let data = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut last_step: Option<f64> = None;
+    let mut kinds: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    let mut n = 0usize;
+    for (i, line) in data.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let value: serde::Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{path}:{lineno}: invalid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(step) = value.get("step").and_then(|s| s.as_f64()) else {
+            eprintln!("{path}:{lineno}: missing numeric `step`");
+            return ExitCode::FAILURE;
+        };
+        if step.fract() != 0.0 || step < 0.0 {
+            eprintln!("{path}:{lineno}: `step` must be a non-negative integer (got {step})");
+            return ExitCode::FAILURE;
+        }
+        if let Some(prev) = last_step {
+            if step <= prev {
+                eprintln!("{path}:{lineno}: `step` {step} is not greater than the previous {prev}");
+                return ExitCode::FAILURE;
+            }
+        }
+        last_step = Some(step);
+        let kind = value
+            .get("kind")
+            .and_then(|k| k.as_str().map(str::to_string));
+        let Some(kind) = kind else {
+            eprintln!("{path}:{lineno}: missing string `kind`");
+            return ExitCode::FAILURE;
+        };
+        let Some(known) = TraceEvent::KINDS.iter().find(|k| **k == kind) else {
+            eprintln!("{path}:{lineno}: unknown event kind {kind:?}");
+            return ExitCode::FAILURE;
+        };
+        *kinds.entry(known).or_default() += 1;
+        n += 1;
+    }
+    if n == 0 {
+        eprintln!("{path}: no events");
+        return ExitCode::FAILURE;
+    }
+    let breakdown: Vec<String> = kinds.iter().map(|(k, c)| format!("{k}={c}")).collect();
+    println!("trace OK: {n} events ({})", breakdown.join(", "));
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -704,6 +849,143 @@ fn main() -> ExitCode {
                 eprintln!("chaos sweep FAILED: {violations} violation(s)");
                 ExitCode::FAILURE
             }
+        }
+        Some("trace") => {
+            if args.get(1).map(String::as_str) == Some("--check") {
+                let Some(path) = args.get(2) else {
+                    return usage();
+                };
+                return check_trace_file(path);
+            }
+            let Some(name) = args.get(1).filter(|n| !n.starts_with("--")) else {
+                return usage();
+            };
+            let Some(bench) = find_query(name) else {
+                eprintln!("unknown query {name}; try `rqp list`");
+                return ExitCode::FAILURE;
+            };
+            let d = bench.query.ndims();
+            // Positionals after the query: optional algo, then optional qa.
+            let positionals: Vec<&String> = args[2..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .collect();
+            let (algo, qa_args) = match positionals.first() {
+                Some(first) if first.parse::<f64>().is_err() => (first.as_str(), &positionals[1..]),
+                _ => ("sb", &positionals[..]),
+            };
+            if !matches!(algo, "sb" | "ab" | "pb") {
+                eprintln!("unknown algorithm {algo} (trace supports sb|ab|pb)");
+                return usage();
+            }
+            let qa: Vec<f64> = if qa_args.is_empty() {
+                vec![1e-3; d]
+            } else {
+                let parsed: Option<Vec<f64>> = qa_args.iter().map(|s| s.parse().ok()).collect();
+                match parsed {
+                    Some(v)
+                        if v.len() == d
+                            && v.iter().all(|s| (0.0..=1.0).contains(s) && *s > 0.0) =>
+                    {
+                        v
+                    }
+                    _ => {
+                        eprintln!("expected {d} selectivities in (0,1]");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+
+            // Sinks: always keep a ring for rendering; mirror to JSONL when
+            // asked via --jsonl or RQP_TRACE=jsonl:FILE.
+            let ring = Arc::new(RingSink::new(1 << 20));
+            let jsonl_path = flag_value(&args, "--jsonl").or_else(|| {
+                std::env::var("RQP_TRACE")
+                    .ok()
+                    .and_then(|v| v.strip_prefix("jsonl:").map(str::to_string))
+            });
+            let tracer = match &jsonl_path {
+                Some(path) => match JsonlSink::create(path) {
+                    Ok(sink) => Tracer::to_sink(Arc::new(TeeSink::new(vec![
+                        ring.clone() as Arc<dyn TraceSink>,
+                        Arc::new(sink),
+                    ]))),
+                    Err(e) => {
+                        eprintln!("cannot create trace file {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => Tracer::to_sink(ring.clone()),
+            };
+            let flame_path = flag_value(&args, "--flame");
+            if flame_path.is_some() {
+                prof::reset_profiling();
+                prof::set_profiling(true);
+            }
+
+            let exp = {
+                rqp::obs::span!("cli.trace.build");
+                Experiment::build(tpcds::catalog_sf100(), bench, EnumerationMode::LeftDeep)
+            };
+            let opt = exp.optimizer();
+            let grid = exp.surface.grid();
+            let coords: Vec<usize> = qa
+                .iter()
+                .enumerate()
+                .map(|(j, &s)| grid.dim(j).nearest_idx(s))
+                .collect();
+            let qa_idx = grid.flat(&coords);
+            let opt_cost = exp.surface.opt_cost(qa_idx);
+            let report = {
+                rqp::obs::span!("cli.trace.run");
+                match algo {
+                    "sb" => {
+                        let mut a = SpillBound::new(&exp.surface, &opt, 2.0);
+                        a.set_tracer(tracer.clone());
+                        let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
+                        a.run(&mut o).expect("discovery completes")
+                    }
+                    "ab" => {
+                        let mut a = AlignedBound::new(&exp.surface, &opt, 2.0);
+                        a.set_tracer(tracer.clone());
+                        let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
+                        a.run(&mut o).expect("discovery completes")
+                    }
+                    _ => {
+                        let mut a = PlanBouquet::new(&exp.surface, &opt, 2.0, 0.2);
+                        a.set_tracer(tracer.clone());
+                        let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
+                        a.run(&mut o).expect("discovery completes")
+                    }
+                }
+            };
+            tracer.flush();
+
+            println!("trace of {name} [{algo}] at qa {qa:?} (grid location {qa_idx}):");
+            render_timeline(&ring.snapshot());
+            println!(
+                "sub-optimality {:.2} vs optimal {:.0} (MSO bound {})",
+                report.sub_optimality(opt_cost),
+                opt_cost,
+                rqp::core::spillbound_guarantee(d)
+            );
+            if let Some(path) = &jsonl_path {
+                println!("event stream mirrored to {path}");
+            }
+            if let Some(path) = flame_path {
+                prof::set_profiling(false);
+                let folded = prof::folded_stacks();
+                if let Err(e) = std::fs::write(&path, &folded) {
+                    eprintln!("cannot write folded stacks to {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "folded stacks ({} frames) written to {path} — render with \
+                     `inferno-flamegraph < {path} > flame.svg`",
+                    folded.lines().count()
+                );
+            }
+            ExitCode::SUCCESS
         }
         _ => usage(),
     }

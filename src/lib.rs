@@ -46,6 +46,7 @@ pub use rqp_core as core;
 pub use rqp_ess as ess;
 pub use rqp_executor as executor;
 pub use rqp_faults as faults;
+pub use rqp_obs as obs;
 pub use rqp_optimizer as optimizer;
 pub use rqp_server as server;
 pub use rqp_workloads as workloads;

@@ -349,6 +349,21 @@ fn server_breaker_degrades_then_recovers() {
         assert!(faults.get("faults_injected").unwrap().as_f64().unwrap() >= 2.0);
         assert!(faults.get("breaker_open").unwrap().as_f64().unwrap() >= 1.0);
         assert!(faults.get("degraded_responses").unwrap().as_f64().unwrap() >= 2.0);
+        // Wasted cost (budget burnt by faulted probes) is observable too:
+        // the injected faults above each abandoned a partly-run probe.
+        let wasted = faults.get("wasted_cost").unwrap().as_f64().unwrap();
+        assert!(wasted > 0.0, "faulted probes must report wasted cost");
+        // And the raw registry block mirrors the same gauge.
+        let registry = stats.get("result").unwrap().get("registry").unwrap();
+        assert_eq!(
+            registry
+                .get("faults.wasted_cost")
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            wasted,
+            "registry and faults block disagree on wasted cost"
+        );
 
         handle.stop();
     });

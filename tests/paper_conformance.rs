@@ -1,0 +1,147 @@
+//! Golden paper-conformance suite.
+//!
+//! Pins the paper-facing numbers for the shipped 2D/4D Q91 workloads —
+//! POSP size, iso-cost contour count, anorexic-reduced bouquet size
+//! (ρ_red), and the empirical MSO of each algorithm — against the
+//! checked-in `tests/golden/paper_conformance.json`. Any drift in the
+//! optimizer, contour geometry, or discovery algorithms fails the test
+//! with a diff; regenerate intentionally with
+//!
+//! ```text
+//! RQP_BLESS=1 cargo test --test paper_conformance
+//! ```
+//!
+//! Alongside the golden comparison, the SpillBound bound is asserted
+//! per query location: every sub-optimality must stay within D²+3D.
+
+use rqp::catalog::tpcds;
+use rqp::core::{
+    eval::{evaluate_alignedbound_ctx, evaluate_planbouquet_ctx, evaluate_spillbound_ctx},
+    spillbound_guarantee, EvalContext, PlanBouquet,
+};
+use rqp::ess::EssSurface;
+use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
+use rqp::workloads::q91_with_dims;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const RATIO: f64 = 2.0;
+const LAMBDA: f64 = 0.2;
+
+/// One workload's pinned numbers, in golden-file order.
+struct Conformance {
+    name: String,
+    grid_points: usize,
+    posp_size: usize,
+    contours: usize,
+    rho_red: usize,
+    msoe_sb: f64,
+    msoe_ab: Option<f64>,
+    msoe_pb: f64,
+}
+
+/// Runs the full pipeline for Q91 at dimensionality `d` on a reduced
+/// grid (debug-mode tractable) and collects the conformance numbers.
+fn measure(d: usize, grid_points: usize, with_ab: bool) -> Conformance {
+    let catalog = tpcds::catalog_sf100();
+    let mut bench = q91_with_dims(&catalog, d);
+    bench.grid_points = grid_points;
+    let name = bench.name().to_string();
+    let opt = Optimizer::new(
+        &catalog,
+        &bench.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("valid query");
+    let surface = EssSurface::build(&opt, bench.grid());
+    let ctx = EvalContext::with_threads(&surface, &opt, 1);
+    let pb = PlanBouquet::new(&surface, &opt, RATIO, LAMBDA);
+
+    let sb_stats = evaluate_spillbound_ctx(&ctx, RATIO).expect("SB sweep");
+    // Satellite guarantee check: D²+3D per location, not just globally.
+    let bound = spillbound_guarantee(d) as f64;
+    for (qa, sub) in sb_stats.subopts.iter().enumerate() {
+        assert!(
+            *sub <= bound * (1.0 + 1e-6),
+            "{name}: SB sub-optimality {sub} at location {qa} exceeds D²+3D = {bound}"
+        );
+    }
+    let msoe_ab = with_ab.then(|| {
+        let (ab_stats, _) = evaluate_alignedbound_ctx(&ctx, RATIO).expect("AB sweep");
+        for (qa, sub) in ab_stats.subopts.iter().enumerate() {
+            assert!(
+                *sub <= bound * (1.0 + 1e-6),
+                "{name}: AB sub-optimality {sub} at location {qa} exceeds D²+3D = {bound}"
+            );
+        }
+        ab_stats.mso
+    });
+    let pb_stats = evaluate_planbouquet_ctx(&ctx, RATIO, LAMBDA).expect("PB sweep");
+
+    Conformance {
+        name,
+        grid_points,
+        posp_size: surface.posp_size(),
+        contours: pb.contours().len(),
+        rho_red: pb.rho_red(),
+        msoe_sb: sb_stats.mso,
+        msoe_ab,
+        msoe_pb: pb_stats.mso,
+    }
+}
+
+/// Shortest-round-trip float rendering, matching the JSONL trace format.
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+fn render(rows: &[Conformance]) -> String {
+    let mut out = String::from("{\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(out, "  \"{}\": {{", r.name);
+        let _ = writeln!(out, "    \"grid_points\": {},", r.grid_points);
+        let _ = writeln!(out, "    \"posp_size\": {},", r.posp_size);
+        let _ = writeln!(out, "    \"contours\": {},", r.contours);
+        let _ = writeln!(out, "    \"rho_red\": {},", r.rho_red);
+        let _ = writeln!(out, "    \"msoe_sb\": {},", fmt_f64(r.msoe_sb));
+        if let Some(ab) = r.msoe_ab {
+            let _ = writeln!(out, "    \"msoe_ab\": {},", fmt_f64(ab));
+        }
+        let _ = writeln!(out, "    \"msoe_pb\": {}", fmt_f64(r.msoe_pb));
+        let _ = writeln!(out, "  }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/paper_conformance.json")
+}
+
+#[test]
+fn golden_numbers_match() {
+    let rows = vec![measure(2, 12, true), measure(4, 4, false)];
+    let actual = render(&rows);
+    let path = golden_path();
+    if std::env::var_os("RQP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, &actual).expect("write golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); generate it with RQP_BLESS=1 cargo test --test paper_conformance",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "paper-conformance numbers drifted from {}.\n\
+         If the change is intentional, regenerate with:\n\
+         RQP_BLESS=1 cargo test --test paper_conformance",
+        path.display()
+    );
+}

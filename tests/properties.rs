@@ -12,8 +12,11 @@ use rqp::catalog::{tpcds, Catalog};
 use rqp::core::eval::{
     evaluate_alignedbound_parallel, evaluate_planbouquet_parallel, evaluate_spillbound_parallel,
 };
-use rqp::core::{spillbound_guarantee, CostOracle, EvalContext, SpillBound};
+use rqp::core::{
+    spillbound_guarantee, CachedOracle, CostOracle, EvalContext, SpillBound, SpillMemo,
+};
 use rqp::ess::EssSurface;
+use rqp::obs::{JsonlSink, RingSink, Tracer};
 use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
 use rqp::workloads::tpcds_queries as q;
 use rqp_common::{MultiGrid, SelGrid};
@@ -181,5 +184,57 @@ proptest! {
         let pb_seq = evaluate_planbouquet_parallel(&ctx, ratio, 0.2, 1).unwrap();
         let pb_par = evaluate_planbouquet_parallel(&ctx, ratio, 0.2, threads).unwrap();
         prop_assert!(bit_equal(&pb_seq, &pb_par), "PB diverged at {threads} threads");
+    }
+
+    /// Trace replay is deterministic: the same discovery run re-executed
+    /// with a different cost-matrix worker count and a different sink
+    /// produces a byte-identical event stream — events carry step
+    /// counters, never wall-clock or thread identity.
+    #[test]
+    fn trace_replay_is_deterministic(
+        c0 in 0usize..8,
+        c1 in 0usize..8,
+        n in 6usize..9,
+        threads in 2usize..6,
+    ) {
+        let f = fx();
+        let opt = Optimizer::new(&f.catalog, &f.query, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-7, n));
+        let qa = surface.grid().flat(&[c0 % n, c1 % n]);
+
+        // Run A: sequential cost matrix, ring sink.
+        let ring = std::sync::Arc::new(RingSink::new(1 << 16));
+        {
+            let ctx = EvalContext::with_threads(&surface, &opt, 1);
+            let mut sb = SpillBound::new(&surface, &opt, 2.0);
+            sb.set_tracer(Tracer::to_sink(ring.clone()));
+            let mut memo = SpillMemo::new();
+            let mut oracle = CachedOracle::at_grid(&ctx, qa, &mut memo);
+            sb.run(&mut oracle).unwrap();
+        }
+
+        // Run B: parallel cost matrix, JSONL file sink.
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "rqp_trace_replay_{}_{}.jsonl",
+            std::process::id(),
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
+        {
+            let ctx = EvalContext::with_threads(&surface, &opt, threads);
+            let mut sb = SpillBound::new(&surface, &opt, 2.0);
+            let tracer = Tracer::to_sink(std::sync::Arc::new(JsonlSink::create(&path).unwrap()));
+            sb.set_tracer(tracer.clone());
+            let mut memo = SpillMemo::new();
+            let mut oracle = CachedOracle::at_grid(&ctx, qa, &mut memo);
+            sb.run(&mut oracle).unwrap();
+            tracer.flush();
+        }
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        let jsonl_lines: Vec<String> = jsonl.lines().map(str::to_string).collect();
+        prop_assert!(!jsonl_lines.is_empty(), "trace file is empty");
+        prop_assert_eq!(ring.lines(), jsonl_lines, "ring and JSONL replays diverged");
     }
 }
