@@ -281,6 +281,15 @@ impl MultiGrid {
             Some(idx + self.strides[j])
         }
     }
+
+    /// Flat index of `idx` with dimension `j`'s coordinate replaced by
+    /// `coord` — the axis-fiber walk primitive used by lazy contour
+    /// discovery.
+    #[inline]
+    pub fn with_coord(&self, idx: GridIdx, j: usize, coord: usize) -> GridIdx {
+        debug_assert!(coord < self.dims[j].len());
+        idx - self.coord(idx, j) * self.strides[j] + coord * self.strides[j]
+    }
 }
 
 #[cfg(test)]
@@ -338,6 +347,28 @@ mod tests {
         let d2 = mg.diag_succ(d1).unwrap();
         assert_eq!(d2, mg.terminus());
         assert_eq!(mg.diag_succ(d2), None);
+    }
+
+    #[test]
+    fn with_coord_replaces_one_dimension() {
+        let mg = MultiGrid::new(vec![
+            SelGrid::log_scale(1e-4, 4),
+            SelGrid::log_scale(1e-3, 3),
+            SelGrid::log_scale(1e-2, 5),
+        ]);
+        for idx in mg.iter() {
+            for j in 0..mg.ndims() {
+                for c in 0..mg.dim(j).len() {
+                    let moved = mg.with_coord(idx, j, c);
+                    assert_eq!(mg.coord(moved, j), c);
+                    for k in 0..mg.ndims() {
+                        if k != j {
+                            assert_eq!(mg.coord(moved, k), mg.coord(idx, k));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

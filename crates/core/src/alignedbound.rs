@@ -17,7 +17,7 @@ use crate::oracle::{ExecutionOracle, SpillOutcome};
 use crate::report::{ExecMode, ExecutionRecord, Outcome, RunReport};
 use rqp_common::{Cost, GridIdx, Result};
 use rqp_ess::alignment::SpillDimCache;
-use rqp_ess::{ContourSet, EssSurface, EssView};
+use rqp_ess::{ContourSet, EssView, SurfaceAccess};
 use rqp_obs::{TraceEvent, Tracer};
 use rqp_optimizer::{constrained, Optimizer, PlanId, PlanNode};
 use std::collections::{HashMap, HashSet};
@@ -62,7 +62,7 @@ pub struct AlignedBound<'a> {
 
 impl<'a> AlignedBound<'a> {
     /// Compiles AlignedBound with the given inter-contour cost ratio.
-    pub fn new(surface: &'a EssSurface, opt: &'a Optimizer<'a>, ratio: f64) -> Self {
+    pub fn new(surface: &'a dyn SurfaceAccess, opt: &'a Optimizer<'a>, ratio: f64) -> Self {
         Self {
             shared: Shared::new(surface, opt, ratio),
             spill_cache: SpillDimCache::new(),
@@ -167,10 +167,11 @@ impl<'a> AlignedBound<'a> {
         // a deterministic sample of S (they are upper-bound oracles;
         // sampling trades precision for speed without affecting
         // soundness).
-        let spillers: Vec<PlanId> = contour_plans
+        let spillers: Vec<(PlanId, PlanNode)> = contour_plans
             .iter()
             .copied()
             .filter(|&pid| self.spill_cache.of_plan(surface, opt, pid, unlearnt) == Some(j))
+            .map(|pid| (pid, surface.plan_clone(pid)))
             .collect();
         let mut best: Option<PartExec> = None;
         let consider = |plan: ExecPlan, cost: Cost, q: GridIdx, best: &mut Option<PartExec>| {
@@ -191,9 +192,9 @@ impl<'a> AlignedBound<'a> {
         };
         for &q in &sample {
             let sels = opt.sels_at(&grid.sels(q));
-            for &pid in &spillers {
-                let c = opt.cost_plan(surface.pool().get(pid), &sels);
-                consider(ExecPlan::Pool(pid), c, q, &mut best);
+            for (pid, plan) in &spillers {
+                let c = opt.cost_plan(plan, &sels);
+                consider(ExecPlan::Pool(*pid), c, q, &mut best);
             }
         }
         // The constrained optimizer is the expensive fallback: consult it
@@ -233,9 +234,17 @@ impl<'a> AlignedBound<'a> {
         }
         let mut active: Vec<usize> = locs_by_dim.keys().copied().collect();
         active.sort_unstable();
-        let mut contour_plans: Vec<PlanId> = locs.iter().map(|&q| surface.plan_id(q)).collect();
-        contour_plans.sort_unstable();
-        contour_plans.dedup();
+        // First-appearance ordering (by contour location, ascending): the
+        // numeric plan ids differ between the dense and lazy surfaces, so
+        // candidate order must derive from the locations, which are
+        // path-independent.
+        let mut contour_plans: Vec<PlanId> = Vec::new();
+        for &q in &locs {
+            let pid = surface.plan_id(q);
+            if !contour_plans.contains(&pid) {
+                contour_plans.push(pid);
+            }
+        }
 
         // The same (part, leader) pair recurs across many partitions:
         // memoize PSA enforcement per (part-mask, leader).
@@ -360,14 +369,11 @@ impl<'a> AlignedBound<'a> {
                 if pins[j].is_some() {
                     continue; // leader got learnt in a previous pass
                 }
-                let plan_owned;
-                let (plan, plan_id): (&PlanNode, Option<PlanId>) = match &part.plan {
-                    ExecPlan::Pool(pid) => (self.shared.surface.pool().get(*pid), Some(*pid)),
-                    ExecPlan::Custom(p) => {
-                        plan_owned = p.clone();
-                        (&plan_owned, None)
-                    }
+                let (plan, plan_id): (PlanNode, Option<PlanId>) = match &part.plan {
+                    ExecPlan::Pool(pid) => (self.shared.surface.plan_clone(*pid), Some(*pid)),
+                    ExecPlan::Custom(p) => ((**p).clone(), None),
                 };
+                let plan = &plan;
                 if !executed.insert((plan.fingerprint(), j)) {
                     continue; // identical repeat: outcome already settled
                 }

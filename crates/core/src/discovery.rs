@@ -3,16 +3,17 @@
 use crate::oracle::{ExecutionOracle, FullOutcome};
 use crate::report::{ExecMode, ExecutionRecord, Outcome, RunReport};
 use rqp_common::{Result, RqpError};
-use rqp_ess::{ContourSet, EssSurface, EssView};
+use rqp_ess::{ContourSet, EssView, SurfaceAccess};
 use rqp_obs::{TraceEvent, Tracer};
 use rqp_optimizer::Optimizer;
 
 /// Immutable context shared by every discovery algorithm: the POSP
-/// surface, the optimizer that produced it, and the contour schedule.
+/// surface (dense or lazy, behind [`SurfaceAccess`]), the optimizer that
+/// produced it, and the contour schedule.
 #[derive(Debug)]
 pub struct Shared<'a> {
     /// POSP surface over the ESS grid.
-    pub surface: &'a EssSurface,
+    pub surface: &'a dyn SurfaceAccess,
     /// The optimizer (selectivity injection + abstract-plan costing).
     pub opt: &'a Optimizer<'a>,
     /// Geometric contour schedule.
@@ -23,7 +24,7 @@ pub struct Shared<'a> {
 
 impl<'a> Shared<'a> {
     /// Builds the context with the given inter-contour cost ratio.
-    pub fn new(surface: &'a EssSurface, opt: &'a Optimizer<'a>, ratio: f64) -> Self {
+    pub fn new(surface: &'a dyn SurfaceAccess, opt: &'a Optimizer<'a>, ratio: f64) -> Self {
         let contours = ContourSet::build(surface, ratio);
         Self {
             surface,
@@ -110,8 +111,8 @@ impl<'a> Shared<'a> {
                 .emit(|| TraceEvent::ContourEntered { contour: i, budget });
             for q in self.contours.locations(self.surface, &view, i) {
                 let pid = self.surface.plan_id(q);
-                let plan = self.surface.pool().get(pid);
-                match oracle.try_full_execute_id(Some(pid), plan, budget)? {
+                let plan = self.surface.plan_clone(pid);
+                match oracle.try_full_execute_id(Some(pid), &plan, budget)? {
                     FullOutcome::Completed { spent } => {
                         report.total_cost += spent;
                         report.records.push(ExecutionRecord {
@@ -161,14 +162,14 @@ impl<'a> Shared<'a> {
         report: &mut RunReport,
     ) -> Result<()> {
         let view = EssView::from_pins(pins.to_vec());
-        let terminus = view.terminus(self.surface);
+        let terminus = view.terminus(self.surface.grid());
         let pid = self.surface.plan_id(terminus);
-        let plan = self.surface.pool().get(pid);
+        let plan = self.surface.plan_clone(pid);
         let last = self.contours.len() - 1;
         let mut budget = self.contours.cost(last) * 2.0;
         // 64 doublings ≈ a 1.8e19× cost-model error: unambiguously a bug.
         for _ in 0..64 {
-            match oracle.try_full_execute_id(Some(pid), plan, budget)? {
+            match oracle.try_full_execute_id(Some(pid), &plan, budget)? {
                 FullOutcome::Completed { spent } => {
                     report.total_cost += spent;
                     report.records.push(ExecutionRecord {

@@ -11,7 +11,7 @@ use crate::oracle::CostOracle;
 use crate::planbouquet::PlanBouquet;
 use crate::spillbound::SpillBound;
 use rqp_common::{chunk_bounds, GridIdx, Result};
-use rqp_ess::EssSurface;
+use rqp_ess::{EssSurface, SurfaceAccess};
 use rqp_optimizer::Optimizer;
 use serde::{Deserialize, Serialize};
 
@@ -89,11 +89,16 @@ impl SubOptStats {
 }
 
 /// Sweeps every grid location as `qa`, mapping it through `subopt_of`.
-pub fn evaluate<F>(surface: &EssSurface, mut subopt_of: F) -> Result<SubOptStats>
+///
+/// Accepts any [`SurfaceAccess`]; note that an exhaustive sweep over a
+/// [`rqp_ess::LazySurface`] materializes the whole grid (the denominator
+/// needs `opt_cost(qa)` everywhere), which is exactly what the
+/// dense-vs-lazy differential tests rely on.
+pub fn evaluate<F>(surface: &dyn SurfaceAccess, mut subopt_of: F) -> Result<SubOptStats>
 where
     F: FnMut(GridIdx) -> Result<f64>,
 {
-    let mut subopts = Vec::with_capacity(surface.len());
+    let mut subopts = Vec::with_capacity(surface.grid().len());
     for qa in surface.grid().iter() {
         subopts.push(subopt_of(qa)?);
     }
@@ -109,12 +114,16 @@ where
 /// [`evaluate`] regardless of thread count (asserted by tests and the
 /// workspace property suite). Errors are reported from the lowest grid
 /// index that failed, matching sequential behavior.
-pub fn evaluate_parallel<G, F>(surface: &EssSurface, threads: usize, make: G) -> Result<SubOptStats>
+pub fn evaluate_parallel<G, F>(
+    surface: &dyn SurfaceAccess,
+    threads: usize,
+    make: G,
+) -> Result<SubOptStats>
 where
     G: Fn() -> F + Sync,
     F: FnMut(GridIdx) -> Result<f64>,
 {
-    let bounds = chunk_bounds(surface.len(), threads);
+    let bounds = chunk_bounds(surface.grid().len(), threads);
     if bounds.len() <= 1 {
         return evaluate(surface, make());
     }
@@ -134,7 +143,7 @@ where
             .map(|h| h.join().expect("evaluation worker panicked"))
             .collect::<Vec<_>>()
     });
-    let mut subopts = Vec::with_capacity(surface.len());
+    let mut subopts = Vec::with_capacity(surface.grid().len());
     for chunk in chunks {
         subopts.extend(chunk?);
     }
@@ -143,7 +152,7 @@ where
 
 /// Exhaustive MSOe/ASO evaluation of SpillBound.
 pub fn evaluate_spillbound(
-    surface: &EssSurface,
+    surface: &dyn SurfaceAccess,
     opt: &Optimizer<'_>,
     ratio: f64,
 ) -> Result<SubOptStats> {
@@ -188,7 +197,7 @@ pub fn evaluate_spillbound_parallel(
 /// Exhaustive MSOe/ASO evaluation of AlignedBound. Also returns the
 /// maximum part penalty observed (Table 4).
 pub fn evaluate_alignedbound(
-    surface: &EssSurface,
+    surface: &dyn SurfaceAccess,
     opt: &Optimizer<'_>,
     ratio: f64,
 ) -> Result<(SubOptStats, f64)> {
@@ -261,7 +270,7 @@ pub fn evaluate_alignedbound_parallel(
 /// Exhaustive MSOe/ASO evaluation of PlanBouquet, by running the full
 /// discovery sequence through the cost oracle at every location.
 pub fn evaluate_planbouquet(
-    surface: &EssSurface,
+    surface: &dyn SurfaceAccess,
     opt: &Optimizer<'_>,
     ratio: f64,
     lambda: f64,

@@ -82,7 +82,7 @@ pub use oracle::{CostOracle, ExecutionOracle, FullOutcome, NoisyCostOracle, Spil
 pub use planbouquet::PlanBouquet;
 pub use pop::PopReoptimizer;
 pub use report::{ExecutionRecord, Outcome, RunReport};
-pub use spillbound::SpillBound;
+pub use spillbound::{SelectionMode, SpillBound};
 
 /// The MSO guarantee of SpillBound: `D² + 3D` (Theorem 4.5). Platform
 /// independent — computable by query inspection alone.

@@ -13,7 +13,7 @@ use crate::oracle::{ExecutionOracle, FullOutcome};
 use crate::report::{ExecMode, ExecutionRecord, Outcome, RunReport};
 use rqp_common::Result;
 use rqp_ess::anorexic::{reduce_all, ReducedContour};
-use rqp_ess::{ContourSet, EssSurface};
+use rqp_ess::{ContourSet, SurfaceAccess};
 use rqp_obs::{TraceEvent, Tracer};
 use rqp_optimizer::Optimizer;
 
@@ -30,7 +30,12 @@ pub struct PlanBouquet<'a> {
 impl<'a> PlanBouquet<'a> {
     /// Compiles the bouquet with inter-contour cost `ratio` and anorexic
     /// swallowing threshold `lambda` (the paper uses 2.0 and 0.2).
-    pub fn new(surface: &'a EssSurface, opt: &'a Optimizer<'a>, ratio: f64, lambda: f64) -> Self {
+    pub fn new(
+        surface: &'a dyn SurfaceAccess,
+        opt: &'a Optimizer<'a>,
+        ratio: f64,
+        lambda: f64,
+    ) -> Self {
         let shared = Shared::new(surface, opt, ratio);
         let (reduced, rho_red) = reduce_all(surface, opt, &shared.contours, lambda);
         Self {
@@ -49,7 +54,7 @@ impl<'a> PlanBouquet<'a> {
     /// the output of [`reduce_all`] for the same surface, ratio and
     /// lambda.
     pub fn from_parts(
-        surface: &'a EssSurface,
+        surface: &'a dyn SurfaceAccess,
         opt: &'a Optimizer<'a>,
         ratio: f64,
         lambda: f64,
@@ -64,7 +69,7 @@ impl<'a> PlanBouquet<'a> {
                 shared.contours.len(),
             )));
         }
-        let nplans = surface.posp_size();
+        let nplans = surface.pool_len();
         for (i, rc) in reduced.iter().enumerate() {
             if rc.plans.is_empty() || rc.plans.iter().any(|&pid| pid >= nplans) {
                 return Err(rqp_common::RqpError::Config(format!(
@@ -126,8 +131,8 @@ impl<'a> PlanBouquet<'a> {
                 .tracer
                 .emit(|| TraceEvent::ContourEntered { contour: i, budget });
             for &pid in &rc.plans {
-                let plan = self.shared.surface.pool().get(pid);
-                match oracle.try_full_execute_id(Some(pid), plan, budget)? {
+                let plan = self.shared.surface.plan_clone(pid);
+                match oracle.try_full_execute_id(Some(pid), &plan, budget)? {
                     FullOutcome::Completed { spent } => {
                         report.total_cost += spent;
                         report.records.push(ExecutionRecord {

@@ -26,7 +26,7 @@ use crate::oracle::{ExecutionOracle, SpillOutcome};
 use crate::report::{ExecMode, ExecutionRecord, Outcome, RunReport};
 use rqp_common::{GridIdx, Result};
 use rqp_ess::alignment::SpillDimCache;
-use rqp_ess::{ContourSet, EssSurface, EssView};
+use rqp_ess::{ContourSet, EssView, SurfaceAccess};
 use rqp_obs::{TraceEvent, Tracer};
 use rqp_optimizer::{Optimizer, PlanId};
 use std::collections::{HashMap, HashSet};
@@ -38,6 +38,27 @@ type Selections = Vec<Option<(GridIdx, PlanId)>>;
 /// Memo key: (contour index, learnt-dimension pins).
 type SelKey = (usize, Vec<Option<usize>>);
 
+/// How per-contour `(q^j_max, P^j_max)` selections are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionMode {
+    /// Enumerate the full contour skyline and pick the paper's exact
+    /// `P^j_max` per dimension (§3.2). Produces identical selections on
+    /// dense and lazy surfaces (the skylines are identical); the default.
+    #[default]
+    Exact,
+    /// Probe only the axis fiber through the view origin: binary-search
+    /// the level set's `j`-extreme, then walk the fiber downward until a
+    /// location whose optimal plan spills on `e_j`. Materializes
+    /// `O(D · n)` cells per pin state instead of whole skylines — the
+    /// *warm-up/compile* mode for lazy high-resolution surfaces (it
+    /// decides which cells a sparse artifact persists). Completion and
+    /// truthful learning are unchanged (contour advance, terminal and
+    /// overflow phases are identical), but off-fiber spill groups may be
+    /// missed, so pruning is weaker and the D²+3D bound does **not**
+    /// carry over — serving runs must use [`SelectionMode::Exact`].
+    AxisProbe,
+}
+
 /// A compiled SpillBound instance.
 ///
 /// Holds memoized per-contour selections so that sweeping many `qa`
@@ -48,17 +69,34 @@ pub struct SpillBound<'a> {
     shared: Shared<'a>,
     spill_cache: SpillDimCache,
     selections: HashMap<SelKey, Selections>,
+    mode: SelectionMode,
 }
 
 impl<'a> SpillBound<'a> {
     /// Compiles SpillBound with the given inter-contour cost ratio (the
-    /// paper's default is 2).
-    pub fn new(surface: &'a EssSurface, opt: &'a Optimizer<'a>, ratio: f64) -> Self {
+    /// paper's default is 2) and [`SelectionMode::Exact`] selections.
+    pub fn new(surface: &'a dyn SurfaceAccess, opt: &'a Optimizer<'a>, ratio: f64) -> Self {
+        Self::with_mode(surface, opt, ratio, SelectionMode::Exact)
+    }
+
+    /// Compiles SpillBound with an explicit selection mode.
+    pub fn with_mode(
+        surface: &'a dyn SurfaceAccess,
+        opt: &'a Optimizer<'a>,
+        ratio: f64,
+        mode: SelectionMode,
+    ) -> Self {
         Self {
             shared: Shared::new(surface, opt, ratio),
             spill_cache: SpillDimCache::new(),
             selections: HashMap::new(),
+            mode,
         }
+    }
+
+    /// The active selection mode.
+    pub fn selection_mode(&self) -> SelectionMode {
+        self.mode
     }
 
     /// The structural MSO guarantee `D² + 3D`.
@@ -85,6 +123,17 @@ impl<'a> SpillBound<'a> {
         if let Some(s) = self.selections.get(&key) {
             return s.clone();
         }
+        let out = match self.mode {
+            SelectionMode::Exact => self.exact_selections(i, pins),
+            SelectionMode::AxisProbe => self.axis_probe_selections(i, pins),
+        };
+        self.selections.insert(key, out.clone());
+        out
+    }
+
+    /// The paper's selections: group the contour skyline by each
+    /// location's spill dimension and keep the `j`-maximal location.
+    fn exact_selections(&mut self, i: usize, pins: &[Option<usize>]) -> Selections {
         let surface = self.shared.surface;
         let opt = self.shared.opt;
         let grid = surface.grid();
@@ -108,7 +157,41 @@ impl<'a> SpillBound<'a> {
                 out[j] = Some((q, surface.plan_id(q)));
             }
         }
-        self.selections.insert(key, out.clone());
+        out
+    }
+
+    /// Fiber-probe selections: for each free dimension the level set's
+    /// `j`-extreme lies on the axis fiber through the view origin (PCM);
+    /// walk that fiber downward to the first location whose plan spills
+    /// on `e_j`. All probed locations satisfy `OptCost(q) ≤ CC_i`, so a
+    /// budget-`CC_i` spill execution of the chosen plan is within budget
+    /// at its own location, exactly as in `Exact` mode.
+    fn axis_probe_selections(&mut self, i: usize, pins: &[Option<usize>]) -> Selections {
+        let surface = self.shared.surface;
+        let opt = self.shared.opt;
+        let grid = surface.grid();
+        let d = grid.ndims();
+        let cc = self.shared.contours.cost(i);
+        let view = EssView::from_pins(pins.to_vec());
+        let unlearnt = view.free_mask();
+        let mut out: Selections = vec![None; d];
+        for j in view.free_dims() {
+            let Some(ext) = surface.axis_extreme(&view, cc, j) else {
+                continue;
+            };
+            let mut c = grid.coord(ext, j);
+            loop {
+                let q = grid.with_coord(ext, j, c);
+                if self.spill_cache.of_location(surface, opt, q, unlearnt) == Some(j) {
+                    out[j] = Some((q, surface.plan_id(q)));
+                    break;
+                }
+                if c == 0 {
+                    break;
+                }
+                c -= 1;
+            }
+        }
         out
     }
 
@@ -171,8 +254,8 @@ impl<'a> SpillBound<'a> {
                 if !executed.insert((pid, j)) {
                     continue; // identical repeat: outcome already known
                 }
-                let plan = self.shared.surface.pool().get(pid);
-                match oracle.try_spill_execute_id(Some(pid), plan, j, budget)? {
+                let plan = self.shared.surface.plan_clone(pid);
+                match oracle.try_spill_execute_id(Some(pid), &plan, j, budget)? {
                     SpillOutcome::Completed { sel, spent } => {
                         report.total_cost += spent;
                         report.records.push(ExecutionRecord {

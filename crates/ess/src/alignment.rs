@@ -13,9 +13,9 @@
 //! to align every contour.
 
 use crate::contours::ContourSet;
-use crate::surface::EssSurface;
+use crate::lazy::SurfaceAccess;
 use crate::view::EssView;
-use rqp_common::GridIdx;
+use rqp_common::{GridIdx, MultiGrid};
 use rqp_optimizer::pipeline::{spill_dim, DimMask};
 use rqp_optimizer::{constrained, Optimizer, PlanId};
 use std::collections::HashMap;
@@ -35,7 +35,7 @@ impl SpillDimCache {
     /// The dimension the optimal plan at `q` spills on, given `unlearnt`.
     pub fn of_location(
         &mut self,
-        surface: &EssSurface,
+        surface: &dyn SurfaceAccess,
         opt: &Optimizer<'_>,
         q: GridIdx,
         unlearnt: DimMask,
@@ -43,10 +43,11 @@ impl SpillDimCache {
         self.of_plan(surface, opt, surface.plan_id(q), unlearnt)
     }
 
-    /// The dimension pool plan `pid` spills on, given `unlearnt`.
+    /// The dimension pool plan `pid` spills on, given `unlearnt`. The plan
+    /// is cloned out of the surface only on a cache miss.
     pub fn of_plan(
         &mut self,
-        surface: &EssSurface,
+        surface: &dyn SurfaceAccess,
         opt: &Optimizer<'_>,
         pid: PlanId,
         unlearnt: DimMask,
@@ -54,13 +55,12 @@ impl SpillDimCache {
         *self
             .map
             .entry((pid, unlearnt))
-            .or_insert_with(|| spill_dim(surface.pool().get(pid), opt.query(), unlearnt))
+            .or_insert_with(|| spill_dim(&surface.plan_clone(pid), opt.query(), unlearnt))
     }
 }
 
 /// Locations of `locs` extreme (maximal coordinate) along `dim`.
-pub fn extreme_locations(surface: &EssSurface, locs: &[GridIdx], dim: usize) -> Vec<GridIdx> {
-    let grid = surface.grid();
+pub fn extreme_locations(grid: &MultiGrid, locs: &[GridIdx], dim: usize) -> Vec<GridIdx> {
     let max = match locs.iter().map(|&q| grid.coord(q, dim)).max() {
         Some(m) => m,
         None => return Vec::new(),
@@ -77,14 +77,14 @@ pub fn extreme_locations(surface: &EssSurface, locs: &[GridIdx], dim: usize) -> 
 /// Candidates: the POSP pool plans that spill on `dim`, plus the
 /// constrained-optimizer plan at each extreme location.
 pub fn align_penalty(
-    surface: &EssSurface,
+    surface: &dyn SurfaceAccess,
     opt: &Optimizer<'_>,
     cache: &mut SpillDimCache,
     locs: &[GridIdx],
     dim: usize,
     unlearnt: DimMask,
 ) -> Option<AlignChoice> {
-    let ext = extreme_locations(surface, locs, dim);
+    let ext = extreme_locations(surface.grid(), locs, dim);
     if ext.is_empty() {
         return None;
     }
@@ -104,23 +104,22 @@ pub fn align_penalty(
         }
     }
 
-    // Pool plans spilling on dim, recosted at each extreme location.
-    let spillers: Vec<PlanId> = surface
-        .pool()
-        .iter()
-        .map(|(pid, _)| pid)
+    // Pool plans spilling on dim, recosted at each extreme location
+    // (cloned out of the surface once, before the per-location loop).
+    let spillers: Vec<(PlanId, rqp_optimizer::PlanNode)> = (0..surface.pool_len())
         .filter(|&pid| cache.of_plan(surface, opt, pid, unlearnt) == Some(dim))
+        .map(|pid| (pid, surface.plan_clone(pid)))
         .collect();
     for &q in &ext {
         let sels = opt.sels_at(&grid.sels(q));
         let opt_cost = surface.opt_cost(q);
-        for &pid in &spillers {
-            let c = opt.cost_plan(surface.pool().get(pid), &sels);
+        for (pid, plan) in &spillers {
+            let c = opt.cost_plan(plan, &sels);
             let penalty = c / opt_cost;
             if best.as_ref().is_none_or(|b| penalty < b.penalty) {
                 best = Some(AlignChoice {
                     location: q,
-                    plan: PlanChoice::Pool(pid),
+                    plan: PlanChoice::Pool(*pid),
                     cost: c,
                     penalty,
                 });
@@ -208,7 +207,7 @@ impl AlignmentReport {
 /// Analyzes alignment over every contour of a surface (all epps unlearnt,
 /// as in the paper's offline characterization).
 pub fn analyze(
-    surface: &EssSurface,
+    surface: &dyn SurfaceAccess,
     opt: &Optimizer<'_>,
     contours: &ContourSet,
 ) -> AlignmentReport {
@@ -238,7 +237,7 @@ pub fn analyze(
 mod tests {
     use super::*;
     use crate::surface::test_fixtures::star2;
-    use rqp_common::MultiGrid;
+    use crate::surface::EssSurface;
     use rqp_optimizer::{CostParams, EnumerationMode, Optimizer};
 
     fn fixture() -> (EssSurface, rqp_catalog::Catalog, rqp_optimizer::QuerySpec) {
@@ -255,7 +254,7 @@ mod tests {
     fn extremes_have_max_coordinate() {
         let (surface, _cat, _q) = fixture();
         let locs: Vec<GridIdx> = surface.grid().iter().take(20).collect();
-        let ext = extreme_locations(&surface, &locs, 0);
+        let ext = extreme_locations(surface.grid(), &locs, 0);
         assert!(!ext.is_empty());
         let max = ext
             .iter()
@@ -265,7 +264,7 @@ mod tests {
         for &q in &locs {
             assert!(surface.grid().coord(q, 0) <= max);
         }
-        assert!(extreme_locations(&surface, &[], 0).is_empty());
+        assert!(extreme_locations(surface.grid(), &[], 0).is_empty());
     }
 
     #[test]

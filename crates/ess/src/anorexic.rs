@@ -9,9 +9,9 @@
 //! location has a chosen plan within `(1+λ)·CC_i`; bouquet budgets are
 //! inflated to `(1+λ)·CC_i` accordingly.
 
-use crate::surface::EssSurface;
+use crate::lazy::SurfaceAccess;
 use rqp_common::{Cost, GridIdx};
-use rqp_optimizer::{Optimizer, PlanId};
+use rqp_optimizer::{Optimizer, PlanId, PlanNode};
 use serde::{Deserialize, Serialize};
 
 /// A contour after anorexic reduction.
@@ -31,7 +31,7 @@ pub struct ReducedContour {
 /// Always succeeds: a location's own optimal plan costs `≤ CC_i` at that
 /// location, so the full plan set is a valid cover.
 pub fn reduce_contour(
-    surface: &EssSurface,
+    surface: &dyn SurfaceAccess,
     optimizer: &Optimizer<'_>,
     locations: &[GridIdx],
     contour_cost: Cost,
@@ -41,10 +41,20 @@ pub fn reduce_contour(
     let budget = (1.0 + lambda) * contour_cost;
     let grid = surface.grid();
 
-    // Candidate plans: distinct optimal plans on the contour.
-    let mut cand: Vec<PlanId> = locations.iter().map(|&q| surface.plan_id(q)).collect();
-    cand.sort_unstable();
-    cand.dedup();
+    // Candidate plans: distinct optimal plans on the contour, ordered by
+    // first appearance along the (ascending-flat-index) location list.
+    // Locations and plan structures are identical on dense and lazy
+    // surfaces while the id *numbering* differs, so ordering by first
+    // appearance — rather than by raw id — makes the greedy cover (and
+    // its tie-breaks) path-independent.
+    let mut cand: Vec<PlanId> = Vec::new();
+    for &q in locations {
+        let pid = surface.plan_id(q);
+        if !cand.contains(&pid) {
+            cand.push(pid);
+        }
+    }
+    let cand_plans: Vec<PlanNode> = cand.iter().map(|&pid| surface.plan_clone(pid)).collect();
 
     // coverage[c][l] = candidate c covers location l within the inflated
     // budget. One selectivity assignment per location, shared by all
@@ -52,9 +62,8 @@ pub fn reduce_contour(
     let mut coverage: Vec<Vec<bool>> = vec![vec![false; locations.len()]; cand.len()];
     for (l, &q) in locations.iter().enumerate() {
         let assigned = optimizer.sels_at(&grid.sels(q));
-        for (c, &pid) in cand.iter().enumerate() {
-            coverage[c][l] =
-                optimizer.cost_plan(surface.pool().get(pid), &assigned) <= budget * (1.0 + 1e-9);
+        for (c, plan) in cand_plans.iter().enumerate() {
+            coverage[c][l] = optimizer.cost_plan(plan, &assigned) <= budget * (1.0 + 1e-9);
         }
     }
 
@@ -63,7 +72,8 @@ pub fn reduce_contour(
     let mut chosen = Vec::new();
     while remaining > 0 {
         // Greedy: candidate covering the most uncovered locations; ties go
-        // to the smaller plan id (deterministic).
+        // to the earlier-appearing candidate (deterministic and
+        // path-independent).
         let (best_c, best_gain) = cand
             .iter()
             .enumerate()
@@ -99,7 +109,7 @@ pub fn reduce_contour(
 /// Reduces every contour of `contours` and returns them plus the reduced
 /// maximum density `ρ_red`.
 pub fn reduce_all(
-    surface: &EssSurface,
+    surface: &dyn SurfaceAccess,
     optimizer: &Optimizer<'_>,
     contours: &crate::contours::ContourSet,
     lambda: f64,
@@ -120,6 +130,7 @@ mod tests {
     use super::*;
     use crate::contours::ContourSet;
     use crate::surface::test_fixtures::star2;
+    use crate::surface::EssSurface;
     use crate::view::EssView;
     use rqp_common::MultiGrid;
     use rqp_optimizer::{CostParams, EnumerationMode, Optimizer};

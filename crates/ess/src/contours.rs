@@ -19,9 +19,9 @@
 //!   set, contradicting maximality), so contours are thin: each grid
 //!   location lies on at most a couple of contours.
 
-use crate::surface::EssSurface;
+use crate::lazy::SurfaceAccess;
 use crate::view::EssView;
-use rqp_common::{cost_le, Cost, GridIdx};
+use rqp_common::{Cost, GridIdx};
 use serde::{Deserialize, Serialize};
 
 /// The geometric schedule of contour costs for one surface.
@@ -33,8 +33,10 @@ pub struct ContourSet {
 
 impl ContourSet {
     /// Builds the schedule from a surface's cost range with the given
-    /// inter-contour cost `ratio` (> 1; the paper uses 2).
-    pub fn build(surface: &EssSurface, ratio: f64) -> Self {
+    /// inter-contour cost `ratio` (> 1; the paper uses 2). Only the two
+    /// corner cells are consulted (by PCM they bound the cost range), so
+    /// this is cheap even on a [`crate::LazySurface`].
+    pub fn build(surface: &dyn SurfaceAccess, ratio: f64) -> Self {
         assert!(ratio > 1.0, "contour ratio must exceed 1, got {ratio}");
         let cmin = surface.cmin();
         let cmax = surface.cmax();
@@ -55,9 +57,10 @@ impl ContourSet {
         self.costs.len()
     }
 
-    /// True when only one contour exists (flat surface).
+    /// True when only one contour exists (flat surface): `build` always
+    /// pushes `cmin`, so "no contours" really means "no geometric steps".
     pub fn is_empty(&self) -> bool {
-        self.costs.is_empty()
+        self.len() <= 1
     }
 
     /// Cost `CC_i` of contour `i` (0-based).
@@ -89,26 +92,16 @@ impl ContourSet {
 
     /// The skyline locations of contour `i` within `view`, ascending by
     /// flat index: inside the cost level set, with every free-dimension
-    /// successor outside it.
-    pub fn locations(&self, surface: &EssSurface, view: &EssView, i: usize) -> Vec<GridIdx> {
-        let cc = self.costs[i];
-        let grid = surface.grid();
-        let free = view.free_dims();
-        view.locations(surface)
-            .into_iter()
-            .filter(|&q| {
-                cost_le(surface.opt_cost(q), cc)
-                    && free.iter().all(|&j| match grid.succ_along(q, j) {
-                        None => true,
-                        Some(s) => !cost_le(surface.opt_cost(s), cc),
-                    })
-            })
-            .collect()
+    /// successor outside it. Delegates to [`SurfaceAccess::skyline`]: the
+    /// dense implementation scans the view, the lazy one runs per-fiber
+    /// binary searches — both produce the identical location set.
+    pub fn locations(&self, surface: &dyn SurfaceAccess, view: &EssView, i: usize) -> Vec<GridIdx> {
+        surface.skyline(view, self.costs[i])
     }
 
     /// Distinct optimal plans on contour `i` within `view` (`PL_i`),
     /// ascending by plan id.
-    pub fn plans(&self, surface: &EssSurface, view: &EssView, i: usize) -> Vec<usize> {
+    pub fn plans(&self, surface: &dyn SurfaceAccess, view: &EssView, i: usize) -> Vec<usize> {
         let mut ids: Vec<usize> = self
             .locations(surface, view, i)
             .iter()
@@ -121,7 +114,7 @@ impl ContourSet {
 
     /// Maximum contour density: the largest `|PL_i|` over all contours (the
     /// `ρ` of the PlanBouquet bound), over the full view.
-    pub fn max_density(&self, surface: &EssSurface) -> usize {
+    pub fn max_density(&self, surface: &dyn SurfaceAccess) -> usize {
         let view = EssView::full(surface.grid().ndims());
         (0..self.len())
             .map(|i| self.plans(surface, &view, i).len())
@@ -134,7 +127,8 @@ impl ContourSet {
 mod tests {
     use super::*;
     use crate::surface::test_fixtures::star2;
-    use rqp_common::MultiGrid;
+    use crate::surface::EssSurface;
+    use rqp_common::{cost_le, MultiGrid};
     use rqp_optimizer::{CostParams, EnumerationMode, Optimizer};
 
     fn surface() -> EssSurface {
@@ -245,5 +239,64 @@ mod tests {
         let s = surface();
         let cs = ContourSet::build(&s, 2.0);
         assert!(cs.max_density(&s) >= 1);
+    }
+
+    /// A constant-cost surface: `cmin == cmax`, so the schedule collapses
+    /// to the single contour `[cmin]`.
+    #[derive(Debug)]
+    struct FlatSurface {
+        grid: MultiGrid,
+    }
+
+    impl SurfaceAccess for FlatSurface {
+        fn grid(&self) -> &MultiGrid {
+            &self.grid
+        }
+        fn opt_cost(&self, _idx: GridIdx) -> Cost {
+            42.0
+        }
+        fn plan_id(&self, _idx: GridIdx) -> usize {
+            0
+        }
+        fn plan_clone(&self, _pid: usize) -> rqp_optimizer::PlanNode {
+            unreachable!("flat fixture has no plans")
+        }
+        fn pool_len(&self) -> usize {
+            1
+        }
+        fn pool_snapshot(&self) -> rqp_optimizer::PlanPool {
+            rqp_optimizer::PlanPool::new()
+        }
+        fn cmin(&self) -> Cost {
+            42.0
+        }
+        fn cmax(&self) -> Cost {
+            42.0
+        }
+        fn cells_materialized(&self) -> usize {
+            self.grid.len()
+        }
+        fn optimizer_calls(&self) -> u64 {
+            0
+        }
+    }
+
+    /// Regression: `is_empty` used to test `costs.is_empty()`, which is
+    /// unreachable (`build` always pushes `cmin`). Per its doc it reports
+    /// the single-contour flat-surface case.
+    #[test]
+    fn flat_surface_yields_single_contour_and_is_empty() {
+        let flat = FlatSurface {
+            grid: MultiGrid::uniform(2, 1e-5, 8),
+        };
+        let cs = ContourSet::build(&flat, 2.0);
+        assert_eq!(cs.len(), 1);
+        assert!(cs.is_empty(), "one contour == flat surface");
+        assert_eq!(cs.cost(0), 42.0);
+        // Any surface with a real cost spread is non-"empty".
+        let s = surface();
+        let real = ContourSet::build(&s, 2.0);
+        assert!(real.len() > 1);
+        assert!(!real.is_empty());
     }
 }

@@ -6,9 +6,11 @@
 //! the space with learnt dimensions pinned ([`view::EssView`]), the
 //! cost-doubling **iso-cost contours** and their frontier locations
 //! ([`contours`]), plan-diagram statistics ([`diagram`]), the **anorexic reduction** used by the PlanBouquet
-//! baseline ([`anorexic`]), and the **contour / predicate-set alignment**
+//! baseline ([`anorexic`]), the **contour / predicate-set alignment**
 //! analysis that powers AlignedBound and reproduces Table 2
-//! ([`alignment`]).
+//! ([`alignment`]), and the **lazy sparse surface** that materializes
+//! `optimize_at` cells on demand behind the [`lazy::SurfaceAccess`]
+//! trait ([`lazy`]).
 //!
 //! ```
 //! use rqp_catalog::tpcds;
@@ -43,9 +45,11 @@ pub mod alignment;
 pub mod anorexic;
 pub mod contours;
 pub mod diagram;
+pub mod lazy;
 pub mod surface;
 pub mod view;
 
 pub use contours::ContourSet;
+pub use lazy::{LazySurface, SurfaceAccess};
 pub use surface::EssSurface;
 pub use view::EssView;

@@ -6,8 +6,7 @@
 //! selectivities" (§4.2). An [`EssView`] represents exactly that subset —
 //! the sub-grid where each learnt dimension is pinned to one coordinate.
 
-use crate::surface::EssSurface;
-use rqp_common::GridIdx;
+use rqp_common::{GridIdx, MultiGrid};
 
 /// A rectangular sub-grid of the ESS: each dimension either free or pinned.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -67,16 +66,15 @@ impl EssView {
     }
 
     /// True if `idx` lies inside the view.
-    pub fn contains(&self, surface: &EssSurface, idx: GridIdx) -> bool {
+    pub fn contains(&self, grid: &MultiGrid, idx: GridIdx) -> bool {
         self.pins.iter().enumerate().all(|(j, p)| match p {
-            Some(c) => surface.grid().coord(idx, j) == *c,
+            Some(c) => grid.coord(idx, j) == *c,
             None => true,
         })
     }
 
     /// All grid locations inside the view, ascending by flat index.
-    pub fn locations(&self, surface: &EssSurface) -> Vec<GridIdx> {
-        let grid = surface.grid();
+    pub fn locations(&self, grid: &MultiGrid) -> Vec<GridIdx> {
         let free = self.free_dims();
         // Iterate the free sub-grid in mixed-radix order.
         let sizes: Vec<usize> = free.iter().map(|&j| grid.dim(j).len()).collect();
@@ -96,8 +94,7 @@ impl EssView {
 
     /// The view's terminus: every free dimension at its maximum, pinned
     /// dimensions at their pins.
-    pub fn terminus(&self, surface: &EssSurface) -> GridIdx {
-        let grid = surface.grid();
+    pub fn terminus(&self, grid: &MultiGrid) -> GridIdx {
         let coords: Vec<usize> = self
             .pins
             .iter()
@@ -109,8 +106,7 @@ impl EssView {
 
     /// The diagonal successor of `idx` *within the view* (pinned dimensions
     /// stay fixed, all free dimensions advance); `None` at the boundary.
-    pub fn diag_succ(&self, surface: &EssSurface, idx: GridIdx) -> Option<GridIdx> {
-        let grid = surface.grid();
+    pub fn diag_succ(&self, grid: &MultiGrid, idx: GridIdx) -> Option<GridIdx> {
         let mut coords = grid.coords(idx);
         for (j, p) in self.pins.iter().enumerate() {
             if p.is_none() {
@@ -127,53 +123,46 @@ impl EssView {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::surface::test_fixtures::star2;
-    use rqp_common::MultiGrid;
-    use rqp_optimizer::{CostParams, EnumerationMode, Optimizer};
 
-    fn surface() -> EssSurface {
-        let (cat, q) = star2();
-        let opt =
-            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
-        let grid = MultiGrid::uniform(2, 1e-5, 8);
-        EssSurface::build(&opt, grid)
+    fn grid() -> MultiGrid {
+        MultiGrid::uniform(2, 1e-5, 8)
     }
 
     #[test]
     fn full_view_covers_everything() {
-        let s = surface();
+        let g = grid();
         let v = EssView::full(2);
-        assert_eq!(v.locations(&s).len(), 64);
+        assert_eq!(v.locations(&g).len(), 64);
         assert_eq!(v.nfree(), 2);
         assert_eq!(v.free_mask(), 0b11);
-        assert_eq!(v.terminus(&s), s.grid().terminus());
+        assert_eq!(v.terminus(&g), g.terminus());
     }
 
     #[test]
     fn pinned_view_is_a_slice() {
-        let s = surface();
+        let g = grid();
         let v = EssView::full(2).pin(0, 3);
-        let locs = v.locations(&s);
+        let locs = v.locations(&g);
         assert_eq!(locs.len(), 8);
         for &l in &locs {
-            assert_eq!(s.grid().coord(l, 0), 3);
-            assert!(v.contains(&s, l));
+            assert_eq!(g.coord(l, 0), 3);
+            assert!(v.contains(&g, l));
         }
         assert_eq!(v.free_dims(), vec![1]);
         assert_eq!(v.free_mask(), 0b10);
         // terminus: dim0 pinned at 3, dim1 at max
-        assert_eq!(s.grid().coord(v.terminus(&s), 0), 3);
-        assert_eq!(s.grid().coord(v.terminus(&s), 1), 7);
+        assert_eq!(g.coord(v.terminus(&g), 0), 3);
+        assert_eq!(g.coord(v.terminus(&g), 1), 7);
     }
 
     #[test]
     fn diag_succ_moves_only_free_dims() {
-        let s = surface();
+        let g = grid();
         let v = EssView::full(2).pin(0, 3);
-        let start = s.grid().flat(&[3, 2]);
-        let nxt = v.diag_succ(&s, start).unwrap();
-        assert_eq!(s.grid().coords(nxt), vec![3, 3]);
-        let top = s.grid().flat(&[3, 7]);
-        assert_eq!(v.diag_succ(&s, top), None);
+        let start = g.flat(&[3, 2]);
+        let nxt = v.diag_succ(&g, start).unwrap();
+        assert_eq!(g.coords(nxt), vec![3, 3]);
+        let top = g.flat(&[3, 7]);
+        assert_eq!(v.diag_succ(&g, top), None);
     }
 }

@@ -61,7 +61,7 @@ pub mod plan;
 pub mod query;
 
 pub use cost::{CostModel, CostParams};
-pub use cost_matrix::CostMatrix;
+pub use cost_matrix::{CostMatrix, SparseCostMatrix};
 pub use dp::{EnumerationMode, Optimizer};
 pub use dphyp::optimize_dphyp;
 pub use parser::parse_sql;

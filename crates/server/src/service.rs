@@ -18,7 +18,7 @@ use rqp_core::{
     AlignedBound, CachedOracle, EvalContext, ExecutionOracle, FaultyOracle, NativeChoice,
     PlanBouquet, RunReport, SpillBound, SpillMemo,
 };
-use rqp_ess::EssSurface;
+use rqp_ess::{EssSurface, SurfaceAccess};
 use rqp_faults::{Attempt, BreakerConfig, CircuitBreaker, FaultPlan, RetryPolicy};
 use rqp_optimizer::{CostParams, EnumerationMode, Optimizer};
 use serde::Value;
@@ -367,6 +367,24 @@ impl ServedQuery {
                 num_arr((0..d).map(|j| grid.dim(j).len() as f64)),
             ),
             ("posp_size", num(self.surface.posp_size() as f64)),
+            // Surface accounting via the dense/lazy-unifying trait: a
+            // dense artifact serves every cell, so `cells_materialized`
+            // equals `grid_len`; a lazy warm start would report only the
+            // contour cells its sparse artifact persisted.
+            (
+                "surface",
+                obj(vec![
+                    ("kind", string("dense")),
+                    (
+                        "cells_materialized",
+                        num(SurfaceAccess::cells_materialized(self.surface) as f64),
+                    ),
+                    (
+                        "optimizer_calls",
+                        num(SurfaceAccess::optimizer_calls(self.surface) as f64),
+                    ),
+                ]),
+            ),
             ("cmin", num(self.surface.cmin())),
             ("cmax", num(self.surface.cmax())),
             ("ratio", num(self.ratio)),

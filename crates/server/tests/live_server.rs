@@ -155,6 +155,18 @@ fn concurrent_clients_get_deterministic_responses() {
     }
     assert!(results[0][0].contains("\"algorithm\":\"spillbound\""));
     assert!(results[0][0].contains("\"completed\":true"));
+    // Dense surfaces report full materialization in explain's surface
+    // accounting (8^2 grid = 64 cells).
+    assert!(
+        results[0][4].contains("\"kind\":\"dense\""),
+        "{}",
+        results[0][4]
+    );
+    assert!(
+        results[0][4].contains("\"cells_materialized\":64"),
+        "{}",
+        results[0][4]
+    );
 
     // The guarantee holds on the served run too.
     let mut c = Client::connect(addr).unwrap();

@@ -6,6 +6,7 @@
 //! rqp run <query> <algo> [qa...]    run discovery at a true location
 //! rqp compare <query>               MSOg/MSOe/ASO across all algorithms
 //! rqp compile <query>               compile + persist the query's artifact
+//!                                   (--lazy: contour-only sparse artifact)
 //! rqp serve                         serve compiled artifacts over TCP
 //! rqp client <addr> <method> ...    issue one request to a server
 //! rqp chaos [query]                 seeded fault-injection sweep (MSO under faults)
@@ -18,17 +19,22 @@
 //! `qa` is one selectivity per error-prone predicate (defaults to the
 //! middle of the space).
 
-use rqp::artifacts::{ArtifactStore, CompiledArtifact, Provenance};
+use rqp::artifacts::{ArtifactStore, CompiledArtifact, Provenance, SparseArtifact};
 use rqp::catalog::tpcds;
 use rqp::common::RqpError;
 use rqp::core::report::ExecMode;
 use rqp::core::{
-    AlignedBound, CostOracle, FaultyOracle, Outcome, PlanBouquet, PopReoptimizer, SpillBound,
+    AlignedBound, CostOracle, FaultyOracle, Outcome, PlanBouquet, PopReoptimizer, SelectionMode,
+    SpillBound,
 };
+use rqp::ess::{ContourSet, LazySurface, SurfaceAccess};
 use rqp::experiments::{compare, fmt, harness_threads, print_table, Experiment};
 use rqp::faults::{FaultPlan, FaultSite, RetryPolicy};
-use rqp::obs::{prof, JsonlSink, RingSink, TeeSink, TraceEvent, TraceRecord, TraceSink, Tracer};
-use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
+use rqp::obs::{
+    prof, JsonlSink, MetricValue, MetricsRegistry, RingSink, TeeSink, TraceEvent, TraceRecord,
+    TraceSink, Tracer,
+};
+use rqp::optimizer::{CostParams, EnumerationMode, Optimizer, SparseCostMatrix};
 use rqp::server::{serve, Client, Registry, ServedQuery, ServerConfig};
 use rqp::workloads::{paper_suite, q91_with_dims};
 use std::process::ExitCode;
@@ -36,7 +42,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n           (env: RQP_FAULT_RATE=R RQP_FAULT_SEED=N enable fault injection)\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]\n  rqp chaos [query] [--seed N] [--rate R]   (defaults: 2D_Q91, seed 42, rate 0.1)\n  rqp trace <query> [sb|ab|pb] [qa...] [--jsonl FILE] [--flame FILE]\n           (env: RQP_TRACE=jsonl:FILE mirrors the event stream to FILE)\n  rqp trace --check <file>   validate a JSONL trace file"
+        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force] [--lazy [--points N]]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n           (env: RQP_FAULT_RATE=R RQP_FAULT_SEED=N enable fault injection)\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]\n  rqp chaos [query] [--seed N] [--rate R]   (defaults: 2D_Q91, seed 42, rate 0.1)\n  rqp trace <query> [sb|ab|pb] [qa...] [--jsonl FILE] [--flame FILE]\n           (env: RQP_TRACE=jsonl:FILE mirrors the event stream to FILE)\n  rqp trace --check <file>   validate a JSONL trace file"
     );
     ExitCode::FAILURE
 }
@@ -107,6 +113,151 @@ fn compile_one(
         ),
     }
     Ok((artifact, prov))
+}
+
+/// `rqp compile <query> --lazy [--points N]`: discover the contour
+/// skylines on a [`LazySurface`] (cells optimized on demand), warm up
+/// SpillBound's axis-probe selections at a deterministic qa sample, and
+/// persist only the materialized cells as a sparse (version-2) artifact.
+///
+/// High-D suite queries default to `lazy_grid_points` (≥ 16 points/dim)
+/// instead of the dense defaults, since only contour cells are optimized.
+fn compile_lazy(args: &[String], name: &str) -> ExitCode {
+    let Some(bench) = find_query(name) else {
+        eprintln!("unknown query {name}; try `rqp list`");
+        return ExitCode::FAILURE;
+    };
+    let d = bench.query.ndims();
+    let points = match flag_value(args, "--points") {
+        Some(s) => match s.parse::<usize>() {
+            Ok(p) if p >= 2 => p,
+            _ => {
+                eprintln!("--points must be an integer >= 2 (got {s})");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => rqp::workloads::suite::lazy_grid_points(d),
+    };
+    let bench = bench.with_grid_points(points);
+    let catalog = tpcds::catalog_sf100();
+    let opt = match Optimizer::new(
+        &catalog,
+        &bench.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let grid_len = bench.grid().len();
+    println!("{name}: lazy compile over a {points}^{d} grid ({grid_len} locations)");
+
+    let t_discover = std::time::Instant::now();
+    let lazy = LazySurface::new(&opt, bench.grid());
+    let contours = ContourSet::build(&lazy, 2.0);
+    // Warm up the selections SpillBound needs at serve time: one
+    // axis-probe discovery run per sample location (both corners, the
+    // center, and each axis-extreme corner — all deterministic).
+    let n = points;
+    let mut sample: Vec<Vec<usize>> = vec![vec![0; d], vec![n - 1; d], vec![n / 2; d]];
+    for j in 0..d {
+        let mut lo = vec![0; d];
+        lo[j] = n - 1;
+        let mut hi = vec![n - 1; d];
+        hi[j] = 0;
+        sample.push(lo);
+        sample.push(hi);
+    }
+    let mut sb = SpillBound::with_mode(&lazy, &opt, 2.0, SelectionMode::AxisProbe);
+    for coords in &sample {
+        let qa = lazy.grid().flat(coords);
+        let mut oracle = CostOracle::at_grid(&opt, lazy.grid(), qa);
+        if let Err(e) = sb.run(&mut oracle) {
+            eprintln!("lazy warm-up run at {coords:?} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let discover_secs = t_discover.elapsed().as_secs_f64();
+    let cells = lazy.cells_materialized();
+    let calls = lazy.optimizer_calls();
+
+    let t_matrix = std::time::Instant::now();
+    let pool = lazy.pool_snapshot();
+    let cell_idx: Vec<usize> = lazy.cells().iter().map(|&(q, _, _)| q).collect();
+    let matrix = SparseCostMatrix::build(&opt, &pool, lazy.grid(), &cell_idx);
+    let matrix_secs = t_matrix.elapsed().as_secs_f64();
+
+    let store = ArtifactStore::new(artifact_dir(args));
+    let artifact = SparseArtifact::from_lazy(&opt, &lazy, &contours, matrix, 2.0);
+    let t_save = std::time::Instant::now();
+    let path = match store.save_sparse(&artifact) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("save sparse artifact: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let save_secs = t_save.elapsed().as_secs_f64();
+
+    // Warm verification: reload, re-seed a fresh lazy surface, and serve
+    // every persisted cost — bit-equal, with zero optimizer calls.
+    let t_load = std::time::Instant::now();
+    let reseeded = store
+        .load_sparse(name)
+        .map_err(|e| e.to_string())
+        .and_then(|loaded| loaded.to_lazy(&opt).map_err(|e| e.to_string()));
+    let warm = match reseeded {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("warm-load verification failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for &(q, cost, _) in &lazy.cells() {
+        if warm.opt_cost(q).to_bits() != cost.to_bits() {
+            eprintln!("warm-load verification failed: cell {q} cost drifted");
+            return ExitCode::FAILURE;
+        }
+    }
+    if warm.optimizer_calls() != 0 {
+        eprintln!(
+            "warm-load verification failed: {} optimizer calls to serve persisted cells",
+            warm.optimizer_calls()
+        );
+        return ExitCode::FAILURE;
+    }
+    let load_secs = t_load.elapsed().as_secs_f64();
+
+    println!(
+        "{name}: {} contours, {} pool plans; materialized {cells}/{grid_len} cells \
+         ({:.2}%) with {calls} optimizer calls",
+        contours.len(),
+        pool.len(),
+        100.0 * cells as f64 / grid_len as f64
+    );
+    println!(
+        "{name}: discovery {discover_secs:.3}s + sparse matrix {matrix_secs:.3}s + save \
+         {save_secs:.3}s to {}",
+        path.display()
+    );
+    println!(
+        "{name}: warm re-seed (load + serve {} persisted costs) {load_secs:.3}s, \
+         0 optimizer calls",
+        cell_idx.len()
+    );
+    let metrics = MetricsRegistry::new();
+    metrics.counter("ess.cells_materialized").add(cells as u64);
+    metrics.counter("ess.grid_len").add(grid_len as u64);
+    metrics.counter("ess.optimizer_calls").add(calls);
+    for (metric, value) in metrics.snapshot() {
+        if let MetricValue::Counter(v) = value {
+            println!("metric {metric} = {v}");
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Render a recorded event stream as a per-contour budget/cost timeline.
@@ -514,6 +665,9 @@ fn main() -> ExitCode {
             let Some(name) = args.get(1).filter(|n| !n.starts_with("--")) else {
                 return usage();
             };
+            if args.iter().any(|a| a == "--lazy") {
+                return compile_lazy(&args, name);
+            }
             let threads = harness_threads(4);
             let store = ArtifactStore::new(artifact_dir(&args));
             let force = args.iter().any(|a| a == "--force");

@@ -5,7 +5,11 @@
 //! * DP optimality: no sampled plan beats the DP at its own location;
 //! * grid arithmetic round-trips;
 //! * discovery soundness: SpillBound never overshoots the truth and
-//!   always lands within its bound, for random `qa` and random grids.
+//!   always lands within its bound, for random `qa` and random grids;
+//! * lazy contour structure: every lazily-discovered contour is an
+//!   antichain that covers its level set, and `optimize_at` cost is
+//!   monotone along random axis fibers (the invariant the lazy path's
+//!   per-fiber binary search rests on).
 
 use proptest::prelude::*;
 use rqp::catalog::{tpcds, Catalog};
@@ -15,7 +19,7 @@ use rqp::core::eval::{
 use rqp::core::{
     spillbound_guarantee, CachedOracle, CostOracle, EvalContext, SpillBound, SpillMemo,
 };
-use rqp::ess::EssSurface;
+use rqp::ess::{ContourSet, EssSurface, EssView, LazySurface, SurfaceAccess};
 use rqp::obs::{JsonlSink, RingSink, Tracer};
 use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
 use rqp::workloads::tpcds_queries as q;
@@ -236,5 +240,72 @@ proptest! {
         let jsonl_lines: Vec<String> = jsonl.lines().map(str::to_string).collect();
         prop_assert!(!jsonl_lines.is_empty(), "trace file is empty");
         prop_assert_eq!(ring.lines(), jsonl_lines, "ring and JSONL replays diverged");
+    }
+
+    /// Lazily-discovered contours are maximal skylines of their level
+    /// sets: an *antichain* (no location dominates another), and a
+    /// *cover* (every in-budget cell is dominated by a skyline cell).
+    #[test]
+    fn lazy_contours_are_antichains_that_cover(
+        n in 5usize..10,
+        min_exp in 5u32..8,
+    ) {
+        let f = fx();
+        let opt = Optimizer::new(&f.catalog, &f.query, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let min_sel = 10f64.powi(-(min_exp as i32));
+        let grid = MultiGrid::uniform(2, min_sel, n);
+        let lazy = LazySurface::new(&opt, grid.clone());
+        let contours = ContourSet::build(&lazy, 2.0);
+        let view = EssView::full(2);
+        for i in 0..contours.len() {
+            let cc = contours.cost(i);
+            let locs = contours.locations(&lazy, &view, i);
+            for (a_pos, &a) in locs.iter().enumerate() {
+                for &b in &locs[a_pos + 1..] {
+                    prop_assert!(
+                        !grid.dominates_eq(a, b) && !grid.dominates_eq(b, a),
+                        "contour {} is not an antichain: {} vs {}", i, a, b
+                    );
+                }
+            }
+            for q in grid.iter() {
+                if rqp_common::cost_le(lazy.opt_cost(q), cc) {
+                    prop_assert!(
+                        locs.iter().any(|&s| grid.dominates_eq(s, q)),
+                        "cell {} fits contour {} but no skyline cell dominates it", q, i
+                    );
+                }
+            }
+        }
+    }
+
+    /// `optimize_at` cost is non-decreasing along every axis fiber — the
+    /// PCM corollary the lazy surface's per-fiber binary search (both the
+    /// skyline enumeration and `axis_extreme`) is sound under.
+    #[test]
+    fn optimize_at_monotone_along_axis_fibers(
+        n in 5usize..10,
+        min_exp in 5u32..8,
+        base0 in 0usize..10,
+        base1 in 0usize..10,
+        dim in 0usize..2,
+    ) {
+        let f = fx();
+        let opt = Optimizer::new(&f.catalog, &f.query, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let min_sel = 10f64.powi(-(min_exp as i32));
+        let grid = MultiGrid::uniform(2, min_sel, n);
+        let lazy = LazySurface::new(&opt, grid.clone());
+        let base = grid.flat(&[base0 % n, base1 % n]);
+        let mut prev: Option<f64> = None;
+        for c in 0..n {
+            let cost = lazy.opt_cost(grid.with_coord(base, dim, c));
+            if let Some(p) = prev {
+                prop_assert!(
+                    cost >= p * (1.0 - 1e-12),
+                    "fiber dim {} not monotone: {} -> {} at coord {}", dim, p, cost, c
+                );
+            }
+            prev = Some(cost);
+        }
     }
 }
