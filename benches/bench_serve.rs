@@ -1,0 +1,153 @@
+//! Serving throughput budget — closed-loop multi-client benchmark.
+//!
+//! Boots the event-driven server in-process over compiled suite
+//! artifacts, then hammers it with pipelined precompiled `explain`
+//! requests from concurrent closed-loop clients (nothing new is sent
+//! until the previous batch is fully answered). Every response is
+//! compared byte-for-byte against a single-threaded baseline — the
+//! determinism contract under full concurrency — and throughput plus
+//! p50/p99 latency come from an `rqp-obs` histogram.
+//!
+//! Prints `serve bench check: PASS` (grepped by CI's serve-bench-smoke
+//! job) and exits non-zero if throughput falls below
+//! `RQP_SERVE_MIN_RPS` (default 20000 — conservative for shared CI
+//! runners; a single dedicated core sustains >200k) or any response
+//! deviates from the baseline.
+
+use rqp::artifacts::CompiledArtifact;
+use rqp::catalog::tpcds;
+use rqp::obs::MetricsRegistry;
+use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
+use rqp::server::{request_line, serve, Client, Registry, ServedQuery, ServerConfig};
+use rqp::workloads::paper_suite;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let min_rps: f64 = std::env::var("RQP_SERVE_MIN_RPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000.0);
+    let secs: f64 = std::env::var("RQP_SERVE_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3.0);
+    let clients: usize = std::env::var("RQP_SERVE_CLIENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let pipeline: usize = 16;
+
+    // Three suite queries so the bench exercises multi-query serving,
+    // not a single hot artifact.
+    let catalog: &'static _ = Box::leak(Box::new(tpcds::catalog_sf100()));
+    let names = ["3D_Q15", "3D_Q96", "4D_Q7"];
+    let mut registry = Registry::new();
+    for bench in paper_suite(catalog)
+        .into_iter()
+        .filter(|b| names.contains(&b.name()))
+    {
+        let opt = Optimizer::new(
+            catalog,
+            Box::leak(Box::new(bench.query.clone())),
+            CostParams::default(),
+            EnumerationMode::LeftDeep,
+        )
+        .expect("optimizer");
+        let artifact = CompiledArtifact::compile(&opt, bench.grid(), 2.0, 0.2, 2);
+        registry.insert(ServedQuery::from_artifact(artifact, catalog).expect("served query"));
+    }
+
+    let handle = serve(
+        registry,
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 2,
+            workers: 4,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr;
+
+    // Precompiled request lines and the single-threaded baseline.
+    let lines: Vec<String> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| request_line(i as f64, "explain", Some(n), &[], None))
+        .collect();
+    let mut c = Client::connect(addr).expect("connect");
+    let baseline: Vec<String> = lines
+        .iter()
+        .map(|l| {
+            let r = c.call_raw(l).expect("baseline");
+            assert!(r.contains("\"ok\":true"), "baseline failed: {r}");
+            r
+        })
+        .collect();
+
+    let batch: String = (0..pipeline)
+        .map(|k| format!("{}\n", lines[k % lines.len()]))
+        .collect();
+    let expected: Vec<&String> = (0..pipeline).map(|k| &baseline[k % lines.len()]).collect();
+
+    let obs = MetricsRegistry::new();
+    let latency = obs.histogram("bench_serve.latency_us");
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let t0 = Instant::now();
+    let (total, mismatches) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let batch = &batch;
+                let expected = &expected;
+                let latency = latency.clone();
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("client connect");
+                    let (mut sent, mut bad) = (0u64, 0u64);
+                    while Instant::now() < deadline {
+                        let req = Instant::now();
+                        c.send_batch(batch).expect("batch write");
+                        for want in expected {
+                            let r = c.read_response().expect("response");
+                            latency.observe(req.elapsed().as_micros() as f64);
+                            if &r != *want {
+                                bad += 1;
+                            }
+                            sent += 1;
+                        }
+                    }
+                    (sent, bad)
+                })
+            })
+            .collect();
+        handles.into_iter().fold((0u64, 0u64), |acc, h| {
+            let (sent, bad) = h.join().expect("client");
+            (acc.0 + sent, acc.1 + bad)
+        })
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    handle.stop();
+
+    let rps = total as f64 / elapsed;
+    println!(
+        "serve bench: {clients} clients x {elapsed:.2}s over {} (explain, pipeline {pipeline})",
+        names.join(", ")
+    );
+    println!("  requests     {total}");
+    println!("  throughput   {rps:.0} req/s");
+    println!("  p50 latency  {:.0} us", latency.quantile(0.50));
+    println!("  p99 latency  {:.0} us", latency.quantile(0.99));
+    println!("  max latency  {:.0} us", latency.max());
+
+    if mismatches > 0 {
+        println!("serve bench check: FAIL — {mismatches} responses differed from the baseline");
+        std::process::exit(1);
+    }
+    if rps < min_rps {
+        println!("serve bench check: FAIL — {rps:.0} req/s below the {min_rps:.0} req/s budget");
+        std::process::exit(1);
+    }
+    println!(
+        "serve bench check: PASS ({rps:.0} req/s >= {min_rps:.0}, all {total} responses byte-equal)"
+    );
+}

@@ -419,6 +419,21 @@ impl CompiledArtifact {
             && self.ratio == ratio
             && self.lambda == lambda
     }
+
+    /// Rough resident-memory footprint in bytes, for cache accounting.
+    /// Dominated by the dense recost matrix (`nplans × grid_len` costs)
+    /// and the surface's per-cell cost/plan arrays; plans and bouquet
+    /// structure are charged at a flat per-entry estimate. Deliberately
+    /// an over- rather than under-estimate so an LRU bound in bytes is
+    /// conservative.
+    pub fn approx_bytes(&self) -> usize {
+        let cells = self.surface.grid().len();
+        let matrix = self.matrix.nplans() * self.matrix.grid_len() * 8;
+        let surface = cells * 16; // cost + plan id per cell
+        let plans = self.surface.posp_size() * 256;
+        let bouquet: usize = self.bouquet.iter().map(|rc| 64 + rc.plans.len() * 8).sum();
+        4096 + matrix + surface + plans + bouquet
+    }
 }
 
 /// Atomic write: `path.tmp` then rename.
@@ -593,6 +608,15 @@ impl SparseArtifact {
         Ok(())
     }
 
+    /// Rough resident-memory footprint in bytes, for cache accounting —
+    /// the sparse analogue of [`CompiledArtifact::approx_bytes`].
+    pub fn approx_bytes(&self) -> usize {
+        let cells = self.cell_idx.len();
+        let matrix = self.matrix.nplans() * self.matrix.ncells() * 8;
+        let plans = self.pool.len() * 256;
+        4096 + matrix + cells * 24 + plans + self.contour_costs.len() * 8
+    }
+
     /// The persisted cells as the `(idx, cost, plan_id)` seed
     /// [`LazySurface::from_parts`] consumes.
     pub fn seed(&self) -> Vec<(GridIdx, Cost, PlanId)> {
@@ -636,6 +660,24 @@ pub enum ArtifactKind {
     Dense(Box<CompiledArtifact>),
     /// Version 2: materialized cells only.
     Sparse(Box<SparseArtifact>),
+}
+
+impl ArtifactKind {
+    /// Name of the query template the artifact was compiled for.
+    pub fn query_name(&self) -> &str {
+        match self {
+            ArtifactKind::Dense(a) => &a.query.name,
+            ArtifactKind::Sparse(a) => &a.query.name,
+        }
+    }
+
+    /// Rough resident-memory footprint in bytes, for cache accounting.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            ArtifactKind::Dense(a) => a.approx_bytes(),
+            ArtifactKind::Sparse(a) => a.approx_bytes(),
+        }
+    }
 }
 
 /// Parses an artifact of either format version, dispatching on the
@@ -850,6 +892,36 @@ impl ArtifactStore {
         result
     }
 
+    /// Loads the artifact for query `name` in either format version —
+    /// the cache-fill path the serving LRU uses on a miss. Honors the
+    /// store's fault plan (`slow_load` latency, injected `store.load`
+    /// errors) so cold loads participate in fault injection, and emits
+    /// the same `artifact_store` cache-miss trace event as
+    /// [`compile_or_load`](Self::compile_or_load).
+    pub fn load_any_named(&self, name: &str) -> Result<ArtifactKind, ArtifactError> {
+        rqp_obs::span!("artifacts.load_any_named");
+        if let Some(plan) = self.faults.as_deref() {
+            let lag = plan.slow_load();
+            if !lag.is_zero() {
+                std::thread::sleep(lag);
+            }
+            if plan.should_inject(FaultSite::StoreLoad) {
+                return Err(ArtifactError::Io(format!(
+                    "injected read fault at {} (Interrupted)",
+                    self.path_for(name).display()
+                )));
+            }
+        }
+        let result = load_any_path(&self.path_for(name));
+        if result.is_ok() {
+            self.tracer.emit(|| TraceEvent::CacheMiss {
+                cache: "artifact_store",
+                key: checksum64(name.as_bytes()),
+            });
+        }
+        result
+    }
+
     /// Path of the sparse (lazily-compiled) artifact for query `name`.
     /// Kept distinct from [`path_for`](Self::path_for) so dense and
     /// sparse compiles of the same template coexist.
@@ -982,6 +1054,31 @@ mod tests {
         assert_eq!(loaded.bouquet, art.bouquet);
         assert_eq!(loaded.rho_red, art.rho_red);
         assert_eq!(loaded.contours, art.contours);
+    }
+
+    #[test]
+    fn approx_bytes_and_store_load_any_named() {
+        let (cat, q, grid) = compile_fixture();
+        let opt =
+            Optimizer::new(&cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let art = CompiledArtifact::compile(&opt, grid, 2.0, 0.2, 2);
+        // The estimate must at least cover the dense matrix it claims to
+        // account for, and stay finite/stable.
+        let floor = art.matrix.nplans() * art.matrix.grid_len() * 8;
+        assert!(art.approx_bytes() >= floor);
+
+        let root = std::env::temp_dir().join(format!("rqp-store-any-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = ArtifactStore::new(&root);
+        art.save(&store.path_for("star2")).unwrap();
+        let kind = store.load_any_named("star2").unwrap();
+        assert_eq!(kind.query_name(), "star2");
+        assert_eq!(kind.approx_bytes(), art.approx_bytes());
+        match store.load_any_named("missing") {
+            Err(ArtifactError::Io(_)) => {}
+            other => panic!("expected io error for missing artifact, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

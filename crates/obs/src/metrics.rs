@@ -60,13 +60,47 @@ impl Gauge {
     }
 }
 
-const BUCKETS: usize = 64;
+/// Octaves covered by the histogram: `[2^0, 2^64)` plus an underflow
+/// bucket for observations below 1.
+const OCTAVES: usize = 64;
+/// Log-linear sub-buckets per octave. Eight slots bound the relative
+/// quantile error at 1/8 of the value — tight enough for p50/p99
+/// latency reporting without a per-observation allocation.
+const SUBS: usize = 8;
+const BUCKETS: usize = OCTAVES * SUBS;
+
+/// Bucket index for observation `v` (log-linear: octave by `log2`,
+/// then linear within the octave).
+#[inline]
+fn bucket_index(v: f64) -> usize {
+    if v < 1.0 {
+        return 0;
+    }
+    let octave = (v.log2() as usize).min(OCTAVES - 1);
+    let lo = (octave as f64).exp2();
+    let sub = (((v / lo) - 1.0) * SUBS as f64) as usize;
+    octave * SUBS + sub.min(SUBS - 1)
+}
+
+/// `(lower, upper)` value bounds of bucket `i`.
+fn bucket_bounds(i: usize) -> (f64, f64) {
+    let octave = i / SUBS;
+    let sub = i % SUBS;
+    let base = (octave as f64).exp2();
+    let lo = base * (1.0 + sub as f64 / SUBS as f64);
+    let hi = base * (1.0 + (sub + 1) as f64 / SUBS as f64);
+    if i == 0 {
+        (0.0, hi)
+    } else {
+        (lo, hi)
+    }
+}
 
 struct HistogramInner {
     count: AtomicU64,
     sum_bits: AtomicU64,
     max_bits: AtomicU64,
-    /// Log2 buckets: bucket `i` holds observations in `[2^i, 2^(i+1))`
+    /// Log-linear buckets: [`SUBS`] linear slots per power-of-two octave
     /// (bucket 0 additionally holds everything below 1).
     buckets: [AtomicU64; BUCKETS],
 }
@@ -118,12 +152,7 @@ impl Histogram {
                 Err(seen) => cur = seen,
             }
         }
-        let idx = if v < 1.0 {
-            0
-        } else {
-            (v.log2() as usize).min(BUCKETS - 1)
-        };
-        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn count(&self) -> u64 {
@@ -147,7 +176,7 @@ impl Histogram {
         }
     }
 
-    /// Non-empty log2 buckets as `(lower_bound, count)` pairs.
+    /// Non-empty buckets as `(lower_bound, count)` pairs.
     pub fn buckets(&self) -> Vec<(f64, u64)> {
         self.0
             .buckets
@@ -155,9 +184,31 @@ impl Histogram {
             .enumerate()
             .filter_map(|(i, b)| {
                 let n = b.load(Ordering::Relaxed);
-                (n > 0).then(|| (if i == 0 { 0.0 } else { (i as f64).exp2() }, n))
+                (n > 0).then(|| (bucket_bounds(i).0, n))
             })
             .collect()
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`) from the log-linear buckets:
+    /// the midpoint of the bucket holding the rank-`ceil(q·count)`
+    /// observation, clamped to the observed max. Relative error is
+    /// bounded by the sub-bucket width (1/[`SUBS`] of the value). Returns
+    /// 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                return ((lo + hi) / 2.0).min(self.max());
+            }
+        }
+        self.max()
     }
 }
 
@@ -279,6 +330,34 @@ mod tests {
         assert_eq!(h.sum(), 1004.0);
         assert_eq!(h.max(), 1000.0);
         assert!(!h.buckets().is_empty());
+    }
+
+    #[test]
+    fn quantiles_track_known_distributions() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency_us");
+        assert_eq!(h.quantile(0.99), 0.0);
+        for v in 1..=1000 {
+            h.observe(v as f64);
+        }
+        // Log-linear buckets bound the relative error at 1/SUBS.
+        let p50 = h.quantile(0.50);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.15, "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((p99 - 990.0).abs() / 990.0 < 0.15, "p99 = {p99}");
+        assert!(h.quantile(1.0) <= h.max());
+        assert!(h.quantile(0.0) > 0.0);
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_agree() {
+        for v in [0.2, 1.0, 1.5, 7.0, 1023.0, 1e12] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v < hi, "v={v} i={i} lo={lo} hi={hi}");
+        }
+        // Saturates instead of panicking on absurd observations.
+        assert!(bucket_index(f64::MAX) < BUCKETS);
     }
 
     #[test]

@@ -20,9 +20,12 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server. Disables Nagle's algorithm: every
+    /// call is a small write followed by a read of the response, exactly
+    /// the pattern delayed ACK + Nagle stalls by ~40ms per round trip.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
         let addr = stream.peer_addr()?;
         let writer = stream.try_clone()?;
         Ok(Self {
@@ -46,6 +49,7 @@ impl Client {
     /// address again. Any buffered partial response is discarded.
     pub fn reconnect(&mut self) -> std::io::Result<()> {
         let stream = TcpStream::connect(self.addr)?;
+        let _ = stream.set_nodelay(true);
         self.writer = stream.try_clone()?;
         self.reader = BufReader::new(stream);
         Ok(())
@@ -56,6 +60,20 @@ impl Client {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Writes a pre-joined batch of newline-terminated request lines in
+    /// one syscall — the pipelined path. The server answers in request
+    /// order; read each response back with
+    /// [`read_response`](Self::read_response).
+    pub fn send_batch(&mut self, batch: &str) -> std::io::Result<()> {
+        self.writer.write_all(batch.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line (trailing newline stripped).
+    pub fn read_response(&mut self) -> std::io::Result<String> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {

@@ -3,16 +3,20 @@
 //!
 //! The daemon answers the question the paper leaves to deployment: once
 //! the expensive ESS compilation is done offline (see `rqp-artifacts`),
-//! how is it *served*? This crate is a std-only thread-pool TCP server
-//! speaking newline-delimited JSON ([`protocol`]): it loads
-//! [`rqp_artifacts::CompiledArtifact`]s at startup ([`service`]),
-//! executes `run_spillbound` / `run_alignedbound` / `run_planbouquet` /
-//! `run_native` requests against injected "actual" selectivities through
-//! the existing `ExecutionOracle` machinery, and applies real serving
-//! discipline ([`server`]): a bounded admission queue that sheds load
-//! with an explicit `overloaded` error, per-request deadlines enforced
-//! at dequeue, and per-method request/latency/shed counters ([`metrics`])
-//! reported on a `stats` request.
+//! how is it *served*? This crate is a std-only event-driven TCP server
+//! speaking newline-delimited JSON ([`protocol`]): non-blocking
+//! connections are polled by sharded readiness loops ([`server`]) that
+//! answer cheap methods inline and offload discovery runs to a worker
+//! pool over per-worker bounded queues. It serves the entire workload
+//! suite at once: queries pinned at startup plus every artifact in the
+//! backing store, faulted in on demand through a byte-bounded LRU cache
+//! ([`cache`]) and evicted least-recently-used. Serving discipline is
+//! real ([`server`]): capped connections and bounded admission queues
+//! shed load with an explicit `overloaded` error, per-tenant quotas cap
+//! in-flight work, per-request deadlines are measured from the first
+//! request byte (slow-loris-proof) and enforced both at dispatch and at
+//! worker dequeue, and per-method request/latency/shed counters plus
+//! latency quantiles ([`metrics`]) are reported on a `stats` request.
 //!
 //! Responses are deterministic: every handler is a pure function of the
 //! loaded artifact and the request (fresh per-request memo state), so
@@ -20,14 +24,16 @@
 //! regardless of interleaving — the property the integration tests
 //! assert with ≥8 concurrent clients.
 
+pub mod cache;
 pub mod client;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
+pub use cache::ArtifactCache;
 pub use client::{request_line, Client};
 pub use metrics::Metrics;
 pub use protocol::{parse_request, Request};
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use service::{CallStats, Registry, ServedQuery};
+pub use service::{Body, CallStats, Registry, ServedQuery};

@@ -182,6 +182,16 @@ impl Metrics {
             .map(|(name, m)| {
                 let (count, sum, max) = m.latency.unwrap_or((0, 0.0, 0.0));
                 let mean = if count > 0 { sum / count as f64 } else { 0.0 };
+                // Quantiles come from the live histogram handle (the
+                // snapshot only carries count/sum/max). Only fetched for
+                // methods that recorded latency, so shed-only methods do
+                // not register empty histograms as a side effect.
+                let (p50, p99) = if m.latency.is_some() {
+                    let h = self.registry.histogram(&format!("rpc.{name}.latency_us"));
+                    (h.quantile(0.50), h.quantile(0.99))
+                } else {
+                    (0.0, 0.0)
+                };
                 (
                     name,
                     obj(vec![
@@ -192,6 +202,8 @@ impl Metrics {
                         ("deadline_expired", num(m.deadline_expired as f64)),
                         ("mean_latency_us", num(mean)),
                         ("max_latency_us", num(max)),
+                        ("p50_latency_us", num(p50)),
+                        ("p99_latency_us", num(p99)),
                     ]),
                 )
             })
@@ -247,8 +259,15 @@ mod tests {
         assert_eq!(sb.get("requests").unwrap().as_f64(), Some(3.0));
         assert_eq!(sb.get("shed").unwrap().as_f64(), Some(1.0));
         assert_eq!(sb.get("mean_latency_us").unwrap().as_f64(), Some(200.0));
+        // Quantiles ride along: within log-linear bucket error of the
+        // two observed latencies, and ordered p50 <= p99 <= max.
+        let p50 = sb.get("p50_latency_us").unwrap().as_f64().unwrap();
+        let p99 = sb.get("p99_latency_us").unwrap().as_f64().unwrap();
+        assert!((90.0..=130.0).contains(&p50), "p50 = {p50}");
+        assert!(p50 <= p99 && p99 <= 300.0, "p99 = {p99}");
         let ex = v.get("methods").unwrap().get("explain").unwrap();
         assert_eq!(ex.get("deadline_expired").unwrap().as_f64(), Some(1.0));
+        assert_eq!(ex.get("p99_latency_us").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

@@ -43,9 +43,14 @@ pub struct Request {
     pub query: Option<String>,
     /// Injected "actual" selectivities, one per error-prone predicate.
     pub qa: Vec<f64>,
-    /// Per-request deadline in milliseconds; a request still queued when
-    /// its deadline expires is rejected instead of executed.
+    /// Per-request deadline in milliseconds, measured from the instant
+    /// the server read the *first byte* of this request off the socket; a
+    /// request whose deadline expires before execution starts is rejected
+    /// instead of executed.
     pub deadline_ms: Option<u64>,
+    /// Optional tenant label for per-tenant admission quotas; requests
+    /// without one share the anonymous tenant.
+    pub tenant: Option<String>,
     /// Debug-only artificial handler delay (honored only when the server
     /// was configured with `allow_debug_sleep`; used by load tests).
     pub sleep_ms: u64,
@@ -88,6 +93,11 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         Some(Value::Null) | None => None,
         Some(_) => return Err(bad("`deadline_ms` must be a non-negative number".into())),
     };
+    let tenant = match v.get("tenant") {
+        Some(Value::String(s)) => Some(s.clone()),
+        Some(Value::Null) | None => None,
+        Some(_) => return Err(bad("`tenant` must be a string".into())),
+    };
     let sleep_ms = match v.get("sleep_ms") {
         Some(Value::Num(n)) if *n >= 0.0 => *n as u64,
         _ => 0,
@@ -99,6 +109,7 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         query,
         qa,
         deadline_ms,
+        tenant,
         sleep_ms,
     })
 }
@@ -111,6 +122,23 @@ pub fn ok_response(id: &Value, result: Value) -> String {
         ("result".into(), result),
     ]);
     serde_json::to_string(&v).expect("response serializes")
+}
+
+/// Builds a success response line from an already-serialized `result`
+/// body (no trailing newline). Byte-identical to
+/// [`ok_response`]`(id, result)` when `raw_result` is the
+/// `serde_json::to_string` rendering of the same `result` value — the
+/// invariant the explain fast path relies on to keep cached responses
+/// byte-deterministic. Asserted by the `raw_matches_value_path` test.
+pub fn ok_response_raw(id: &Value, raw_result: &str) -> String {
+    let id_json = serde_json::to_string(id).expect("id serializes");
+    let mut out = String::with_capacity(id_json.len() + raw_result.len() + 32);
+    out.push_str("{\"id\":");
+    out.push_str(&id_json);
+    out.push_str(",\"ok\":true,\"result\":");
+    out.push_str(raw_result);
+    out.push('}');
+    out
 }
 
 /// Builds an error response line (no trailing newline).
@@ -180,6 +208,29 @@ mod tests {
         assert!(parse_request(r#"{"id":1}"#).is_err());
         assert!(parse_request(r#"{"method":"run","qa":[2.0]}"#).is_err());
         assert!(parse_request(r#"{"method":"run","qa":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn parses_tenant() {
+        let r = parse_request(r#"{"id":1,"method":"stats","tenant":"acme"}"#).unwrap();
+        assert_eq!(r.tenant.as_deref(), Some("acme"));
+        assert!(parse_request(r#"{"method":"stats","tenant":7}"#).is_err());
+    }
+
+    #[test]
+    fn raw_matches_value_path() {
+        let result = obj(vec![
+            ("algorithm", string("spillbound")),
+            ("total_cost", num(12.5)),
+            ("steps", num_arr([1.0, 2.0, 3.0])),
+        ]);
+        let rendered = serde_json::to_string(&result).unwrap();
+        for id in [Value::Num(3.0), Value::String("abc".into()), Value::Null] {
+            assert_eq!(
+                ok_response(&id, result.clone()),
+                ok_response_raw(&id, &rendered)
+            );
+        }
     }
 
     #[test]

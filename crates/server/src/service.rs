@@ -5,11 +5,21 @@
 //! re-running any offline work: the surface, contour schedule, reduced
 //! bouquet and recost matrix all come straight off disk, and only the
 //! cheap pieces (optimizer instantiation, contour re-derivation, the
-//! native choice) are rebuilt. The daemon owns its state for the process
-//! lifetime, so the borrowed `Optimizer<'a>`/`EssSurface` plumbing is
-//! grounded with `Box::leak` — the same idiom the workspace's test
-//! fixtures use for `'static` fixtures.
+//! native choice) are rebuilt. A served query *owns* its artifact state
+//! (boxed, with internally self-referential borrows — see the safety
+//! notes on [`ServedQuery::from_artifact`]), so dropping one — e.g. on
+//! LRU eviction from the [`crate::cache::ArtifactCache`] — actually
+//! frees its surface and recost matrix, unlike the previous `Box::leak`
+//! grounding which pinned every loaded artifact for the process
+//! lifetime.
+//!
+//! The immutable `explain` response body is rendered to JSON once at
+//! construction and served as a shared pre-serialized string
+//! ([`Body::Raw`]) — the fast path the bench-serve throughput target
+//! rides on. [`crate::protocol::ok_response_raw`] keeps the framing
+//! byte-identical to the per-request serialization it replaces.
 
+use crate::cache::ArtifactCache;
 use crate::protocol::{num, num_arr, obj, string, Request};
 use rqp_artifacts::CompiledArtifact;
 use rqp_catalog::Catalog;
@@ -20,7 +30,7 @@ use rqp_core::{
 };
 use rqp_ess::{EssSurface, SurfaceAccess};
 use rqp_faults::{Attempt, BreakerConfig, CircuitBreaker, FaultPlan, RetryPolicy};
-use rqp_optimizer::{CostParams, EnumerationMode, Optimizer};
+use rqp_optimizer::{CostParams, EnumerationMode, Optimizer, QuerySpec};
 use serde::Value;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -42,33 +52,83 @@ pub struct CallStats {
     pub wasted_cost: f64,
 }
 
+/// A response body: either a per-request JSON [`Value`] or a shared
+/// pre-serialized string (the cached `explain` fast path). The raw form
+/// is byte-identical to serializing the equivalent `Value` — asserted
+/// at construction and relied on by the determinism tests.
+#[derive(Clone)]
+pub enum Body {
+    /// Built per request; the server serializes it into the response.
+    Value(Value),
+    /// Pre-serialized JSON, shared across requests without re-rendering.
+    Raw(Arc<str>),
+}
+
+impl Body {
+    /// The serialized result body (allocates for the `Value` form; the
+    /// raw form is already rendered). Test/diagnostic helper — the
+    /// server splices bodies into response lines without going through
+    /// this.
+    pub fn render(&self) -> String {
+        match self {
+            Body::Value(v) => serde_json::to_string(v).expect("body serializes"),
+            Body::Raw(s) => s.to_string(),
+        }
+    }
+}
+
 /// One query template, warm-started from its artifact and ready to serve
 /// concurrent requests (all request-handling state is per-call).
+///
+/// Field order is load-bearing: Rust drops fields in declaration order,
+/// and `ctx`/`bouquet` borrow from the boxed `opt`/`surface`/`query`
+/// owners declared after them, so the borrowers are destroyed before
+/// their referents.
 pub struct ServedQuery {
     name: String,
     ratio: f64,
-    lambda: f64,
-    surface: &'static EssSurface,
-    opt: &'static Optimizer<'static>,
     ctx: EvalContext<'static>,
     bouquet: PlanBouquet<'static>,
     native: NativeChoice,
+    /// `explain` response body, rendered once at construction.
+    explain_raw: Arc<str>,
+    /// Resident-footprint estimate, for the LRU cache's byte accounting.
+    approx_bytes: usize,
     faults: Option<Arc<FaultPlan>>,
     retry: RetryPolicy,
     breaker: CircuitBreaker,
+    // Owners of the state `ctx`/`bouquet` borrow. The boxes give the
+    // referents stable heap addresses across moves of `ServedQuery`.
+    opt: Box<Optimizer<'static>>,
+    surface: Box<EssSurface>,
+    #[allow(dead_code)] // owned solely so `opt`'s borrow stays valid
+    query: Box<QuerySpec>,
 }
 
 impl ServedQuery {
-    /// Grounds the artifact into `'static` service state. Fails (with a
+    /// Builds self-owned service state from the artifact. Fails (with a
     /// human-readable message) if the artifact's query does not validate
     /// against `catalog` or its components disagree with each other.
     ///
-    /// Leaks the query, surface and optimizer — intentional: served
-    /// queries live for the daemon's lifetime.
+    /// # Safety notes
+    ///
+    /// The `'static` lifetimes on `ctx`/`bouquet` are a lie told to the
+    /// borrow checker: they actually borrow the `Box<QuerySpec>` /
+    /// `Box<EssSurface>` / `Box<Optimizer>` fields of the same struct.
+    /// This is sound because (a) the boxes heap-allocate, so the
+    /// referents never move even when the `ServedQuery` itself does,
+    /// (b) the borrowing fields are declared before the owning boxes,
+    /// so drop order destroys every borrower before its referent, and
+    /// (c) all fields are private and no method lets a `'static`
+    /// reference escape — callers only see owned or `&self`-scoped
+    /// data. Unlike the previous `Box::leak` grounding, dropping a
+    /// `ServedQuery` genuinely frees its artifact state, which is what
+    /// lets the LRU cache bound resident memory.
     pub fn from_artifact(
         artifact: CompiledArtifact,
         catalog: &'static Catalog,
     ) -> Result<Self, String> {
+        let approx_bytes = artifact.approx_bytes();
         let CompiledArtifact {
             query,
             ratio,
@@ -80,33 +140,47 @@ impl ServedQuery {
             matrix,
         } = artifact;
         let name = query.name.clone();
-        let query = &*Box::leak(Box::new(query));
-        let surface: &'static EssSurface = &*Box::leak(Box::new(surface));
-        let opt = Optimizer::new(
-            catalog,
-            query,
-            CostParams::default(),
-            EnumerationMode::LeftDeep,
-        )
-        .map_err(|e| format!("artifact query `{name}` rejected by catalog: {e}"))?;
-        let opt: &'static Optimizer<'static> = &*Box::leak(Box::new(opt));
-        let ctx = EvalContext::from_parts(surface, opt, matrix)
+        let query = Box::new(query);
+        let surface = Box::new(surface);
+        // SAFETY: see the struct-level notes — stable heap addresses,
+        // drop order, and no escaping references.
+        let query_ref: &'static QuerySpec = unsafe { &*(query.as_ref() as *const QuerySpec) };
+        let surface_ref: &'static EssSurface = unsafe { &*(surface.as_ref() as *const EssSurface) };
+        let opt = Box::new(
+            Optimizer::new(
+                catalog,
+                query_ref,
+                CostParams::default(),
+                EnumerationMode::LeftDeep,
+            )
+            .map_err(|e| format!("artifact query `{name}` rejected by catalog: {e}"))?,
+        );
+        // SAFETY: as above.
+        let opt_ref: &'static Optimizer<'static> =
+            unsafe { &*(opt.as_ref() as *const Optimizer<'static>) };
+        let ctx = EvalContext::from_parts(surface_ref, opt_ref, matrix)
             .map_err(|e| format!("artifact `{name}`: {e}"))?;
-        let bouquet = PlanBouquet::from_parts(surface, opt, ratio, lambda, bouquet, rho_red)
-            .map_err(|e| format!("artifact `{name}`: {e}"))?;
-        let native = NativeChoice::compute(surface, opt);
+        let bouquet =
+            PlanBouquet::from_parts(surface_ref, opt_ref, ratio, lambda, bouquet, rho_red)
+                .map_err(|e| format!("artifact `{name}`: {e}"))?;
+        let native = NativeChoice::compute(surface_ref, opt_ref);
+        let explain_value = explain_value(&name, ratio, lambda, surface_ref, &bouquet, &native);
+        let explain_raw: Arc<str> =
+            Arc::from(serde_json::to_string(&explain_value).expect("explain serializes"));
         Ok(Self {
             name,
             ratio,
-            lambda,
-            surface,
-            opt,
             ctx,
             bouquet,
             native,
+            explain_raw,
+            approx_bytes,
             faults: None,
             retry: RetryPolicy::no_sleep(6),
             breaker: CircuitBreaker::new(BreakerConfig::default()),
+            opt,
+            surface,
+            query,
         })
     }
 
@@ -127,6 +201,16 @@ impl ServedQuery {
     /// The query template name requests address this query by.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Resident-footprint estimate used for LRU cache byte accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// The cached, pre-serialized `explain` response body.
+    pub fn explain_body(&self) -> Body {
+        Body::Raw(self.explain_raw.clone())
     }
 
     /// Per-query health snapshot: breaker state and failure counters.
@@ -217,7 +301,7 @@ impl ServedQuery {
         degraded_reason: Option<&str>,
     ) -> Value {
         let mut fields = self.run_common("native", qa_idx, coords);
-        let sub = self.native.sub_optimality(self.surface, self.opt, qa_idx);
+        let sub = self.native.sub_optimality(&self.surface, &self.opt, qa_idx);
         let opt_cost = self.surface.opt_cost(qa_idx);
         fields.push(("est_sels", num_arr(self.native.qe_sels.iter().copied())));
         fields.push(("est_cost", num(self.native.est_cost)));
@@ -247,12 +331,12 @@ impl ServedQuery {
         let mut cached = CachedOracle::at_grid(&self.ctx, qa_idx, &mut memo);
         let go = |oracle: &mut dyn ExecutionOracle| match method {
             "run_spillbound" => {
-                let mut sb = SpillBound::new(self.surface, self.opt, self.ratio);
+                let mut sb = SpillBound::new(&*self.surface, &self.opt, self.ratio);
                 let report = sb.run(oracle)?;
                 Ok((report, sb.mso_guarantee(), "spillbound"))
             }
             "run_alignedbound" => {
-                let mut ab = AlignedBound::new(self.surface, self.opt, self.ratio);
+                let mut ab = AlignedBound::new(&*self.surface, &self.opt, self.ratio);
                 let report = ab.run(oracle)?;
                 Ok((report, ab.mso_guarantee(), "alignedbound"))
             }
@@ -333,19 +417,21 @@ impl ServedQuery {
 
     /// Dispatches one `explain` / `run_*` method. Returns
     /// `Err((kind, message))` for protocol-level failures, plus the
-    /// call's fault accounting.
-    pub fn handle(&self, method: &str, qa: &[f64]) -> (Result<Value, (String, String)>, CallStats) {
+    /// call's fault accounting. `explain` is answered from the cached
+    /// pre-serialized body without touching the surface.
+    pub fn handle(&self, method: &str, qa: &[f64]) -> (Result<Body, (String, String)>, CallStats) {
         let mut stats = CallStats::default();
         let bad = |m: String| ("bad_request".to_string(), m);
         let result = match method {
-            "explain" => Ok(self.explain()),
-            "run_native" => self
-                .snap(qa)
-                .map_err(bad)
-                .map(|(qa_idx, coords)| self.native_response("native", qa_idx, &coords, None)),
+            "explain" => Ok(self.explain_body()),
+            "run_native" => self.snap(qa).map_err(bad).map(|(qa_idx, coords)| {
+                Body::Value(self.native_response("native", qa_idx, &coords, None))
+            }),
             "run_spillbound" | "run_alignedbound" | "run_planbouquet" => {
                 match self.snap(qa).map_err(bad) {
-                    Ok((qa_idx, coords)) => self.run_guarded(method, qa_idx, &coords, &mut stats),
+                    Ok((qa_idx, coords)) => self
+                        .run_guarded(method, qa_idx, &coords, &mut stats)
+                        .map(Body::Value),
                     Err(e) => Err(e),
                 }
             }
@@ -353,71 +439,87 @@ impl ServedQuery {
         };
         (result, stats)
     }
-
-    fn explain(&self) -> Value {
-        let grid = self.surface.grid();
-        let d = grid.ndims();
-        let contours = self.bouquet.contours();
-        obj(vec![
-            ("query", string(&self.name)),
-            ("ndims", num(d as f64)),
-            ("grid_len", num(grid.len() as f64)),
-            (
-                "grid_points_per_dim",
-                num_arr((0..d).map(|j| grid.dim(j).len() as f64)),
-            ),
-            ("posp_size", num(self.surface.posp_size() as f64)),
-            // Surface accounting via the dense/lazy-unifying trait: a
-            // dense artifact serves every cell, so `cells_materialized`
-            // equals `grid_len`; a lazy warm start would report only the
-            // contour cells its sparse artifact persisted.
-            (
-                "surface",
-                obj(vec![
-                    ("kind", string("dense")),
-                    (
-                        "cells_materialized",
-                        num(SurfaceAccess::cells_materialized(self.surface) as f64),
-                    ),
-                    (
-                        "optimizer_calls",
-                        num(SurfaceAccess::optimizer_calls(self.surface) as f64),
-                    ),
-                ]),
-            ),
-            ("cmin", num(self.surface.cmin())),
-            ("cmax", num(self.surface.cmax())),
-            ("ratio", num(self.ratio)),
-            ("lambda", num(self.lambda)),
-            ("contours", num(contours.len() as f64)),
-            ("contour_costs", num_arr(contours.costs().iter().copied())),
-            ("rho_red", num(self.bouquet.rho_red() as f64)),
-            (
-                "guarantees",
-                obj(vec![
-                    ("spillbound", num(rqp_core::spillbound_guarantee(d))),
-                    (
-                        "alignedbound_lower",
-                        num(rqp_core::aligned_guarantee_lower(d)),
-                    ),
-                    ("planbouquet", num(self.bouquet.mso_guarantee())),
-                ]),
-            ),
-            (
-                "native",
-                obj(vec![
-                    ("est_sels", num_arr(self.native.qe_sels.iter().copied())),
-                    ("est_cost", num(self.native.est_cost)),
-                ]),
-            ),
-        ])
-    }
 }
 
-/// The set of query templates a server instance exposes, keyed by name.
+/// The `explain` response body for one compiled template. A free
+/// function over the already-validated parts so the constructor can
+/// render and cache it before `ServedQuery` exists.
+fn explain_value(
+    name: &str,
+    ratio: f64,
+    lambda: f64,
+    surface: &EssSurface,
+    bouquet: &PlanBouquet<'_>,
+    native: &NativeChoice,
+) -> Value {
+    let grid = surface.grid();
+    let d = grid.ndims();
+    let contours = bouquet.contours();
+    obj(vec![
+        ("query", string(name)),
+        ("ndims", num(d as f64)),
+        ("grid_len", num(grid.len() as f64)),
+        (
+            "grid_points_per_dim",
+            num_arr((0..d).map(|j| grid.dim(j).len() as f64)),
+        ),
+        ("posp_size", num(surface.posp_size() as f64)),
+        // Surface accounting via the dense/lazy-unifying trait: a
+        // dense artifact serves every cell, so `cells_materialized`
+        // equals `grid_len`; a lazy warm start would report only the
+        // contour cells its sparse artifact persisted.
+        (
+            "surface",
+            obj(vec![
+                ("kind", string("dense")),
+                (
+                    "cells_materialized",
+                    num(SurfaceAccess::cells_materialized(surface) as f64),
+                ),
+                (
+                    "optimizer_calls",
+                    num(SurfaceAccess::optimizer_calls(surface) as f64),
+                ),
+            ]),
+        ),
+        ("cmin", num(surface.cmin())),
+        ("cmax", num(surface.cmax())),
+        ("ratio", num(ratio)),
+        ("lambda", num(lambda)),
+        ("contours", num(contours.len() as f64)),
+        ("contour_costs", num_arr(contours.costs().iter().copied())),
+        ("rho_red", num(bouquet.rho_red() as f64)),
+        (
+            "guarantees",
+            obj(vec![
+                ("spillbound", num(rqp_core::spillbound_guarantee(d))),
+                (
+                    "alignedbound_lower",
+                    num(rqp_core::aligned_guarantee_lower(d)),
+                ),
+                ("planbouquet", num(bouquet.mso_guarantee())),
+            ]),
+        ),
+        (
+            "native",
+            obj(vec![
+                ("est_sels", num_arr(native.qe_sels.iter().copied())),
+                ("est_cost", num(native.est_cost)),
+            ]),
+        ),
+    ])
+}
+
+/// The set of query templates a server instance exposes: queries
+/// *pinned* at startup (loaded eagerly, never evicted) plus, when an
+/// [`ArtifactCache`] is attached, every artifact in the backing store —
+/// faulted in on first use and LRU-evicted under the cache's byte
+/// bound. This is what lets one daemon serve the entire workload suite
+/// without holding every dense matrix resident at once.
 #[derive(Default)]
 pub struct Registry {
-    queries: BTreeMap<String, ServedQuery>,
+    pinned: BTreeMap<String, Arc<ServedQuery>>,
+    cache: Option<ArtifactCache>,
 }
 
 impl Registry {
@@ -426,44 +528,100 @@ impl Registry {
         Self::default()
     }
 
-    /// Adds a served query (replacing any previous one of the same name).
+    /// Adds a pinned served query (replacing any previous one of the
+    /// same name). Pinned queries stay resident for the process
+    /// lifetime and shadow same-named artifacts in the cache's store.
     pub fn insert(&mut self, q: ServedQuery) {
-        self.queries.insert(q.name().to_string(), q);
+        self.pinned.insert(q.name().to_string(), Arc::new(q));
     }
 
-    /// Served query names, sorted.
+    /// Attaches the LRU artifact cache serving non-pinned queries.
+    pub fn with_cache(mut self, cache: ArtifactCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache, if any (stats reporting).
+    pub fn cache(&self) -> Option<&ArtifactCache> {
+        self.cache.as_ref()
+    }
+
+    /// Served query names, sorted: pinned plus everything the cache's
+    /// store can load on demand.
     pub fn names(&self) -> Vec<String> {
-        self.queries.keys().cloned().collect()
+        let mut names: Vec<String> = self.pinned.keys().cloned().collect();
+        if let Some(cache) = &self.cache {
+            for name in cache.known_names() {
+                if !self.pinned.contains_key(&name) {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        names
     }
 
-    /// Number of served queries.
+    /// Number of pinned queries (cache-served ones are unbounded-on-disk
+    /// and not counted here).
     pub fn len(&self) -> usize {
-        self.queries.len()
+        self.pinned.len()
     }
 
-    /// True when no queries are registered.
+    /// True when no queries are pinned and no cache is attached.
     pub fn is_empty(&self) -> bool {
-        self.queries.is_empty()
+        self.pinned.is_empty() && self.cache.is_none()
     }
 
-    /// Per-query health snapshots, keyed by query name.
+    /// True when `name` can be served without a cold artifact load —
+    /// pinned, or currently resident in the cache. The shards use this
+    /// to decide whether an `explain` is cheap enough to run inline.
+    pub fn is_resident(&self, name: &str) -> bool {
+        self.pinned.contains_key(name) || self.cache.as_ref().is_some_and(|c| c.is_resident(name))
+    }
+
+    /// Resolves a query by name: pinned first, then the cache.
+    pub fn get(&self, name: &str) -> Result<Arc<ServedQuery>, (String, String)> {
+        if let Some(q) = self.pinned.get(name) {
+            return Ok(q.clone());
+        }
+        if let Some(cache) = &self.cache {
+            return cache.get(name);
+        }
+        Err((
+            "unknown_query".to_string(),
+            format!(
+                "query `{name}` is not served (available: {})",
+                self.names().join(", ")
+            ),
+        ))
+    }
+
+    /// Per-query health snapshots, keyed by query name: every pinned
+    /// query plus the cache's currently-resident ones.
     pub fn health(&self) -> Value {
-        Value::Object(
-            self.queries
-                .iter()
-                .map(|(name, q)| (name.clone(), q.health()))
-                .collect(),
-        )
+        let mut entries: BTreeMap<String, Value> = self
+            .pinned
+            .iter()
+            .map(|(name, q)| (name.clone(), q.health()))
+            .collect();
+        if let Some(cache) = &self.cache {
+            for q in cache.resident() {
+                entries
+                    .entry(q.name().to_string())
+                    .or_insert_with(|| q.health());
+            }
+        }
+        Value::Object(entries.into_iter().collect())
     }
 
     /// Dispatches a query-addressed request to the right [`ServedQuery`],
-    /// returning the response and the call's fault accounting.
-    pub fn dispatch(&self, req: &Request) -> (Result<Value, (String, String)>, CallStats) {
+    /// returning the response body and the call's fault accounting.
+    pub fn dispatch(&self, req: &Request) -> (Result<Body, (String, String)>, CallStats) {
         match req.method.as_str() {
             "list_queries" => (
-                Ok(Value::Array(
+                Ok(Body::Value(Value::Array(
                     self.names().into_iter().map(Value::String).collect(),
-                )),
+                ))),
                 CallStats::default(),
             ),
             _ => {
@@ -479,18 +637,9 @@ impl Registry {
                         )
                     }
                 };
-                match self.queries.get(name) {
-                    Some(served) => served.handle(&req.method, &req.qa),
-                    None => (
-                        Err((
-                            "unknown_query".to_string(),
-                            format!(
-                                "query `{name}` is not served (available: {})",
-                                self.names().join(", ")
-                            ),
-                        )),
-                        CallStats::default(),
-                    ),
+                match self.get(name) {
+                    Ok(served) => served.handle(&req.method, &req.qa),
+                    Err(e) => (Err(e), CallStats::default()),
                 }
             }
         }

@@ -35,14 +35,14 @@ use rqp::obs::{
     TraceSink, Tracer,
 };
 use rqp::optimizer::{CostParams, EnumerationMode, Optimizer, SparseCostMatrix};
-use rqp::server::{serve, Client, Registry, ServedQuery, ServerConfig};
+use rqp::server::{serve, ArtifactCache, Client, Registry, ServedQuery, ServerConfig};
 use rqp::workloads::{paper_suite, q91_with_dims};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force] [--lazy [--points N]]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n           (env: RQP_FAULT_RATE=R RQP_FAULT_SEED=N enable fault injection)\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]\n  rqp chaos [query] [--seed N] [--rate R]   (defaults: 2D_Q91, seed 42, rate 0.1)\n  rqp trace <query> [sb|ab|pb] [qa...] [--jsonl FILE] [--flame FILE]\n           (env: RQP_TRACE=jsonl:FILE mirrors the event stream to FILE)\n  rqp trace --check <file>   validate a JSONL trace file"
+        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force] [--lazy [--points N]]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n           [--shards N] [--max-conns N] [--cache-mb MB] [--tenant-quota N]\n           (every artifact in --dir is servable via the LRU cache; --queries are pinned)\n           (env: RQP_FAULT_RATE=R RQP_FAULT_SEED=N enable fault injection)\n  rqp bench-serve [--queries q1,q2] [--clients N] [--secs S] [--pipeline D] [--dir DIR]\n           [--workers N] [--shards N] [--queue N] [--threads N] [--min-rps R]\n           (closed-loop throughput/latency bench over precompiled explains)\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]\n  rqp chaos [query] [--seed N] [--rate R]   (defaults: 2D_Q91, seed 42, rate 0.1)\n  rqp trace <query> [sb|ab|pb] [qa...] [--jsonl FILE] [--flame FILE]\n           (env: RQP_TRACE=jsonl:FILE mirrors the event stream to FILE)\n  rqp trace --check <file>   validate a JSONL trace file"
     );
     ExitCode::FAILURE
 }
@@ -781,6 +781,21 @@ fn main() -> ExitCode {
                     p.seed()
                 );
             }
+            // Every artifact in --dir is servable, not only the pinned
+            // --queries: an LRU byte-bounded cache faults the rest in on
+            // first use and evicts under memory pressure.
+            let cache_mb: usize = flag_value(&args, "--cache-mb")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(256);
+            let mut cache_store = ArtifactStore::new(artifact_dir(&args));
+            if let Some(p) = &fault_plan {
+                cache_store = cache_store.with_faults(Arc::clone(p));
+            }
+            let mut cache = ArtifactCache::new(cache_store, catalog, cache_mb << 20);
+            if let Some(p) = &fault_plan {
+                cache = cache.with_faults(Arc::clone(p), RetryPolicy::no_sleep(6));
+            }
+            let registry = registry.with_cache(cache);
             let config = ServerConfig {
                 workers: flag_value(&args, "--workers")
                     .and_then(|s| s.parse().ok())
@@ -788,14 +803,22 @@ fn main() -> ExitCode {
                 queue_capacity: flag_value(&args, "--queue")
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(64),
+                shards: flag_value(&args, "--shards")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(2),
+                max_connections: flag_value(&args, "--max-conns")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(1024),
+                tenant_quota: flag_value(&args, "--tenant-quota").and_then(|s| s.parse().ok()),
                 faults: fault_plan,
                 ..ServerConfig::default()
             };
             match serve(registry, addr.as_str(), config) {
                 Ok(handle) => {
                     println!(
-                        "serving {} on {} (send a `shutdown` request to stop)",
+                        "serving {} pinned (+ LRU cache over {}) on {} (send a `shutdown` request to stop)",
                         names.join(", "),
+                        artifact_dir(&args),
                         handle.addr
                     );
                     handle.wait();
@@ -807,6 +830,170 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        Some("bench-serve") => {
+            // Closed-loop serving benchmark: N client threads hammer a
+            // freshly started server with precompiled `explain` requests
+            // and every response is checked byte-for-byte against a
+            // single-threaded baseline. Throughput and latency quantiles
+            // come from an `rqp-obs` histogram.
+            let store = ArtifactStore::new(artifact_dir(&args));
+            let threads = harness_threads(4);
+            let names: Vec<String> = flag_value(&args, "--queries")
+                .unwrap_or_else(|| "2D_Q91".into())
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let clients: usize = flag_value(&args, "--clients")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(8)
+                .max(1);
+            let secs = flag_value(&args, "--secs")
+                .and_then(|s| s.parse::<f64>().ok())
+                .unwrap_or(3.0)
+                .max(0.1);
+            let min_rps: Option<f64> = flag_value(&args, "--min-rps").and_then(|s| s.parse().ok());
+            let pipeline: usize = flag_value(&args, "--pipeline")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(16)
+                .max(1);
+            let catalog: &'static _ = Box::leak(Box::new(tpcds::catalog_sf100()));
+            let mut registry = Registry::new();
+            for name in &names {
+                let artifact = match compile_one(&store, name, threads, false) {
+                    Ok((a, _)) => a,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match ServedQuery::from_artifact(artifact, catalog) {
+                    Ok(q) => registry.insert(q),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let config = ServerConfig {
+                workers: flag_value(&args, "--workers")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(4),
+                queue_capacity: flag_value(&args, "--queue")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(256),
+                shards: flag_value(&args, "--shards")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(4),
+                max_connections: 1024,
+                ..ServerConfig::default()
+            };
+            let (nworkers, nshards) = (config.workers, config.shards);
+            let handle = match serve(registry, "127.0.0.1:0", config) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("bind: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let addr = handle.addr;
+
+            // Precompiled request lines + single-threaded baseline.
+            let lines: Vec<String> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| rqp::server::request_line(i as f64, "explain", Some(n), &[], None))
+                .collect();
+            let baseline: Vec<String> = {
+                let mut c = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("connect: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                lines
+                    .iter()
+                    .map(|l| {
+                        let r = c.call_raw(l).expect("baseline request");
+                        assert!(r.contains("\"ok\":true"), "baseline failed: {r}");
+                        r
+                    })
+                    .collect()
+            };
+
+            // Each client pipelines `pipeline` requests per batch (one
+            // write syscall, `pipeline` in-order responses) — still
+            // closed-loop: nothing new is sent until the whole batch is
+            // answered. Per-request latency is measured from the batch
+            // send to that response's arrival.
+            let batch: String = (0..pipeline)
+                .map(|k| format!("{}\n", lines[k % lines.len()]))
+                .collect();
+            let expected: Vec<&String> =
+                (0..pipeline).map(|k| &baseline[k % lines.len()]).collect();
+            let obs = MetricsRegistry::new();
+            let latency = obs.histogram("bench_serve.latency_us");
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs_f64(secs);
+            let t0 = std::time::Instant::now();
+            let (total, mismatches) = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|_| {
+                        let batch = &batch;
+                        let expected = &expected;
+                        let latency = latency.clone();
+                        s.spawn(move || {
+                            let mut c = Client::connect(addr).expect("bench client connect");
+                            let (mut sent, mut bad) = (0u64, 0u64);
+                            while std::time::Instant::now() < deadline {
+                                let req = std::time::Instant::now();
+                                c.send_batch(batch).expect("bench batch write");
+                                for want in expected {
+                                    let r = c.read_response().expect("bench response");
+                                    latency.observe(req.elapsed().as_micros() as f64);
+                                    if &r != *want {
+                                        bad += 1;
+                                    }
+                                    sent += 1;
+                                }
+                            }
+                            (sent, bad)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().fold((0u64, 0u64), |acc, h| {
+                    let (sent, bad) = h.join().expect("bench client");
+                    (acc.0 + sent, acc.1 + bad)
+                })
+            });
+            let elapsed = t0.elapsed().as_secs_f64();
+            handle.stop();
+
+            let rps = total as f64 / elapsed;
+            println!(
+                "bench-serve: {clients} clients x {elapsed:.2}s over {} (explain, pipeline {pipeline}), {nworkers} workers / {nshards} shards",
+                names.join(", ")
+            );
+            println!("  requests        {total}");
+            println!("  throughput      {rps:.0} req/s");
+            println!("  p50 latency     {:.0} us", latency.quantile(0.50));
+            println!("  p99 latency     {:.0} us", latency.quantile(0.99));
+            println!("  max latency     {:.0} us", latency.max());
+            if mismatches > 0 {
+                eprintln!(
+                    "  DETERMINISM VIOLATION: {mismatches} responses differed from the baseline"
+                );
+                return ExitCode::FAILURE;
+            }
+            println!("  determinism     all {total} responses byte-equal to the baseline");
+            if let Some(min) = min_rps {
+                if rps < min {
+                    eprintln!("  below --min-rps {min:.0}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
         }
         Some("client") => {
             let (Some(addr), Some(method)) = (args.get(1), args.get(2)) else {

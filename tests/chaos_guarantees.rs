@@ -368,3 +368,78 @@ fn server_breaker_degrades_then_recovers() {
         handle.stop();
     });
 }
+
+/// A slow-loris client cannot dodge its deadline: the clock starts when
+/// the server reads the *first byte* of the request, so stalling
+/// mid-line past `deadline_ms` and then completing the request is
+/// answered `deadline_exceeded` — not served as if it just arrived.
+#[test]
+fn stalled_writer_cannot_dodge_its_deadline() {
+    use std::io::{BufRead, BufReader, Write};
+
+    with_watchdog(60, || {
+        let (cat, q) = star2();
+        let cat: &'static Catalog = Box::leak(Box::new(cat));
+        let opt =
+            Optimizer::new(cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let artifact = CompiledArtifact::compile(&opt, MultiGrid::uniform(2, 1e-5, 8), 2.0, 0.2, 2);
+        let mut reg = Registry::new();
+        reg.insert(ServedQuery::from_artifact(artifact, cat).unwrap());
+        let handle = serve(reg, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = handle.addr;
+
+        // Dribble a request across its own 100ms deadline: half the
+        // line, a 400ms stall, then the rest.
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let line = r#"{"id":1,"method":"run_spillbound","query":"star2","qa":[0.02,0.4],"deadline_ms":100}"#;
+        let (head, tail) = line.split_at(line.len() / 2);
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+        stream.write_all(tail.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert!(
+            response.contains("\"kind\":\"deadline_exceeded\""),
+            "slow-loris dodged the deadline: {response}"
+        );
+
+        // The same request written promptly on the same connection is
+        // served: the first-byte clock resets per request.
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut ok = String::new();
+        reader.read_line(&mut ok).unwrap();
+        assert!(ok.contains("\"ok\":true"), "{ok}");
+        assert!(ok.contains("\"algorithm\":\"spillbound\""), "{ok}");
+
+        // An inline method stalled the same way is also rejected — the
+        // first-byte clock applies before dispatch, not only at worker
+        // dequeue.
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let line = r#"{"id":2,"method":"list_queries","deadline_ms":100}"#;
+        let (head, tail) = line.split_at(line.len() / 2);
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+        stream.write_all(tail.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert!(
+            response.contains("\"kind\":\"deadline_exceeded\""),
+            "inline slow-loris dodged the deadline: {response}"
+        );
+
+        handle.stop();
+    });
+}
