@@ -15,10 +15,10 @@
 
 use crate::exec::ExecOutcome;
 use crate::meter::{ExecError, Meter};
-use crate::store::DataStore;
 use rqp_catalog::Catalog;
 use rqp_common::{Cost, Result, RqpError};
 use rqp_optimizer::{CostParams, JoinMethod, PlanNode, PredicateKind, QuerySpec, ScanMethod};
+use rqp_storage::{RowCursor, TableRef, TableStore};
 use std::collections::HashMap;
 
 /// Tuples per batch.
@@ -50,8 +50,13 @@ trait BatchOperator {
 type BoxBatchOp<'a> = Box<dyn BatchOperator + 'a>;
 
 /// Sequential scan producing filtered batches.
+///
+/// In-memory tables keep the columnar selection-vector gather; paged
+/// tables stream rows through the buffer pool via a pinned cursor (the
+/// metered rates are identical either way).
 struct BatchScan<'a> {
-    table: &'a rqp_catalog::DataTable,
+    table: TableRef<'a>,
+    cursor: RowCursor<'a>,
     filters: Vec<(usize, bool, i64)>, // (col, is_le, value); !is_le = eq
     pos: usize,
     meter: Meter,
@@ -67,26 +72,45 @@ impl BatchOperator for BatchScan<'_> {
         let hi = (self.pos + BATCH_SIZE).min(n);
         let count = hi - self.pos;
         self.meter.charge(self.row_charge * count as f64)?;
-        // selection vector over [pos, hi)
-        let mut sel: Vec<u32> = (self.pos as u32..hi as u32).collect();
-        for &(col, is_le, v) in &self.filters {
-            let data = self.table.col(col);
-            sel.retain(|&r| {
-                let x = data[r as usize];
-                if is_le {
-                    x <= v
-                } else {
-                    x == v
+        let mut out = Batch::with_width(self.table.ncols());
+        if let TableRef::Mem(table) = self.table {
+            // selection vector over [pos, hi), then columnar gather
+            let mut sel: Vec<u32> = (self.pos as u32..hi as u32).collect();
+            for &(col, is_le, v) in &self.filters {
+                let data = table.col(col);
+                sel.retain(|&r| {
+                    let x = data[r as usize];
+                    if is_le {
+                        x <= v
+                    } else {
+                        x == v
+                    }
+                });
+            }
+            out.len = sel.len();
+            for (c, dst) in out.cols.iter_mut().enumerate() {
+                let data = table.col(c);
+                dst.extend(sel.iter().map(|&r| data[r as usize]));
+            }
+        } else {
+            let mut row = Vec::with_capacity(self.table.ncols());
+            'rows: for r in self.pos..hi {
+                for &(col, is_le, v) in &self.filters {
+                    let x = self.cursor.value(r, col)?;
+                    let keep = if is_le { x <= v } else { x == v };
+                    if !keep {
+                        continue 'rows;
+                    }
                 }
-            });
+                row.clear();
+                self.cursor.row_into(r, &mut row)?;
+                for (dst, &x) in out.cols.iter_mut().zip(&row) {
+                    dst.push(x);
+                }
+                out.len += 1;
+            }
         }
         self.pos = hi;
-        let mut out = Batch::with_width(self.table.columns.len());
-        out.len = sel.len();
-        for (c, dst) in out.cols.iter_mut().enumerate() {
-            let data = self.table.col(c);
-            dst.extend(sel.iter().map(|&r| data[r as usize]));
-        }
         Ok(Some(out))
     }
 }
@@ -178,7 +202,7 @@ impl BatchOperator for BatchHashJoin<'_> {
 pub struct BatchExecutor<'a> {
     catalog: &'a Catalog,
     query: &'a QuerySpec,
-    store: &'a DataStore,
+    store: &'a dyn TableStore,
     params: CostParams,
 }
 
@@ -187,7 +211,7 @@ impl<'a> BatchExecutor<'a> {
     pub fn new(
         catalog: &'a Catalog,
         query: &'a QuerySpec,
-        store: &'a DataStore,
+        store: &'a dyn TableStore,
         params: CostParams,
     ) -> Self {
         Self {
@@ -240,7 +264,7 @@ impl<'a> BatchExecutor<'a> {
                 filters,
             } => {
                 let tid = self.query.relations[*rel];
-                let table = self.store.table(tid).ok_or_else(|| {
+                let table = self.store.table_ref(tid).ok_or_else(|| {
                     RqpError::Execution(format!(
                         "table {} not materialized",
                         self.catalog.table(tid).name
@@ -263,6 +287,7 @@ impl<'a> BatchExecutor<'a> {
                 Ok((
                     Box::new(BatchScan {
                         table,
+                        cursor: table.cursor(),
                         filters: compiled,
                         pos: 0,
                         meter: meter.clone(),

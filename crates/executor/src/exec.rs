@@ -5,11 +5,11 @@ use crate::ops::{
     BoxOp, CompiledFilter, Counts, HashJoinOp, IndexNLOp, IndexScanOp, MergeJoinOp, NLJoinOp,
     SeqScanOp,
 };
-use crate::store::DataStore;
 use rqp_catalog::Catalog;
 use rqp_common::{Cost, Result, RqpError};
 use rqp_faults::{FaultPlan, FaultSite};
 use rqp_optimizer::{CostParams, JoinMethod, PlanNode, PredicateKind, QuerySpec, ScanMethod};
+use rqp_storage::TableStore;
 use std::sync::Arc;
 
 /// Result of a regular budgeted execution.
@@ -81,12 +81,13 @@ pub struct SpillRun {
     pub observation: Option<NodeObservation>,
 }
 
-/// Compiles and runs physical plans over a [`DataStore`].
+/// Compiles and runs physical plans over any [`TableStore`] backend
+/// (in-memory `DataStore` or paged `rqp_storage::PagedStore`).
 #[derive(Debug)]
 pub struct Executor<'a> {
     catalog: &'a Catalog,
     query: &'a QuerySpec,
-    store: &'a DataStore,
+    store: &'a dyn TableStore,
     params: CostParams,
     faults: Option<Arc<FaultPlan>>,
 }
@@ -123,7 +124,7 @@ impl<'a> Executor<'a> {
     pub fn new(
         catalog: &'a Catalog,
         query: &'a QuerySpec,
-        store: &'a DataStore,
+        store: &'a dyn TableStore,
         params: CostParams,
     ) -> Self {
         Self {
@@ -199,6 +200,11 @@ impl<'a> Executor<'a> {
         let abort_at = self.fault_abort_at(FaultSite::ExecSpill, budget);
         let meter = Meter::new(budget);
         let (mut op, _) = self.compile(subtree, &meter)?;
+        // Paged backends write the discarded output through real spill
+        // files (via the shared buffer pool), so budgeted execution
+        // competes with its own scans for frames. Metering is
+        // unaffected: spill I/O costs frames, not abstract cost units.
+        let mut sink = self.store.spill_sink();
         loop {
             if let Some(at) = abort_at {
                 if meter.spent() >= at {
@@ -206,8 +212,15 @@ impl<'a> Executor<'a> {
                 }
             }
             match op.next() {
-                Ok(Some(_)) => {}
+                Ok(Some(row)) => {
+                    if let Some(s) = sink.as_mut() {
+                        s.append(&row).map_err(ExecError::from)?;
+                    }
+                }
                 Ok(None) => {
+                    if let Some(s) = sink.as_mut() {
+                        s.finish().map_err(ExecError::from)?;
+                    }
                     return Ok(SpillRun {
                         completed: true,
                         spent: meter.spent().min(budget),
@@ -226,7 +239,7 @@ impl<'a> Executor<'a> {
                                 out_rows: output,
                             },
                         }),
-                    })
+                    });
                 }
                 Err(ExecError::BudgetExceeded) => {
                     return Ok(SpillRun {
@@ -295,7 +308,7 @@ impl<'a> Executor<'a> {
                 filters,
             } => {
                 let tid = self.query.relations[*rel];
-                let table = self.store.table(tid).ok_or_else(|| {
+                let table = self.store.table_ref(tid).ok_or_else(|| {
                     RqpError::Execution(format!(
                         "table {} not materialized",
                         self.catalog.table(tid).name
@@ -375,7 +388,7 @@ impl<'a> Executor<'a> {
                         ));
                     };
                     let tid = self.query.relations[*rel];
-                    let table = self.store.table(tid).ok_or_else(|| {
+                    let table = self.store.table_ref(tid).ok_or_else(|| {
                         RqpError::Execution(format!(
                             "table {} not materialized",
                             self.catalog.table(tid).name
@@ -492,6 +505,7 @@ impl<'a> Executor<'a> {
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
+    use crate::store::DataStore;
     use rqp_catalog::datagen::{ColumnGen, DataSet, GenSpec, TableGenSpec};
     use rqp_catalog::{Column, ColumnStats, DataType, Table};
     use rqp_optimizer::{EnumerationMode, Optimizer, Predicate};

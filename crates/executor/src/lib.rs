@@ -72,3 +72,6 @@ pub use batch::BatchExecutor;
 pub use exec::{ExecOutcome, Executor, NodeObservation, SpillRun};
 pub use meter::{ExecError, Meter};
 pub use store::DataStore;
+// Backend-neutral storage view: executors run against any `TableStore`
+// (in-memory `DataStore` or out-of-core `rqp_storage::PagedStore`).
+pub use rqp_storage::{TableRef, TableStore};

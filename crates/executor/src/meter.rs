@@ -30,6 +30,18 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Storage failures surface through the same execution-error channel:
+/// injected page faults keep their fault identity (retryable), real
+/// corruption and I/O failures are plain runtime errors.
+impl From<rqp_storage::StorageError> for ExecError {
+    fn from(e: rqp_storage::StorageError) -> Self {
+        match e {
+            rqp_storage::StorageError::Injected(site) => ExecError::Injected(site.to_string()),
+            other => ExecError::Other(other.to_string()),
+        }
+    }
+}
+
 /// Typed propagation into the workspace error: injected faults keep
 /// their fault identity (so servers can retry / degrade), everything
 /// else is an execution failure.
@@ -122,6 +134,16 @@ mod tests {
         assert_eq!(e.kind(), "execution_fault");
         let e: RqpError = ExecError::Other("boom".into()).into();
         assert!(matches!(e, RqpError::Execution(_)));
+    }
+
+    #[test]
+    fn storage_errors_convert_with_fault_identity_preserved() {
+        let e: ExecError = rqp_storage::StorageError::Injected("page.checksum").into();
+        assert_eq!(e, ExecError::Injected("page.checksum".into()));
+        let r: RqpError = e.into();
+        assert!(matches!(r, RqpError::Fault(_)));
+        let e: ExecError = rqp_storage::StorageError::Io("disk gone".into()).into();
+        assert!(matches!(e, ExecError::Other(_)));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::meter::{ExecError, Meter};
 use crate::store::ColumnIndex;
-use rqp_catalog::DataTable;
+use rqp_storage::{RowCursor, TableRef};
 use std::collections::HashMap;
 
 /// A materialized tuple (concatenated base-table columns).
@@ -69,21 +69,40 @@ pub enum CompiledFilter {
 
 impl CompiledFilter {
     #[inline]
-    fn eval(&self, table: &DataTable, row: usize) -> bool {
-        match *self {
-            CompiledFilter::Le { col, v } => table.col(col)[row] <= v,
-            CompiledFilter::Eq { col, v } => table.col(col)[row] == v,
-        }
+    fn eval(&self, cursor: &mut RowCursor<'_>, row: usize) -> Result<bool, ExecError> {
+        Ok(match *self {
+            CompiledFilter::Le { col, v } => cursor.value(row, col)? <= v,
+            CompiledFilter::Eq { col, v } => cursor.value(row, col)? == v,
+        })
     }
 }
 
-fn materialize(table: &DataTable, row: usize) -> Row {
-    table.columns.iter().map(|c| c[row]).collect()
+/// Evaluates a conjunction of filters against one row.
+fn eval_all(
+    filters: &[CompiledFilter],
+    cursor: &mut RowCursor<'_>,
+    row: usize,
+) -> Result<bool, ExecError> {
+    for f in filters {
+        if !f.eval(cursor, row)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Materializes one row through the shared row codec (works for both
+/// the in-memory and the paged backend).
+fn materialize(cursor: &mut RowCursor<'_>, row: usize) -> Result<Row, ExecError> {
+    let mut out = Vec::new();
+    cursor.row_into(row, &mut out)?;
+    Ok(out)
 }
 
 /// Sequential scan with residual filters.
 pub struct SeqScanOp<'a> {
-    table: &'a DataTable,
+    cursor: RowCursor<'a>,
+    nrows: usize,
     filters: Vec<CompiledFilter>,
     pos: usize,
     meter: Meter,
@@ -97,13 +116,14 @@ impl<'a> SeqScanOp<'a> {
     /// Creates the scan; `row_charge` mirrors the cost model's per-row
     /// sequential scan cost.
     pub fn new(
-        table: &'a DataTable,
+        table: TableRef<'a>,
         filters: Vec<CompiledFilter>,
         meter: Meter,
         row_charge: f64,
     ) -> Self {
         Self {
-            table,
+            cursor: table.cursor(),
+            nrows: table.rows(),
             filters,
             pos: 0,
             meter,
@@ -116,14 +136,14 @@ impl<'a> SeqScanOp<'a> {
 
 impl Operator for SeqScanOp<'_> {
     fn next(&mut self) -> Result<Option<Row>, ExecError> {
-        while self.pos < self.table.rows() {
+        while self.pos < self.nrows {
             let r = self.pos;
             self.pos += 1;
             self.input += 1;
             self.meter.charge(self.row_charge)?;
-            if self.filters.iter().all(|f| f.eval(self.table, r)) {
+            if eval_all(&self.filters, &mut self.cursor, r)? {
                 self.output += 1;
-                return Ok(Some(materialize(self.table, r)));
+                return Ok(Some(materialize(&mut self.cursor, r)?));
             }
         }
         Ok(None)
@@ -140,7 +160,7 @@ impl Operator for SeqScanOp<'_> {
 /// Index scan: row ids gathered from the driving filter's B-tree, residual
 /// filters applied on fetch.
 pub struct IndexScanOp<'a> {
-    table: &'a DataTable,
+    cursor: RowCursor<'a>,
     row_ids: Vec<u32>,
     residual: Vec<CompiledFilter>,
     pos: usize,
@@ -155,7 +175,7 @@ pub struct IndexScanOp<'a> {
 impl<'a> IndexScanOp<'a> {
     /// Creates the scan from a pre-resolved driving-filter lookup.
     pub fn new(
-        table: &'a DataTable,
+        table: TableRef<'a>,
         index: &ColumnIndex,
         driving: CompiledFilter,
         residual: Vec<CompiledFilter>,
@@ -168,7 +188,7 @@ impl<'a> IndexScanOp<'a> {
             CompiledFilter::Le { v, .. } => index.le(v).collect(),
         };
         Self {
-            table,
+            cursor: table.cursor(),
             row_ids,
             residual,
             pos: 0,
@@ -193,9 +213,9 @@ impl Operator for IndexScanOp<'_> {
             self.pos += 1;
             self.input += 1;
             self.meter.charge(self.fetch_charge)?;
-            if self.residual.iter().all(|f| f.eval(self.table, r)) {
+            if eval_all(&self.residual, &mut self.cursor, r)? {
                 self.output += 1;
-                return Ok(Some(materialize(self.table, r)));
+                return Ok(Some(materialize(&mut self.cursor, r)?));
             }
         }
         Ok(None)
@@ -560,7 +580,8 @@ impl Operator for NLJoinOp<'_> {
 /// the fetched rows.
 pub struct IndexNLOp<'a> {
     left: BoxOp<'a>,
-    inner_table: &'a DataTable,
+    inner_rows: usize,
+    inner_cursor: RowCursor<'a>,
     index: &'a ColumnIndex,
     /// Offset of the key column in the *outer* row.
     outer_key: usize,
@@ -582,7 +603,7 @@ impl<'a> IndexNLOp<'a> {
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         left: BoxOp<'a>,
-        inner_table: &'a DataTable,
+        inner_table: TableRef<'a>,
         index: &'a ColumnIndex,
         outer_key: usize,
         residual_preds: Vec<(usize, usize)>,
@@ -594,7 +615,8 @@ impl<'a> IndexNLOp<'a> {
     ) -> Self {
         Self {
             left,
-            inner_table,
+            inner_rows: inner_table.rows(),
+            inner_cursor: inner_table.cursor(),
             index,
             outer_key,
             residual_preds,
@@ -626,17 +648,17 @@ impl Operator for IndexNLOp<'_> {
             for &rid in self.index.eq(lrow[self.outer_key]) {
                 let rid = rid as usize;
                 self.meter.charge(self.match_charge)?;
-                let filters_ok = self
-                    .inner_filters
-                    .iter()
-                    .all(|f| f.eval(self.inner_table, rid));
-                let preds_ok = self
-                    .residual_preds
-                    .iter()
-                    .all(|&(lo, ic)| lrow[lo] == self.inner_table.col(ic)[rid]);
+                let filters_ok = eval_all(&self.inner_filters, &mut self.inner_cursor, rid)?;
+                let mut preds_ok = true;
+                for &(lo, ic) in &self.residual_preds {
+                    if lrow[lo] != self.inner_cursor.value(rid, ic)? {
+                        preds_ok = false;
+                        break;
+                    }
+                }
                 if filters_ok && preds_ok {
                     let mut joined = lrow.clone();
-                    joined.extend(self.inner_table.columns.iter().map(|c| c[rid]));
+                    self.inner_cursor.row_into(rid, &mut joined)?;
                     self.pending.push(joined);
                 }
             }
@@ -649,7 +671,7 @@ impl Operator for IndexNLOp<'_> {
         // would bias the selectivity estimate).
         Counts::Join {
             left: self.left_in,
-            right: self.inner_table.rows() as u64,
+            right: self.inner_rows as u64,
             output: self.out,
         }
     }
@@ -794,7 +816,12 @@ mod op_tests {
     }
 
     fn scan<'a>(t: &'a DataTable, filters: Vec<CompiledFilter>, meter: &Meter) -> BoxOp<'a> {
-        Box::new(SeqScanOp::new(t, filters, meter.clone(), 0.01))
+        Box::new(SeqScanOp::new(
+            TableRef::Mem(t),
+            filters,
+            meter.clone(),
+            0.01,
+        ))
     }
 
     fn drain(mut op: BoxOp<'_>) -> Vec<Row> {
@@ -848,7 +875,7 @@ mod op_tests {
         let idx = ColumnIndex::build(t.col(0));
         let meter = Meter::new(f64::INFINITY);
         let eq = IndexScanOp::new(
-            &t,
+            TableRef::Mem(&t),
             &idx,
             CompiledFilter::Eq { col: 0, v: 5 },
             vec![],
@@ -861,7 +888,7 @@ mod op_tests {
         assert!(rows.iter().all(|r| r[0] == 5));
 
         let le = IndexScanOp::new(
-            &t,
+            TableRef::Mem(&t),
             &idx,
             CompiledFilter::Le { col: 0, v: 4 },
             vec![],
@@ -880,7 +907,7 @@ mod op_tests {
         let idx = ColumnIndex::build(t.col(0));
         let meter = Meter::new(f64::INFINITY);
         let op = IndexScanOp::new(
-            &t,
+            TableRef::Mem(&t),
             &idx,
             CompiledFilter::Eq { col: 0, v: 5 },
             vec![CompiledFilter::Le { col: 1, v: 2 }],
@@ -942,7 +969,7 @@ mod op_tests {
         let t = table(vec![vec![1, 2, 3, 4], vec![0, 0, 0, 0]]);
         let meter = Meter::new(f64::INFINITY);
         let mut op = SeqScanOp::new(
-            &t,
+            TableRef::Mem(&t),
             vec![CompiledFilter::Le { col: 0, v: 2 }],
             meter.clone(),
             0.01,

@@ -1,45 +1,18 @@
 //! Materialized data plus secondary indexes.
+//!
+//! `DataStore` is the in-memory backend of the backend-neutral
+//! [`TableStore`] trait; the out-of-core counterpart lives in
+//! `rqp_storage::PagedStore`. The index structure itself is shared via
+//! rqp-storage so both backends build identical B-trees.
 
 use rqp_catalog::{Catalog, ColId, DataSet, DataTable, TableId};
-use std::collections::BTreeMap;
+use rqp_storage::{TableRef, TableStore};
 use std::collections::HashMap;
 
-/// A B-tree index over one column: value → row ids (sorted by insertion).
-#[derive(Debug, Clone, Default)]
-pub struct ColumnIndex {
-    tree: BTreeMap<i64, Vec<u32>>,
-}
+pub use rqp_storage::ColumnIndex;
 
-impl ColumnIndex {
-    /// Builds the index over a column slice.
-    pub fn build(col: &[i64]) -> Self {
-        let mut tree: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
-        for (i, &v) in col.iter().enumerate() {
-            tree.entry(v).or_default().push(i as u32);
-        }
-        Self { tree }
-    }
-
-    /// Row ids with exactly value `v`.
-    pub fn eq(&self, v: i64) -> &[u32] {
-        self.tree.get(&v).map_or(&[], Vec::as_slice)
-    }
-
-    /// Row ids with value `<= v`, in value order.
-    pub fn le(&self, v: i64) -> impl Iterator<Item = u32> + '_ {
-        self.tree
-            .range(..=v)
-            .flat_map(|(_, ids)| ids.iter().copied())
-    }
-
-    /// Number of distinct keys.
-    pub fn distinct_keys(&self) -> usize {
-        self.tree.len()
-    }
-}
-
-/// The execution engine's storage layer: the dataset plus lazily-built
-/// column indexes.
+/// The execution engine's in-memory storage layer: the dataset plus
+/// eagerly-built column indexes.
 #[derive(Debug)]
 pub struct DataStore {
     data: DataSet,
@@ -78,21 +51,29 @@ impl DataStore {
     }
 }
 
+impl TableStore for DataStore {
+    fn table_ref(&self, t: TableId) -> Option<TableRef<'_>> {
+        self.data.table(t).map(TableRef::Mem)
+    }
+
+    fn index(&self, t: TableId, c: ColId) -> Option<&ColumnIndex> {
+        self.indexes.get(&(t, c))
+    }
+
+    fn true_join_selectivity(&self, l: (TableId, ColId), r: (TableId, ColId)) -> Option<f64> {
+        self.data.true_join_selectivity(l, r)
+    }
+
+    fn true_le_selectivity(&self, t: TableId, c: ColId, v: i64) -> Option<f64> {
+        self.data.true_le_selectivity(t, c, v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rqp_catalog::datagen::{ColumnGen, GenSpec, TableGenSpec};
     use rqp_catalog::{Column, ColumnStats, DataType, Table};
-
-    #[test]
-    fn index_eq_and_range() {
-        let idx = ColumnIndex::build(&[5, 3, 5, 1, 9]);
-        assert_eq!(idx.eq(5), &[0, 2]);
-        assert_eq!(idx.eq(7), &[] as &[u32]);
-        let le: Vec<u32> = idx.le(5).collect();
-        assert_eq!(le, vec![3, 1, 0, 2]); // value order: 1, 3, 5
-        assert_eq!(idx.distinct_keys(), 4);
-    }
 
     #[test]
     fn store_builds_catalog_indexes() {
@@ -123,5 +104,39 @@ mod tests {
         assert!(store.index(t, 0).is_some(), "indexed column gets an index");
         assert!(store.index(t, 1).is_none(), "plain column does not");
         assert_eq!(store.index(t, 0).unwrap().eq(42), &[42]);
+    }
+
+    #[test]
+    fn trait_view_matches_direct_access() {
+        let mut cat = Catalog::new();
+        let t = cat
+            .add_table(Table::new(
+                "t",
+                0,
+                vec![Column::new("k", DataType::Int, ColumnStats::uniform(50))],
+            ))
+            .unwrap();
+        let data = DataSet::generate(
+            &cat,
+            &GenSpec {
+                seed: 2,
+                tables: vec![TableGenSpec {
+                    table: t,
+                    rows: 50,
+                    columns: vec![ColumnGen::Serial],
+                }],
+            },
+        )
+        .unwrap();
+        let store = DataStore::new(&cat, data);
+        let dyn_store: &dyn TableStore = &store;
+        let view = dyn_store.table_ref(t).unwrap();
+        assert_eq!(view.rows(), 50);
+        let mut cur = view.cursor();
+        assert_eq!(cur.value(7, 0).unwrap(), store.table(t).unwrap().col(0)[7]);
+        assert_eq!(
+            dyn_store.true_le_selectivity(t, 0, 24),
+            store.dataset().true_le_selectivity(t, 0, 24)
+        );
     }
 }

@@ -50,11 +50,18 @@ pub enum FaultSite {
     ServerRead,
     /// The server drops a connection before writing a response.
     ServerWrite,
+    /// A buffer-pool page write tears mid-flush (short write detected on
+    /// verify, rewritten on retry).
+    PageTornWrite,
+    /// A buffer-pool pin fails before any I/O happens.
+    PagePinFailed,
+    /// A page read comes back with a checksum mismatch.
+    PageChecksum,
 }
 
 impl FaultSite {
     /// Every site, in stable order (indexes [`FaultPlan`] internals).
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::ExecFull,
         FaultSite::ExecSpill,
         FaultSite::OracleSpill,
@@ -63,6 +70,9 @@ impl FaultSite {
         FaultSite::StoreSave,
         FaultSite::ServerRead,
         FaultSite::ServerWrite,
+        FaultSite::PageTornWrite,
+        FaultSite::PagePinFailed,
+        FaultSite::PageChecksum,
     ];
 
     /// Stable human-readable name (used in error messages and counters).
@@ -76,6 +86,9 @@ impl FaultSite {
             FaultSite::StoreSave => "store.save",
             FaultSite::ServerRead => "server.read",
             FaultSite::ServerWrite => "server.write",
+            FaultSite::PageTornWrite => "page.torn_write",
+            FaultSite::PagePinFailed => "page.failed_pin",
+            FaultSite::PageChecksum => "page.checksum",
         }
     }
 
@@ -133,9 +146,9 @@ pub struct FaultShot {
 #[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
-    sites: [SiteConfig; 8],
-    calls: [AtomicU64; 8],
-    injected: [AtomicU64; 8],
+    sites: [SiteConfig; 11],
+    calls: [AtomicU64; 11],
+    injected: [AtomicU64; 11],
     slow_load: Duration,
     perturb_delta: f64,
 }
@@ -145,7 +158,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         Self {
             seed,
-            sites: [SiteConfig::default(); 8],
+            sites: [SiteConfig::default(); 11],
             calls: std::array::from_fn(|_| AtomicU64::new(0)),
             injected: std::array::from_fn(|_| AtomicU64::new(0)),
             slow_load: Duration::ZERO,

@@ -1,0 +1,139 @@
+//! Storage tuning knobs with `from_env` parsing.
+//!
+//! Follows the `RQP_THREADS` / `RQP_FAULT_SEED` convention used
+//! elsewhere in the workspace, except that invalid values are typed
+//! [`StorageError::Config`] errors rather than silently ignored — a
+//! mistyped pool budget must not quietly run the experiment in-memory.
+
+use crate::page::PAGE_HEADER_LEN;
+use crate::StorageError;
+
+/// Default on-disk page size in bytes.
+pub const DEFAULT_PAGE_SIZE: usize = 8192;
+/// Default buffer-pool frame budget.
+pub const DEFAULT_POOL_FRAMES: usize = 256;
+
+/// Env var overriding the page size.
+pub const ENV_PAGE_SIZE: &str = "RQP_PAGE_SIZE";
+/// Env var overriding the pool frame budget.
+pub const ENV_POOL_FRAMES: &str = "RQP_POOL_FRAMES";
+
+/// Page size and frame budget for a [`crate::BufferPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageConfig {
+    /// Bytes per page; every heap file in a pool shares one size.
+    pub page_size: usize,
+    /// Frames the pool may hold resident at once.
+    pub pool_frames: usize,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        Self {
+            page_size: DEFAULT_PAGE_SIZE,
+            pool_frames: DEFAULT_POOL_FRAMES,
+        }
+    }
+}
+
+impl StorageConfig {
+    /// Builder: page size in bytes.
+    pub fn with_page_size(mut self, bytes: usize) -> Self {
+        self.page_size = bytes;
+        self
+    }
+
+    /// Builder: pool frame budget.
+    pub fn with_pool_frames(mut self, frames: usize) -> Self {
+        self.pool_frames = frames;
+        self
+    }
+
+    /// Rejects configurations the pool cannot run with.
+    pub fn validated(self) -> Result<Self, StorageError> {
+        if self.page_size <= PAGE_HEADER_LEN + 10 {
+            return Err(StorageError::Config(format!(
+                "page_size {} B leaves no room for tuples (header is {PAGE_HEADER_LEN} B)",
+                self.page_size
+            )));
+        }
+        if self.page_size > u16::MAX as usize {
+            return Err(StorageError::Config(format!(
+                "page_size {} B exceeds the 16-bit slot-offset limit of {}",
+                self.page_size,
+                u16::MAX
+            )));
+        }
+        if self.pool_frames < 2 {
+            return Err(StorageError::Config(format!(
+                "pool_frames {} is too small: a scan and a spill writer need at least 2 frames",
+                self.pool_frames
+            )));
+        }
+        Ok(self)
+    }
+
+    /// Reads `RQP_PAGE_SIZE` / `RQP_POOL_FRAMES`, falling back to the
+    /// defaults when unset. Set-but-invalid values are typed errors.
+    pub fn from_env() -> Result<Self, StorageError> {
+        let mut cfg = Self::default();
+        if let Ok(raw) = std::env::var(ENV_PAGE_SIZE) {
+            cfg.page_size = raw.trim().parse().map_err(|_| {
+                StorageError::Config(format!("{ENV_PAGE_SIZE}={raw:?} is not a byte count"))
+            })?;
+        }
+        if let Ok(raw) = std::env::var(ENV_POOL_FRAMES) {
+            cfg.pool_frames = raw.trim().parse().map_err(|_| {
+                StorageError::Config(format!("{ENV_POOL_FRAMES}={raw:?} is not a frame count"))
+            })?;
+        }
+        cfg.validated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(StorageConfig::default().validated().is_ok());
+    }
+
+    #[test]
+    fn tiny_pool_and_tiny_page_are_typed_errors() {
+        let e = StorageConfig::default()
+            .with_pool_frames(1)
+            .validated()
+            .unwrap_err();
+        assert!(matches!(e, StorageError::Config(_)), "{e:?}");
+        let e = StorageConfig::default()
+            .with_page_size(16)
+            .validated()
+            .unwrap_err();
+        assert!(matches!(e, StorageError::Config(_)), "{e:?}");
+        let e = StorageConfig::default()
+            .with_page_size(1 << 20)
+            .validated()
+            .unwrap_err();
+        assert!(matches!(e, StorageError::Config(_)), "{e:?}");
+    }
+
+    #[test]
+    fn env_parsing_yields_typed_errors_on_garbage() {
+        // Env mutation is process-global; keep it in one test and
+        // restore before asserting anything else.
+        std::env::set_var(ENV_POOL_FRAMES, "many");
+        let e = StorageConfig::from_env().unwrap_err();
+        std::env::remove_var(ENV_POOL_FRAMES);
+        assert!(matches!(e, StorageError::Config(_)), "{e:?}");
+
+        std::env::set_var(ENV_PAGE_SIZE, "4096");
+        std::env::set_var(ENV_POOL_FRAMES, "64");
+        let cfg = StorageConfig::from_env().unwrap();
+        std::env::remove_var(ENV_PAGE_SIZE);
+        std::env::remove_var(ENV_POOL_FRAMES);
+        assert_eq!(cfg.page_size, 4096);
+        assert_eq!(cfg.pool_frames, 64);
+    }
+}

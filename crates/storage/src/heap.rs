@@ -1,0 +1,418 @@
+//! Heap-file table store: a whole dataset materialized into slotted
+//! pages and served back through the buffer pool.
+//!
+//! [`PagedStore`] is the out-of-core counterpart of the executor's
+//! in-memory `DataStore`. Materialization is a deterministic bulk load
+//! (row-major into sealed pages, bypassing the pool); all subsequent
+//! access — scans, index builds, ground-truth measurement, spill
+//! output — goes through pool pins and is therefore subject to the
+//! frame budget and the page-level fault sites.
+
+use crate::pool::{BufferPool, FileId};
+use crate::view::{PagedTableRef, SpillSink, TableRef, TableStore};
+use crate::{ColumnIndex, PageBuf, StorageConfig, StorageError};
+use rqp_catalog::{Catalog, ColId, DataSet, TableId};
+use rqp_faults::FaultPlan;
+use rqp_obs::MetricsRegistry;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-unique suffix for scratch directories.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+#[derive(Debug)]
+struct TableMeta {
+    file: FileId,
+    rows: usize,
+    ncols: usize,
+    /// Tuples per page at this store's page size.
+    cap: usize,
+}
+
+/// A dataset stored as checksummed heap files behind a [`BufferPool`].
+#[derive(Debug)]
+pub struct PagedStore {
+    pool: BufferPool,
+    tables: HashMap<TableId, TableMeta>,
+    indexes: HashMap<(TableId, ColId), ColumnIndex>,
+    dir: PathBuf,
+    registry: MetricsRegistry,
+    spill_seq: AtomicU64,
+}
+
+impl PagedStore {
+    /// Materializes `data` into heap files under a scratch directory
+    /// with a fresh metrics registry. Files are deleted on drop.
+    pub fn materialize(
+        catalog: &Catalog,
+        data: &DataSet,
+        config: StorageConfig,
+    ) -> Result<Self, StorageError> {
+        Self::materialize_with(catalog, data, config, MetricsRegistry::new())
+    }
+
+    /// As [`PagedStore::materialize`], metering through `registry`.
+    pub fn materialize_with(
+        catalog: &Catalog,
+        data: &DataSet,
+        config: StorageConfig,
+        registry: MetricsRegistry,
+    ) -> Result<Self, StorageError> {
+        let config = config.validated()?;
+        let dir = std::env::temp_dir().join(format!(
+            "rqp-storage-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        let pool = BufferPool::new(config, &registry)?;
+
+        let mut tables = HashMap::new();
+        for (tid, _table) in catalog.tables().iter().enumerate() {
+            let Some(dt) = data.table(tid) else { continue };
+            let ncols = dt.columns.len();
+            if ncols == 0 {
+                continue;
+            }
+            let cap = PageBuf::capacity(config.page_size, ncols);
+            if cap == 0 {
+                return Err(StorageError::Config(format!(
+                    "page_size {} B cannot hold one {ncols}-column tuple of table {}",
+                    config.page_size, dt.name
+                )));
+            }
+            let path = dir.join(format!("t{tid}_{}.rqp", dt.name));
+            write_heap_file(&path, config.page_size, ncols, dt)?;
+            let file = pool.register_file(&path, &dt.name)?;
+            tables.insert(
+                tid,
+                TableMeta {
+                    file,
+                    rows: dt.rows(),
+                    ncols,
+                    cap,
+                },
+            );
+        }
+
+        // Secondary indexes stream the indexed columns back through
+        // the pool, so even index builds respect the frame budget.
+        let mut indexes = HashMap::new();
+        for (tid, table) in catalog.tables().iter().enumerate() {
+            let Some(meta) = tables.get(&tid) else {
+                continue;
+            };
+            for (cid, col) in table.columns.iter().enumerate() {
+                if col.indexed {
+                    let vals = gather_column(&pool, meta, cid)?;
+                    indexes.insert((tid, cid), ColumnIndex::build(&vals));
+                }
+            }
+        }
+
+        Ok(Self {
+            pool,
+            tables,
+            indexes,
+            dir,
+            registry,
+            spill_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Arms page-level fault injection. Call *after* ground-truth
+    /// measurement so the fault-shot sequence consumed by a run is
+    /// independent of setup traffic and replays bit-identically.
+    pub fn set_faults(&self, plan: Option<Arc<FaultPlan>>) {
+        self.pool.set_faults(plan);
+    }
+
+    /// The metrics registry this store's pool reports into.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The buffer pool (for counter inspection in tests and benches).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+}
+
+impl Drop for PagedStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Bulk-loads one table into sealed pages at `path` (direct writes; the
+/// pool is not involved in the initial load).
+fn write_heap_file(
+    path: &Path,
+    page_size: usize,
+    ncols: usize,
+    dt: &rqp_catalog::DataTable,
+) -> Result<(), StorageError> {
+    let mut fh = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut page_no = 0u64;
+    let mut page = PageBuf::new(page_size, ncols, page_no);
+    let mut row = Vec::with_capacity(ncols);
+    for r in 0..dt.rows() {
+        row.clear();
+        for c in 0..ncols {
+            row.push(dt.columns[c][r]);
+        }
+        if !page.push(&row) {
+            page.seal();
+            fh.write_all(page.bytes())?;
+            page_no += 1;
+            page = PageBuf::new(page_size, ncols, page_no);
+            assert!(page.push(&row), "fresh page accepts one tuple");
+        }
+    }
+    if page.ntuples() > 0 {
+        page.seal();
+        fh.write_all(page.bytes())?;
+    }
+    fh.flush()?;
+    Ok(())
+}
+
+/// Reads one full column through the pool, page by page in row order.
+fn gather_column(
+    pool: &BufferPool,
+    meta: &TableMeta,
+    col: usize,
+) -> Result<Vec<i64>, StorageError> {
+    let mut out = Vec::with_capacity(meta.rows);
+    let npages = meta.rows.div_ceil(meta.cap) as u64;
+    for p in 0..npages {
+        let pin = pool.pin(meta.file, p)?;
+        pin.with(|pg| {
+            for s in 0..pg.ntuples() {
+                out.push(pg.value(s, col));
+            }
+        });
+    }
+    Ok(out)
+}
+
+impl TableStore for PagedStore {
+    fn table_ref(&self, t: TableId) -> Option<TableRef<'_>> {
+        self.tables.get(&t).map(|m| {
+            TableRef::Paged(PagedTableRef {
+                pool: &self.pool,
+                file: m.file,
+                rows: m.rows,
+                ncols: m.ncols,
+                cap: m.cap,
+            })
+        })
+    }
+
+    fn index(&self, t: TableId, c: ColId) -> Option<&ColumnIndex> {
+        self.indexes.get(&(t, c))
+    }
+
+    /// Identical arithmetic to `DataSet::true_join_selectivity`, with
+    /// the columns streamed through the pool — the measured qa must be
+    /// bit-identical across backends.
+    fn true_join_selectivity(&self, l: (TableId, ColId), r: (TableId, ColId)) -> Option<f64> {
+        let lm = self.tables.get(&l.0)?;
+        let rm = self.tables.get(&r.0)?;
+        let lc = gather_column(&self.pool, lm, l.1).ok()?;
+        let rc = gather_column(&self.pool, rm, r.1).ok()?;
+        if lc.is_empty() || rc.is_empty() {
+            return Some(0.0);
+        }
+        let mut counts: HashMap<i64, u64> = HashMap::new();
+        for &v in &rc {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let matches: u128 = lc
+            .iter()
+            .map(|v| counts.get(v).copied().unwrap_or(0) as u128)
+            .sum();
+        Some(matches as f64 / (lc.len() as f64 * rc.len() as f64))
+    }
+
+    /// Identical arithmetic to `DataSet::true_le_selectivity`.
+    fn true_le_selectivity(&self, t: TableId, c: ColId, v: i64) -> Option<f64> {
+        let m = self.tables.get(&t)?;
+        let col = gather_column(&self.pool, m, c).ok()?;
+        if col.is_empty() {
+            return Some(0.0);
+        }
+        let hits = col.iter().filter(|&&x| x <= v).count();
+        Some(hits as f64 / col.len() as f64)
+    }
+
+    fn spill_sink(&self) -> Option<Box<dyn SpillSink + '_>> {
+        let seq = self.spill_seq.fetch_add(1, Ordering::Relaxed);
+        Some(Box::new(PooledSpillWriter {
+            pool: &self.pool,
+            path: self.dir.join(format!("spill-{seq}.rqp")),
+            file: None,
+            page: None,
+            page_no: 0,
+            rows: 0,
+        }))
+    }
+}
+
+/// Spill-output writer that pushes full pages through the pool as dirty
+/// frames. The file and page width are sized lazily from the first row;
+/// on drop the whole spill file is discarded and its frames released.
+pub struct PooledSpillWriter<'a> {
+    pool: &'a BufferPool,
+    path: PathBuf,
+    file: Option<(FileId, usize)>,
+    page: Option<PageBuf>,
+    page_no: u64,
+    rows: u64,
+}
+
+impl SpillSink for PooledSpillWriter<'_> {
+    fn append(&mut self, row: &[i64]) -> Result<(), StorageError> {
+        let (file, ncols) = match self.file {
+            Some(f) => f,
+            None => {
+                let id = self.pool.register_file(&self.path, "spill")?;
+                self.file = Some((id, row.len()));
+                (id, row.len())
+            }
+        };
+        let page_size = self.pool.page_size();
+        let page = self
+            .page
+            .get_or_insert_with(|| PageBuf::new(page_size, ncols, self.page_no));
+        if !page.push(row) {
+            let full = self.page.take().expect("page present");
+            self.pool.write_through(file, self.page_no, full)?;
+            self.page_no += 1;
+            let mut fresh = PageBuf::new(page_size, ncols, self.page_no);
+            assert!(fresh.push(row), "fresh page accepts one tuple");
+            self.page = Some(fresh);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<u64, StorageError> {
+        if let (Some((file, _)), Some(page)) = (self.file, self.page.take()) {
+            if page.ntuples() > 0 {
+                self.pool.write_through(file, self.page_no, page)?;
+            }
+        }
+        Ok(self.rows)
+    }
+}
+
+impl Drop for PooledSpillWriter<'_> {
+    fn drop(&mut self) {
+        // Spill output is by definition discarded: free the frames it
+        // occupies and delete the file.
+        if let Some((file, _)) = self.file {
+            self.pool.release_file(file);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_catalog::datagen::{ColumnGen, GenSpec, TableGenSpec};
+    use rqp_catalog::{Column, ColumnStats, DataType, Table};
+
+    fn small_dataset() -> (Catalog, DataSet) {
+        let mut cat = Catalog::new();
+        let t = cat
+            .add_table(Table::new(
+                "t",
+                0,
+                vec![
+                    Column::new("k", DataType::Int, ColumnStats::uniform(200)).with_index(),
+                    Column::new("v", DataType::Int, ColumnStats::uniform(10)),
+                ],
+            ))
+            .unwrap();
+        let data = DataSet::generate(
+            &cat,
+            &GenSpec {
+                seed: 9,
+                tables: vec![TableGenSpec {
+                    table: t,
+                    rows: 200,
+                    columns: vec![ColumnGen::Serial, ColumnGen::Uniform { domain: 10 }],
+                }],
+            },
+        )
+        .unwrap();
+        (cat, data)
+    }
+
+    #[test]
+    fn paged_store_round_trips_rows_and_indexes() {
+        let (cat, data) = small_dataset();
+        let cfg = StorageConfig::default()
+            .with_page_size(256)
+            .with_pool_frames(4);
+        let store = PagedStore::materialize(&cat, &data, cfg).unwrap();
+        let mem = data.table(0).unwrap();
+        let view = store.table_ref(0).unwrap();
+        assert_eq!(view.rows(), 200);
+        assert_eq!(view.ncols(), 2);
+        let mut cur = view.cursor();
+        for r in 0..200 {
+            assert_eq!(cur.value(r, 0).unwrap(), mem.col(0)[r]);
+            assert_eq!(cur.value(r, 1).unwrap(), mem.col(1)[r]);
+        }
+        assert!(
+            store.pool().metrics().evictions.value() > 0,
+            "200 rows through 4 small frames must evict"
+        );
+        assert_eq!(store.index(0, 0).unwrap().eq(42), &[42]);
+        assert!(store.index(0, 1).is_none());
+    }
+
+    #[test]
+    fn ground_truth_matches_in_memory_bitwise() {
+        let (cat, data) = small_dataset();
+        let cfg = StorageConfig::default()
+            .with_page_size(256)
+            .with_pool_frames(4);
+        let store = PagedStore::materialize(&cat, &data, cfg).unwrap();
+        let want = data.true_le_selectivity(0, 1, 4).unwrap();
+        let got = store.true_le_selectivity(0, 1, 4).unwrap();
+        assert_eq!(want.to_bits(), got.to_bits(), "bit-identical selectivity");
+    }
+
+    #[test]
+    fn spill_sink_writes_through_the_pool_and_cleans_up() {
+        let (cat, data) = small_dataset();
+        let cfg = StorageConfig::default()
+            .with_page_size(256)
+            .with_pool_frames(4);
+        let store = PagedStore::materialize(&cat, &data, cfg).unwrap();
+        {
+            let mut sink = store.spill_sink().unwrap();
+            for i in 0..100 {
+                sink.append(&[i, i * 2, i * 3]).unwrap();
+            }
+            assert_eq!(sink.finish().unwrap(), 100);
+        }
+        assert!(
+            store.pool().metrics().spill_pages.value() > 0,
+            "spill pages went through the pool"
+        );
+        assert!(
+            std::fs::read_dir(&store.dir)
+                .unwrap()
+                .filter_map(Result::ok)
+                .all(|e| !e.file_name().to_string_lossy().starts_with("spill-")),
+            "spill file deleted on drop"
+        );
+    }
+}

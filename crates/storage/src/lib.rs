@@ -1,0 +1,83 @@
+//! # rqp-storage
+//!
+//! Out-of-core storage for the robust-query-processing engine: a
+//! deterministic slotted-page format ([`PageBuf`]), a pinning buffer
+//! pool with clock eviction ([`BufferPool`]), heap-file tables behind
+//! the backend-neutral [`TableStore`] trait ([`PagedStore`]), and the
+//! shared secondary index ([`ColumnIndex`]).
+//!
+//! The point of this layer is experimental: the paper's MSO guarantees
+//! are claims about *plan* robustness, and they only separate from
+//! native optimization once execution is exposed to real memory
+//! pressure. A bounded frame budget (`RQP_POOL_FRAMES` /
+//! `--pool-frames`) makes "native plans thrash, bounded plans don't"
+//! a measurable statement: eviction counters and wall-clock come from
+//! the same [`rqp_obs::MetricsRegistry`] the rest of the stack reports
+//! into.
+
+mod config;
+mod heap;
+mod index;
+mod page;
+mod pool;
+mod view;
+
+pub use config::{
+    StorageConfig, DEFAULT_PAGE_SIZE, DEFAULT_POOL_FRAMES, ENV_PAGE_SIZE, ENV_POOL_FRAMES,
+};
+pub use heap::{PagedStore, PooledSpillWriter};
+pub use index::ColumnIndex;
+pub use page::{PageBuf, PAGE_HEADER_LEN};
+pub use pool::{BufferPool, FileId, PageRef, PoolMetrics, FAULT_RETRIES};
+pub use view::{PagedTableRef, RowCursor, SpillSink, TableRef, TableStore};
+
+/// Typed storage failures. `Injected` carries the fault-site name so
+/// chaos tooling can distinguish injected faults from real corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(String),
+    /// A page's stored checksum does not match its contents.
+    ChecksumMismatch {
+        /// Heap-file (table) name.
+        file: String,
+        /// Page number within the file.
+        page: u64,
+    },
+    /// Structural page damage other than a checksum mismatch.
+    Corrupt(String),
+    /// Every frame is pinned; no victim exists.
+    PoolExhausted {
+        /// The pool's frame budget.
+        frames: usize,
+    },
+    /// A persistent injected fault (site name) exhausted its retries.
+    Injected(&'static str),
+    /// Invalid configuration (page size / frame budget / env knobs).
+    Config(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(msg) => write!(f, "storage I/O error: {msg}"),
+            StorageError::ChecksumMismatch { file, page } => {
+                write!(f, "checksum mismatch on {file} page {page}")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+            StorageError::PoolExhausted { frames } => {
+                write!(f, "buffer pool exhausted: all {frames} frames pinned")
+            }
+            StorageError::Injected(site) => write!(f, "injected storage fault at {site}"),
+            StorageError::Config(msg) => write!(f, "storage config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}

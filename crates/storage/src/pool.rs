@@ -1,0 +1,574 @@
+//! Pinning buffer pool with clock eviction.
+//!
+//! A fixed budget of frames caches [`PageBuf`]s read from registered
+//! heap files. Pins protect a frame from eviction; the clock hand skips
+//! pinned frames and second-chances referenced ones. Dirty frames
+//! (spill pages written through the pool) are flushed back to their
+//! file before the frame is reused.
+//!
+//! Every interesting transition is metered through the shared
+//! [`MetricsRegistry`]: hits, misses, evictions, flushes, pin traffic,
+//! and the page-level fault sites. Transient injected faults are
+//! absorbed by a bounded retry (so a seeded chaos run replays
+//! bit-identically); persistent ones surface as typed
+//! [`StorageError::Injected`] errors.
+//!
+//! Concurrency model: one `Mutex` guards the page table, file registry
+//! and clock hand, and is held across page I/O. That is deliberately
+//! simple — the executor is single-threaded per query, and correctness
+//! of the pin/evict protocol matters more here than I/O overlap.
+
+use crate::page::PageBuf;
+use crate::{StorageConfig, StorageError};
+use rqp_faults::{FaultPlan, FaultSite};
+use rqp_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Handle to a file registered with a pool.
+pub type FileId = usize;
+
+/// Transient injected faults are retried this many times before they
+/// are treated as persistent and surfaced as typed errors.
+pub const FAULT_RETRIES: u32 = 3;
+
+/// Handles into the metrics registry, resolved once at pool creation so
+/// the hot path never touches the registry lock.
+#[derive(Clone)]
+pub struct PoolMetrics {
+    pub hits: Counter,
+    pub misses: Counter,
+    pub evictions: Counter,
+    pub flushes: Counter,
+    pub pins: Counter,
+    pub spill_pages: Counter,
+    pub fault_torn: Counter,
+    pub fault_pin: Counter,
+    pub fault_checksum: Counter,
+    pub retries: Counter,
+    pub pinned: Gauge,
+    pub frames: Gauge,
+    pub io_us: Histogram,
+}
+
+impl PoolMetrics {
+    fn register(reg: &MetricsRegistry) -> Self {
+        Self {
+            hits: reg.counter("storage.pool.hits"),
+            misses: reg.counter("storage.pool.misses"),
+            evictions: reg.counter("storage.pool.evictions"),
+            flushes: reg.counter("storage.pool.flushes"),
+            pins: reg.counter("storage.pool.pins"),
+            spill_pages: reg.counter("storage.spill.pages"),
+            fault_torn: reg.counter("storage.faults.torn_write"),
+            fault_pin: reg.counter("storage.faults.failed_pin"),
+            fault_checksum: reg.counter("storage.faults.checksum"),
+            retries: reg.counter("storage.faults.retries"),
+            pinned: reg.gauge("storage.pool.pinned"),
+            frames: reg.gauge("storage.pool.frames"),
+            io_us: reg.histogram("storage.pool.io_us"),
+        }
+    }
+}
+
+struct Frame {
+    pins: AtomicU32,
+    refbit: AtomicBool,
+    dirty: AtomicBool,
+    page: RwLock<Option<PageBuf>>,
+}
+
+struct FileEntry {
+    handle: std::fs::File,
+    path: PathBuf,
+    name: String,
+}
+
+struct PoolInner {
+    /// `(file, page)` → frame index for resident pages.
+    map: HashMap<(FileId, u64), usize>,
+    /// Reverse mapping: which key each frame currently holds.
+    keys: Vec<Option<(FileId, u64)>>,
+    /// Registered files; `None` marks a released (spill) file.
+    files: Vec<Option<FileEntry>>,
+    /// Clock hand for the next victim sweep.
+    hand: usize,
+}
+
+/// The buffer pool. See the module docs for the protocol.
+pub struct BufferPool {
+    page_size: usize,
+    frames: Vec<Arc<Frame>>,
+    inner: Mutex<PoolInner>,
+    metrics: PoolMetrics,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("page_size", &self.page_size)
+            .field("frames", &self.frames.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A pinned page. The frame cannot be evicted while this guard lives;
+/// dropping it unpins.
+pub struct PageRef {
+    frame: Arc<Frame>,
+    pinned: Gauge,
+}
+
+impl std::fmt::Debug for PageRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageRef")
+            .field("pins", &self.frame.pins.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl PageRef {
+    /// Reads through the pinned page.
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(&PageBuf) -> R) -> R {
+        let guard = self.frame.page.read().unwrap();
+        f(guard.as_ref().expect("pinned frame always holds a page"))
+    }
+}
+
+impl Drop for PageRef {
+    fn drop(&mut self) {
+        self.frame.pins.fetch_sub(1, Ordering::SeqCst);
+        self.pinned.add(-1.0);
+    }
+}
+
+impl BufferPool {
+    /// A pool with `config.pool_frames` frames of `config.page_size`
+    /// bytes, metered through `registry`.
+    pub fn new(config: StorageConfig, registry: &MetricsRegistry) -> Result<Self, StorageError> {
+        let config = config.validated()?;
+        let metrics = PoolMetrics::register(registry);
+        metrics.frames.set(config.pool_frames as f64);
+        Ok(Self {
+            page_size: config.page_size,
+            frames: (0..config.pool_frames)
+                .map(|_| {
+                    Arc::new(Frame {
+                        pins: AtomicU32::new(0),
+                        refbit: AtomicBool::new(false),
+                        dirty: AtomicBool::new(false),
+                        page: RwLock::new(None),
+                    })
+                })
+                .collect(),
+            inner: Mutex::new(PoolInner {
+                map: HashMap::new(),
+                keys: vec![None; config.pool_frames],
+                files: Vec::new(),
+                hand: 0,
+            }),
+            metrics,
+            faults: RwLock::new(None),
+        })
+    }
+
+    /// Arms (or disarms) page-level fault injection.
+    pub fn set_faults(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.faults.write().unwrap() = plan;
+    }
+
+    /// Bytes per page.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Frame budget.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The pool's metric handles (for reporting).
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.metrics
+    }
+
+    /// Registers a heap file for paging. The pool keeps the handle open
+    /// until [`BufferPool::release_file`].
+    pub fn register_file(&self, path: &Path, name: &str) -> Result<FileId, StorageError> {
+        let handle = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut inner = self.inner.lock().unwrap();
+        inner.files.push(Some(FileEntry {
+            handle,
+            path: path.to_path_buf(),
+            name: name.to_string(),
+        }));
+        Ok(inner.files.len() - 1)
+    }
+
+    /// Drops every resident page of `file` without flushing, closes the
+    /// handle and deletes the file. Used for discarded spill output; the
+    /// caller must not hold pins into the file.
+    pub fn release_file(&self, file: FileId) {
+        let mut inner = self.inner.lock().unwrap();
+        for fi in 0..self.frames.len() {
+            if inner.keys[fi].is_some_and(|k| k.0 == file) {
+                let key = inner.keys[fi].take().expect("checked above");
+                inner.map.remove(&key);
+                let frame = &self.frames[fi];
+                debug_assert_eq!(
+                    frame.pins.load(Ordering::SeqCst),
+                    0,
+                    "released while pinned"
+                );
+                *frame.page.write().unwrap() = None;
+                frame.dirty.store(false, Ordering::Relaxed);
+                frame.refbit.store(false, Ordering::Relaxed);
+            }
+        }
+        if let Some(entry) = inner.files.get_mut(file).and_then(Option::take) {
+            drop(entry.handle);
+            let _ = std::fs::remove_file(&entry.path);
+        }
+    }
+
+    /// Pins `(file, page_no)`, faulting it in from the file on a miss.
+    pub fn pin(&self, file: FileId, page_no: u64) -> Result<PageRef, StorageError> {
+        self.metrics.pins.inc();
+        self.check_pin_fault()?;
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(&fi) = inner.map.get(&(file, page_no)) {
+            let frame = &self.frames[fi];
+            frame.pins.fetch_add(1, Ordering::SeqCst);
+            frame.refbit.store(true, Ordering::Relaxed);
+            self.metrics.hits.inc();
+            self.metrics.pinned.add(1.0);
+            return Ok(PageRef {
+                frame: frame.clone(),
+                pinned: self.metrics.pinned.clone(),
+            });
+        }
+        self.metrics.misses.inc();
+        let fi = self.claim_victim(&mut inner)?;
+        let page = self.read_page(&mut inner, file, page_no)?;
+        let frame = &self.frames[fi];
+        *frame.page.write().unwrap() = Some(page);
+        frame.dirty.store(false, Ordering::Relaxed);
+        frame.refbit.store(true, Ordering::Relaxed);
+        frame.pins.store(1, Ordering::SeqCst);
+        inner.map.insert((file, page_no), fi);
+        inner.keys[fi] = Some((file, page_no));
+        self.metrics.pinned.add(1.0);
+        Ok(PageRef {
+            frame: frame.clone(),
+            pinned: self.metrics.pinned.clone(),
+        })
+    }
+
+    /// Installs a freshly written (spill) page as a dirty, unpinned,
+    /// immediately-evictable resident. It still costs a frame, which is
+    /// how spilling competes with scans for the pool budget.
+    pub fn write_through(
+        &self,
+        file: FileId,
+        page_no: u64,
+        mut page: PageBuf,
+    ) -> Result<(), StorageError> {
+        page.seal();
+        let mut inner = self.inner.lock().unwrap();
+        let fi = self.claim_victim(&mut inner)?;
+        let frame = &self.frames[fi];
+        *frame.page.write().unwrap() = Some(page);
+        frame.dirty.store(true, Ordering::Relaxed);
+        frame.refbit.store(false, Ordering::Relaxed);
+        inner.map.insert((file, page_no), fi);
+        inner.keys[fi] = Some((file, page_no));
+        self.metrics.spill_pages.inc();
+        Ok(())
+    }
+
+    /// Clock sweep for a reusable frame; flushes a dirty victim. Errors
+    /// with [`StorageError::PoolExhausted`] when every frame is pinned.
+    fn claim_victim(&self, inner: &mut PoolInner) -> Result<usize, StorageError> {
+        let n = self.frames.len();
+        // Two full revolutions: the first clears reference bits, the
+        // second must find an unpinned frame if one exists.
+        for _ in 0..(2 * n + 1) {
+            let fi = inner.hand;
+            inner.hand = (inner.hand + 1) % n;
+            let frame = &self.frames[fi];
+            if frame.pins.load(Ordering::SeqCst) > 0 {
+                continue;
+            }
+            if frame.refbit.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            if let Some(key) = inner.keys[fi].take() {
+                inner.map.remove(&key);
+                let old = frame.page.write().unwrap().take();
+                if let Some(old) = old {
+                    self.metrics.evictions.inc();
+                    if frame.dirty.swap(false, Ordering::Relaxed) {
+                        self.metrics.flushes.inc();
+                        self.write_page(inner, key.0, key.1, &old)?;
+                    }
+                }
+            }
+            return Ok(fi);
+        }
+        Err(StorageError::PoolExhausted { frames: n })
+    }
+
+    fn read_page(
+        &self,
+        inner: &mut PoolInner,
+        file: FileId,
+        page_no: u64,
+    ) -> Result<PageBuf, StorageError> {
+        let t0 = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            let entry = inner
+                .files
+                .get_mut(file)
+                .and_then(Option::as_mut)
+                .ok_or_else(|| StorageError::Io(format!("file id {file} is not registered")))?;
+            entry
+                .handle
+                .seek(SeekFrom::Start(page_no * self.page_size as u64))?;
+            let mut buf = vec![0u8; self.page_size];
+            entry.handle.read_exact(&mut buf)?;
+            if self.shot(FaultSite::PageChecksum) {
+                self.metrics.fault_checksum.inc();
+                attempt += 1;
+                if attempt >= FAULT_RETRIES {
+                    return Err(StorageError::Injected(FaultSite::PageChecksum.name()));
+                }
+                self.metrics.retries.inc();
+                continue;
+            }
+            let page = PageBuf::from_bytes(buf, &entry.name, page_no)?;
+            self.metrics.io_us.observe(t0.elapsed().as_micros() as f64);
+            return Ok(page);
+        }
+    }
+
+    fn write_page(
+        &self,
+        inner: &mut PoolInner,
+        file: FileId,
+        page_no: u64,
+        page: &PageBuf,
+    ) -> Result<(), StorageError> {
+        let mut attempt = 0u32;
+        loop {
+            let entry = inner
+                .files
+                .get_mut(file)
+                .and_then(Option::as_mut)
+                .ok_or_else(|| StorageError::Io(format!("file id {file} is not registered")))?;
+            entry
+                .handle
+                .seek(SeekFrom::Start(page_no * self.page_size as u64))?;
+            if self.shot(FaultSite::PageTornWrite) {
+                self.metrics.fault_torn.inc();
+                // Simulate the tear: only half the page reaches the
+                // file before the retry rewrites it in full.
+                entry
+                    .handle
+                    .write_all(&page.bytes()[..self.page_size / 2])?;
+                attempt += 1;
+                if attempt >= FAULT_RETRIES {
+                    return Err(StorageError::Injected(FaultSite::PageTornWrite.name()));
+                }
+                self.metrics.retries.inc();
+                continue;
+            }
+            entry.handle.write_all(page.bytes())?;
+            return Ok(());
+        }
+    }
+
+    fn shot(&self, site: FaultSite) -> bool {
+        self.faults
+            .read()
+            .unwrap()
+            .as_ref()
+            .is_some_and(|p| p.shot(site).is_some())
+    }
+
+    fn check_pin_fault(&self) -> Result<(), StorageError> {
+        let plan = self.faults.read().unwrap().clone();
+        let Some(plan) = plan else { return Ok(()) };
+        let mut attempt = 0u32;
+        while plan.shot(FaultSite::PagePinFailed).is_some() {
+            self.metrics.fault_pin.inc();
+            attempt += 1;
+            if attempt >= FAULT_RETRIES {
+                return Err(StorageError::Injected(FaultSite::PagePinFailed.name()));
+            }
+            self.metrics.retries.inc();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_file(pages: u64, page_size: usize, ncols: usize) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "rqp-pool-test-{}-{}.rqp",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut f = std::fs::File::create(&path).unwrap();
+        for p in 0..pages {
+            let mut page = PageBuf::new(page_size, ncols, p);
+            let mut s = 0i64;
+            while page.push(&[p as i64, s]) {
+                s += 1;
+            }
+            page.seal();
+            f.write_all(page.bytes()).unwrap();
+        }
+        path
+    }
+
+    fn pool(frames: usize) -> (BufferPool, MetricsRegistry) {
+        let reg = MetricsRegistry::new();
+        let cfg = StorageConfig::default()
+            .with_page_size(512)
+            .with_pool_frames(frames);
+        (BufferPool::new(cfg, &reg).unwrap(), reg)
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_accounting() {
+        let (pool, _reg) = pool(2);
+        let path = scratch_file(3, 512, 2);
+        let f = pool.register_file(&path, "t").unwrap();
+        for p in 0..3 {
+            let pin = pool.pin(f, p).unwrap();
+            assert_eq!(pin.with(|pg| pg.value(0, 0)), p as i64);
+        }
+        assert_eq!(pool.metrics().misses.value(), 3);
+        assert_eq!(pool.metrics().evictions.value(), 1, "3 pages into 2 frames");
+        let pin = pool.pin(f, 2).unwrap();
+        assert_eq!(pool.metrics().hits.value(), 1, "page 2 is still resident");
+        drop(pin);
+        pool.release_file(f);
+        assert!(!path.exists(), "release deletes the file");
+    }
+
+    #[test]
+    fn pinned_frames_are_never_evicted() {
+        let (pool, _reg) = pool(2);
+        let path = scratch_file(4, 512, 2);
+        let f = pool.register_file(&path, "t").unwrap();
+        let held = pool.pin(f, 0).unwrap();
+        // Cycle far more pages than frames through the other frame.
+        for p in 1..4 {
+            drop(pool.pin(f, p).unwrap());
+        }
+        let before = pool.metrics().misses.value();
+        let again = pool.pin(f, 0).unwrap();
+        assert_eq!(
+            pool.metrics().misses.value(),
+            before,
+            "the pinned page survived every eviction sweep"
+        );
+        assert_eq!(again.with(|pg| pg.value(0, 0)), 0);
+        drop(held);
+        drop(again);
+        assert_eq!(pool.metrics().pinned.value(), 0.0, "all pins returned");
+        pool.release_file(f);
+    }
+
+    #[test]
+    fn fully_pinned_pool_is_a_typed_error() {
+        let (pool, _reg) = pool(2);
+        let path = scratch_file(3, 512, 2);
+        let f = pool.register_file(&path, "t").unwrap();
+        let _a = pool.pin(f, 0).unwrap();
+        let _b = pool.pin(f, 1).unwrap();
+        let err = pool.pin(f, 2).unwrap_err();
+        assert!(
+            matches!(err, StorageError::PoolExhausted { frames: 2 }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn transient_page_faults_are_absorbed_and_counted() {
+        let (pool, _reg) = pool(2);
+        let path = scratch_file(2, 512, 2);
+        let f = pool.register_file(&path, "t").unwrap();
+        let plan = FaultPlan::new(11)
+            .with_fail_first(FaultSite::PageChecksum, 1)
+            .with_fail_first(FaultSite::PagePinFailed, 1);
+        pool.set_faults(Some(Arc::new(plan)));
+        let pin = pool.pin(f, 0).unwrap();
+        assert_eq!(pin.with(|pg| pg.value(0, 0)), 0);
+        assert_eq!(pool.metrics().fault_pin.value(), 1);
+        assert_eq!(pool.metrics().fault_checksum.value(), 1);
+        assert_eq!(pool.metrics().retries.value(), 2);
+        drop(pin);
+        pool.release_file(f);
+    }
+
+    #[test]
+    fn persistent_pin_fault_is_a_typed_injected_error() {
+        let (pool, _reg) = pool(2);
+        let path = scratch_file(1, 512, 2);
+        let f = pool.register_file(&path, "t").unwrap();
+        let plan = FaultPlan::new(3).with_site(FaultSite::PagePinFailed, 1.0);
+        pool.set_faults(Some(Arc::new(plan)));
+        let err = pool.pin(f, 0).unwrap_err();
+        assert!(
+            matches!(err, StorageError::Injected("page.failed_pin")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn torn_write_retries_then_round_trips() {
+        let (pool, _reg) = pool(2);
+        let path = scratch_file(0, 512, 2);
+        let f = pool.register_file(&path, "spill").unwrap();
+        let plan = FaultPlan::new(5).with_fail_first(FaultSite::PageTornWrite, 1);
+        pool.set_faults(Some(Arc::new(plan)));
+        let mut page = PageBuf::new(512, 2, 0);
+        page.push(&[7, 8]);
+        pool.write_through(f, 0, page).unwrap();
+        // Force the dirty spill page out: claim both frames for reads
+        // of a second file.
+        let other = scratch_file(2, 512, 2);
+        let g = pool.register_file(&other, "t").unwrap();
+        drop(pool.pin(g, 0).unwrap());
+        drop(pool.pin(g, 1).unwrap());
+        assert_eq!(pool.metrics().fault_torn.value(), 1, "tear fired on flush");
+        assert_eq!(pool.metrics().flushes.value(), 1);
+        // The retried write must have produced a valid page on disk.
+        let pin = pool.pin(f, 0).unwrap();
+        assert_eq!(pin.with(|pg| (pg.value(0, 0), pg.value(0, 1))), (7, 8));
+        drop(pin);
+        pool.release_file(f);
+        pool.release_file(g);
+    }
+}

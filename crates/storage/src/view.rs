@@ -1,0 +1,158 @@
+//! Backend-neutral table access: the [`TableStore`] trait and the
+//! row-cursor layer the executor scans through.
+//!
+//! The in-memory backend (`rqp-executor`'s `DataStore`) and the paged
+//! backend ([`crate::PagedStore`]) both hand out [`TableRef`]s; the
+//! executor never sees which one it is running against, which is what
+//! makes the in-memory-vs-paged differential suite meaningful.
+
+use crate::pool::{BufferPool, FileId, PageRef};
+use crate::{ColumnIndex, StorageError};
+use rqp_catalog::{ColId, DataTable, TableId};
+
+/// A storage backend the executor can run against.
+///
+/// `Debug` is required so executors over a `&dyn TableStore` stay
+/// debuggable.
+pub trait TableStore: std::fmt::Debug {
+    /// A scannable view of table `t`.
+    fn table_ref(&self, t: TableId) -> Option<TableRef<'_>>;
+
+    /// Index over `(table, column)`, if one was built.
+    fn index(&self, t: TableId, c: ColId) -> Option<&ColumnIndex>;
+
+    /// Ground-truth join selectivity between two columns (for oracle
+    /// measurement, not available to the optimizer).
+    fn true_join_selectivity(&self, l: (TableId, ColId), r: (TableId, ColId)) -> Option<f64>;
+
+    /// Ground-truth selectivity of `col <= v`.
+    fn true_le_selectivity(&self, t: TableId, c: ColId, v: i64) -> Option<f64>;
+
+    /// A writer for discarded spill-mode output, if this backend spills
+    /// through real storage. `None` means spill output is simply dropped.
+    fn spill_sink(&self) -> Option<Box<dyn SpillSink + '_>> {
+        None
+    }
+}
+
+/// Destination for rows a budgeted (spill-mode) run produces and
+/// discards. Paged backends route this through the buffer pool so
+/// spilling competes with scans for frames.
+pub trait SpillSink {
+    /// Appends one row.
+    fn append(&mut self, row: &[i64]) -> Result<(), StorageError>;
+
+    /// Flushes and returns the number of rows written.
+    fn finish(&mut self) -> Result<u64, StorageError>;
+}
+
+/// A borrowed, scannable view of one table.
+#[derive(Debug, Clone, Copy)]
+pub enum TableRef<'a> {
+    /// Column-major in-memory table.
+    Mem(&'a DataTable),
+    /// Slotted pages behind a buffer pool.
+    Paged(PagedTableRef<'a>),
+}
+
+/// Location of a paged table: which file, and its fixed geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct PagedTableRef<'a> {
+    pub(crate) pool: &'a BufferPool,
+    pub(crate) file: FileId,
+    pub(crate) rows: usize,
+    pub(crate) ncols: usize,
+    pub(crate) cap: usize,
+}
+
+impl<'a> TableRef<'a> {
+    /// Rows in the table.
+    pub fn rows(&self) -> usize {
+        match self {
+            TableRef::Mem(t) => t.rows(),
+            TableRef::Paged(p) => p.rows,
+        }
+    }
+
+    /// Columns per row.
+    pub fn ncols(&self) -> usize {
+        match self {
+            TableRef::Mem(t) => t.columns.len(),
+            TableRef::Paged(p) => p.ncols,
+        }
+    }
+
+    /// A cursor for random row access. Paged cursors keep the last
+    /// touched page pinned, so sequential scans pin each page once.
+    pub fn cursor(&self) -> RowCursor<'a> {
+        match *self {
+            TableRef::Mem(t) => RowCursor::Mem(t),
+            TableRef::Paged(p) => RowCursor::Paged(PagedCursor {
+                view: p,
+                page: None,
+            }),
+        }
+    }
+}
+
+/// Random-access row reader over a [`TableRef`].
+pub enum RowCursor<'a> {
+    /// Direct column-major access.
+    Mem(&'a DataTable),
+    /// Pin-per-page access through the buffer pool.
+    Paged(PagedCursor<'a>),
+}
+
+/// Cursor state for the paged backend: the view plus the currently
+/// pinned page, if any.
+pub struct PagedCursor<'a> {
+    view: PagedTableRef<'a>,
+    page: Option<(u64, PageRef)>,
+}
+
+impl PagedCursor<'_> {
+    /// Pins the page holding `row` (reusing the held pin when it
+    /// already covers it) and reads through `f`.
+    fn with_page<R>(
+        &mut self,
+        row: usize,
+        f: impl FnOnce(&crate::PageBuf, usize) -> R,
+    ) -> Result<R, StorageError> {
+        let page_no = (row / self.view.cap) as u64;
+        let slot = row % self.view.cap;
+        if self.page.as_ref().is_none_or(|(no, _)| *no != page_no) {
+            // Drop the old pin before taking the new one so a
+            // single-scan cursor never holds two frames.
+            self.page = None;
+            let pin = self.view.pool.pin(self.view.file, page_no)?;
+            self.page = Some((page_no, pin));
+        }
+        let (_, pin) = self.page.as_ref().expect("pin installed above");
+        Ok(pin.with(|p| f(p, slot)))
+    }
+}
+
+impl RowCursor<'_> {
+    /// One column of one row.
+    #[inline]
+    pub fn value(&mut self, row: usize, col: usize) -> Result<i64, StorageError> {
+        match self {
+            RowCursor::Mem(t) => Ok(t.columns[col][row]),
+            RowCursor::Paged(c) => c.with_page(row, |p, slot| p.value(slot, col)),
+        }
+    }
+
+    /// Appends all of `row`'s values onto `out`.
+    pub fn row_into(&mut self, row: usize, out: &mut Vec<i64>) -> Result<(), StorageError> {
+        match self {
+            RowCursor::Mem(t) => {
+                out.reserve(t.columns.len());
+                for c in t.columns.iter() {
+                    out.push(c[row]);
+                }
+                Ok(())
+            }
+            RowCursor::Paged(c) => c.with_page(row, |p, slot| p.read_row(slot, out)),
+        }
+    }
+}

@@ -42,7 +42,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force] [--lazy [--points N]]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n           [--shards N] [--max-conns N] [--cache-mb MB] [--tenant-quota N]\n           (every artifact in --dir is servable via the LRU cache; --queries are pinned)\n           (env: RQP_FAULT_RATE=R RQP_FAULT_SEED=N enable fault injection)\n  rqp bench-serve [--queries q1,q2] [--clients N] [--secs S] [--pipeline D] [--dir DIR]\n           [--workers N] [--shards N] [--queue N] [--threads N] [--min-rps R]\n           (closed-loop throughput/latency bench over precompiled explains)\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]\n  rqp chaos [query] [--seed N] [--rate R]   (defaults: 2D_Q91, seed 42, rate 0.1)\n  rqp trace <query> [sb|ab|pb] [qa...] [--jsonl FILE] [--flame FILE]\n           (env: RQP_TRACE=jsonl:FILE mirrors the event stream to FILE)\n  rqp trace --check <file>   validate a JSONL trace file"
+        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run <query> <sb|ab|pb|native> --paged [--pool-frames N]\n           (executor-backed out-of-core run over the slotted-page store;\n            env: RQP_PAGE_SIZE / RQP_POOL_FRAMES)\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force] [--lazy [--points N]]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n           [--shards N] [--max-conns N] [--cache-mb MB] [--tenant-quota N] [--pool-frames N]\n           (every artifact in --dir is servable via the LRU cache; --queries are pinned)\n           (env: RQP_FAULT_RATE=R RQP_FAULT_SEED=N enable fault injection)\n  rqp bench-serve [--queries q1,q2] [--clients N] [--secs S] [--pipeline D] [--dir DIR]\n           [--workers N] [--shards N] [--queue N] [--threads N] [--min-rps R]\n           (closed-loop throughput/latency bench over precompiled explains)\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]\n  rqp chaos [query] [--seed N] [--rate R]   (defaults: 2D_Q91, seed 42, rate 0.1;\n           also sweeps the page-level fault sites over the paged backend)\n  rqp trace <query> [sb|ab|pb] [qa...] [--jsonl FILE] [--flame FILE]\n           (env: RQP_TRACE=jsonl:FILE mirrors the event stream to FILE)\n  rqp trace --check <file>   validate a JSONL trace file"
     );
     ExitCode::FAILURE
 }
@@ -71,6 +71,175 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 
 fn artifact_dir(args: &[String]) -> String {
     flag_value(args, "--dir").unwrap_or_else(|| "target/artifacts".into())
+}
+
+/// Resolves the storage configuration: `RQP_PAGE_SIZE` / `RQP_POOL_FRAMES`
+/// from the environment, then a `--pool-frames N` command-line override.
+fn storage_config(args: &[String]) -> Result<rqp::storage::StorageConfig, String> {
+    let mut config = rqp::storage::StorageConfig::from_env().map_err(|e| e.to_string())?;
+    if let Some(s) = flag_value(args, "--pool-frames") {
+        let n: usize = s
+            .trim()
+            .parse()
+            .map_err(|_| format!("--pool-frames expects an integer (got {s})"))?;
+        config = config.with_pool_frames(n);
+    }
+    config.validated().map_err(|e| e.to_string())
+}
+
+/// Prints the storage-layer counters of a paged run (pool traffic, spill
+/// pages, absorbed page faults) in a stable greppable format.
+fn print_pool_counters(registry: &MetricsRegistry) {
+    for (name, value) in registry.snapshot() {
+        if !name.starts_with("storage.") {
+            continue;
+        }
+        match value {
+            MetricValue::Counter(v) => println!("metric {name} = {v}"),
+            MetricValue::Gauge(v) => println!("metric {name} = {v}"),
+            MetricValue::Histogram { count, sum, .. } => {
+                println!("metric {name} = {count} obs / {sum:.0} us")
+            }
+        }
+    }
+}
+
+/// `rqp run <query> <algo> --paged [--pool-frames N]`: an executor-backed
+/// out-of-core run — the query's tables are materialized into the
+/// slotted-page heap store and every scan goes through the pinning buffer
+/// pool, so a pool smaller than the working set really thrashes.
+fn run_paged(name: &str, algo: &str, args: &[String]) -> ExitCode {
+    use rqp::ess::EssSurface;
+    use rqp::executor::Executor;
+    use rqp::runner::{measure_qa, ExecOracle};
+    use rqp::storage::PagedStore;
+
+    let config = match storage_config(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Executable scale: synthetic TPC-DS at SF 0.1 — the sf100 statistics
+    // catalog has no materializable data.
+    let catalog = tpcds::catalog(0.1);
+    let Some(bench) = (2..=6usize)
+        .find(|d| name == format!("{d}D_Q91"))
+        .map(|d| q91_with_dims(&catalog, d))
+    else {
+        eprintln!("--paged runs support the Q91 family (2D_Q91 .. 6D_Q91); got {name}");
+        return ExitCode::FAILURE;
+    };
+    let query = &bench.query;
+    let d = query.ndims();
+    let errors = [30.0, 10.0, 50.0, 20.0, 15.0, 25.0];
+    let spec =
+        rqp::workloads::executable_genspec_with_errors(&catalog, query, 20260707, &errors[..d]);
+    let data = rqp::catalog::DataSet::generate(&catalog, &spec).expect("generate dataset");
+    let store = match PagedStore::materialize(&catalog, &data, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("materialize paged store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pool = store.pool();
+    println!(
+        "paged store: {} B pages x {} frames ({} KiB pool)",
+        pool.page_size(),
+        pool.frame_count(),
+        (pool.page_size() * pool.frame_count()) >> 10
+    );
+    // Ground truth comes from the materialized data, not from positional
+    // qa arguments (the paged backend measures it bit-identically to the
+    // in-memory one).
+    let qa = measure_qa(&store, query);
+    let qa_fmt: Vec<String> = qa.iter().map(|s| format!("{s:.2e}")).collect();
+    println!("measured qa = ({})", qa_fmt.join(", "));
+
+    let opt = Optimizer::new(
+        &catalog,
+        query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("valid query");
+    let surface = EssSurface::build(&opt, bench.grid());
+    let exec = || Executor::new(&catalog, query, &store, CostParams::default());
+    let (opt_plan, _) = opt.optimize_at(&qa);
+    let opt_out = exec()
+        .run_full(&opt_plan, f64::INFINITY)
+        .expect("optimal plan runs");
+
+    let report = match algo {
+        "native" => {
+            // The native optimizer trusts its estimates; cap the run at
+            // 200x the optimal metered cost so the CLI terminates.
+            let est: Vec<f64> = query.epps.iter().map(|&p| opt.base_sels().get(p)).collect();
+            let (native_plan, _) = opt.optimize_at(&est);
+            let nat = exec()
+                .run_full(&native_plan, 200.0 * opt_out.spent)
+                .expect("native runs");
+            let note = if nat.completed {
+                String::new()
+            } else {
+                " (ABORTED at 200x optimal cost)".into()
+            };
+            println!(
+                "native: sub-optimality {:.2}{note} (no guarantee)",
+                nat.spent / opt_out.spent
+            );
+            print_pool_counters(store.registry());
+            return ExitCode::SUCCESS;
+        }
+        "sb" => {
+            let mut a = SpillBound::new(&surface, &opt, 2.0);
+            let mut o = ExecOracle::new(exec(), &opt, surface.grid());
+            a.run(&mut o).expect("discovery completes")
+        }
+        "ab" => {
+            let mut a = AlignedBound::new(&surface, &opt, 2.0);
+            let mut o = ExecOracle::new(exec(), &opt, surface.grid());
+            a.run(&mut o).expect("discovery completes")
+        }
+        "pb" => {
+            let a = PlanBouquet::new(&surface, &opt, 2.0, 0.2);
+            let mut o = ExecOracle::new(exec(), &opt, surface.grid());
+            a.run(&mut o).expect("discovery completes")
+        }
+        other => {
+            eprintln!("unknown algorithm {other} (--paged supports sb|ab|pb|native)");
+            return usage();
+        }
+    };
+    for r in &report.records {
+        let mode = match r.mode {
+            ExecMode::Spill { dim } => format!("spill(e{dim})"),
+            ExecMode::Full => "full".into(),
+        };
+        let out = match r.outcome {
+            Outcome::Completed { sel: Some(s) } => format!("learnt {s:.3e}"),
+            Outcome::Completed { sel: None } => "query done".into(),
+            Outcome::TimedOut { lower_bound } => format!("timeout, qa > {lower_bound:.2e}"),
+        };
+        println!(
+            "IC{:<3} {:<10} budget {:>12.0}  {}",
+            r.contour + 1,
+            mode,
+            r.budget,
+            out
+        );
+    }
+    println!(
+        "total {:.0} vs optimal {:.0} -> sub-optimality {:.2} (MSO bound {})",
+        report.total_cost,
+        opt_out.spent,
+        report.sub_optimality(opt_out.spent),
+        rqp::core::spillbound_guarantee(d)
+    );
+    print_pool_counters(store.registry());
+    ExitCode::SUCCESS
 }
 
 /// Compiles (or warm-loads) the artifact for `name`, printing provenance.
@@ -449,6 +618,9 @@ fn main() -> ExitCode {
             let (Some(name), Some(algo)) = (args.get(1), args.get(2)) else {
                 return usage();
             };
+            if args.iter().any(|a| a == "--paged" || a == "--pool-frames") {
+                return run_paged(name, algo, &args);
+            }
             let Some(bench) = find_query(name) else {
                 eprintln!("unknown query {name}; try `rqp list`");
                 return ExitCode::FAILURE;
@@ -748,6 +920,25 @@ fn main() -> ExitCode {
                 .filter(|s| !s.is_empty())
                 .collect();
             let catalog: &'static _ = Box::leak(Box::new(tpcds::catalog_sf100()));
+            // Out-of-core knob: --pool-frames caps any paged-backend
+            // buffer pool created in this process. Validated here, then
+            // exported through RQP_POOL_FRAMES so the storage layer's
+            // `from_env` resolution picks it up uniformly.
+            if args.iter().any(|a| a == "--pool-frames") {
+                match storage_config(&args) {
+                    Ok(c) => {
+                        std::env::set_var(rqp::storage::ENV_POOL_FRAMES, c.pool_frames.to_string());
+                        println!(
+                            "storage: paged-backend pool budget {} frames x {} B pages",
+                            c.pool_frames, c.page_size
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             // RQP_FAULT_RATE / RQP_FAULT_SEED turn on deterministic fault
             // injection across the oracles and socket paths; the breaker
             // + retry machinery absorbs it.
@@ -1171,6 +1362,151 @@ fn main() -> ExitCode {
                 Ok(_) => {
                     violations += 1;
                     eprintln!("VIOLATION: persistent faults still produced a completed run");
+                }
+            }
+
+            // Page-level fault sites over the paged backend: transient
+            // torn writes / failed pins / checksum mismatches must be
+            // absorbed with bit-identical replay and a preserved MSO
+            // bound; a persistent pin fault must surface as a typed
+            // error. Output lines are stable for CI grepping.
+            {
+                use rqp::ess::EssSurface;
+                use rqp::executor::Executor;
+                use rqp::runner::{measure_qa, ExecOracle};
+                use rqp::storage::{PagedStore, StorageConfig};
+
+                let catalog = tpcds::catalog(0.1);
+                let bench2 = q91_with_dims(&catalog, 2);
+                let query = &bench2.query;
+                let spec = rqp::workloads::executable_genspec_with_errors(
+                    &catalog,
+                    query,
+                    seed ^ 0xA5A5,
+                    &[30.0, 10.0],
+                );
+                let data = rqp::catalog::DataSet::generate(&catalog, &spec).expect("generate");
+                let config = StorageConfig::default().with_pool_frames(64);
+                let popt = Optimizer::new(
+                    &catalog,
+                    query,
+                    CostParams::default(),
+                    EnumerationMode::LeftDeep,
+                )
+                .expect("valid query");
+                let psurface = EssSurface::build(&popt, bench2.grid());
+                // Page-level shots fire per pin / per page I/O — orders
+                // of magnitude more draws than oracle calls — and only
+                // escalate past the pool after FAULT_RETRIES consecutive
+                // hits, so the per-call rate must stay low for the
+                // retry budget to absorb every transient.
+                let page_rate = (rate / 5.0).min(0.02);
+                println!(
+                    "paged-fault sweep: 2D_Q91 over the paged store (64 frames), \
+                     sites page.torn_write/page.failed_pin/page.checksum at rate {page_rate}"
+                );
+                let page_plan = || {
+                    Arc::new(
+                        FaultPlan::new(seed ^ 0x5A5A)
+                            .with_site(FaultSite::PageTornWrite, page_rate)
+                            .with_site(FaultSite::PagePinFailed, page_rate)
+                            .with_site(FaultSite::PageChecksum, page_rate),
+                    )
+                };
+                let counter = |store: &PagedStore, name: &str| -> u64 {
+                    store
+                        .registry()
+                        .snapshot()
+                        .into_iter()
+                        .find_map(|(n, v)| match v {
+                            MetricValue::Counter(c) if n == name => Some(c),
+                            _ => None,
+                        })
+                        .unwrap_or(0)
+                };
+                // Faults are armed only after materialization + qa
+                // measurement so every replay sees the same pages.
+                let paged_run =
+                    |plan: Option<Arc<FaultPlan>>| -> (Option<(u64, u64)>, u64, u64, u64) {
+                        let store =
+                            PagedStore::materialize(&catalog, &data, config).expect("materialize");
+                        let qa = measure_qa(&store, query);
+                        store.set_faults(plan);
+                        let exec = || Executor::new(&catalog, query, &store, CostParams::default());
+                        let (opt_plan, _) = popt.optimize_at(&qa);
+                        let opt_spent = exec()
+                            .run_full(&opt_plan, f64::INFINITY)
+                            .map(|o| o.spent)
+                            .unwrap_or(f64::NAN);
+                        let mut sb = SpillBound::new(&psurface, &popt, 2.0);
+                        let mut oracle = ExecOracle::new(exec(), &popt, psurface.grid());
+                        let outcome = sb.run(&mut oracle).ok().map(|r| {
+                            (
+                                r.total_cost.to_bits(),
+                                r.sub_optimality(opt_spent).to_bits(),
+                            )
+                        });
+                        let injected = counter(&store, "storage.faults.torn_write")
+                            + counter(&store, "storage.faults.failed_pin")
+                            + counter(&store, "storage.faults.checksum");
+                        (
+                            outcome,
+                            injected,
+                            counter(&store, "storage.faults.retries"),
+                            counter(&store, "storage.pool.evictions"),
+                        )
+                    };
+                let first = paged_run(Some(page_plan()));
+                let second = paged_run(Some(page_plan()));
+                let (outcome, pfaults, pretries, pevictions) = &first;
+                match outcome {
+                    Some((_, sub_bits)) => {
+                        let sub = f64::from_bits(*sub_bits);
+                        let bound2 = rqp::core::spillbound_guarantee(2);
+                        println!(
+                            "paged-fault sweep: faults={pfaults} retries={pretries} \
+                             evictions={pevictions} sub-optimality={sub:.2} (bound {bound2})"
+                        );
+                        if sub > bound2 * (1.0 + 1e-9) {
+                            violations += 1;
+                            eprintln!(
+                                "VIOLATION: paged SB sub-optimality {sub:.3} exceeds the \
+                                 MSO bound {bound2} under transient page faults"
+                            );
+                        }
+                    }
+                    None => {
+                        violations += 1;
+                        eprintln!(
+                            "VIOLATION: transient page faults at rate {page_rate} aborted \
+                             the paged SB run"
+                        );
+                    }
+                }
+                if first != second {
+                    violations += 1;
+                    eprintln!(
+                        "VIOLATION: paged replay with seed {seed} diverged: \
+                         {first:?} vs {second:?}"
+                    );
+                } else {
+                    println!("paged-fault sweep: replay bit-identical: true");
+                }
+                // Persistent pin failure: typed fault, never a hang.
+                let t0 = std::time::Instant::now();
+                let persistent =
+                    Arc::new(FaultPlan::new(seed).with_site(FaultSite::PagePinFailed, 1.0));
+                match paged_run(Some(persistent)) {
+                    (None, ..) => println!(
+                        "paged-fault sweep: persistent page.failed_pin -> typed fault in {:.1}ms",
+                        t0.elapsed().as_secs_f64() * 1e3
+                    ),
+                    (Some(_), ..) => {
+                        violations += 1;
+                        eprintln!(
+                            "VIOLATION: persistent page.failed_pin still produced a completed run"
+                        );
+                    }
                 }
             }
 

@@ -49,6 +49,7 @@ pub use rqp_faults as faults;
 pub use rqp_obs as obs;
 pub use rqp_optimizer as optimizer;
 pub use rqp_server as server;
+pub use rqp_storage as storage;
 pub use rqp_workloads as workloads;
 
 pub mod experiments;

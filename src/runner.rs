@@ -189,8 +189,12 @@ impl ExecutionOracle for ExecOracle<'_> {
 
 /// Measures the true epp selectivities of `query` in a materialized
 /// dataset — the ground-truth `qa` of a wall-clock experiment.
+///
+/// Works over any [`rqp_executor::TableStore`] backend; both the
+/// in-memory and the paged store compute these bit-identically, so a
+/// wall-clock experiment's ground truth is backend-independent.
 pub fn measure_qa(
-    store: &rqp_executor::DataStore,
+    store: &dyn rqp_executor::TableStore,
     query: &rqp_optimizer::QuerySpec,
 ) -> Vec<Selectivity> {
     query
@@ -203,7 +207,6 @@ pub fn measure_qa(
                 right,
                 right_col,
             } => store
-                .dataset()
                 .true_join_selectivity(
                     (query.relations[left], left_col),
                     (query.relations[right], right_col),
@@ -211,7 +214,6 @@ pub fn measure_qa(
                 .unwrap_or(EPS)
                 .max(EPS),
             PredicateKind::FilterLe { rel, col, value } => store
-                .dataset()
                 .true_le_selectivity(query.relations[rel], col, value)
                 .unwrap_or(EPS)
                 .max(EPS),

@@ -8,13 +8,17 @@
 //! breaker through its full open → degraded → half-open → closed cycle.
 
 use rqp::artifacts::CompiledArtifact;
-use rqp::catalog::{tpcds, Catalog, Column, ColumnStats, DataType, Table};
+use rqp::catalog::{tpcds, Catalog, Column, ColumnStats, DataSet, DataType, Table};
 use rqp::common::{MultiGrid, RqpError};
 use rqp::core::{spillbound_guarantee, AlignedBound, CostOracle, FaultyOracle, SpillBound};
 use rqp::ess::EssSurface;
+use rqp::executor::Executor;
 use rqp::faults::{BreakerConfig, FaultPlan, FaultSite, RetryPolicy};
+use rqp::obs::MetricValue;
 use rqp::optimizer::{CostParams, EnumerationMode, Optimizer, Predicate, PredicateKind, QuerySpec};
+use rqp::runner::{measure_qa, ExecOracle};
 use rqp::server::{serve, Client, Registry, ServedQuery, ServerConfig};
+use rqp::storage::{PagedStore, StorageConfig};
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -171,6 +175,165 @@ fn persistent_faults_become_typed_errors_not_hangs() {
         match sb.run(&mut oracle) {
             Err(RqpError::Fault(_)) => {}
             other => panic!("expected a typed fault, got {other:?}"),
+        }
+    });
+}
+
+/// Executable 2D fixture for page-level faults: materialized data plus a
+/// surface, so SpillBound runs on the real engine over the paged store.
+struct PageFx {
+    catalog: &'static Catalog,
+    query: &'static QuerySpec,
+    data: DataSet,
+    opt: Optimizer<'static>,
+    surface: EssSurface,
+}
+
+fn page_fx() -> &'static PageFx {
+    static FX: OnceLock<PageFx> = OnceLock::new();
+    FX.get_or_init(|| {
+        let catalog: &'static Catalog = Box::leak(Box::new(tpcds::catalog(0.05)));
+        let query: &'static QuerySpec =
+            Box::leak(Box::new(rqp::workloads::q91_with_dims(catalog, 2).query));
+        let spec =
+            rqp::workloads::executable_genspec_with_errors(catalog, query, 1337, &[30.0, 10.0]);
+        let data = DataSet::generate(catalog, &spec).unwrap();
+        let opt = Optimizer::new(
+            catalog,
+            query,
+            CostParams::default(),
+            EnumerationMode::LeftDeep,
+        )
+        .unwrap();
+        let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-7, 8));
+        PageFx {
+            catalog,
+            query,
+            data,
+            opt,
+            surface,
+        }
+    })
+}
+
+fn page_counter(store: &PagedStore, name: &str) -> u64 {
+    store
+        .registry()
+        .snapshot()
+        .into_iter()
+        .find_map(|(n, v)| match v {
+            MetricValue::Counter(c) if n == name => Some(c),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// One SpillBound run over a freshly materialized paged store (16
+/// frames) with `plan` armed only after materialization and ground-truth
+/// measurement, so every replay of the same seed sees the same pages and
+/// the same fault-shot sequence. Returns the run outcome (total cost and
+/// sub-optimality, both as bits) and the injected/retry counters.
+#[allow(clippy::type_complexity)]
+fn paged_sb_run(
+    f: &'static PageFx,
+    plan: Option<Arc<FaultPlan>>,
+) -> (
+    Result<(u64, u64), RqpError>,
+    u64, // faults injected across the three page sites
+    u64, // pool-level retries that absorbed them
+) {
+    let config = StorageConfig::default().with_pool_frames(16);
+    let store = PagedStore::materialize(f.catalog, &f.data, config).expect("materialize");
+    let qa = measure_qa(&store, f.query);
+    let (opt_plan, _) = f.opt.optimize_at(&qa);
+    let opt_spent = Executor::new(f.catalog, f.query, &store, CostParams::default())
+        .run_full(&opt_plan, f64::INFINITY)
+        .expect("clean optimal run")
+        .spent;
+    store.set_faults(plan);
+    let mut sb = SpillBound::new(&f.surface, &f.opt, 2.0);
+    let mut oracle = ExecOracle::new(
+        Executor::new(f.catalog, f.query, &store, CostParams::default()),
+        &f.opt,
+        f.surface.grid(),
+    );
+    let res = sb.run(&mut oracle).map(|r| {
+        (
+            r.total_cost.to_bits(),
+            r.sub_optimality(opt_spent).to_bits(),
+        )
+    });
+    let injected = page_counter(&store, "storage.faults.torn_write")
+        + page_counter(&store, "storage.faults.failed_pin")
+        + page_counter(&store, "storage.faults.checksum");
+    (
+        res,
+        injected,
+        page_counter(&store, "storage.faults.retries"),
+    )
+}
+
+/// Transient page-level faults — torn writes, failed pins, checksum
+/// mismatches — are absorbed by the pool's bounded retries: SpillBound
+/// still completes within its MSO bound, and the same seed replays
+/// bit-identically (same total cost, same fault counters), per site.
+#[test]
+fn transient_page_faults_preserve_the_bound_and_replay() {
+    with_watchdog(300, || {
+        let f = page_fx();
+        let bound = spillbound_guarantee(2);
+        for site in [
+            FaultSite::PageTornWrite,
+            FaultSite::PagePinFailed,
+            FaultSite::PageChecksum,
+        ] {
+            // Escalation past the pool needs FAULT_RETRIES consecutive
+            // shots, so 2% per call injects plenty of faults (pins and
+            // page I/Os number in the thousands) while keeping
+            // executor-level aborts rare enough for the oracle's retry
+            // budget to absorb.
+            let run = || {
+                paged_sb_run(
+                    f,
+                    Some(Arc::new(FaultPlan::new(0xC0FFEE).with_site(site, 0.02))),
+                )
+            };
+            let (first, second) = (run(), run());
+            let (res, injected, retries) = &first;
+            let (_, sub_bits) = res
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{site:?} transients must be absorbed: {e}"));
+            let sub = f64::from_bits(*sub_bits);
+            assert!(
+                sub <= bound * (1.0 + 1e-9),
+                "{site:?}: sub-optimality {sub} exceeds MSO bound {bound}"
+            );
+            assert!(*injected > 0, "{site:?} never fired at rate 0.2");
+            assert!(*retries > 0, "{site:?} faults were never retried");
+            assert_eq!(
+                (first.0.as_ref().ok(), first.1, first.2),
+                (second.0.as_ref().ok(), second.1, second.2),
+                "{site:?}: same seed must replay bit-identically"
+            );
+        }
+    });
+}
+
+/// A persistent page fault (every pin attempt fails) exhausts the
+/// bounded retries at both the pool and the oracle layer and surfaces as
+/// a typed fault — never a hang, never a silent wrong answer.
+#[test]
+fn persistent_page_faults_become_typed_errors() {
+    with_watchdog(120, || {
+        let f = page_fx();
+        for site in [FaultSite::PagePinFailed, FaultSite::PageChecksum] {
+            let (res, injected, _) =
+                paged_sb_run(f, Some(Arc::new(FaultPlan::new(7).with_site(site, 1.0))));
+            match res {
+                Err(RqpError::Fault(_)) => {}
+                other => panic!("{site:?}: expected a typed fault, got {other:?}"),
+            }
+            assert!(injected > 0);
         }
     });
 }
