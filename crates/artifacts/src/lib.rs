@@ -36,7 +36,7 @@
 use rqp_common::{Cost, GridIdx, MultiGrid};
 use rqp_ess::anorexic::{reduce_all, ReducedContour};
 use rqp_ess::{ContourSet, EssSurface, LazySurface};
-use rqp_faults::{FaultPlan, FaultSite};
+use rqp_faults::{crash, FaultPlan, FaultSite};
 use rqp_obs::{TraceEvent, Tracer};
 use rqp_optimizer::cost_matrix::{decode_cells_hex, encode_cells_hex};
 use rqp_optimizer::{CostMatrix, Optimizer, PlanId, PlanPool, QuerySpec, SparseCostMatrix};
@@ -362,14 +362,14 @@ impl CompiledArtifact {
     /// previously saved artifact (or its absence) stays intact. This is
     /// exactly the crash window tmp+rename exists to protect.
     pub fn save_with(&self, path: &Path, faults: Option<&FaultPlan>) -> Result<(), ArtifactError> {
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
-        }
-        let tmp = path.with_extension("tmp");
         let bytes = self.to_bytes();
         if let Some(shot) = faults.and_then(|p| p.shot(FaultSite::StoreSave)) {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            let tmp = path.with_extension("tmp");
             let cut = ((bytes.len() as f64) * shot.frac) as usize;
             let _ = std::fs::write(&tmp, &bytes[..cut.min(bytes.len())]);
             return Err(ArtifactError::Io(format!(
@@ -379,9 +379,7 @@ impl CompiledArtifact {
                 bytes.len()
             )));
         }
-        std::fs::write(&tmp, bytes)?;
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+        write_atomic(path, &bytes)
     }
 
     /// Loads and validates an artifact file.
@@ -436,7 +434,12 @@ impl CompiledArtifact {
     }
 }
 
-/// Atomic write: `path.tmp` then rename.
+/// Atomic, durable write: write and fsync `path.tmp`, rename it over
+/// `path`, then fsync the parent directory. The tmp fsync *before* the
+/// rename means a crash can never leave a complete-looking name pointing
+/// at unwritten content; the directory fsync *after* means the rename
+/// itself survives the crash (on ext4 with default mount options a
+/// rename is not durable until its directory is synced).
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ArtifactError> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
@@ -444,8 +447,23 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ArtifactError> {
         }
     }
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes)?;
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    crash::hit(crash::BEFORE_RENAME);
     std::fs::rename(&tmp, path)?;
+    crash::hit(crash::AFTER_RENAME);
+    if let Some(dir) = path.parent() {
+        let dir = if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        };
+        std::fs::File::open(dir)?.sync_all()?;
+    }
     Ok(())
 }
 

@@ -500,9 +500,102 @@ impl CircuitBreaker {
     }
 }
 
+// ---- crashpoints ---------------------------------------------------------
+
+/// Named process-abort sites for crash-consistency testing.
+///
+/// Unlike [`FaultPlan`] sites — which surface as typed errors the caller
+/// can retry or degrade around — a crashpoint kills the process outright
+/// (`std::process::abort`, no destructors, no flushes), simulating
+/// `kill -9` at an exact line of code. A harness arms one point by
+/// setting [`crash::ENV`] in a *child* process's environment, lets the
+/// child die there, then restarts it and asserts recovery restores a
+/// consistent state.
+pub mod crash {
+    use std::sync::OnceLock;
+
+    /// Env var naming the armed crashpoint (e.g. `crash.before_rename`).
+    pub const ENV: &str = "RQP_CRASH_POINT";
+
+    /// After an artifact's temp file is written and fsynced, before the
+    /// rename into place.
+    pub const BEFORE_RENAME: &str = "crash.before_rename";
+    /// After the rename, before the parent directory is fsynced.
+    pub const AFTER_RENAME: &str = "crash.after_rename";
+    /// After a journal intent record is appended and synced, before the
+    /// guarded mutation starts.
+    pub const AFTER_JOURNAL_APPEND: &str = "crash.after_journal_append";
+    /// Between dirty-page writebacks inside a buffer-pool flush barrier.
+    pub const MID_PAGE_FLUSH: &str = "crash.mid_page_flush";
+    /// Mid-way through writing a spill file's pages.
+    pub const MID_SPILL_WRITE: &str = "crash.mid_spill_write";
+    /// After a journal commit record is appended, before the barrier
+    /// fsyncs it.
+    pub const BEFORE_COMMIT_SYNC: &str = "crash.before_commit_sync";
+
+    /// Every named crashpoint, in stable order (the harness iterates
+    /// this to build its matrix).
+    pub const POINTS: &[&str] = &[
+        BEFORE_RENAME,
+        AFTER_RENAME,
+        AFTER_JOURNAL_APPEND,
+        MID_PAGE_FLUSH,
+        MID_SPILL_WRITE,
+        BEFORE_COMMIT_SYNC,
+    ];
+
+    fn armed_point() -> Option<&'static str> {
+        static ARMED: OnceLock<Option<String>> = OnceLock::new();
+        ARMED
+            .get_or_init(|| std::env::var(ENV).ok().filter(|s| !s.is_empty()))
+            .as_deref()
+            // Normalize to the static name so callers can compare pointers
+            // or store it without lifetimes.
+            .and_then(|raw| POINTS.iter().copied().find(|p| *p == raw))
+    }
+
+    /// True when `point` is the armed crashpoint for this process.
+    pub fn armed(point: &str) -> bool {
+        armed_point() == Some(point)
+    }
+
+    /// Aborts the process if `point` is armed, else returns.
+    ///
+    /// The marker line on stderr lets the harness distinguish "died at
+    /// the intended site" from an unrelated panic or signal. `abort()`
+    /// skips destructors deliberately: temp-dir cleanup or buffered
+    /// flushes running on the way down would make the simulated crash
+    /// gentler than a real one.
+    pub fn hit(point: &'static str) {
+        if armed(point) {
+            eprintln!("crashpoint hit: {point}");
+            std::process::abort();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crashpoint_names_are_stable_and_unarmed_by_default() {
+        // The test process never sets RQP_CRASH_POINT, so hit() must be
+        // a no-op for every named point.
+        for point in crash::POINTS {
+            assert!(point.starts_with("crash."), "{point}");
+            assert!(!crash::armed(point));
+        }
+        crash::hit(crash::BEFORE_RENAME); // must not abort
+        assert_eq!(
+            crash::POINTS.len(),
+            crash::POINTS
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            "crashpoint names must be unique"
+        );
+    }
 
     #[test]
     fn shots_are_deterministic_given_seed() {

@@ -55,6 +55,10 @@ pub enum TraceEvent {
         executions: usize,
         completed: bool,
     },
+    /// One step of crash recovery completed (journal replay, artifact
+    /// quarantine scan, cache pre-warm, …). `count` is the number of
+    /// items the step touched.
+    RecoveryStep { stage: &'static str, count: u64 },
 }
 
 impl TraceEvent {
@@ -72,6 +76,7 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::FaultRetried { .. } => "fault_retried",
             TraceEvent::RunFinished { .. } => "run_finished",
+            TraceEvent::RecoveryStep { .. } => "recovery_step",
         }
     }
 
@@ -87,6 +92,7 @@ impl TraceEvent {
         "fault_injected",
         "fault_retried",
         "run_finished",
+        "recovery_step",
     ];
 }
 
@@ -200,6 +206,9 @@ impl TraceRecord {
                 s.push_str(",\"total_cost\":");
                 push_f64(&mut s, *total_cost);
                 let _ = write!(s, ",\"executions\":{executions},\"completed\":{completed}");
+            }
+            TraceEvent::RecoveryStep { stage, count } => {
+                let _ = write!(s, ",\"stage\":\"{stage}\",\"count\":{count}");
             }
         }
         s.push('}');

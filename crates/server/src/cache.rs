@@ -26,8 +26,15 @@ use rqp_catalog::Catalog;
 use rqp_faults::{BreakerConfig, FaultPlan, RetryPolicy};
 use serde::Value;
 use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// File (inside the artifact store root) recording the cache's resident
+/// names in LRU→MRU order. Rewritten durably on every residency change,
+/// so a `kill -9` at any moment leaves a manifest describing some
+/// recent hot set — `rqp serve --recover` pre-warms from it.
+pub const MANIFEST_FILE: &str = "rqp-cache-manifest.txt";
 
 struct Entry {
     served: Arc<ServedQuery>,
@@ -44,6 +51,26 @@ struct CacheState {
     tick: u64,
     /// Sum of resident `Entry::bytes`.
     bytes: usize,
+}
+
+/// `tmp` + fsync + rename + directory fsync — the same atomic-save
+/// discipline the artifact store uses, so a crash mid-rewrite leaves
+/// either the old manifest or the new one, never a torn file.
+fn durable_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+    }
+    Ok(())
 }
 
 /// Byte-bounded LRU cache of [`ServedQuery`]s backed by an
@@ -163,6 +190,7 @@ impl ArtifactCache {
                 );
                 state.bytes += bytes;
                 self.evict_lru(&mut state, name);
+                self.persist_manifest(&state);
                 self.loaded.notify_all();
                 Ok(served)
             }
@@ -194,6 +222,42 @@ impl ArtifactCache {
                 None => break,
             }
         }
+    }
+
+    /// Path of this cache's persisted hot-set manifest.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.store.root().join(MANIFEST_FILE)
+    }
+
+    /// Durably rewrites the manifest to the current resident set in
+    /// LRU→MRU order. Best-effort: serving must not fail because hot-set
+    /// bookkeeping could not be written.
+    fn persist_manifest(&self, state: &CacheState) {
+        let mut names: Vec<(&String, u64)> = state
+            .entries
+            .iter()
+            .map(|(n, e)| (n, e.last_used))
+            .collect();
+        names.sort_by_key(|(_, used)| *used);
+        let body: String = names.iter().map(|(n, _)| format!("{n}\n")).collect();
+        let _ = durable_write(&self.manifest_path(), body.as_bytes());
+    }
+
+    /// Reloads every name in the persisted manifest (oldest first, so
+    /// relative recency is reconstructed). Returns the number of entries
+    /// restored; names that fail to load are skipped — recovery
+    /// quarantine, not the warm-up, deals with corrupt artifacts.
+    pub fn warm_from_manifest(&self) -> u64 {
+        let Ok(body) = std::fs::read_to_string(self.manifest_path()) else {
+            return 0;
+        };
+        let mut restored = 0;
+        for name in body.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            if self.get(name).is_ok() {
+                restored += 1;
+            }
+        }
+        restored
     }
 
     fn load(&self, name: &str) -> Result<Arc<ServedQuery>, (String, String)> {

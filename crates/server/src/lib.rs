@@ -28,6 +28,7 @@ pub mod cache;
 pub mod client;
 pub mod metrics;
 pub mod protocol;
+pub mod recovery;
 pub mod server;
 pub mod service;
 
@@ -35,5 +36,6 @@ pub use cache::ArtifactCache;
 pub use client::{request_line, Client};
 pub use metrics::Metrics;
 pub use protocol::{parse_request, Request};
+pub use recovery::{recover_and_warm, recover_dir, warm_cache, RecoveryReport};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use service::{Body, CallStats, Registry, ServedQuery};

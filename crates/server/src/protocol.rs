@@ -13,6 +13,7 @@
 //! "message":...}}`; the `kind` values are stable strings
 //! (`bad_request`, `unknown_method`, `unknown_query`, `unknown_object`,
 //! `overloaded`, `deadline_exceeded`, `execution_fault`, `timeout`,
+//! `shutting_down`,
 //! `internal`). Successful `run_*` responses carry a `degraded` boolean:
 //! `true` marks a circuit-breaker fallback answered by the native
 //! baseline instead of the requested algorithm.

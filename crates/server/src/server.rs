@@ -88,6 +88,11 @@ pub struct ServerConfig {
     /// a stalled client cannot pin server state forever. Idle
     /// connections *between* requests are unaffected.
     pub read_timeout: Duration,
+    /// How long a stopping shard keeps collecting worker completions
+    /// for in-flight requests before synthesizing typed
+    /// `shutting_down` errors for whatever is still unanswered. An
+    /// idle shard (nothing in flight) exits immediately regardless.
+    pub shutdown_drain: Duration,
     /// Connection-level fault plan (`server.read` / `server.write`
     /// drops); `None` serves faithfully.
     pub faults: Option<Arc<FaultPlan>>,
@@ -105,6 +110,7 @@ impl Default for ServerConfig {
             allow_debug_sleep: false,
             max_line_bytes: 1 << 20,
             read_timeout: Duration::from_secs(30),
+            shutdown_drain: Duration::from_millis(100),
             faults: None,
         }
     }
@@ -517,16 +523,20 @@ fn shard_loop(
     let mut scratch = vec![0u8; 64 * 1024];
     let mut idle_passes = 0u32;
     let mut rr_worker = shard_id;
+    // Set when the stop signal is first seen; bounds how long the shard
+    // keeps collecting completions for in-flight requests.
+    let mut draining: Option<Instant> = None;
 
     loop {
         // Drain the mailbox; park here (bounded, condvar-signalled) once
-        // the shard has spun through enough empty passes.
+        // the shard has spun through enough empty passes. Parking is
+        // also allowed while draining a shutdown — the 1ms timeout keeps
+        // completion pickup prompt without a busy spin.
         let (registrations, completions) = {
             let mut inbox = mailbox.inbox.lock().unwrap();
             if inbox.registrations.is_empty()
                 && inbox.completions.is_empty()
                 && idle_passes > SPIN_PASSES
-                && !waker.is_stopped()
             {
                 let (guard, _) = mailbox.cv.wait_timeout(inbox, PARK).unwrap();
                 inbox = guard;
@@ -593,12 +603,35 @@ fn shard_loop(
         }
 
         if waker.is_stopped() {
-            // Best-effort final flush so in-flight responses (including
-            // the `shutdown` acknowledgement) reach their clients.
-            for conn in conns.iter_mut().flatten() {
-                let _ = conn.try_flush();
+            // Drain mode: keep collecting worker completions so every
+            // accepted request is answered — a full response when its
+            // worker finishes inside the drain window, a typed
+            // `shutting_down` error otherwise. Never a silent drop. An
+            // idle shard (everything drained) exits immediately, which
+            // is what keeps no-load shutdown latency in single-digit
+            // milliseconds.
+            let since = *draining.get_or_insert_with(Instant::now);
+            let all_drained = conns.iter().flatten().all(|c| c.dead || c.drained());
+            if all_drained || since.elapsed() >= config.shutdown_drain {
+                for conn in conns.iter_mut().flatten() {
+                    let unanswered: Vec<u64> = (conn.next_write..conn.next_seq)
+                        .filter(|s| !conn.ready.contains_key(s))
+                        .collect();
+                    for seq in unanswered {
+                        conn.inflight = conn.inflight.saturating_sub(1);
+                        conn.respond(
+                            seq,
+                            err_response(
+                                &Value::Null,
+                                "shutting_down",
+                                "server shut down before this request completed",
+                            ),
+                        );
+                    }
+                    let _ = conn.try_flush();
+                }
+                break;
             }
-            break;
         }
 
         idle_passes = if did_work {
@@ -780,6 +813,17 @@ fn dispatch_line(
             return;
         }
     };
+    // Requests arriving after the stop signal are refused with a typed
+    // error rather than raced against the draining shards.
+    if waker.is_stopped() {
+        metrics.record(&req.method, false, Duration::ZERO);
+        respond(
+            conn,
+            seq,
+            err_response(&req.id, "shutting_down", "server is shutting down"),
+        );
+        return;
+    }
     let deadline = req
         .deadline_ms
         .map(Duration::from_millis)

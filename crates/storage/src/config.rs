@@ -17,6 +17,8 @@ pub const DEFAULT_POOL_FRAMES: usize = 256;
 pub const ENV_PAGE_SIZE: &str = "RQP_PAGE_SIZE";
 /// Env var overriding the pool frame budget.
 pub const ENV_POOL_FRAMES: &str = "RQP_POOL_FRAMES";
+/// Env var enabling the intent journal (`1` / `true` to enable).
+pub const ENV_JOURNAL: &str = "RQP_JOURNAL";
 
 /// Page size and frame budget for a [`crate::BufferPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +27,9 @@ pub struct StorageConfig {
     pub page_size: usize,
     /// Frames the pool may hold resident at once.
     pub pool_frames: usize,
+    /// Bracket multi-step mutations (heap loads, spill files) with
+    /// intent-journal records so crash recovery can roll them back.
+    pub journal: bool,
 }
 
 impl Default for StorageConfig {
@@ -32,6 +37,7 @@ impl Default for StorageConfig {
         Self {
             page_size: DEFAULT_PAGE_SIZE,
             pool_frames: DEFAULT_POOL_FRAMES,
+            journal: false,
         }
     }
 }
@@ -46,6 +52,12 @@ impl StorageConfig {
     /// Builder: pool frame budget.
     pub fn with_pool_frames(mut self, frames: usize) -> Self {
         self.pool_frames = frames;
+        self
+    }
+
+    /// Builder: enable the intent journal.
+    pub fn with_journal(mut self, enabled: bool) -> Self {
+        self.journal = enabled;
         self
     }
 
@@ -86,6 +98,17 @@ impl StorageConfig {
             cfg.pool_frames = raw.trim().parse().map_err(|_| {
                 StorageError::Config(format!("{ENV_POOL_FRAMES}={raw:?} is not a frame count"))
             })?;
+        }
+        if let Ok(raw) = std::env::var(ENV_JOURNAL) {
+            cfg.journal = match raw.trim() {
+                "1" | "true" | "yes" => true,
+                "0" | "false" | "no" | "" => false,
+                other => {
+                    return Err(StorageError::Config(format!(
+                        "{ENV_JOURNAL}={other:?} is not a boolean (use 1/0)"
+                    )))
+                }
+            };
         }
         cfg.validated()
     }

@@ -8,17 +8,18 @@
 //! output — goes through pool pins and is therefore subject to the
 //! frame budget and the page-level fault sites.
 
+use crate::journal::{Intent, IntentKind, Journal};
 use crate::pool::{BufferPool, FileId};
 use crate::view::{PagedTableRef, SpillSink, TableRef, TableStore};
 use crate::{ColumnIndex, PageBuf, StorageConfig, StorageError};
 use rqp_catalog::{Catalog, ColId, DataSet, TableId};
-use rqp_faults::FaultPlan;
+use rqp_faults::{crash, FaultPlan};
 use rqp_obs::MetricsRegistry;
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Process-unique suffix for scratch directories.
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -41,6 +42,10 @@ pub struct PagedStore {
     dir: PathBuf,
     registry: MetricsRegistry,
     spill_seq: AtomicU64,
+    journal: Option<Mutex<Journal>>,
+    /// Scratch stores delete their directory on drop; stores
+    /// materialized into a caller-owned directory do not.
+    ephemeral: bool,
 }
 
 impl PagedStore {
@@ -61,13 +66,44 @@ impl PagedStore {
         config: StorageConfig,
         registry: MetricsRegistry,
     ) -> Result<Self, StorageError> {
-        let config = config.validated()?;
         let dir = std::env::temp_dir().join(format!(
             "rqp-storage-{}-{}",
             std::process::id(),
             DIR_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
+        Self::build(catalog, data, config, registry, &dir, true)
+    }
+
+    /// Materializes into a caller-owned directory that survives the
+    /// store (nothing is deleted on drop). This is what crash-recovery
+    /// harnesses use: the directory — heap files, spill files and the
+    /// journal — is exactly the state a restarted process finds.
+    pub fn materialize_in(
+        catalog: &Catalog,
+        data: &DataSet,
+        config: StorageConfig,
+        registry: MetricsRegistry,
+        dir: &Path,
+    ) -> Result<Self, StorageError> {
+        Self::build(catalog, data, config, registry, dir, false)
+    }
+
+    fn build(
+        catalog: &Catalog,
+        data: &DataSet,
+        config: StorageConfig,
+        registry: MetricsRegistry,
+        dir: &Path,
+        ephemeral: bool,
+    ) -> Result<Self, StorageError> {
+        let config = config.validated()?;
+        let dir = dir.to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let mut journal = if config.journal {
+            Some(Journal::open(&dir)?)
+        } else {
+            None
+        };
         let pool = BufferPool::new(config, &registry)?;
 
         let mut tables = HashMap::new();
@@ -85,7 +121,14 @@ impl PagedStore {
                 )));
             }
             let path = dir.join(format!("t{tid}_{}.rqp", dt.name));
+            let intent = journal
+                .as_mut()
+                .map(|j| j.begin_durable(IntentKind::HeapExtend, &path))
+                .transpose()?;
             write_heap_file(&path, config.page_size, ncols, dt)?;
+            if let (Some(j), Some(intent)) = (journal.as_mut(), intent) {
+                j.commit(intent, 0)?;
+            }
             let file = pool.register_file(&path, &dt.name)?;
             tables.insert(
                 tid,
@@ -96,6 +139,10 @@ impl PagedStore {
                     cap,
                 },
             );
+        }
+        if let Some(j) = journal.as_mut() {
+            // One barrier covers every heap-load commit.
+            j.barrier()?;
         }
 
         // Secondary indexes stream the indexed columns back through
@@ -120,6 +167,8 @@ impl PagedStore {
             dir,
             registry,
             spill_seq: AtomicU64::new(0),
+            journal: journal.map(Mutex::new),
+            ephemeral,
         })
     }
 
@@ -143,7 +192,9 @@ impl PagedStore {
 
 impl Drop for PagedStore {
     fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.dir);
+        if self.ephemeral {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
     }
 }
 
@@ -254,6 +305,8 @@ impl TableStore for PagedStore {
         Some(Box::new(PooledSpillWriter {
             pool: &self.pool,
             path: self.dir.join(format!("spill-{seq}.rqp")),
+            journal: self.journal.as_ref(),
+            intent: None,
             file: None,
             page: None,
             page_no: 0,
@@ -268,6 +321,8 @@ impl TableStore for PagedStore {
 pub struct PooledSpillWriter<'a> {
     pool: &'a BufferPool,
     path: PathBuf,
+    journal: Option<&'a Mutex<Journal>>,
+    intent: Option<Intent>,
     file: Option<(FileId, usize)>,
     page: Option<PageBuf>,
     page_no: u64,
@@ -279,6 +334,13 @@ impl SpillSink for PooledSpillWriter<'_> {
         let (file, ncols) = match self.file {
             Some(f) => f,
             None => {
+                if let Some(j) = self.journal {
+                    let intent = j
+                        .lock()
+                        .unwrap()
+                        .begin(IntentKind::SpillCreate, &self.path)?;
+                    self.intent = Some(intent);
+                }
                 let id = self.pool.register_file(&self.path, "spill")?;
                 self.file = Some((id, row.len()));
                 (id, row.len())
@@ -291,6 +353,7 @@ impl SpillSink for PooledSpillWriter<'_> {
         if !page.push(row) {
             let full = self.page.take().expect("page present");
             self.pool.write_through(file, self.page_no, full)?;
+            crash::hit(crash::MID_SPILL_WRITE);
             self.page_no += 1;
             let mut fresh = PageBuf::new(page_size, ncols, self.page_no);
             assert!(fresh.push(row), "fresh page accepts one tuple");
@@ -306,6 +369,15 @@ impl SpillSink for PooledSpillWriter<'_> {
                 self.pool.write_through(file, self.page_no, page)?;
             }
         }
+        if let Some((file, _)) = self.file {
+            // Flush barrier at the spill boundary: deferred write-through
+            // I/O errors surface here, to this writer, as typed errors —
+            // not inside whichever future pin happens to evict the frame.
+            let epoch = self.pool.flush_file(file)?;
+            if let (Some(j), Some(intent)) = (self.journal, self.intent.take()) {
+                j.lock().unwrap().commit(intent, epoch)?;
+            }
+        }
         Ok(self.rows)
     }
 }
@@ -316,6 +388,13 @@ impl Drop for PooledSpillWriter<'_> {
         // occupies and delete the file.
         if let Some((file, _)) = self.file {
             self.pool.release_file(file);
+        }
+        // An intent still open here means the writer died before
+        // finish(); the file is gone, so record the abort (best-effort).
+        if let (Some(j), Some(intent)) = (self.journal, self.intent.take()) {
+            if let Ok(mut j) = j.lock() {
+                let _ = j.abort(intent);
+            }
         }
     }
 }
@@ -387,6 +466,38 @@ mod tests {
         let want = data.true_le_selectivity(0, 1, 4).unwrap();
         let got = store.true_le_selectivity(0, 1, 4).unwrap();
         assert_eq!(want.to_bits(), got.to_bits(), "bit-identical selectivity");
+    }
+
+    #[test]
+    fn journaled_store_brackets_heap_and_spill_mutations() {
+        let (cat, data) = small_dataset();
+        let cfg = StorageConfig::default()
+            .with_page_size(256)
+            .with_pool_frames(4)
+            .with_journal(true);
+        let dir = std::env::temp_dir().join(format!(
+            "rqp-heap-journal-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store =
+            PagedStore::materialize_in(&cat, &data, cfg, MetricsRegistry::new(), &dir).unwrap();
+        {
+            let mut sink = store.spill_sink().unwrap();
+            for i in 0..100 {
+                sink.append(&[i, i * 2]).unwrap();
+            }
+            assert_eq!(sink.finish().unwrap(), 100);
+        }
+        drop(store);
+        // A caller-owned directory survives the store; every bracketed
+        // mutation committed, so recovery has nothing to roll back.
+        assert!(dir.join("t0_t.rqp").exists(), "heap file persisted");
+        let rep = Journal::recover(&dir).unwrap();
+        assert_eq!(rep.rolled_back, 0, "{rep:?}");
+        assert!(rep.replayed >= 2, "heap load + spill commit: {rep:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

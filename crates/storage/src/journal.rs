@@ -1,0 +1,519 @@
+//! Append-only intent journal for crash-consistent multi-step mutations.
+//!
+//! Every mutation that takes more than one atomic filesystem step —
+//! artifact save (write tmp, rename, sync dir), spill-file creation,
+//! heap-file extension — is bracketed by a `begin` record before the
+//! first step and a `commit` (or `abort`) record after the last. After a
+//! crash, [`Journal::recover`] replays the valid record prefix and
+//! resolves every intent left open: work whose on-disk commit point was
+//! reached is rolled forward, everything else is discarded, so no torn
+//! state is reachable after restart.
+//!
+//! Records are single text lines, each prefixed with an FNV-1a checksum
+//! of the rest of the line. A torn append (process died mid-`write`)
+//! therefore fails its checksum and the scan stops there: the torn tail
+//! is exactly the work that was never promised durable.
+//!
+//! Durability is explicit: [`Journal::append`]-style methods buffer
+//! through the OS, and only [`Journal::barrier`] fsyncs. Call sites put
+//! the barrier where the durability promise is made (an artifact save
+//! barriers at commit; spill bookkeeping, whose files are scratch, may
+//! never barrier at all) — that keeps the journal's cost out of the hot
+//! path, which the out-of-core bench gates at ≤5% overhead.
+
+use crate::StorageError;
+use rqp_faults::crash;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the journal inside its directory.
+pub const JOURNAL_FILE: &str = "rqp-journal.log";
+
+/// What kind of multi-step mutation an intent brackets. The kind decides
+/// the rollback rule: artifact saves roll back by removing the temp
+/// file (the destination, if present, is the previous complete version);
+/// spill and heap files are created fresh, so rollback removes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntentKind {
+    /// Atomic artifact save: write `<target>.tmp`, fsync, rename over
+    /// `<target>`, fsync the directory.
+    ArtifactSave,
+    /// A spill file being written through the buffer pool.
+    SpillCreate,
+    /// A heap file being bulk-loaded or extended.
+    HeapExtend,
+}
+
+impl IntentKind {
+    fn name(self) -> &'static str {
+        match self {
+            IntentKind::ArtifactSave => "artifact_save",
+            IntentKind::SpillCreate => "spill_create",
+            IntentKind::HeapExtend => "heap_extend",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "artifact_save" => Some(IntentKind::ArtifactSave),
+            "spill_create" => Some(IntentKind::SpillCreate),
+            "heap_extend" => Some(IntentKind::HeapExtend),
+            _ => None,
+        }
+    }
+}
+
+/// Token for an open intent; consumed by [`Journal::commit`] /
+/// [`Journal::abort`]. Dropping it without either leaves the intent
+/// open, which recovery treats as a crash (and rolls back).
+#[derive(Debug)]
+#[must_use = "an intent left open is rolled back by recovery"]
+pub struct Intent {
+    id: u64,
+    kind: IntentKind,
+}
+
+impl Intent {
+    /// The intent's journal-assigned id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// What kind of mutation this intent brackets.
+    pub fn kind(&self) -> IntentKind {
+        self.kind
+    }
+}
+
+/// FNV-1a 64-bit, the same construction the page format uses.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
+        .collect()
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Record {
+    Begin {
+        id: u64,
+        kind: IntentKind,
+        target: PathBuf,
+    },
+    Commit {
+        id: u64,
+        epoch: u64,
+    },
+    Abort {
+        id: u64,
+    },
+}
+
+impl Record {
+    /// `<op> <id> <kind|-> <epoch> <target-hex|->` — fixed field count;
+    /// the checksum is prepended by the writer.
+    fn body(&self) -> String {
+        match self {
+            Record::Begin { id, kind, target } => {
+                let hex = hex_encode(target.to_string_lossy().as_bytes());
+                format!("begin {id:016x} {} 0 {hex}", kind.name())
+            }
+            Record::Commit { id, epoch } => format!("commit {id:016x} - {epoch:x} -"),
+            Record::Abort { id } => format!("abort {id:016x} - 0 -"),
+        }
+    }
+
+    fn parse_body(body: &str) -> Option<Record> {
+        let fields: Vec<&str> = body.split(' ').collect();
+        if fields.len() != 5 {
+            return None;
+        }
+        let id = u64::from_str_radix(fields[1], 16).ok()?;
+        match fields[0] {
+            "begin" => {
+                let kind = IntentKind::parse(fields[2])?;
+                let raw = hex_decode(fields[4])?;
+                let target = PathBuf::from(String::from_utf8(raw).ok()?);
+                Some(Record::Begin { id, kind, target })
+            }
+            "commit" => {
+                let epoch = u64::from_str_radix(fields[3], 16).ok()?;
+                Some(Record::Commit { id, epoch })
+            }
+            "abort" => Some(Record::Abort { id }),
+            _ => None,
+        }
+    }
+}
+
+/// The journal: an append-only record log in one directory.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    next_id: u64,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal in `dir`. Existing valid
+    /// records are scanned only to continue the id sequence; resolving
+    /// them is [`Journal::recover`]'s job.
+    pub fn open(dir: &Path) -> Result<Self, StorageError> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let (records, _discarded) = read_records(&path)?;
+        let next_id = records
+            .iter()
+            .map(|r| match r {
+                Record::Begin { id, .. } | Record::Commit { id, .. } | Record::Abort { id } => {
+                    id + 1
+                }
+            })
+            .max()
+            .unwrap_or(1);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            path,
+            file,
+            next_id,
+        })
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append(&mut self, record: &Record) -> Result<(), StorageError> {
+        let body = record.body();
+        let line = format!("{:016x} {body}\n", fnv1a64(body.as_bytes()));
+        self.file.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    /// Explicit fsync barrier: everything appended so far is durable
+    /// when this returns.
+    pub fn barrier(&mut self) -> Result<(), StorageError> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Opens an intent bracketing a mutation of `target`. Buffered; use
+    /// [`Journal::begin_durable`] when rollback correctness depends on
+    /// the intent record surviving the crash.
+    pub fn begin(&mut self, kind: IntentKind, target: &Path) -> Result<Intent, StorageError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.append(&Record::Begin {
+            id,
+            kind,
+            target: target.to_path_buf(),
+        })?;
+        Ok(Intent { id, kind })
+    }
+
+    /// As [`Journal::begin`], with a barrier so the intent is durable
+    /// before the guarded mutation starts.
+    pub fn begin_durable(
+        &mut self,
+        kind: IntentKind,
+        target: &Path,
+    ) -> Result<Intent, StorageError> {
+        let intent = self.begin(kind, target)?;
+        self.barrier()?;
+        crash::hit(crash::AFTER_JOURNAL_APPEND);
+        Ok(intent)
+    }
+
+    /// Closes an intent whose mutation completed. `flush_epoch` records
+    /// which buffer-pool flush barrier the commit sits behind (0 when no
+    /// pool pages were involved) — a commit must never be appended while
+    /// dirty pages it depends on are unflushed.
+    pub fn commit(&mut self, intent: Intent, flush_epoch: u64) -> Result<(), StorageError> {
+        self.append(&Record::Commit {
+            id: intent.id,
+            epoch: flush_epoch,
+        })
+    }
+
+    /// As [`Journal::commit`], then a barrier: the durability point.
+    pub fn commit_durable(&mut self, intent: Intent, flush_epoch: u64) -> Result<(), StorageError> {
+        self.append(&Record::Commit {
+            id: intent.id,
+            epoch: flush_epoch,
+        })?;
+        crash::hit(crash::BEFORE_COMMIT_SYNC);
+        self.barrier()
+    }
+
+    /// Closes an intent whose mutation was abandoned; the caller has
+    /// already undone its partial work.
+    pub fn abort(&mut self, intent: Intent) -> Result<(), StorageError> {
+        self.append(&Record::Abort { id: intent.id })
+    }
+
+    /// Replays the journal in `dir` and resolves every open intent.
+    /// Missing journal file means nothing to do. The journal is
+    /// truncated (durably) once every intent is resolved.
+    pub fn recover(dir: &Path) -> Result<JournalRecovery, StorageError> {
+        let path = dir.join(JOURNAL_FILE);
+        let mut report = JournalRecovery::default();
+        if !path.exists() {
+            return Ok(report);
+        }
+        let (records, discarded) = read_records(&path)?;
+        report.discarded = discarded;
+        // id → (kind, target); removed once committed or aborted.
+        let mut open: Vec<(u64, IntentKind, PathBuf)> = Vec::new();
+        for rec in records {
+            match rec {
+                Record::Begin { id, kind, target } => open.push((id, kind, target)),
+                Record::Commit { id, .. } => {
+                    open.retain(|(oid, _, _)| *oid != id);
+                    report.replayed += 1;
+                }
+                Record::Abort { id } => {
+                    open.retain(|(oid, _, _)| *oid != id);
+                    report.replayed += 1;
+                }
+            }
+        }
+        for (_, kind, target) in open {
+            let target = if target.is_absolute() {
+                target
+            } else {
+                dir.join(target)
+            };
+            match kind {
+                IntentKind::ArtifactSave => {
+                    // The rename is the on-disk commit point: a complete
+                    // destination rolls forward, only the in-progress
+                    // temp is discarded (the destination, when the temp
+                    // is still there, is the previous intact version).
+                    let tmp = target.with_extension("tmp");
+                    if tmp.exists() {
+                        std::fs::remove_file(&tmp)?;
+                        report.removed.push(tmp);
+                        report.rolled_back += 1;
+                    } else if target.exists() {
+                        report.replayed += 1;
+                    } else {
+                        report.rolled_back += 1;
+                    }
+                }
+                IntentKind::SpillCreate | IntentKind::HeapExtend => {
+                    if target.exists() {
+                        std::fs::remove_file(&target)?;
+                        report.removed.push(target);
+                    }
+                    report.rolled_back += 1;
+                }
+            }
+        }
+        // Every intent is resolved: truncate so the next run starts
+        // clean, and make the truncation itself durable.
+        let f = File::create(&path)?;
+        f.sync_all()?;
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(report)
+    }
+}
+
+/// What [`Journal::recover`] did.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct JournalRecovery {
+    /// Records/intents confirmed complete (committed, aborted, or
+    /// rolled forward past their on-disk commit point).
+    pub replayed: u64,
+    /// Open intents whose partial work was discarded.
+    pub rolled_back: u64,
+    /// Torn or corrupt trailing lines dropped from the journal.
+    pub discarded: u64,
+    /// Files deleted while rolling back.
+    pub removed: Vec<PathBuf>,
+}
+
+/// Reads the valid record prefix; returns `(records, torn_tail_lines)`.
+/// The scan stops at the first line that is malformed or fails its
+/// checksum — everything after a torn append is untrustworthy.
+fn read_records(path: &Path) -> Result<(Vec<Record>, u64), StorageError> {
+    if !path.exists() {
+        return Ok((Vec::new(), 0));
+    }
+    let reader = BufReader::new(File::open(path)?);
+    let mut records = Vec::new();
+    let mut total = 0u64;
+    let mut valid = 0u64;
+    for line in reader.lines() {
+        let line = line?;
+        total += 1;
+        let Some(rec) = parse_line(&line) else { break };
+        records.push(rec);
+        valid += 1;
+    }
+    Ok((records, total - valid))
+}
+
+fn parse_line(line: &str) -> Option<Record> {
+    let (sum, body) = line.split_once(' ')?;
+    let want = u64::from_str_radix(sum, 16).ok()?;
+    if fnv1a64(body.as_bytes()) != want {
+        return None;
+    }
+    Record::parse_body(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rqp-journal-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn committed_intents_replay_clean() {
+        let dir = scratch_dir();
+        let target = dir.join("a.rqpa");
+        let mut j = Journal::open(&dir).unwrap();
+        let intent = j.begin_durable(IntentKind::ArtifactSave, &target).unwrap();
+        std::fs::write(&target, b"payload").unwrap();
+        j.commit_durable(intent, 0).unwrap();
+        drop(j);
+        let rep = Journal::recover(&dir).unwrap();
+        assert_eq!(rep.rolled_back, 0);
+        assert_eq!(rep.replayed, 1);
+        assert!(target.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_intent_rolls_back_partial_spill() {
+        let dir = scratch_dir();
+        let spill = dir.join("spill-0.rqp");
+        let mut j = Journal::open(&dir).unwrap();
+        let intent = j.begin_durable(IntentKind::SpillCreate, &spill).unwrap();
+        std::fs::write(&spill, b"half a page").unwrap();
+        j.barrier().unwrap();
+        // Crash: the intent token is dropped without commit.
+        drop(intent);
+        drop(j);
+        let rep = Journal::recover(&dir).unwrap();
+        assert_eq!(rep.rolled_back, 1);
+        assert!(!spill.exists(), "partial spill removed");
+        assert_eq!(rep.removed, vec![spill]);
+        // Recovery truncated the journal: a second pass is a no-op.
+        let rep2 = Journal::recover(&dir).unwrap();
+        assert_eq!(rep2, JournalRecovery::default());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn artifact_save_rolls_forward_past_the_rename() {
+        let dir = scratch_dir();
+        let target = dir.join("b.rqpa");
+        let mut j = Journal::open(&dir).unwrap();
+        let intent = j.begin_durable(IntentKind::ArtifactSave, &target).unwrap();
+        // Simulate: tmp written, renamed into place, then crash before
+        // the commit record. The destination is complete.
+        std::fs::write(&target, b"complete payload").unwrap();
+        j.barrier().unwrap();
+        drop(intent);
+        drop(j);
+        let rep = Journal::recover(&dir).unwrap();
+        assert_eq!(rep.rolled_back, 0);
+        assert_eq!(rep.replayed, 1, "rename reached: rolled forward");
+        assert!(target.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn artifact_save_rollback_keeps_previous_version() {
+        let dir = scratch_dir();
+        let target = dir.join("c.rqpa");
+        std::fs::write(&target, b"old intact version").unwrap();
+        let mut j = Journal::open(&dir).unwrap();
+        let intent = j.begin_durable(IntentKind::ArtifactSave, &target).unwrap();
+        std::fs::write(target.with_extension("tmp"), b"partial new").unwrap();
+        j.barrier().unwrap();
+        drop(intent);
+        drop(j);
+        let rep = Journal::recover(&dir).unwrap();
+        assert_eq!(rep.rolled_back, 1);
+        assert!(!target.with_extension("tmp").exists(), "temp discarded");
+        assert_eq!(
+            std::fs::read(&target).unwrap(),
+            b"old intact version",
+            "previous version untouched"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_not_fatal() {
+        let dir = scratch_dir();
+        let mut j = Journal::open(&dir).unwrap();
+        let intent = j
+            .begin_durable(IntentKind::SpillCreate, &dir.join("s.rqp"))
+            .unwrap();
+        j.commit_durable(intent, 3).unwrap();
+        let path = j.path().to_path_buf();
+        drop(j);
+        // Simulate a torn append: half a record at the tail.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"deadbeef begin 00000").unwrap();
+        drop(f);
+        let rep = Journal::recover(&dir).unwrap();
+        assert_eq!(rep.discarded, 1);
+        assert_eq!(rep.replayed, 1);
+        assert_eq!(rep.rolled_back, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn id_sequence_continues_across_reopen() {
+        let dir = scratch_dir();
+        let mut j = Journal::open(&dir).unwrap();
+        let a = j.begin(IntentKind::SpillCreate, &dir.join("x")).unwrap();
+        let first = a.id();
+        j.commit(a, 0).unwrap();
+        j.barrier().unwrap();
+        drop(j);
+        let mut j2 = Journal::open(&dir).unwrap();
+        let b = j2.begin(IntentKind::SpillCreate, &dir.join("y")).unwrap();
+        assert!(b.id() > first, "ids monotone across reopen");
+        j2.commit(b, 0).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

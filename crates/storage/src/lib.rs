@@ -18,15 +18,18 @@
 mod config;
 mod heap;
 mod index;
+mod journal;
 mod page;
 mod pool;
 mod view;
 
 pub use config::{
-    StorageConfig, DEFAULT_PAGE_SIZE, DEFAULT_POOL_FRAMES, ENV_PAGE_SIZE, ENV_POOL_FRAMES,
+    StorageConfig, DEFAULT_PAGE_SIZE, DEFAULT_POOL_FRAMES, ENV_JOURNAL, ENV_PAGE_SIZE,
+    ENV_POOL_FRAMES,
 };
 pub use heap::{PagedStore, PooledSpillWriter};
 pub use index::ColumnIndex;
+pub use journal::{Intent, IntentKind, Journal, JournalRecovery, JOURNAL_FILE};
 pub use page::{PageBuf, PAGE_HEADER_LEN};
 pub use pool::{BufferPool, FileId, PageRef, PoolMetrics, FAULT_RETRIES};
 pub use view::{PagedTableRef, RowCursor, SpillSink, TableRef, TableStore};

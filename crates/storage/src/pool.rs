@@ -20,13 +20,13 @@
 
 use crate::page::PageBuf;
 use crate::{StorageConfig, StorageError};
-use rqp_faults::{FaultPlan, FaultSite};
+use rqp_faults::{crash, FaultPlan, FaultSite};
 use rqp_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::collections::HashMap;
 use std::fs::OpenOptions;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -107,6 +107,11 @@ pub struct BufferPool {
     inner: Mutex<PoolInner>,
     metrics: PoolMetrics,
     faults: RwLock<Option<Arc<FaultPlan>>>,
+    /// Bumped by every completed flush barrier ([`BufferPool::flush_file`]
+    /// / [`BufferPool::flush_all`]). A journaled commit that depends on
+    /// pool pages records the epoch it observed, so a commit can never
+    /// claim durability for pages no barrier has synced.
+    flush_epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -176,6 +181,7 @@ impl BufferPool {
             }),
             metrics,
             faults: RwLock::new(None),
+            flush_epoch: AtomicU64::new(0),
         })
     }
 
@@ -295,6 +301,68 @@ impl BufferPool {
         inner.map.insert((file, page_no), fi);
         inner.keys[fi] = Some((file, page_no));
         self.metrics.spill_pages.inc();
+        Ok(())
+    }
+
+    /// Flush barrier for one file: writes back every dirty resident
+    /// page of `file`, fsyncs its handle, and bumps the flush epoch.
+    ///
+    /// This is where deferred write-through I/O errors surface *to the
+    /// writer that caused them*: without a barrier, a torn spill write
+    /// is only discovered when eviction pressure flushes the frame —
+    /// inside some unrelated caller's `pin`. Returns the new epoch.
+    pub fn flush_file(&self, file: FileId) -> Result<u64, StorageError> {
+        let mut inner = self.inner.lock().unwrap();
+        self.flush_locked(&mut inner, Some(file))?;
+        Ok(self.flush_epoch.fetch_add(1, Ordering::SeqCst) + 1)
+    }
+
+    /// Flush barrier across every registered file. Returns the new
+    /// epoch; a journaled commit written after this call may safely
+    /// record it.
+    pub fn flush_all(&self) -> Result<u64, StorageError> {
+        let mut inner = self.inner.lock().unwrap();
+        self.flush_locked(&mut inner, None)?;
+        Ok(self.flush_epoch.fetch_add(1, Ordering::SeqCst) + 1)
+    }
+
+    /// Number of completed flush barriers.
+    pub fn flush_epoch(&self) -> u64 {
+        self.flush_epoch.load(Ordering::SeqCst)
+    }
+
+    fn flush_locked(
+        &self,
+        inner: &mut PoolInner,
+        only: Option<FileId>,
+    ) -> Result<(), StorageError> {
+        let mut touched: Vec<FileId> = Vec::new();
+        for fi in 0..self.frames.len() {
+            let Some(key) = inner.keys[fi] else { continue };
+            if only.is_some_and(|f| f != key.0) {
+                continue;
+            }
+            let frame = &self.frames[fi];
+            if !frame.dirty.load(Ordering::Relaxed) {
+                continue;
+            }
+            let guard = frame.page.read().unwrap();
+            let Some(page) = guard.as_ref() else { continue };
+            self.write_page(inner, key.0, key.1, page)?;
+            drop(guard);
+            frame.dirty.store(false, Ordering::Relaxed);
+            self.metrics.flushes.inc();
+            if !touched.contains(&key.0) {
+                touched.push(key.0);
+            }
+            // Pages written, durability barrier not yet reached.
+            crash::hit(crash::MID_PAGE_FLUSH);
+        }
+        for f in touched {
+            if let Some(entry) = inner.files.get_mut(f).and_then(Option::as_mut) {
+                entry.handle.sync_all()?;
+            }
+        }
         Ok(())
     }
 
@@ -544,6 +612,38 @@ mod tests {
             matches!(err, StorageError::Injected("page.failed_pin")),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn flush_barrier_surfaces_persistent_torn_write_to_the_writer() {
+        // Before the flush barrier existed, a persistent torn write on
+        // a deferred spill page only surfaced when eviction pressure
+        // flushed the frame — as an error inside some unrelated pin().
+        // flush_file() must surface it at the spill boundary, typed.
+        let (pool, _reg) = pool(2);
+        let path = scratch_file(0, 512, 2);
+        let f = pool.register_file(&path, "spill").unwrap();
+        let mut page = PageBuf::new(512, 2, 0);
+        page.push(&[1, 2]);
+        pool.write_through(f, 0, page).unwrap();
+        pool.set_faults(Some(Arc::new(
+            FaultPlan::new(5).with_site(FaultSite::PageTornWrite, 1.0),
+        )));
+        let err = pool.flush_file(f).unwrap_err();
+        assert!(
+            matches!(err, StorageError::Injected("page.torn_write")),
+            "{err:?}"
+        );
+        // Once the fault heals, the same barrier succeeds and the page
+        // round-trips; the epoch only advances on a completed barrier.
+        pool.set_faults(None);
+        let before = pool.flush_epoch();
+        let epoch = pool.flush_file(f).unwrap();
+        assert_eq!(epoch, before + 1);
+        let pin = pool.pin(f, 0).unwrap();
+        assert_eq!(pin.with(|pg| (pg.value(0, 0), pg.value(0, 1))), (1, 2));
+        drop(pin);
+        pool.release_file(f);
     }
 
     #[test]

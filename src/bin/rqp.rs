@@ -8,8 +8,11 @@
 //! rqp compile <query>               compile + persist the query's artifact
 //!                                   (--lazy: contour-only sparse artifact)
 //! rqp serve                         serve compiled artifacts over TCP
+//!                                   (--recover: journal replay + quarantine + cache pre-warm)
 //! rqp client <addr> <method> ...    issue one request to a server
 //! rqp chaos [query]                 seeded fault-injection sweep (MSO under faults)
+//! rqp chaos --crash                 crash-recovery matrix (abort at every named
+//!                                   crashpoint + seeded SIGKILL rounds, then recover)
 //! rqp trace <query> [algo] [qa...]  per-contour budget/cost timeline of one run
 //! rqp trace --check <file>          validate a JSONL trace against the event schema
 //! ```
@@ -42,7 +45,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run <query> <sb|ab|pb|native> --paged [--pool-frames N]\n           (executor-backed out-of-core run over the slotted-page store;\n            env: RQP_PAGE_SIZE / RQP_POOL_FRAMES)\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force] [--lazy [--points N]]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n           [--shards N] [--max-conns N] [--cache-mb MB] [--tenant-quota N] [--pool-frames N]\n           (every artifact in --dir is servable via the LRU cache; --queries are pinned)\n           (env: RQP_FAULT_RATE=R RQP_FAULT_SEED=N enable fault injection)\n  rqp bench-serve [--queries q1,q2] [--clients N] [--secs S] [--pipeline D] [--dir DIR]\n           [--workers N] [--shards N] [--queue N] [--threads N] [--min-rps R]\n           (closed-loop throughput/latency bench over precompiled explains)\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]\n  rqp chaos [query] [--seed N] [--rate R]   (defaults: 2D_Q91, seed 42, rate 0.1;\n           also sweeps the page-level fault sites over the paged backend)\n  rqp trace <query> [sb|ab|pb] [qa...] [--jsonl FILE] [--flame FILE]\n           (env: RQP_TRACE=jsonl:FILE mirrors the event stream to FILE)\n  rqp trace --check <file>   validate a JSONL trace file"
+        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run <query> <sb|ab|pb|native> --paged [--pool-frames N]\n           (executor-backed out-of-core run over the slotted-page store;\n            env: RQP_PAGE_SIZE / RQP_POOL_FRAMES)\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force] [--lazy [--points N]]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n           [--shards N] [--max-conns N] [--cache-mb MB] [--tenant-quota N] [--pool-frames N] [--recover]\n           (every artifact in --dir is servable via the LRU cache; --queries are pinned)\n           (--recover: replay the intent journal, quarantine corrupt artifacts,\n            and pre-warm the LRU cache from the persisted hot-set manifest)\n           (env: RQP_FAULT_RATE=R RQP_FAULT_SEED=N enable fault injection)\n  rqp bench-serve [--queries q1,q2] [--clients N] [--secs S] [--pipeline D] [--dir DIR]\n           [--workers N] [--shards N] [--queue N] [--threads N] [--min-rps R]\n           (closed-loop throughput/latency bench over precompiled explains)\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]\n  rqp chaos [query] [--seed N] [--rate R]   (defaults: 2D_Q91, seed 42, rate 0.1;\n           also sweeps the page-level fault sites over the paged backend)\n  rqp chaos --crash [--seed N]   crash-recovery matrix: abort the victim process at\n           every named crashpoint (RQP_CRASH_POINT) plus 5 seeded random-delay\n           SIGKILL rounds, recover, and assert bit-identical reports\n  rqp trace <query> [sb|ab|pb] [qa...] [--jsonl FILE] [--flame FILE]\n           (env: RQP_TRACE=jsonl:FILE mirrors the event stream to FILE)\n  rqp trace --check <file>   validate a JSONL trace file"
     );
     ExitCode::FAILURE
 }
@@ -429,6 +432,400 @@ fn compile_lazy(args: &[String], name: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// FNV-1a over a byte slice — for bit-exact artifact fingerprints in the
+/// crash-victim report (matches the journal's checksum primitive).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// `rqp crash-victim --dir D [--recover]` — the child process of the
+/// crash-recovery harness. Runs a deterministic sub-second workload that
+/// walks through every named crashpoint site in order: a journaled paged
+/// store (heap extend + spill create/flush), an SB/AB discovery pair at a
+/// fixed location, and a journal-bracketed durable artifact save. Every
+/// `report ...` line is a pure function of the workload, so an
+/// interrupted run, once recovered, reproduces them bit-identically.
+/// With `--recover` the journal is replayed, stray temp files swept, and
+/// corrupt artifacts quarantined before the workload starts.
+fn crash_victim(args: &[String]) -> ExitCode {
+    use rqp::catalog::datagen::{ColumnGen, GenSpec, TableGenSpec};
+    use rqp::catalog::{Catalog, Column, ColumnStats, DataSet, DataType, Table};
+    use rqp::ess::EssSurface;
+    use rqp::storage::{IntentKind, Journal, PagedStore, StorageConfig, TableStore};
+
+    let Some(dir) = flag_value(args, "--dir") else {
+        eprintln!("crash-victim requires --dir DIR");
+        return ExitCode::FAILURE;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    if args.iter().any(|a| a == "--recover") {
+        let tracer = Tracer::from_env();
+        let started = std::time::Instant::now();
+        let report = rqp::server::recover_dir(&dir, &tracer);
+        let elapsed = started.elapsed();
+        tracer.flush();
+        println!("{}", report.summary());
+        println!("recovery: elapsed {:.3} ms", elapsed.as_secs_f64() * 1e3);
+    }
+
+    // Phase 1 — journaled storage mutations. Tiny synthetic table through
+    // a 4-frame pool: materialization brackets each heap file in a
+    // durable intent (crash.after_journal_append), the spill writer pages
+    // out mid-stream (crash.mid_spill_write) and flushes at its commit
+    // barrier (crash.mid_page_flush).
+    let mut cat = Catalog::new();
+    let t = cat
+        .add_table(Table::new(
+            "t",
+            0,
+            vec![
+                Column::new("k", DataType::Int, ColumnStats::uniform(200)).with_index(),
+                Column::new("v", DataType::Int, ColumnStats::uniform(10)),
+            ],
+        ))
+        .expect("victim table");
+    let data = DataSet::generate(
+        &cat,
+        &GenSpec {
+            seed: 9,
+            tables: vec![TableGenSpec {
+                table: t,
+                rows: 200,
+                columns: vec![ColumnGen::Serial, ColumnGen::Uniform { domain: 10 }],
+            }],
+        },
+    )
+    .expect("victim dataset");
+    let cfg = StorageConfig::default()
+        .with_page_size(256)
+        .with_pool_frames(4)
+        .with_journal(true);
+    let store = match PagedStore::materialize_in(&cat, &data, cfg, MetricsRegistry::new(), &dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("materialize journaled store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Several spill batches, each ending in a flush barrier (an fsync),
+    // stretch the window of in-flight storage mutations so the SIGKILL
+    // rounds of the harness land mid-mutation, not after the fact.
+    let mut spilled = 0u64;
+    for _ in 0..8 {
+        let mut sink = store.spill_sink().expect("paged store spills");
+        for i in 0..200i64 {
+            if let Err(e) = sink.append(&[i, i * 3]) {
+                eprintln!("spill append: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match sink.finish() {
+            Ok(rows) => spilled += rows,
+            Err(e) => {
+                eprintln!("spill finish: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("report spill rows={spilled}");
+    drop(store);
+
+    // Phase 2 — discovery. SB and AB at a fixed grid location over a
+    // small 2D_Q91 surface; report lines carry the raw cost bits so the
+    // harness can compare crashed-and-recovered runs bit-for-bit.
+    let catalog = tpcds::catalog_sf100();
+    let bench = q91_with_dims(&catalog, 2).with_grid_points(5);
+    let opt = Optimizer::new(
+        &catalog,
+        &bench.query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("victim query validates");
+    let surface = EssSurface::build(&opt, bench.grid());
+    let qa_idx = surface.len() / 2;
+    let opt_cost = surface.opt_cost(qa_idx);
+    let bound = rqp::core::spillbound_guarantee(2);
+    let mut mso_ok = true;
+    for label in ["sb", "ab"] {
+        let mut oracle = CostOracle::at_grid(&opt, surface.grid(), qa_idx);
+        let report = match label {
+            "sb" => SpillBound::new(&surface, &opt, 2.0).run(&mut oracle),
+            _ => AlignedBound::new(&surface, &opt, 2.0).run(&mut oracle),
+        }
+        .expect("victim discovery completes");
+        let sub = report.sub_optimality(opt_cost);
+        println!(
+            "report {label} total_bits={:016x} sub_bits={:016x}",
+            report.total_cost.to_bits(),
+            sub.to_bits()
+        );
+        if sub > bound * (1.0 + 1e-9) {
+            mso_ok = false;
+            eprintln!("victim: {label} sub-optimality {sub:.3} exceeds the MSO bound {bound}");
+        }
+    }
+
+    // Phase 3 — durable artifact save bracketed by journal intents:
+    // begin_durable (crash.after_journal_append), tmp+fsync+rename+dir
+    // fsync (crash.before_rename / crash.after_rename), commit_durable
+    // (crash.before_commit_sync).
+    let art = CompiledArtifact::compile(&opt, bench.grid(), 2.0, 0.2, 2);
+    let bytes = art.to_bytes();
+    let store = ArtifactStore::new(&dir);
+    let path = store.path_for("2D_Q91");
+    let mut journal = match Journal::open(&dir) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("open journal: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let saved = journal
+        .begin_durable(IntentKind::ArtifactSave, &path)
+        .map_err(|e| e.to_string())
+        .and_then(|intent| {
+            art.save(&path).map_err(|e| e.to_string())?;
+            journal.commit_durable(intent, 0).map_err(|e| e.to_string())
+        });
+    if let Err(e) = saved {
+        eprintln!("journaled artifact save: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "report artifact bytes={} fnv={:016x}",
+        bytes.len(),
+        fnv1a64(&bytes)
+    );
+
+    if mso_ok {
+        println!("victim done");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `rqp chaos --crash [--seed N]` — the crash-recovery matrix. For every
+/// named crashpoint: arm it via `RQP_CRASH_POINT`, run the victim until
+/// it aborts mid-mutation, then restart it with `--recover` and assert
+/// (a) recovery succeeds, (b) every surviving artifact parses, and
+/// (c) the recovered run's `report` lines are bit-identical to an
+/// uninterrupted reference run. Five additional rounds SIGKILL the
+/// victim at a seeded random delay, so torn state is exercised at
+/// arbitrary instants, not only at the curated points.
+fn chaos_crash(args: &[String]) -> ExitCode {
+    use std::process::{Command, Stdio};
+
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot locate own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base = std::env::temp_dir().join(format!("rqp-crash-matrix-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let report_lines = |out: &std::process::Output| -> Vec<String> {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.starts_with("report "))
+            .map(str::to_string)
+            .collect()
+    };
+    let run_victim = |dir: &std::path::Path,
+                      recover: bool,
+                      crash: Option<&str>|
+     -> std::io::Result<std::process::Output> {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("crash-victim").arg("--dir").arg(dir);
+        if recover {
+            cmd.arg("--recover");
+        }
+        cmd.env_remove("RQP_CRASH_POINT");
+        if let Some(point) = crash {
+            cmd.env("RQP_CRASH_POINT", point);
+        }
+        cmd.output()
+    };
+    // Every artifact that survived recovery must parse; a torn `.rqpa`
+    // in the store root means quarantine failed.
+    let artifacts_parse = |dir: &std::path::Path| -> bool {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return false;
+        };
+        entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("rqpa"))
+            .all(|p| match rqp::artifacts::load_any_path(&p) {
+                Ok(_) => true,
+                Err(e) => {
+                    eprintln!("torn artifact survived recovery: {}: {e}", p.display());
+                    false
+                }
+            })
+    };
+    // Recovered rerun: must exit cleanly, reproduce the reference report
+    // bit-for-bit, and leave only parseable artifacts behind.
+    let recover_and_check = |dir: &std::path::Path, want: &[String], label: &str| -> bool {
+        match run_victim(dir, true, None) {
+            Ok(out) if out.status.success() => {
+                let got = report_lines(&out);
+                if got != want {
+                    eprintln!(
+                        "{label}: recovered report diverged\n  want: {want:?}\n  got:  {got:?}"
+                    );
+                    return false;
+                }
+                artifacts_parse(dir)
+            }
+            Ok(out) => {
+                eprintln!(
+                    "{label}: recovery rerun failed ({}):\n{}",
+                    out.status,
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                false
+            }
+            Err(e) => {
+                eprintln!("{label}: cannot spawn recovery rerun: {e}");
+                false
+            }
+        }
+    };
+
+    // Uninterrupted reference run in a fresh directory.
+    let refdir = base.join("reference");
+    let _ = std::fs::create_dir_all(&refdir);
+    let want = match run_victim(&refdir, false, None) {
+        Ok(out) if out.status.success() => report_lines(&out),
+        Ok(out) => {
+            eprintln!(
+                "reference run failed ({}):\n{}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr)
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("cannot spawn reference run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if want.is_empty() {
+        eprintln!("reference run produced no report lines");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "crash matrix: seed {seed}, {} crashpoints + 5 sigkill rounds, reference = {} report lines",
+        rqp::faults::crash::POINTS.len(),
+        want.len()
+    );
+
+    let mut failures = 0usize;
+    for point in rqp::faults::crash::POINTS {
+        let dir = base.join(point.replace('.', "-"));
+        let _ = std::fs::create_dir_all(&dir);
+        // Armed run: the crashpoint must actually fire (abnormal exit).
+        let mut pass = match run_victim(&dir, false, Some(point)) {
+            Ok(out) if !out.status.success() => true,
+            Ok(_) => {
+                eprintln!("crashpoint {point}: armed victim exited cleanly (point never hit)");
+                false
+            }
+            Err(e) => {
+                eprintln!("crashpoint {point}: cannot spawn armed victim: {e}");
+                false
+            }
+        };
+        if pass {
+            pass = recover_and_check(&dir, &want, &format!("crashpoint {point}"));
+        }
+        println!("crashpoint {point}: {}", if pass { "PASS" } else { "FAIL" });
+        if !pass {
+            failures += 1;
+        }
+    }
+
+    // Seeded random-delay SIGKILL rounds: no curated point, just a hard
+    // kill at an arbitrary instant of the workload.
+    let mut state = seed;
+    let mut next = move || -> u64 {
+        // SplitMix64 — the workspace's standard seeded stream.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for round in 0..5u32 {
+        // The victim's mutation window is tens of milliseconds; keep the
+        // kill inside it.
+        let delay_ms = 1 + next() % 30;
+        let dir = base.join(format!("sigkill-{round}"));
+        let _ = std::fs::create_dir_all(&dir);
+        let label = format!("sigkill round {round}");
+        let mut pass = true;
+        let mut cmd = Command::new(&exe);
+        cmd.arg("crash-victim")
+            .arg("--dir")
+            .arg(&dir)
+            .env_remove("RQP_CRASH_POINT")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        match cmd.spawn() {
+            Ok(mut child) => {
+                std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                // `Child::kill` is SIGKILL on unix: no destructors, no
+                // flushes — the hardest crash the harness can deal.
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            Err(e) => {
+                eprintln!("{label}: cannot spawn victim: {e}");
+                pass = false;
+            }
+        }
+        if pass {
+            pass = recover_and_check(&dir, &want, &label);
+        }
+        println!(
+            "crash sigkill round {round} (delay {delay_ms}ms): {}",
+            if pass { "PASS" } else { "FAIL" }
+        );
+        if !pass {
+            failures += 1;
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+    if failures == 0 {
+        println!(
+            "crash matrix passed: {} crashpoints + 5 sigkill rounds, all reports bit-identical",
+            rqp::faults::crash::POINTS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("crash matrix FAILED: {failures} case(s)");
+        ExitCode::FAILURE
+    }
+}
+
 /// Render a recorded event stream as a per-contour budget/cost timeline.
 fn render_timeline(records: &[TraceRecord]) {
     // A `PlanExecuted` is always followed by its `BudgetCharged`; merge the
@@ -501,6 +898,9 @@ fn render_timeline(records: &[TraceRecord]) {
                 "[{:>4}] run finished: {executions} executions, total cost {total_cost:.0}, completed: {completed}",
                 rec.step
             ),
+            TraceEvent::RecoveryStep { stage, count } => {
+                println!("[{:>4}] recovery {stage}: {count} item(s)", rec.step)
+            }
         }
     }
     if let Some(line) = pending {
@@ -911,6 +1311,21 @@ fn main() -> ExitCode {
         }
         Some("serve") => {
             let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7401".into());
+            // --recover runs crash recovery over the artifact directory
+            // *before* anything is loaded from it: replay the intent
+            // journal, sweep stray temp files, and quarantine corrupt
+            // artifacts so the daemon never faults in torn state.
+            let recover = args.iter().any(|a| a == "--recover");
+            let recovery_tracer = Tracer::from_env();
+            let mut recovery_report = recover.then(|| {
+                let dir = artifact_dir(&args);
+                let report = rqp::server::recover_dir(std::path::Path::new(&dir), &recovery_tracer);
+                println!("{}", report.summary());
+                for name in &report.quarantined_files {
+                    println!("recovery: quarantined {name}");
+                }
+                report
+            });
             let store = ArtifactStore::new(artifact_dir(&args));
             let threads = harness_threads(4);
             let names: Vec<String> = flag_value(&args, "--queries")
@@ -986,6 +1401,22 @@ fn main() -> ExitCode {
             if let Some(p) = &fault_plan {
                 cache = cache.with_faults(Arc::clone(p), RetryPolicy::no_sleep(6));
             }
+            // Pre-warm the LRU cache from the hot-set manifest the
+            // previous process persisted, so a restarted server answers
+            // its hot queries at warm latency from the first request.
+            if let Some(report) = recovery_report.as_mut() {
+                rqp::server::warm_cache(&cache, &recovery_tracer, report);
+                recovery_tracer.flush();
+                println!(
+                    "recovery: pre-warmed {} cached quer{} from the manifest",
+                    report.warm_restored,
+                    if report.warm_restored == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    }
+                );
+            }
             let registry = registry.with_cache(cache);
             let config = ServerConfig {
                 workers: flag_value(&args, "--workers")
@@ -1006,6 +1437,11 @@ fn main() -> ExitCode {
             };
             match serve(registry, addr.as_str(), config) {
                 Ok(handle) => {
+                    // Surface what recovery did in the `stats` response's
+                    // registry block (`recovery.*` counters).
+                    if let Some(report) = &recovery_report {
+                        report.register(handle.metrics().registry());
+                    }
                     println!(
                         "serving {} pinned (+ LRU cache over {}) on {} (send a `shutdown` request to stop)",
                         names.join(", "),
@@ -1232,7 +1668,11 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("crash-victim") => crash_victim(&args),
         Some("chaos") => {
+            if args.iter().any(|a| a == "--crash") {
+                return chaos_crash(&args);
+            }
             let name = args
                 .get(1)
                 .filter(|n| !n.starts_with("--"))

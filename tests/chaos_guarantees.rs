@@ -532,6 +532,113 @@ fn server_breaker_degrades_then_recovers() {
     });
 }
 
+/// Shutdown with requests in flight: every request the server accepted
+/// (read off the socket) is answered before its connection closes —
+/// either with its full response (when the worker finishes inside the
+/// drain window) or with a typed `shutting_down` error. Nothing is
+/// silently dropped, and the schedule forces both outcomes to occur.
+#[test]
+fn shutdown_answers_every_inflight_request() {
+    use std::io::ErrorKind;
+
+    with_watchdog(60, || {
+        let (cat, q) = star2();
+        let cat: &'static Catalog = Box::leak(Box::new(cat));
+        let opt =
+            Optimizer::new(cat, &q, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let artifact = CompiledArtifact::compile(&opt, MultiGrid::uniform(2, 1e-5, 8), 2.0, 0.2, 2);
+        let mut reg = Registry::new();
+        reg.insert(ServedQuery::from_artifact(artifact, cat).unwrap());
+        // A single worker serializes the batch (80ms of debug sleep per
+        // request), so shutdown lands with most of it still queued; the
+        // 300ms drain window lets the front of the queue finish.
+        let config = ServerConfig {
+            workers: 1,
+            allow_debug_sleep: true,
+            shutdown_drain: Duration::from_millis(300),
+            ..ServerConfig::default()
+        };
+        let handle = serve(reg, "127.0.0.1:0", config).unwrap();
+        let addr = handle.addr;
+
+        // Pipeline 8 slow requests in one write, then shut down from a
+        // second connection while they are in flight.
+        const N: usize = 8;
+        let mut inflight = Client::connect(addr).unwrap();
+        let batch: String = (0..N)
+            .map(|i| {
+                format!(
+                    "{{\"id\":\"req-{i}\",\"method\":\"run_spillbound\",\
+                     \"query\":\"star2\",\"qa\":[0.02,0.4],\"sleep_ms\":80}}\n"
+                )
+            })
+            .collect();
+        inflight.send_batch(&batch).unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        let mut ctl = Client::connect(addr).unwrap();
+        let bye = ctl
+            .call_raw(&rqp::server::request_line(
+                99.0,
+                "shutdown",
+                None,
+                &[],
+                None,
+            ))
+            .unwrap();
+        assert!(bye.contains("\"ok\":true"), "{bye}");
+
+        // Read to EOF. Responses come back in request order (the server
+        // writes strictly by sequence number; a synthesized shutdown
+        // error carries a null id because the original id is still with
+        // the queued worker job), so match by position.
+        let mut outcomes = Vec::new();
+        loop {
+            match inflight.read_response() {
+                Ok(line) => {
+                    let i = outcomes.len();
+                    let full = line.contains("\"ok\":true")
+                        && line.contains(&format!("\"id\":\"req-{i}\""))
+                        && line.contains("\"algorithm\":\"spillbound\"");
+                    let typed = line.contains("\"ok\":false")
+                        && line.contains("\"kind\":\"shutting_down\"");
+                    assert!(
+                        full || typed,
+                        "request {i}: neither a full response nor a typed \
+                         shutting_down error: {line}"
+                    );
+                    outcomes.push(full);
+                }
+                Err(e) if e.kind() == ErrorKind::UnexpectedEof => break,
+                Err(e) => panic!("reading drained responses: {e}"),
+            }
+        }
+        assert_eq!(
+            outcomes.len(),
+            N,
+            "accepted requests were silently dropped at shutdown: got \
+             {outcomes:?}"
+        );
+        // The schedule (1 worker × 80ms, shutdown at ~40ms, 300ms drain)
+        // guarantees both outcomes: the front of the queue completes
+        // inside the drain window, the tail cannot.
+        let full = outcomes.iter().filter(|&&f| f).count();
+        assert!(full >= 1, "no request completed inside the drain window");
+        assert!(
+            full < N,
+            "shutdown never interrupted the batch; the test raced"
+        );
+        // Completions are in-order: once one request was cut off, every
+        // later one was too (single worker, FIFO queue).
+        let first_cut = outcomes.iter().position(|&f| !f).unwrap();
+        assert!(
+            outcomes[first_cut..].iter().all(|&f| !f),
+            "a request completed after an earlier one was already cut \
+             off: {outcomes:?}"
+        );
+        handle.stop();
+    });
+}
+
 /// A slow-loris client cannot dodge its deadline: the clock starts when
 /// the server reads the *first byte* of the request, so stalling
 /// mid-line past `deadline_ms` and then completing the request is
