@@ -14,11 +14,11 @@ use rqp::catalog::tpcds;
 use rqp::core::report::{ExecMode, RunReport};
 use rqp::core::{AlignedBound, Outcome, SpillBound};
 use rqp::ess::EssSurface;
-use rqp::executor::{DataStore, Executor};
+use rqp::executor::{DataStore, Engine, PlanEngine as _};
 use rqp::experiments::write_json;
 use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
 use rqp::runner::{measure_qa, ExecOracle};
-use rqp::workloads::{executable_genspec_with_errors, q91_with_dims};
+use rqp::workloads::{executable_genspec_with_errors, q91_with_dims, scale_from_env};
 use rqp_catalog::DataSet;
 use serde::Serialize;
 use std::time::Instant;
@@ -84,7 +84,17 @@ fn print_drill(name: &str, rows: &[DrillRow]) {
 }
 
 fn main() {
-    let catalog = tpcds::catalog(0.1);
+    // RQP_SCALE=10 (or 100) reruns the same comparison on a 10-100x
+    // larger dataset; plans execute on the vectorized engine. The knob
+    // scales the *catalog*: injected error factors are ratios to the
+    // 1/NDV estimate, invariant under catalog scaling, so the planted
+    // 30x/10x/50x/20x errors survive while full-run work grows
+    // ~linearly. (Row-only scaling under fixed domains — GenSpec::scaled
+    // — would instead compound each join's planted selectivity into a
+    // quadratic output blowup.)
+    let scale = scale_from_env();
+    println!("dataset scale: {scale}x (set RQP_SCALE to change)");
+    let catalog = tpcds::catalog(0.1 * scale);
     let bench = q91_with_dims(&catalog, 4);
     let query = &bench.query;
     let errors = [30.0, 10.0, 50.0, 20.0];
@@ -101,7 +111,7 @@ fn main() {
     )
     .expect("valid");
     let surface = EssSurface::build(&opt, bench.grid());
-    let exec = || Executor::new(&catalog, query, &store, CostParams::default());
+    let exec = || Engine::new(&catalog, query, &store, CostParams::default());
 
     let (opt_plan, _) = opt.optimize_at(&qa);
     let t = Instant::now();

@@ -1,28 +1,42 @@
-//! Vectorized (batch-at-a-time) execution.
+//! Vectorized (batch-at-a-time) execution over the full operator set.
 //!
 //! The row-at-a-time Volcano engine in [`crate::ops`] pays a virtual call
 //! and a `Vec` allocation per tuple. This module provides a columnar
-//! alternative for the hot plan shapes (sequential scans + hash joins):
-//! operators exchange [`Batch`]es of up to [`BATCH_SIZE`] tuples in
-//! column-major layout, with filters evaluated over selection vectors.
-//! Cost metering is charged at the same per-tuple rates as the row engine,
-//! so budgeted-execution semantics are identical — only wall-clock
-//! improves (see `benches/micro.rs` for the comparison).
+//! alternative covering every plan shape the optimizer emits — sequential
+//! and index scans, hash / sort-merge / nested-loop / index-NL joins, and
+//! hash aggregation: operators exchange [`Batch`]es of (typically)
+//! [`BATCH_SIZE`] tuples in column-major layout, with filters evaluated
+//! over selection vectors and joins emitting through tight gather loops.
 //!
-//! Plans containing other operators (index scans/joins, sort-merge,
-//! nested-loop) are rejected with [`RqpError::Execution`]; callers fall
-//! back to the row engine.
+//! **Bit-compatibility with the row engine.** Both engines meter work
+//! through the same [`Ledger`] mechanism: per-tuple rates × integer tuple
+//! counts, summed in plan-compile registration order (see
+//! [`crate::meter`]). The batch engine registers its ledgers in exactly
+//! the order the row engine's operator constructors do, ticks identical
+//! tuple counts, and issues identical direct lump charges (index opens,
+//! sort costs) at the same stream points — so completed runs report
+//! bit-identical `spent`, budget trips decide completion from the same
+//! final total (checks land on batch edges, i.e. [`CHARGE_QUANTUM`]
+//! boundaries), and spill observations carry the same counts. SB/AB
+//! discovery reports are therefore byte-identical across engines, on both
+//! the in-memory and the paged [`TableStore`] backend (see
+//! `tests/batch_vs_row.rs`).
 
-use crate::exec::ExecOutcome;
-use crate::meter::{ExecError, Meter};
+use crate::exec::{ExecOutcome, NodeObservation, SpillRun};
+use crate::meter::{ExecError, Ledger, Meter, CHARGE_QUANTUM};
+use crate::ops::{AggFn, CompiledFilter, Counts, Row};
+use crate::store::ColumnIndex;
 use rqp_catalog::Catalog;
 use rqp_common::{Cost, Result, RqpError};
+use rqp_faults::{FaultPlan, FaultSite};
 use rqp_optimizer::{CostParams, JoinMethod, PlanNode, PredicateKind, QuerySpec, ScanMethod};
 use rqp_storage::{RowCursor, TableRef, TableStore};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Tuples per batch.
-pub const BATCH_SIZE: usize = 1024;
+/// Tuples per batch (equal to the metering quantum, so budget checks
+/// align with batch edges in both engines).
+pub const BATCH_SIZE: usize = CHARGE_QUANTUM as usize;
 
 /// A column-major batch of tuples.
 #[derive(Debug, Clone, Default)]
@@ -40,30 +54,93 @@ impl Batch {
             len: 0,
         }
     }
+
+    /// Copies row `r` of this batch onto `out` (cleared first).
+    fn row_into(&self, r: usize, out: &mut Vec<i64>) {
+        out.clear();
+        out.extend(self.cols.iter().map(|c| c[r]));
+    }
 }
 
-/// Batch-at-a-time operator interface.
+/// Columnar gather of matched `(left_row, right_row)` pairs into `out`
+/// (left columns first). This is the joins' emit hot path: one tight
+/// per-column loop with an exact-size reserve, instead of a per-value
+/// branch in a row-at-a-time loop.
+fn emit_pairs(out: &mut Batch, pairs: &[(u32, u32)], lcols: &[Vec<i64>], rcols: &[Vec<i64>]) {
+    let nl = lcols.len();
+    for (c, dst) in out.cols.iter_mut().enumerate() {
+        if c < nl {
+            let src = &lcols[c];
+            dst.extend(pairs.iter().map(|&(l, _)| src[l as usize]));
+        } else {
+            let src = &rcols[c - nl];
+            dst.extend(pairs.iter().map(|&(_, r)| src[r as usize]));
+        }
+    }
+    out.len += pairs.len();
+}
+
+#[inline]
+fn filter_keep(f: &CompiledFilter, x: i64) -> bool {
+    match *f {
+        CompiledFilter::Le { v, .. } => x <= v,
+        CompiledFilter::Eq { v, .. } => x == v,
+    }
+}
+
+#[inline]
+fn filter_col(f: &CompiledFilter) -> usize {
+    match *f {
+        CompiledFilter::Le { col, .. } | CompiledFilter::Eq { col, .. } => col,
+    }
+}
+
+/// Batch-at-a-time operator interface (mirrors [`crate::ops::Operator`]).
 trait BatchOperator {
     fn next_batch(&mut self) -> std::result::Result<Option<Batch>, ExecError>;
+
+    /// Tuple counts observed so far (selectivity monitoring).
+    fn counts(&self) -> Counts;
 }
 
 type BoxBatchOp<'a> = Box<dyn BatchOperator + 'a>;
 
 /// Sequential scan producing filtered batches.
 ///
-/// In-memory tables keep the columnar selection-vector gather; paged
-/// tables stream rows through the buffer pool via a pinned cursor (the
-/// metered rates are identical either way).
-struct BatchScan<'a> {
+/// In-memory tables use a columnar selection-vector gather directly over
+/// the source columns; paged tables read whole batches through the
+/// buffer pool ([`RowCursor::read_batch`], one pin per page) into a
+/// scratch area and filter there.
+struct BatchSeqScan<'a> {
     table: TableRef<'a>,
     cursor: RowCursor<'a>,
-    filters: Vec<(usize, bool, i64)>, // (col, is_le, value); !is_le = eq
+    filters: Vec<CompiledFilter>,
     pos: usize,
-    meter: Meter,
-    row_charge: f64,
+    /// Ledger order (mirrors `SeqScanOp`): `row`.
+    row: Ledger,
+    scratch: Vec<Vec<i64>>,
+    sel: Vec<u32>,
+    input: u64,
+    output: u64,
 }
 
-impl BatchOperator for BatchScan<'_> {
+impl<'a> BatchSeqScan<'a> {
+    fn new(table: TableRef<'a>, filters: Vec<CompiledFilter>, meter: &Meter, rate: f64) -> Self {
+        Self {
+            table,
+            cursor: table.cursor(),
+            filters,
+            pos: 0,
+            row: meter.ledger(rate),
+            scratch: vec![Vec::with_capacity(BATCH_SIZE); table.ncols()],
+            sel: Vec::with_capacity(BATCH_SIZE),
+            input: 0,
+            output: 0,
+        }
+    }
+}
+
+impl BatchOperator for BatchSeqScan<'_> {
     fn next_batch(&mut self) -> std::result::Result<Option<Batch>, ExecError> {
         let n = self.table.rows();
         if self.pos >= n {
@@ -71,91 +148,283 @@ impl BatchOperator for BatchScan<'_> {
         }
         let hi = (self.pos + BATCH_SIZE).min(n);
         let count = hi - self.pos;
-        self.meter.charge(self.row_charge * count as f64)?;
+        self.input += count as u64;
+        self.row.tick_n(count as u64)?;
         let mut out = Batch::with_width(self.table.ncols());
         if let TableRef::Mem(table) = self.table {
-            // selection vector over [pos, hi), then columnar gather
-            let mut sel: Vec<u32> = (self.pos as u32..hi as u32).collect();
-            for &(col, is_le, v) in &self.filters {
-                let data = table.col(col);
-                sel.retain(|&r| {
-                    let x = data[r as usize];
-                    if is_le {
-                        x <= v
-                    } else {
-                        x == v
-                    }
-                });
-            }
-            out.len = sel.len();
-            for (c, dst) in out.cols.iter_mut().enumerate() {
-                let data = table.col(c);
-                dst.extend(sel.iter().map(|&r| data[r as usize]));
+            if self.filters.is_empty() {
+                // No predicate: one memcpy per column.
+                out.len = count;
+                for (c, dst) in out.cols.iter_mut().enumerate() {
+                    dst.extend_from_slice(&table.col(c)[self.pos..hi]);
+                }
+            } else {
+                // Selection vector over [pos, hi), then columnar gather.
+                self.sel.clear();
+                self.sel.extend(self.pos as u32..hi as u32);
+                for f in &self.filters {
+                    let data = table.col(filter_col(f));
+                    self.sel.retain(|&r| filter_keep(f, data[r as usize]));
+                }
+                out.len = self.sel.len();
+                for (c, dst) in out.cols.iter_mut().enumerate() {
+                    let data = table.col(c);
+                    dst.extend(self.sel.iter().map(|&r| data[r as usize]));
+                }
             }
         } else {
-            let mut row = Vec::with_capacity(self.table.ncols());
-            'rows: for r in self.pos..hi {
-                for &(col, is_le, v) in &self.filters {
-                    let x = self.cursor.value(r, col)?;
-                    let keep = if is_le { x <= v } else { x == v };
-                    if !keep {
-                        continue 'rows;
-                    }
-                }
-                row.clear();
-                self.cursor.row_into(r, &mut row)?;
-                for (dst, &x) in out.cols.iter_mut().zip(&row) {
-                    dst.push(x);
-                }
-                out.len += 1;
+            for col in &mut self.scratch {
+                col.clear();
+            }
+            self.cursor.read_batch(self.pos, hi, &mut self.scratch)?;
+            self.sel.clear();
+            self.sel.extend(0..count as u32);
+            for f in &self.filters {
+                let data = &self.scratch[filter_col(f)];
+                self.sel.retain(|&r| filter_keep(f, data[r as usize]));
+            }
+            out.len = self.sel.len();
+            for (c, dst) in out.cols.iter_mut().enumerate() {
+                let data = &self.scratch[c];
+                dst.extend(self.sel.iter().map(|&r| data[r as usize]));
             }
         }
+        self.output += out.len as u64;
         self.pos = hi;
         Ok(Some(out))
+    }
+
+    fn counts(&self) -> Counts {
+        Counts::Scan {
+            input: self.input,
+            output: self.output,
+        }
+    }
+}
+
+/// Index scan: row ids from the driving filter's B-tree, fetched in
+/// batch windows with residual filters applied on the gathered rows.
+struct BatchIndexScan<'a> {
+    cursor: RowCursor<'a>,
+    row_ids: Vec<u32>,
+    residual: Vec<CompiledFilter>,
+    pos: usize,
+    meter: Meter,
+    /// Ledger order (mirrors `IndexScanOp`): `fetch`; the open cost is a
+    /// direct lump charged at first pull.
+    fetch: Ledger,
+    opened: bool,
+    open_charge: f64,
+    width: usize,
+    row: Vec<i64>,
+    input: u64,
+    output: u64,
+}
+
+impl<'a> BatchIndexScan<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        table: TableRef<'a>,
+        index: &ColumnIndex,
+        driving: CompiledFilter,
+        residual: Vec<CompiledFilter>,
+        meter: &Meter,
+        open_charge: f64,
+        fetch_charge: f64,
+    ) -> Self {
+        let row_ids: Vec<u32> = match driving {
+            CompiledFilter::Eq { v, .. } => index.eq(v).to_vec(),
+            CompiledFilter::Le { v, .. } => index.le(v).collect(),
+        };
+        Self {
+            cursor: table.cursor(),
+            row_ids,
+            residual,
+            pos: 0,
+            fetch: meter.ledger(fetch_charge),
+            meter: meter.clone(),
+            opened: false,
+            open_charge,
+            width: table.ncols(),
+            row: Vec::new(),
+            input: 0,
+            output: 0,
+        }
+    }
+}
+
+impl BatchOperator for BatchIndexScan<'_> {
+    fn next_batch(&mut self) -> std::result::Result<Option<Batch>, ExecError> {
+        if !self.opened {
+            self.opened = true;
+            self.meter.charge(self.open_charge)?;
+        }
+        if self.pos >= self.row_ids.len() {
+            return Ok(None);
+        }
+        let hi = (self.pos + BATCH_SIZE).min(self.row_ids.len());
+        let count = hi - self.pos;
+        self.input += count as u64;
+        self.fetch.tick_n(count as u64)?;
+        let mut out = Batch::with_width(self.width);
+        'ids: for i in self.pos..hi {
+            let rid = self.row_ids[i] as usize;
+            for f in &self.residual {
+                if !filter_keep(f, self.cursor.value(rid, filter_col(f))?) {
+                    continue 'ids;
+                }
+            }
+            self.row.clear();
+            self.cursor.row_into(rid, &mut self.row)?;
+            for (dst, &x) in out.cols.iter_mut().zip(&self.row) {
+                dst.push(x);
+            }
+            out.len += 1;
+        }
+        self.output += out.len as u64;
+        self.pos = hi;
+        Ok(Some(out))
+    }
+
+    fn counts(&self) -> Counts {
+        Counts::Scan {
+            input: self.input,
+            output: self.output,
+        }
     }
 }
 
 /// Hash join over batches: right child fully built, left child probed
-/// batch-by-batch.
+/// batch-by-batch. Single-column keys probe an `i64`-keyed table (no
+/// per-row key allocation).
 struct BatchHashJoin<'a> {
     left: BoxBatchOp<'a>,
     right: BoxBatchOp<'a>,
     lkeys: Vec<usize>,
     rkeys: Vec<usize>,
     built: Option<BuildSide>,
-    meter: Meter,
-    build_charge: f64,
-    probe_charge: f64,
-    emit_charge: f64,
+    /// Ledger order (mirrors `HashJoinOp`): `build`, `probe`, `emit`.
+    build: Ledger,
+    probe: Ledger,
+    emit: Ledger,
     width: usize,
+    pairs: Vec<(u32, u32)>,
+    left_in: u64,
+    right_in: u64,
+    out: u64,
 }
 
 struct BuildSide {
     /// Build tuples, column-major.
     cols: Vec<Vec<i64>>,
     /// key → build row ids.
-    index: HashMap<Vec<i64>, Vec<u32>>,
+    index: KeyIndex,
 }
 
-impl BatchHashJoin<'_> {
-    fn build(&mut self) -> std::result::Result<(), ExecError> {
+enum KeyIndex {
+    /// Single-column key over a bounded range: CSR bucket table. Bucket
+    /// `b = key - min` holds `ids[offsets[b]..offsets[b + 1]]` — a probe
+    /// is one subtraction and two array loads, no hashing. Dimension
+    /// surrogate keys are `Serial`, so this is the common case.
+    Dense {
+        min: i64,
+        offsets: Vec<u32>,
+        ids: Vec<u32>,
+    },
+    Single(HashMap<i64, Vec<u32>>),
+    Multi(HashMap<Vec<i64>, Vec<u32>>),
+}
+
+/// Probe structure for a completed build side. Build row ids appear in
+/// bucket order of arrival, so match order (and therefore output order)
+/// is identical across all three variants.
+fn build_index(cols: &[Vec<i64>], rkeys: &[usize], total: u32) -> KeyIndex {
+    if rkeys.len() != 1 {
+        let mut map: HashMap<Vec<i64>, Vec<u32>> = HashMap::new();
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..total as usize {
+            let key: Vec<i64> = rkeys.iter().map(|&k| cols[k][r]).collect();
+            map.entry(key).or_default().push(r as u32);
+        }
+        return KeyIndex::Multi(map);
+    }
+    if total > 0 {
+        let kc = &cols[rkeys[0]];
+        let (mut min, mut max) = (i64::MAX, i64::MIN);
+        for &k in kc {
+            min = min.min(k);
+            max = max.max(k);
+        }
+        let range = (max as i128 - min as i128) as u128 + 1;
+        if range <= 2 * total as u128 + 4096 {
+            let range = range as usize;
+            let mut offsets = vec![0u32; range + 1];
+            for &k in kc {
+                offsets[(k - min) as usize + 1] += 1;
+            }
+            for i in 0..range {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut next = offsets.clone();
+            let mut ids = vec![0u32; total as usize];
+            for (r, &k) in kc.iter().enumerate() {
+                let b = (k - min) as usize;
+                ids[next[b] as usize] = r as u32;
+                next[b] += 1;
+            }
+            return KeyIndex::Dense { min, offsets, ids };
+        }
+        let mut map: HashMap<i64, Vec<u32>> = HashMap::new();
+        for (r, &k) in kc.iter().enumerate() {
+            map.entry(k).or_default().push(r as u32);
+        }
+        return KeyIndex::Single(map);
+    }
+    KeyIndex::Single(HashMap::new())
+}
+
+impl<'a> BatchHashJoin<'a> {
+    fn new(
+        left: BoxBatchOp<'a>,
+        right: BoxBatchOp<'a>,
+        lkeys: Vec<usize>,
+        rkeys: Vec<usize>,
+        meter: &Meter,
+        rates: (f64, f64, f64),
+        width: usize,
+    ) -> Self {
+        Self {
+            left,
+            right,
+            lkeys,
+            rkeys,
+            built: None,
+            build: meter.ledger(rates.0),
+            probe: meter.ledger(rates.1),
+            emit: meter.ledger(rates.2),
+            width,
+            pairs: Vec::new(),
+            left_in: 0,
+            right_in: 0,
+            out: 0,
+        }
+    }
+
+    fn do_build(&mut self) -> std::result::Result<(), ExecError> {
         let mut cols: Vec<Vec<i64>> = Vec::new();
-        let mut index: HashMap<Vec<i64>, Vec<u32>> = HashMap::new();
         let mut total = 0u32;
         while let Some(b) = self.right.next_batch()? {
-            self.meter.charge(self.build_charge * b.len as f64)?;
+            self.right_in += b.len as u64;
+            self.build.tick_n(b.len as u64)?;
             if cols.is_empty() {
                 cols = vec![Vec::new(); b.cols.len()];
             }
-            for r in 0..b.len {
-                let key: Vec<i64> = self.rkeys.iter().map(|&k| b.cols[k][r]).collect();
-                index.entry(key).or_default().push(total);
-                total += 1;
-            }
+            total += b.len as u32;
             for (dst, src) in cols.iter_mut().zip(&b.cols) {
                 dst.extend_from_slice(src);
             }
         }
+        let index = build_index(&cols, &self.rkeys, total);
         self.built = Some(BuildSide { cols, index });
         Ok(())
     }
@@ -164,47 +433,565 @@ impl BatchHashJoin<'_> {
 impl BatchOperator for BatchHashJoin<'_> {
     fn next_batch(&mut self) -> std::result::Result<Option<Batch>, ExecError> {
         if self.built.is_none() {
-            self.build()?;
+            self.do_build()?;
         }
-        let built = self.built.as_ref().expect("built");
         loop {
             let Some(probe) = self.left.next_batch()? else {
                 return Ok(None);
             };
-            self.meter.charge(self.probe_charge * probe.len as f64)?;
-            let mut out = Batch::with_width(self.width);
-            for r in 0..probe.len {
-                let key: Vec<i64> = self.lkeys.iter().map(|&k| probe.cols[k][r]).collect();
-                if let Some(matches) = built.index.get(&key) {
-                    for &m in matches {
-                        for (c, dst) in out.cols.iter_mut().enumerate() {
-                            if c < probe.cols.len() {
-                                dst.push(probe.cols[c][r]);
-                            } else {
-                                dst.push(built.cols[c - probe.cols.len()][m as usize]);
-                            }
+            self.left_in += probe.len as u64;
+            self.probe.tick_n(probe.len as u64)?;
+            let built = self.built.as_ref().expect("built");
+            self.pairs.clear();
+            match &built.index {
+                KeyIndex::Dense { min, offsets, ids } => {
+                    let kc = &probe.cols[self.lkeys[0]];
+                    for (r, k) in kc[..probe.len].iter().enumerate() {
+                        let Some(b) = k
+                            .checked_sub(*min)
+                            .and_then(|d| usize::try_from(d).ok())
+                            .filter(|&b| b + 1 < offsets.len())
+                        else {
+                            continue;
+                        };
+                        let (s, e) = (offsets[b] as usize, offsets[b + 1] as usize);
+                        self.pairs.extend(ids[s..e].iter().map(|&m| (r as u32, m)));
+                    }
+                }
+                KeyIndex::Single(map) => {
+                    let kc = &probe.cols[self.lkeys[0]];
+                    for (r, k) in kc[..probe.len].iter().enumerate() {
+                        if let Some(matches) = map.get(k) {
+                            self.pairs.extend(matches.iter().map(|&m| (r as u32, m)));
                         }
-                        out.len += 1;
+                    }
+                }
+                KeyIndex::Multi(map) => {
+                    for r in 0..probe.len {
+                        let key: Vec<i64> = self.lkeys.iter().map(|&k| probe.cols[k][r]).collect();
+                        if let Some(matches) = map.get(&key) {
+                            self.pairs.extend(matches.iter().map(|&m| (r as u32, m)));
+                        }
                     }
                 }
             }
-            self.meter.charge(self.emit_charge * out.len as f64)?;
+            let mut out = Batch::with_width(self.width);
+            emit_pairs(&mut out, &self.pairs, &probe.cols, &built.cols);
+            self.out += out.len as u64;
+            self.emit.tick_n(out.len as u64)?;
             if out.len > 0 {
                 return Ok(Some(out));
             }
             // else keep pulling probe batches
         }
     }
+
+    fn counts(&self) -> Counts {
+        Counts::Join {
+            left: self.left_in,
+            right: self.right_in,
+            output: self.out,
+        }
+    }
 }
 
-/// Vectorized executor over the hot plan shapes.
+/// Sort-merge join: both children drained into column-major buffers,
+/// row orders sorted by key, per-group cross products emitted in batches.
+struct BatchMergeJoin<'a> {
+    left: BoxBatchOp<'a>,
+    right: BoxBatchOp<'a>,
+    lkeys: Vec<usize>,
+    rkeys: Vec<usize>,
+    meter: Meter,
+    /// Ledger order (mirrors `MergeJoinOp`): `input` (both sides),
+    /// `emit`; sort costs are direct lumps at open, left first.
+    input: Ledger,
+    emit: Ledger,
+    sort_factor: f64,
+    width: usize,
+    state: Option<MergeBatchState>,
+    left_in: u64,
+    right_in: u64,
+    out: u64,
+}
+
+struct MergeBatchState {
+    lcols: Vec<Vec<i64>>,
+    rcols: Vec<Vec<i64>>,
+    lorder: Vec<u32>,
+    rorder: Vec<u32>,
+    li: usize,
+    ri: usize,
+}
+
+impl<'a> BatchMergeJoin<'a> {
+    fn new(
+        left: BoxBatchOp<'a>,
+        right: BoxBatchOp<'a>,
+        lkeys: Vec<usize>,
+        rkeys: Vec<usize>,
+        meter: &Meter,
+        rates: (f64, f64, f64),
+        width: usize,
+    ) -> Self {
+        Self {
+            left,
+            right,
+            lkeys,
+            rkeys,
+            input: meter.ledger(rates.0),
+            emit: meter.ledger(rates.2),
+            meter: meter.clone(),
+            sort_factor: rates.1,
+            width,
+            state: None,
+            left_in: 0,
+            right_in: 0,
+            out: 0,
+        }
+    }
+
+    fn open(&mut self) -> std::result::Result<(), ExecError> {
+        let mut lcols: Vec<Vec<i64>> = Vec::new();
+        let mut lrows = 0usize;
+        while let Some(b) = self.left.next_batch()? {
+            self.left_in += b.len as u64;
+            self.input.tick_n(b.len as u64)?;
+            if lcols.is_empty() {
+                lcols = vec![Vec::new(); b.cols.len()];
+            }
+            for (dst, src) in lcols.iter_mut().zip(&b.cols) {
+                dst.extend_from_slice(src);
+            }
+            lrows += b.len;
+        }
+        let mut rcols: Vec<Vec<i64>> = Vec::new();
+        let mut rrows = 0usize;
+        while let Some(b) = self.right.next_batch()? {
+            self.right_in += b.len as u64;
+            self.input.tick_n(b.len as u64)?;
+            if rcols.is_empty() {
+                rcols = vec![Vec::new(); b.cols.len()];
+            }
+            for (dst, src) in rcols.iter_mut().zip(&b.cols) {
+                dst.extend_from_slice(src);
+            }
+            rrows += b.len;
+        }
+        // Sort charge: 2·n·log2(n+2) operator evaluations per side
+        // (identical lumps, identical order, as the row engine).
+        let sort_cost = |n: usize| 2.0 * n as f64 * ((n + 2) as f64).log2() * self.sort_factor;
+        self.meter.charge(sort_cost(lrows))?;
+        self.meter.charge(sort_cost(rrows))?;
+        let key_of = |cols: &[Vec<i64>], keys: &[usize], r: u32| -> Vec<i64> {
+            keys.iter().map(|&k| cols[k][r as usize]).collect()
+        };
+        let mut lorder: Vec<u32> = (0..lrows as u32).collect();
+        lorder.sort_by_key(|&r| key_of(&lcols, &self.lkeys, r));
+        let mut rorder: Vec<u32> = (0..rrows as u32).collect();
+        rorder.sort_by_key(|&r| key_of(&rcols, &self.rkeys, r));
+        self.state = Some(MergeBatchState {
+            lcols,
+            rcols,
+            lorder,
+            rorder,
+            li: 0,
+            ri: 0,
+        });
+        Ok(())
+    }
+}
+
+impl BatchOperator for BatchMergeJoin<'_> {
+    fn next_batch(&mut self) -> std::result::Result<Option<Batch>, ExecError> {
+        if self.state.is_none() {
+            self.open()?;
+        }
+        let lkeys = self.lkeys.clone();
+        let rkeys = self.rkeys.clone();
+        let st = self.state.as_mut().expect("opened");
+        if st.li >= st.lorder.len() || st.ri >= st.rorder.len() {
+            return Ok(None);
+        }
+        let key_at = |cols: &[Vec<i64>], keys: &[usize], r: u32| -> Vec<i64> {
+            keys.iter().map(|&k| cols[k][r as usize]).collect()
+        };
+        let mut out = Batch::with_width(self.width);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        while st.li < st.lorder.len() && st.ri < st.rorder.len() && pairs.len() < BATCH_SIZE {
+            let lkey = key_at(&st.lcols, &lkeys, st.lorder[st.li]);
+            let rkey = key_at(&st.rcols, &rkeys, st.rorder[st.ri]);
+            match lkey.cmp(&rkey) {
+                std::cmp::Ordering::Less => st.li += 1,
+                std::cmp::Ordering::Greater => st.ri += 1,
+                std::cmp::Ordering::Equal => {
+                    let lstart = st.li;
+                    let mut lend = st.li;
+                    while lend < st.lorder.len()
+                        && key_at(&st.lcols, &lkeys, st.lorder[lend]) == lkey
+                    {
+                        lend += 1;
+                    }
+                    let rstart = st.ri;
+                    let mut rend = st.ri;
+                    while rend < st.rorder.len()
+                        && key_at(&st.rcols, &rkeys, st.rorder[rend]) == rkey
+                    {
+                        rend += 1;
+                    }
+                    for &lr in &st.lorder[lstart..lend] {
+                        pairs.extend(st.rorder[rstart..rend].iter().map(|&rr| (lr, rr)));
+                    }
+                    st.li = lend;
+                    st.ri = rend;
+                }
+            }
+        }
+        emit_pairs(&mut out, &pairs, &st.lcols, &st.rcols);
+        self.out += out.len as u64;
+        self.emit.tick_n(out.len as u64)?;
+        Ok(Some(out))
+    }
+
+    fn counts(&self) -> Counts {
+        Counts::Join {
+            left: self.left_in,
+            right: self.right_in,
+            output: self.out,
+        }
+    }
+}
+
+/// Block nested-loop join: inner materialized column-major once, every
+/// (outer, inner) pair compared in a tight loop.
+struct BatchNLJoin<'a> {
+    left: BoxBatchOp<'a>,
+    right: BoxBatchOp<'a>,
+    lkeys: Vec<usize>,
+    rkeys: Vec<usize>,
+    inner: Vec<Vec<i64>>,
+    inner_len: usize,
+    opened: bool,
+    /// Ledger order (mirrors `NLJoinOp`): `pair`, `emit`.
+    pair: Ledger,
+    emit: Ledger,
+    width: usize,
+    left_in: u64,
+    right_in: u64,
+    out: u64,
+}
+
+impl<'a> BatchNLJoin<'a> {
+    fn new(
+        left: BoxBatchOp<'a>,
+        right: BoxBatchOp<'a>,
+        lkeys: Vec<usize>,
+        rkeys: Vec<usize>,
+        meter: &Meter,
+        rates: (f64, f64),
+        width: usize,
+    ) -> Self {
+        Self {
+            left,
+            right,
+            lkeys,
+            rkeys,
+            inner: Vec::new(),
+            inner_len: 0,
+            opened: false,
+            pair: meter.ledger(rates.0),
+            emit: meter.ledger(rates.1),
+            width,
+            left_in: 0,
+            right_in: 0,
+            out: 0,
+        }
+    }
+}
+
+impl BatchOperator for BatchNLJoin<'_> {
+    fn next_batch(&mut self) -> std::result::Result<Option<Batch>, ExecError> {
+        if !self.opened {
+            // Inner materialization is uncharged, as in the row engine.
+            while let Some(b) = self.right.next_batch()? {
+                self.right_in += b.len as u64;
+                if self.inner.is_empty() {
+                    self.inner = vec![Vec::new(); b.cols.len()];
+                }
+                for (dst, src) in self.inner.iter_mut().zip(&b.cols) {
+                    dst.extend_from_slice(src);
+                }
+                self.inner_len += b.len;
+            }
+            self.opened = true;
+        }
+        let Some(probe) = self.left.next_batch()? else {
+            return Ok(None);
+        };
+        self.left_in += probe.len as u64;
+        // Match pairs are collected row-at-a-time (the per-left-row
+        // `pair` / `emit` tick order is the metering contract), but the
+        // output copy is a single columnar gather at the end.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for r in 0..probe.len {
+            self.pair.tick_n(self.inner_len as u64)?;
+            let before = pairs.len();
+            for j in 0..self.inner_len {
+                let matched = self
+                    .lkeys
+                    .iter()
+                    .zip(&self.rkeys)
+                    .all(|(&lk, &rk)| probe.cols[lk][r] == self.inner[rk][j]);
+                if matched {
+                    pairs.push((r as u32, j as u32));
+                }
+            }
+            self.emit.tick_n((pairs.len() - before) as u64)?;
+        }
+        let mut out = Batch::with_width(self.width);
+        emit_pairs(&mut out, &pairs, &probe.cols, &self.inner);
+        self.out += out.len as u64;
+        Ok(Some(out))
+    }
+
+    fn counts(&self) -> Counts {
+        Counts::Join {
+            left: self.left_in,
+            right: self.right_in,
+            output: self.out,
+        }
+    }
+}
+
+/// Index nested-loop join: each outer batch probes the inner relation's
+/// B-tree per row; residual filters/predicates applied on fetched rows.
+struct BatchIndexNL<'a> {
+    left: BoxBatchOp<'a>,
+    inner_rows: usize,
+    inner_cursor: RowCursor<'a>,
+    index: &'a ColumnIndex,
+    outer_key: usize,
+    residual_preds: Vec<(usize, usize)>,
+    inner_filters: Vec<CompiledFilter>,
+    /// Ledger order (mirrors `IndexNLOp`): `probe`, `matches`, `emit`.
+    probe: Ledger,
+    matches: Ledger,
+    emit: Ledger,
+    width: usize,
+    row: Vec<i64>,
+    left_in: u64,
+    out: u64,
+}
+
+impl<'a> BatchIndexNL<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        left: BoxBatchOp<'a>,
+        inner_table: TableRef<'a>,
+        index: &'a ColumnIndex,
+        outer_key: usize,
+        residual_preds: Vec<(usize, usize)>,
+        inner_filters: Vec<CompiledFilter>,
+        meter: &Meter,
+        rates: (f64, f64, f64),
+        width: usize,
+    ) -> Self {
+        Self {
+            left,
+            inner_rows: inner_table.rows(),
+            inner_cursor: inner_table.cursor(),
+            index,
+            outer_key,
+            residual_preds,
+            inner_filters,
+            probe: meter.ledger(rates.0),
+            matches: meter.ledger(rates.1),
+            emit: meter.ledger(rates.2),
+            width,
+            row: Vec::new(),
+            left_in: 0,
+            out: 0,
+        }
+    }
+}
+
+impl BatchOperator for BatchIndexNL<'_> {
+    fn next_batch(&mut self) -> std::result::Result<Option<Batch>, ExecError> {
+        let Some(probe) = self.left.next_batch()? else {
+            return Ok(None);
+        };
+        self.left_in += probe.len as u64;
+        self.probe.tick_n(probe.len as u64)?;
+        let mut out = Batch::with_width(self.width);
+        let nl = probe.cols.len();
+        for r in 0..probe.len {
+            let rids = self.index.eq(probe.cols[self.outer_key][r]);
+            self.matches.tick_n(rids.len() as u64)?;
+            'rids: for &rid in rids {
+                let rid = rid as usize;
+                for f in &self.inner_filters {
+                    if !filter_keep(f, self.inner_cursor.value(rid, filter_col(f))?) {
+                        continue 'rids;
+                    }
+                }
+                for &(lo, ic) in &self.residual_preds {
+                    if probe.cols[lo][r] != self.inner_cursor.value(rid, ic)? {
+                        continue 'rids;
+                    }
+                }
+                self.row.clear();
+                self.inner_cursor.row_into(rid, &mut self.row)?;
+                for (c, dst) in out.cols.iter_mut().enumerate() {
+                    if c < nl {
+                        dst.push(probe.cols[c][r]);
+                    } else {
+                        dst.push(self.row[c - nl]);
+                    }
+                }
+                out.len += 1;
+            }
+        }
+        self.out += out.len as u64;
+        self.emit.tick_n(out.len as u64)?;
+        Ok(Some(out))
+    }
+
+    fn counts(&self) -> Counts {
+        // For selectivity monitoring the inner cardinality is the full
+        // relation, as in the row engine's `IndexNLOp`.
+        Counts::Join {
+            left: self.left_in,
+            right: self.inner_rows as u64,
+            output: self.out,
+        }
+    }
+}
+
+/// Hash aggregation over batches (blocking); emits one row per group in
+/// deterministic key order, exactly as the row engine's
+/// `HashAggregateOp`.
+struct BatchHashAggregate<'a> {
+    child: BoxBatchOp<'a>,
+    group_by: Vec<usize>,
+    aggs: Vec<AggFn>,
+    /// Ledger order (mirrors `HashAggregateOp`): `row`, `emit`.
+    row: Ledger,
+    emit: Ledger,
+    output: Option<Vec<Row>>,
+    emitted: usize,
+    input: u64,
+    out: u64,
+}
+
+impl<'a> BatchHashAggregate<'a> {
+    fn new(
+        child: BoxBatchOp<'a>,
+        group_by: Vec<usize>,
+        aggs: Vec<AggFn>,
+        meter: &Meter,
+        rates: (f64, f64),
+    ) -> Self {
+        Self {
+            child,
+            group_by,
+            aggs,
+            row: meter.ledger(rates.0),
+            emit: meter.ledger(rates.1),
+            output: None,
+            emitted: 0,
+            input: 0,
+            out: 0,
+        }
+    }
+
+    fn build(&mut self) -> std::result::Result<(), ExecError> {
+        let mut groups: HashMap<Vec<i64>, Vec<i64>> = HashMap::new();
+        while let Some(b) = self.child.next_batch()? {
+            self.input += b.len as u64;
+            self.row.tick_n(b.len as u64)?;
+            for r in 0..b.len {
+                let key: Vec<i64> = self.group_by.iter().map(|&k| b.cols[k][r]).collect();
+                let accs = groups.entry(key).or_insert_with(|| {
+                    self.aggs
+                        .iter()
+                        .map(|a| match a {
+                            AggFn::Count | AggFn::Sum { .. } => 0,
+                            AggFn::Min { .. } => i64::MAX,
+                            AggFn::Max { .. } => i64::MIN,
+                        })
+                        .collect()
+                });
+                for (acc, agg) in accs.iter_mut().zip(&self.aggs) {
+                    match *agg {
+                        AggFn::Count => *acc += 1,
+                        AggFn::Sum { col } => *acc += b.cols[col][r],
+                        AggFn::Min { col } => *acc = (*acc).min(b.cols[col][r]),
+                        AggFn::Max { col } => *acc = (*acc).max(b.cols[col][r]),
+                    }
+                }
+            }
+        }
+        let mut rows: Vec<(Vec<i64>, Vec<i64>)> = groups.into_iter().collect();
+        rows.sort();
+        self.output = Some(
+            rows.into_iter()
+                .map(|(mut k, accs)| {
+                    k.extend(accs);
+                    k
+                })
+                .collect(),
+        );
+        Ok(())
+    }
+}
+
+impl BatchOperator for BatchHashAggregate<'_> {
+    fn next_batch(&mut self) -> std::result::Result<Option<Batch>, ExecError> {
+        if self.output.is_none() {
+            self.build()?;
+        }
+        let rows = self.output.as_ref().expect("built");
+        if self.emitted >= rows.len() {
+            return Ok(None);
+        }
+        let hi = (self.emitted + BATCH_SIZE).min(rows.len());
+        let width = rows[self.emitted].len();
+        let mut out = Batch::with_width(width);
+        for row in &rows[self.emitted..hi] {
+            for (dst, &x) in out.cols.iter_mut().zip(row) {
+                dst.push(x);
+            }
+            out.len += 1;
+        }
+        let count = hi - self.emitted;
+        self.emitted = hi;
+        self.out += count as u64;
+        self.emit.tick_n(count as u64)?;
+        Ok(Some(out))
+    }
+
+    fn counts(&self) -> Counts {
+        Counts::Scan {
+            input: self.input,
+            output: self.out,
+        }
+    }
+}
+
+/// Vectorized executor over the full plan-operator set; the drop-in
+/// batch-at-a-time counterpart of [`crate::Executor`] with bit-identical
+/// budgeted/spill semantics.
 #[derive(Debug)]
 pub struct BatchExecutor<'a> {
     catalog: &'a Catalog,
     query: &'a QuerySpec,
     store: &'a dyn TableStore,
     params: CostParams,
+    faults: Option<Arc<FaultPlan>>,
 }
+
+/// Output schema: query-local relations concatenated in row order.
+type BatchSchema = Vec<usize>;
 
 impl<'a> BatchExecutor<'a> {
     /// Creates a vectorized executor.
@@ -219,27 +1006,54 @@ impl<'a> BatchExecutor<'a> {
             query,
             store,
             params,
+            faults: None,
         }
     }
 
-    /// Executes `plan` with the given budget; counts result rows.
-    ///
-    /// # Errors
-    /// `RqpError::Execution` if the plan uses operators outside the
-    /// vectorized subset (seq scans + hash joins).
+    /// Attaches a fault-injection plan (same sites and thresholds as the
+    /// row engine; the abort check runs at batch edges).
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    fn fault_abort_at(&self, site: FaultSite, budget: Cost) -> Option<Cost> {
+        let shot = self.faults.as_ref()?.shot(site)?;
+        Some(if budget.is_finite() {
+            budget * shot.frac
+        } else {
+            0.0
+        })
+    }
+
+    /// Executes `plan` with the given budget; drains and counts the result.
     pub fn run_full(&self, plan: &PlanNode, budget: Cost) -> Result<ExecOutcome> {
+        rqp_obs::span!("executor.batch.run_full");
+        let abort_at = self.fault_abort_at(FaultSite::ExecFull, budget);
         let meter = Meter::new(budget);
         let (mut op, _) = self.compile(plan, &meter)?;
         let mut rows_out = 0u64;
         loop {
+            if let Some(at) = abort_at {
+                if meter.spent() >= at {
+                    return Err(ExecError::Injected(FaultSite::ExecFull.name().into()).into());
+                }
+            }
             match op.next_batch() {
                 Ok(Some(b)) => rows_out += b.len as u64,
                 Ok(None) => {
-                    return Ok(ExecOutcome {
-                        completed: true,
-                        rows_out,
-                        spent: meter.spent().min(budget),
-                    })
+                    return Ok(match meter.check() {
+                        Ok(()) => ExecOutcome {
+                            completed: true,
+                            rows_out,
+                            spent: meter.spent().min(budget),
+                        },
+                        Err(_) => ExecOutcome {
+                            completed: false,
+                            rows_out: 0,
+                            spent: budget,
+                        },
+                    });
                 }
                 Err(ExecError::BudgetExceeded) => {
                     return Ok(ExecOutcome {
@@ -248,19 +1062,243 @@ impl<'a> BatchExecutor<'a> {
                         spent: budget,
                     })
                 }
-                Err(e) => return Err(RqpError::Execution(e.to_string())),
+                Err(e) => return Err(e.into()),
             }
         }
     }
 
-    /// Compiles to a batch operator tree, returning the output schema as
-    /// relation order.
-    fn compile(&self, node: &PlanNode, meter: &Meter) -> Result<(BoxBatchOp<'a>, Vec<usize>)> {
+    /// Executes the subtree rooted at predicate `pred`'s node in
+    /// spill-mode: output is counted, written to the backend's spill
+    /// sink, and discarded (§3.1.2).
+    pub fn run_spill(&self, plan: &PlanNode, pred: usize, budget: Cost) -> Result<SpillRun> {
+        rqp_obs::span!("executor.batch.run_spill");
+        let subtree = plan
+            .subtree_applying(pred)
+            .ok_or_else(|| RqpError::Execution(format!("plan does not apply predicate {pred}")))?;
+        let abort_at = self.fault_abort_at(FaultSite::ExecSpill, budget);
+        let meter = Meter::new(budget);
+        let (mut op, _) = self.compile(subtree, &meter)?;
+        let mut sink = self.store.spill_sink();
+        let mut row: Vec<i64> = Vec::new();
+        loop {
+            if let Some(at) = abort_at {
+                if meter.spent() >= at {
+                    return Err(ExecError::Injected(FaultSite::ExecSpill.name().into()).into());
+                }
+            }
+            match op.next_batch() {
+                Ok(Some(b)) => {
+                    if let Some(s) = sink.as_mut() {
+                        for r in 0..b.len {
+                            b.row_into(r, &mut row);
+                            s.append(&row).map_err(ExecError::from)?;
+                        }
+                    }
+                }
+                Ok(None) => {
+                    if let Some(s) = sink.as_mut() {
+                        s.finish().map_err(ExecError::from)?;
+                    }
+                    if meter.check().is_err() {
+                        return Ok(SpillRun {
+                            completed: false,
+                            spent: budget,
+                            observation: None,
+                        });
+                    }
+                    return Ok(SpillRun {
+                        completed: true,
+                        spent: meter.spent().min(budget),
+                        observation: Some(match op.counts() {
+                            Counts::Join {
+                                left,
+                                right,
+                                output,
+                            } => NodeObservation::Join {
+                                left_rows: left,
+                                right_rows: right,
+                                out_rows: output,
+                            },
+                            Counts::Scan { input, output } => NodeObservation::Scan {
+                                in_rows: input,
+                                out_rows: output,
+                            },
+                        }),
+                    });
+                }
+                Err(ExecError::BudgetExceeded) => {
+                    return Ok(SpillRun {
+                        completed: false,
+                        spent: budget,
+                        observation: None,
+                    })
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Executes `plan` topped with a hash aggregation (`GROUP BY
+    /// group_cols` computing `aggs`), mirroring
+    /// [`crate::Executor::run_aggregate`]: same group rows in the same
+    /// deterministic key order, same metering.
+    pub fn run_aggregate(
+        &self,
+        plan: &PlanNode,
+        group_cols: &[(usize, usize)],
+        aggs: &[crate::exec::AggSpec],
+        budget: Cost,
+    ) -> Result<(ExecOutcome, Vec<Row>)> {
+        let meter = Meter::new(budget);
+        let (child, schema) = self.compile(plan, &meter)?;
+        let offset = |rel: usize, col: usize| self.offset(&schema, rel, col);
+        let group_by: Vec<usize> = group_cols
+            .iter()
+            .map(|&(r, c)| offset(r, c))
+            .collect::<Result<_>>()?;
+        let aggfns: Vec<AggFn> = aggs
+            .iter()
+            .map(|a| {
+                Ok(match *a {
+                    crate::exec::AggSpec::Count => AggFn::Count,
+                    crate::exec::AggSpec::Sum(r, c) => AggFn::Sum { col: offset(r, c)? },
+                    crate::exec::AggSpec::Min(r, c) => AggFn::Min { col: offset(r, c)? },
+                    crate::exec::AggSpec::Max(r, c) => AggFn::Max { col: offset(r, c)? },
+                })
+            })
+            .collect::<Result<_>>()?;
+        let p = &self.params;
+        let mut op = BatchHashAggregate::new(
+            child,
+            group_by,
+            aggfns,
+            &meter,
+            (p.cpu_operator_cost, p.cpu_tuple_cost),
+        );
+        let mut rows: Vec<Row> = Vec::new();
+        loop {
+            match op.next_batch() {
+                Ok(Some(b)) => {
+                    for r in 0..b.len {
+                        let mut row = Vec::with_capacity(b.cols.len());
+                        for c in &b.cols {
+                            row.push(c[r]);
+                        }
+                        rows.push(row);
+                    }
+                }
+                Ok(None) => {
+                    if meter.check().is_err() {
+                        return Ok((
+                            ExecOutcome {
+                                completed: false,
+                                rows_out: 0,
+                                spent: budget,
+                            },
+                            Vec::new(),
+                        ));
+                    }
+                    return Ok((
+                        ExecOutcome {
+                            completed: true,
+                            rows_out: rows.len() as u64,
+                            spent: meter.spent().min(budget),
+                        },
+                        rows,
+                    ));
+                }
+                Err(ExecError::BudgetExceeded) => {
+                    return Ok((
+                        ExecOutcome {
+                            completed: false,
+                            rows_out: 0,
+                            spent: budget,
+                        },
+                        Vec::new(),
+                    ))
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Offset of `(rel, col)` in the concatenated output row.
+    fn offset(&self, schema: &BatchSchema, rel: usize, col: usize) -> Result<usize> {
+        let mut off = 0;
+        for &r in schema {
+            if r == rel {
+                return Ok(off + col);
+            }
+            off += self.catalog.table(self.query.relations[r]).columns.len();
+        }
+        Err(RqpError::Execution(format!("relation {rel} not in schema")))
+    }
+
+    fn schema_width(&self, schema: &BatchSchema) -> usize {
+        schema
+            .iter()
+            .map(|&r| self.catalog.table(self.query.relations[r]).columns.len())
+            .sum()
+    }
+
+    fn compile_filters(&self, filters: &[usize]) -> Result<Vec<CompiledFilter>> {
+        filters
+            .iter()
+            .map(|&f| match self.query.predicates[f].kind {
+                PredicateKind::FilterLe { col, value, .. } => {
+                    Ok(CompiledFilter::Le { col, v: value })
+                }
+                PredicateKind::FilterEq { col, value, .. } => {
+                    Ok(CompiledFilter::Eq { col, v: value })
+                }
+                PredicateKind::Join { .. } => Err(RqpError::Execution(
+                    "join predicate in scan filter list".into(),
+                )),
+            })
+            .collect()
+    }
+
+    fn join_keys(
+        &self,
+        preds: &[usize],
+        lschema: &BatchSchema,
+        rschema: &BatchSchema,
+    ) -> Result<(Vec<usize>, Vec<usize>)> {
+        let mut lk = Vec::with_capacity(preds.len());
+        let mut rk = Vec::with_capacity(preds.len());
+        for &p in preds {
+            let PredicateKind::Join {
+                left,
+                left_col,
+                right,
+                right_col,
+            } = self.query.predicates[p].kind
+            else {
+                return Err(RqpError::Execution(format!(
+                    "predicate {p} at join node is not a join"
+                )));
+            };
+            if lschema.contains(&left) {
+                lk.push(self.offset(lschema, left, left_col)?);
+                rk.push(self.offset(rschema, right, right_col)?);
+            } else {
+                lk.push(self.offset(lschema, right, right_col)?);
+                rk.push(self.offset(rschema, left, left_col)?);
+            }
+        }
+        Ok((lk, rk))
+    }
+
+    /// Compiles to a batch operator tree. The recursion order and the
+    /// per-operator ledger construction order mirror
+    /// [`crate::Executor`]'s `compile` exactly — that shared order is
+    /// what makes metered totals bit-identical across engines.
+    fn compile(&self, node: &PlanNode, meter: &Meter) -> Result<(BoxBatchOp<'a>, BatchSchema)> {
         let p = &self.params;
         match node {
             PlanNode::Scan {
                 rel,
-                method: ScanMethod::SeqScan,
+                method,
                 filters,
             } => {
                 let tid = self.query.relations[*rel];
@@ -270,99 +1308,194 @@ impl<'a> BatchExecutor<'a> {
                         self.catalog.table(tid).name
                     ))
                 })?;
-                let width = self.catalog.table(tid).row_width();
-                let compiled: Vec<(usize, bool, i64)> = filters
-                    .iter()
-                    .map(|&f| match self.query.predicates[f].kind {
-                        PredicateKind::FilterLe { col, value, .. } => Ok((col, true, value)),
-                        PredicateKind::FilterEq { col, value, .. } => Ok((col, false, value)),
-                        PredicateKind::Join { .. } => {
-                            Err(RqpError::Execution("join predicate in scan filters".into()))
-                        }
-                    })
-                    .collect::<Result<_>>()?;
-                let row_charge = width / 8192.0 * p.seq_page_cost
-                    + p.cpu_tuple_cost
-                    + compiled.len() as f64 * p.cpu_operator_cost;
-                Ok((
-                    Box::new(BatchScan {
-                        table,
-                        cursor: table.cursor(),
-                        filters: compiled,
-                        pos: 0,
-                        meter: meter.clone(),
-                        row_charge,
-                    }),
-                    vec![*rel],
-                ))
+                let cat_table = self.catalog.table(tid);
+                let nrows = table.rows().max(1) as f64;
+                let width = cat_table.row_width();
+                let cfs = self.compile_filters(filters)?;
+                match method {
+                    ScanMethod::SeqScan => {
+                        let row_charge = width / 8192.0 * p.seq_page_cost
+                            + p.cpu_tuple_cost
+                            + cfs.len() as f64 * p.cpu_operator_cost;
+                        Ok((
+                            Box::new(BatchSeqScan::new(table, cfs, meter, row_charge)),
+                            vec![*rel],
+                        ))
+                    }
+                    ScanMethod::IndexScan => {
+                        let driving = *filters.first().ok_or_else(|| {
+                            RqpError::Execution("index scan without driving filter".into())
+                        })?;
+                        let col = match self.query.predicates[driving].kind {
+                            PredicateKind::FilterLe { col, .. }
+                            | PredicateKind::FilterEq { col, .. } => col,
+                            PredicateKind::Join { .. } => {
+                                return Err(RqpError::Execution(
+                                    "index scan driven by join predicate".into(),
+                                ))
+                            }
+                        };
+                        let index = self.store.index(tid, col).ok_or_else(|| {
+                            RqpError::Execution(format!(
+                                "no index on {}.{col}",
+                                self.catalog.table(tid).name
+                            ))
+                        })?;
+                        let pages = (nrows * width / 8192.0).max(1.0);
+                        let open_charge = (nrows + 2.0).log2().max(1.0) * p.cpu_operator_cost
+                            + p.random_page_cost;
+                        let fetch_charge = pages / nrows * p.random_page_cost
+                            + p.cpu_index_tuple_cost
+                            + p.cpu_tuple_cost
+                            + (cfs.len().saturating_sub(1)) as f64 * p.cpu_operator_cost;
+                        Ok((
+                            Box::new(BatchIndexScan::new(
+                                table,
+                                index,
+                                cfs[0],
+                                cfs[1..].to_vec(),
+                                meter,
+                                open_charge,
+                                fetch_charge,
+                            )),
+                            vec![*rel],
+                        ))
+                    }
+                }
             }
-            PlanNode::Scan { .. } => Err(RqpError::Execution(
-                "vectorized engine supports sequential scans only".into(),
-            )),
             PlanNode::Join {
-                method: JoinMethod::HashJoin,
+                method,
                 left,
                 right,
                 preds,
             } => {
                 let (lop, lschema) = self.compile(left, meter)?;
-                let (rop, rschema) = self.compile(right, meter)?;
-                let offset = |schema: &[usize], rel: usize, col: usize| -> Result<usize> {
-                    let mut off = 0;
-                    for &r in schema {
-                        if r == rel {
-                            return Ok(off + col);
-                        }
-                        off += self.catalog.table(self.query.relations[r]).columns.len();
-                    }
-                    Err(RqpError::Execution(format!("relation {rel} not in schema")))
-                };
-                let mut lkeys = Vec::new();
-                let mut rkeys = Vec::new();
-                for &pid in preds {
+                if *method == JoinMethod::IndexNLJoin {
+                    let PlanNode::Scan {
+                        rel,
+                        filters: rfilters,
+                        ..
+                    } = right.as_ref()
+                    else {
+                        return Err(RqpError::Execution(
+                            "index nested-loop inner must be a scan".into(),
+                        ));
+                    };
+                    let tid = self.query.relations[*rel];
+                    let table = self.store.table_ref(tid).ok_or_else(|| {
+                        RqpError::Execution(format!(
+                            "table {} not materialized",
+                            self.catalog.table(tid).name
+                        ))
+                    })?;
+                    let key = preds[0];
                     let PredicateKind::Join {
                         left: jl,
                         left_col,
                         right: jr,
                         right_col,
-                    } = self.query.predicates[pid].kind
+                    } = self.query.predicates[key].kind
                     else {
-                        return Err(RqpError::Execution("non-join predicate at join".into()));
+                        return Err(RqpError::Execution("INL key must be a join".into()));
                     };
-                    if lschema.contains(&jl) {
-                        lkeys.push(offset(&lschema, jl, left_col)?);
-                        rkeys.push(offset(&rschema, jr, right_col)?);
+                    let (outer_rel, outer_col, inner_col) = if jl == *rel {
+                        (jr, right_col, left_col)
                     } else {
-                        lkeys.push(offset(&lschema, jr, right_col)?);
-                        rkeys.push(offset(&rschema, jl, left_col)?);
+                        (jl, left_col, right_col)
+                    };
+                    let index = self.store.index(tid, inner_col).ok_or_else(|| {
+                        RqpError::Execution(format!(
+                            "no index on INL inner {}.{inner_col}",
+                            self.catalog.table(tid).name
+                        ))
+                    })?;
+                    let outer_key = self.offset(&lschema, outer_rel, outer_col)?;
+                    let mut residual = Vec::new();
+                    for &q in &preds[1..] {
+                        let PredicateKind::Join {
+                            left: al,
+                            left_col: alc,
+                            right: ar,
+                            right_col: arc,
+                        } = self.query.predicates[q].kind
+                        else {
+                            continue;
+                        };
+                        let (orel, ocol, icol) = if al == *rel {
+                            (ar, arc, alc)
+                        } else {
+                            (al, alc, arc)
+                        };
+                        residual.push((self.offset(&lschema, orel, ocol)?, icol));
                     }
+                    let nrows = table.rows().max(1) as f64;
+                    let probe_charge = (nrows + 2.0).log2().max(1.0) * p.cpu_operator_cost
+                        + 0.1 * p.random_page_cost;
+                    let match_charge = p.cpu_index_tuple_cost
+                        + 0.2 * p.random_page_cost
+                        + p.cpu_tuple_cost
+                        + rfilters.len() as f64 * p.cpu_operator_cost;
+                    let mut schema = lschema;
+                    schema.push(*rel);
+                    let width = self.schema_width(&schema);
+                    let cfs = self.compile_filters(rfilters)?;
+                    Ok((
+                        Box::new(BatchIndexNL::new(
+                            lop,
+                            table,
+                            index,
+                            outer_key,
+                            residual,
+                            cfs,
+                            meter,
+                            (probe_charge, match_charge, p.cpu_tuple_cost),
+                            width,
+                        )),
+                        schema,
+                    ))
+                } else {
+                    let (rop, rschema) = self.compile(right, meter)?;
+                    let (lk, rk) = self.join_keys(preds, &lschema, &rschema)?;
+                    let mut schema = lschema;
+                    schema.extend_from_slice(&rschema);
+                    let width = self.schema_width(&schema);
+                    let op: BoxBatchOp<'a> = match method {
+                        JoinMethod::HashJoin => Box::new(BatchHashJoin::new(
+                            lop,
+                            rop,
+                            lk,
+                            rk,
+                            meter,
+                            (
+                                2.0 * p.cpu_operator_cost,
+                                p.cpu_operator_cost,
+                                p.cpu_tuple_cost,
+                            ),
+                            width,
+                        )),
+                        JoinMethod::SortMergeJoin => Box::new(BatchMergeJoin::new(
+                            lop,
+                            rop,
+                            lk,
+                            rk,
+                            meter,
+                            (p.cpu_operator_cost, p.cpu_operator_cost, p.cpu_tuple_cost),
+                            width,
+                        )),
+                        JoinMethod::NestedLoopJoin => Box::new(BatchNLJoin::new(
+                            lop,
+                            rop,
+                            lk,
+                            rk,
+                            meter,
+                            (p.cpu_operator_cost, p.cpu_tuple_cost),
+                            width,
+                        )),
+                        JoinMethod::IndexNLJoin => unreachable!("handled above"),
+                    };
+                    Ok((op, schema))
                 }
-                let width: usize = lschema
-                    .iter()
-                    .chain(&rschema)
-                    .map(|&r| self.catalog.table(self.query.relations[r]).columns.len())
-                    .sum();
-                let mut schema = lschema;
-                schema.extend_from_slice(&rschema);
-                Ok((
-                    Box::new(BatchHashJoin {
-                        left: lop,
-                        right: rop,
-                        lkeys,
-                        rkeys,
-                        built: None,
-                        meter: meter.clone(),
-                        build_charge: 2.0 * p.cpu_operator_cost,
-                        probe_charge: p.cpu_operator_cost,
-                        emit_charge: p.cpu_tuple_cost,
-                        width,
-                    }),
-                    schema,
-                ))
             }
-            PlanNode::Join { method, .. } => Err(RqpError::Execution(format!(
-                "vectorized engine does not support {method:?}"
-            ))),
         }
     }
 }
@@ -390,8 +1523,25 @@ mod tests {
         }
     }
 
+    fn plan_with(method: JoinMethod, scan: ScanMethod, filters: Vec<usize>) -> PlanNode {
+        PlanNode::Join {
+            method,
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                method: ScanMethod::SeqScan,
+                filters,
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                method: scan,
+                filters: vec![],
+            }),
+            preds: vec![0],
+        }
+    }
+
     #[test]
-    fn vectorized_matches_row_engine() {
+    fn vectorized_matches_row_engine_bitwise() {
         let (cat, query, store) = fixture();
         let rows = Executor::new(&cat, &query, &store, CostParams::default());
         let vecs = BatchExecutor::new(&cat, &query, &store, CostParams::default());
@@ -400,10 +1550,10 @@ mod tests {
             let a = rows.run_full(&plan, f64::INFINITY).unwrap();
             let b = vecs.run_full(&plan, f64::INFINITY).unwrap();
             assert_eq!(a.rows_out, b.rows_out, "row vs batch row counts");
-            // identical metering rates
-            assert!(
-                (a.spent - b.spent).abs() <= 1e-6 * a.spent,
-                "metered cost must agree: {} vs {}",
+            assert_eq!(
+                a.spent.to_bits(),
+                b.spent.to_bits(),
+                "metered cost must be bit-identical: {} vs {}",
                 a.spent,
                 b.spent
             );
@@ -411,40 +1561,85 @@ mod tests {
     }
 
     #[test]
-    fn vectorized_budget_semantics_match() {
+    fn all_operators_match_row_engine_bitwise() {
         let (cat, query, store) = fixture();
+        let rows = Executor::new(&cat, &query, &store, CostParams::default());
         let vecs = BatchExecutor::new(&cat, &query, &store, CostParams::default());
-        let plan = hash_plan(vec![1]);
-        let full = vecs.run_full(&plan, f64::INFINITY).unwrap();
-        let starved = vecs.run_full(&plan, full.spent * 0.25).unwrap();
-        assert!(!starved.completed);
-        assert_eq!(starved.rows_out, 0);
+        let plans = [
+            plan_with(JoinMethod::HashJoin, ScanMethod::SeqScan, vec![1]),
+            plan_with(JoinMethod::SortMergeJoin, ScanMethod::SeqScan, vec![1]),
+            plan_with(JoinMethod::NestedLoopJoin, ScanMethod::SeqScan, vec![1]),
+            plan_with(JoinMethod::IndexNLJoin, ScanMethod::IndexScan, vec![1]),
+        ];
+        for plan in &plans {
+            let a = rows.run_full(plan, f64::INFINITY).unwrap();
+            let b = vecs.run_full(plan, f64::INFINITY).unwrap();
+            assert_eq!(a.rows_out, b.rows_out, "{plan:?}");
+            assert_eq!(a.spent.to_bits(), b.spent.to_bits(), "{plan:?}");
+            // spill runs observe identical counts and costs
+            for pred in [0usize, 1] {
+                let sa = rows.run_spill(plan, pred, f64::INFINITY).unwrap();
+                let sb = vecs.run_spill(plan, pred, f64::INFINITY).unwrap();
+                assert_eq!(sa.observation, sb.observation, "{plan:?} pred {pred}");
+                assert_eq!(sa.spent.to_bits(), sb.spent.to_bits());
+            }
+        }
     }
 
     #[test]
-    fn unsupported_operators_are_rejected() {
+    fn vectorized_budget_semantics_match() {
         let (cat, query, store) = fixture();
+        let rows = Executor::new(&cat, &query, &store, CostParams::default());
         let vecs = BatchExecutor::new(&cat, &query, &store, CostParams::default());
-        let nlj = PlanNode::Join {
-            method: JoinMethod::NestedLoopJoin,
-            left: Box::new(PlanNode::Scan {
-                rel: 0,
-                method: ScanMethod::SeqScan,
-                filters: vec![],
-            }),
-            right: Box::new(PlanNode::Scan {
-                rel: 1,
-                method: ScanMethod::SeqScan,
-                filters: vec![],
-            }),
-            preds: vec![0],
-        };
-        assert!(vecs.run_full(&nlj, 1e12).is_err());
-        let idx_scan = PlanNode::Scan {
-            rel: 0,
-            method: ScanMethod::IndexScan,
-            filters: vec![1],
-        };
-        assert!(vecs.run_full(&idx_scan, 1e12).is_err());
+        let plan = hash_plan(vec![1]);
+        let full = vecs.run_full(&plan, f64::INFINITY).unwrap();
+        for frac in [0.25, 0.5, 0.9, 0.999] {
+            let budget = full.spent * frac;
+            let a = rows.run_full(&plan, budget).unwrap();
+            let b = vecs.run_full(&plan, budget).unwrap();
+            assert_eq!(a.completed, b.completed, "frac {frac}");
+            assert_eq!(a.rows_out, b.rows_out);
+            assert_eq!(a.spent.to_bits(), b.spent.to_bits());
+        }
+        // exactly at budget: both complete (spend == budget passes)
+        let a = rows.run_full(&plan, full.spent).unwrap();
+        let b = vecs.run_full(&plan, full.spent).unwrap();
+        assert!(a.completed && b.completed);
+    }
+
+    #[test]
+    fn index_scan_driving_plan_matches() {
+        let (cat, query, store) = fixture();
+        // index scan over dim.k driven by an Eq filter is not in the
+        // fixture query; instead drive fact-side index via join INL plan
+        // covered above. Here: plain index-NL with residual filter on
+        // the outer scan.
+        let rows = Executor::new(&cat, &query, &store, CostParams::default());
+        let vecs = BatchExecutor::new(&cat, &query, &store, CostParams::default());
+        let plan = plan_with(JoinMethod::IndexNLJoin, ScanMethod::IndexScan, vec![1]);
+        let a = rows.run_full(&plan, f64::INFINITY).unwrap();
+        let b = vecs.run_full(&plan, f64::INFINITY).unwrap();
+        assert!(a.completed && b.completed);
+        assert_eq!(a.rows_out, b.rows_out);
+        assert_eq!(a.spent.to_bits(), b.spent.to_bits());
+    }
+
+    #[test]
+    fn aggregate_matches_row_engine() {
+        use crate::exec::AggSpec;
+        let (cat, query, store) = fixture();
+        let rows = Executor::new(&cat, &query, &store, CostParams::default());
+        let vecs = BatchExecutor::new(&cat, &query, &store, CostParams::default());
+        let plan = hash_plan(vec![1]);
+        let specs = [AggSpec::Count, AggSpec::Min(0, 1), AggSpec::Max(0, 1)];
+        let (oa, ra) = rows
+            .run_aggregate(&plan, &[(1, 0)], &specs, f64::INFINITY)
+            .unwrap();
+        let (ob, rb) = vecs
+            .run_aggregate(&plan, &[(1, 0)], &specs, f64::INFINITY)
+            .unwrap();
+        assert_eq!(ra, rb, "aggregate rows identical");
+        assert_eq!(oa.rows_out, ob.rows_out);
+        assert_eq!(oa.spent.to_bits(), ob.spent.to_bits());
     }
 }

@@ -1,0 +1,287 @@
+//! Engine dispatch: vectorized-first execution with an observable
+//! row-engine fallback.
+//!
+//! [`Engine`] fronts the batch engine ([`crate::BatchExecutor`]) with a
+//! structural plan check; any plan the vectorized compiler cannot take
+//! runs on the row engine instead, and — unlike the silent fallback this
+//! replaces — every such dispatch increments a `batch.fallbacks` counter
+//! (registered in an `rqp-obs` [`MetricsRegistry`] via
+//! [`Engine::with_metrics`]) and records a typed [`FallbackReason`].
+//! The full operator set is vectorized, so the counter stays at zero
+//! across the whole paper suite (asserted in `tests/batch_vs_row.rs`);
+//! it exists so a future regression is loud, not silent.
+//!
+//! [`PlanEngine`] is the narrow interface drivers (the wall-clock
+//! `ExecOracle`, benches) program against: both engines and the
+//! dispatcher implement it, and because the engines are bit-compatible
+//! (see [`crate::batch`]) swapping implementations does not change any
+//! discovery report.
+
+use crate::batch::BatchExecutor;
+use crate::exec::{ExecOutcome, Executor, SpillRun};
+use rqp_catalog::Catalog;
+use rqp_common::{Cost, Result};
+use rqp_faults::FaultPlan;
+use rqp_obs::{Counter, MetricsRegistry};
+use rqp_optimizer::{CostParams, JoinMethod, PlanNode, QuerySpec, ScanMethod};
+use rqp_storage::TableStore;
+use std::cell::Cell;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a plan was routed to the row engine instead of the batch engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// An index scan node has no driving filter to resolve row ids from.
+    IndexScanWithoutDrivingFilter,
+    /// An index nested-loop join whose inner child is not a base-table
+    /// scan (the vectorized operator absorbs the inner scan).
+    IndexNLInnerNotScan,
+}
+
+impl FallbackReason {
+    /// Stable label (metrics / logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FallbackReason::IndexScanWithoutDrivingFilter => "index_scan_without_driving_filter",
+            FallbackReason::IndexNLInnerNotScan => "index_nl_inner_not_scan",
+        }
+    }
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The execution interface plan drivers program against. Implemented by
+/// the row engine, the batch engine, and the [`Engine`] dispatcher;
+/// bit-compatible metering makes them interchangeable.
+pub trait PlanEngine {
+    /// Executes `plan` under `budget`, draining and counting the result.
+    fn run_full(&self, plan: &PlanNode, budget: Cost) -> Result<ExecOutcome>;
+
+    /// Executes the subtree applying predicate `pred` in spill mode.
+    fn run_spill(&self, plan: &PlanNode, pred: usize, budget: Cost) -> Result<SpillRun>;
+}
+
+impl PlanEngine for Executor<'_> {
+    fn run_full(&self, plan: &PlanNode, budget: Cost) -> Result<ExecOutcome> {
+        Executor::run_full(self, plan, budget)
+    }
+
+    fn run_spill(&self, plan: &PlanNode, pred: usize, budget: Cost) -> Result<SpillRun> {
+        Executor::run_spill(self, plan, pred, budget)
+    }
+}
+
+impl PlanEngine for BatchExecutor<'_> {
+    fn run_full(&self, plan: &PlanNode, budget: Cost) -> Result<ExecOutcome> {
+        BatchExecutor::run_full(self, plan, budget)
+    }
+
+    fn run_spill(&self, plan: &PlanNode, pred: usize, budget: Cost) -> Result<SpillRun> {
+        BatchExecutor::run_spill(self, plan, pred, budget)
+    }
+}
+
+/// Batch-first execution engine with a counted, typed row-engine
+/// fallback.
+pub struct Engine<'a> {
+    row: Executor<'a>,
+    batch: BatchExecutor<'a>,
+    fallbacks: Counter,
+    last_fallback: Cell<Option<FallbackReason>>,
+}
+
+impl fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("fallbacks", &self.fallbacks.value())
+            .field("last_fallback", &self.last_fallback.get())
+            .finish()
+    }
+}
+
+impl<'a> Engine<'a> {
+    /// Creates the dispatcher (both engines share catalog, query, store,
+    /// and cost parameters). The fallback counter starts detached; call
+    /// [`Engine::with_metrics`] to surface it in a shared registry.
+    pub fn new(
+        catalog: &'a Catalog,
+        query: &'a QuerySpec,
+        store: &'a dyn TableStore,
+        params: CostParams,
+    ) -> Self {
+        Self {
+            row: Executor::new(catalog, query, store, params.clone()),
+            batch: BatchExecutor::new(catalog, query, store, params),
+            fallbacks: MetricsRegistry::new().counter("batch.fallbacks"),
+            last_fallback: Cell::new(None),
+        }
+    }
+
+    /// Registers the `batch.fallbacks` counter in `registry`.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.fallbacks = registry.counter("batch.fallbacks");
+        self
+    }
+
+    /// Attaches a fault-injection plan to both engines (same sites, same
+    /// thresholds, bit-identical abort behavior).
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.row = self.row.with_faults(Arc::clone(&plan));
+        self.batch = self.batch.with_faults(plan);
+        self
+    }
+
+    /// Row-engine fallbacks dispatched so far.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.value()
+    }
+
+    /// Reason of the most recent fallback, if any.
+    pub fn last_fallback(&self) -> Option<FallbackReason> {
+        self.last_fallback.get()
+    }
+
+    /// Structural check: can the vectorized compiler take this plan?
+    /// `Err` carries the typed reason the row engine is used instead.
+    pub fn batch_supports(plan: &PlanNode) -> std::result::Result<(), FallbackReason> {
+        match plan {
+            PlanNode::Scan {
+                method: ScanMethod::IndexScan,
+                filters,
+                ..
+            } if filters.is_empty() => Err(FallbackReason::IndexScanWithoutDrivingFilter),
+            PlanNode::Scan { .. } => Ok(()),
+            PlanNode::Join {
+                method,
+                left,
+                right,
+                ..
+            } => {
+                Self::batch_supports(left)?;
+                if *method == JoinMethod::IndexNLJoin {
+                    // The vectorized INL operator absorbs its inner scan.
+                    if matches!(right.as_ref(), PlanNode::Scan { .. }) {
+                        Ok(())
+                    } else {
+                        Err(FallbackReason::IndexNLInnerNotScan)
+                    }
+                } else {
+                    Self::batch_supports(right)
+                }
+            }
+        }
+    }
+
+    /// Routes `plan`: batch engine when supported, otherwise counts the
+    /// fallback and returns the row engine.
+    fn dispatch(&self, plan: &PlanNode) -> &dyn PlanEngine {
+        match Self::batch_supports(plan) {
+            Ok(()) => &self.batch,
+            Err(reason) => {
+                self.fallbacks.inc();
+                self.last_fallback.set(Some(reason));
+                &self.row
+            }
+        }
+    }
+}
+
+impl PlanEngine for Engine<'_> {
+    fn run_full(&self, plan: &PlanNode, budget: Cost) -> Result<ExecOutcome> {
+        self.dispatch(plan).run_full(plan, budget)
+    }
+
+    fn run_spill(&self, plan: &PlanNode, pred: usize, budget: Cost) -> Result<SpillRun> {
+        self.dispatch(plan).run_spill(plan, pred, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::tests::fixture_pub as fixture;
+
+    fn join_plan(method: JoinMethod, right_scan: ScanMethod) -> PlanNode {
+        PlanNode::Join {
+            method,
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                method: ScanMethod::SeqScan,
+                filters: vec![1],
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                method: right_scan,
+                filters: vec![],
+            }),
+            preds: vec![0],
+        }
+    }
+
+    #[test]
+    fn all_suite_plan_shapes_dispatch_to_batch() {
+        let (cat, query, store) = fixture();
+        let engine = Engine::new(&cat, &query, &store, CostParams::default());
+        for method in [
+            JoinMethod::HashJoin,
+            JoinMethod::SortMergeJoin,
+            JoinMethod::NestedLoopJoin,
+            JoinMethod::IndexNLJoin,
+        ] {
+            let plan = join_plan(method, ScanMethod::SeqScan);
+            let out = engine.run_full(&plan, f64::INFINITY).unwrap();
+            assert!(out.completed);
+        }
+        assert_eq!(engine.fallbacks(), 0, "full operator set is vectorized");
+        assert_eq!(engine.last_fallback(), None);
+    }
+
+    #[test]
+    fn malformed_plans_fall_back_with_typed_reason() {
+        let (cat, query, store) = fixture();
+        let reg = MetricsRegistry::new();
+        let engine = Engine::new(&cat, &query, &store, CostParams::default()).with_metrics(&reg);
+        // INL whose inner is a join: the batch compiler would reject it,
+        // so the dispatcher routes it to the row engine (which also
+        // rejects it — but the fallback is counted, not silent).
+        let plan = PlanNode::Join {
+            method: JoinMethod::IndexNLJoin,
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                method: ScanMethod::SeqScan,
+                filters: vec![1],
+            }),
+            right: Box::new(join_plan(JoinMethod::HashJoin, ScanMethod::SeqScan)),
+            preds: vec![0],
+        };
+        assert!(engine.run_full(&plan, f64::INFINITY).is_err());
+        assert_eq!(engine.fallbacks(), 1);
+        assert_eq!(
+            engine.last_fallback(),
+            Some(FallbackReason::IndexNLInnerNotScan)
+        );
+        assert_eq!(reg.counter("batch.fallbacks").value(), 1);
+    }
+
+    #[test]
+    fn engine_matches_row_engine_bitwise() {
+        let (cat, query, store) = fixture();
+        let row = Executor::new(&cat, &query, &store, CostParams::default());
+        let engine = Engine::new(&cat, &query, &store, CostParams::default());
+        let plan = join_plan(JoinMethod::HashJoin, ScanMethod::SeqScan);
+        let a = row.run_full(&plan, f64::INFINITY).unwrap();
+        let b = engine.run_full(&plan, f64::INFINITY).unwrap();
+        assert_eq!(a.rows_out, b.rows_out);
+        assert_eq!(a.spent.to_bits(), b.spent.to_bits());
+        let sa = row.run_spill(&plan, 0, f64::INFINITY).unwrap();
+        let sb = engine.run_spill(&plan, 0, f64::INFINITY).unwrap();
+        assert_eq!(sa.observation, sb.observation);
+        assert_eq!(sa.spent.to_bits(), sb.spent.to_bits());
+        assert_eq!(engine.fallbacks(), 0);
+    }
+}

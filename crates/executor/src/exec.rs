@@ -172,11 +172,20 @@ impl<'a> Executor<'a> {
             match op.next() {
                 Ok(Some(_)) => rows_out += 1,
                 Ok(None) => {
-                    return Ok(ExecOutcome {
-                        completed: true,
-                        rows_out,
-                        spent: meter.spent().min(budget),
-                    })
+                    // Intermediate ledger checks are quantized; the final
+                    // check decides completion from the total alone.
+                    return Ok(match meter.check() {
+                        Ok(()) => ExecOutcome {
+                            completed: true,
+                            rows_out,
+                            spent: meter.spent().min(budget),
+                        },
+                        Err(_) => ExecOutcome {
+                            completed: false,
+                            rows_out: 0,
+                            spent: budget,
+                        },
+                    });
                 }
                 Err(ExecError::BudgetExceeded) => {
                     return Ok(ExecOutcome {
@@ -220,6 +229,13 @@ impl<'a> Executor<'a> {
                 Ok(None) => {
                     if let Some(s) = sink.as_mut() {
                         s.finish().map_err(ExecError::from)?;
+                    }
+                    if meter.check().is_err() {
+                        return Ok(SpillRun {
+                            completed: false,
+                            spent: budget,
+                            observation: None,
+                        });
                     }
                     return Ok(SpillRun {
                         completed: true,
@@ -880,6 +896,16 @@ impl<'a> Executor<'a> {
             match op.next() {
                 Ok(Some(r)) => rows.push(r),
                 Ok(None) => {
+                    if meter.check().is_err() {
+                        return Ok((
+                            ExecOutcome {
+                                completed: false,
+                                rows_out: 0,
+                                spent: budget,
+                            },
+                            Vec::new(),
+                        ));
+                    }
                     return Ok((
                         ExecOutcome {
                             completed: true,
@@ -887,7 +913,7 @@ impl<'a> Executor<'a> {
                             spent: meter.spent().min(budget),
                         },
                         rows,
-                    ))
+                    ));
                 }
                 Err(ExecError::BudgetExceeded) => {
                     return Ok((

@@ -63,14 +63,16 @@
 //! ```
 
 pub mod batch;
+pub mod engine;
 pub mod exec;
 pub mod meter;
 pub mod ops;
 pub mod store;
 
-pub use batch::BatchExecutor;
+pub use batch::{Batch, BatchExecutor, BATCH_SIZE};
+pub use engine::{Engine, FallbackReason, PlanEngine};
 pub use exec::{ExecOutcome, Executor, NodeObservation, SpillRun};
-pub use meter::{ExecError, Meter};
+pub use meter::{ExecError, Ledger, Meter, CHARGE_QUANTUM};
 pub use store::DataStore;
 // Backend-neutral storage view: executors run against any `TableStore`
 // (in-memory `DataStore` or out-of-core `rqp_storage::PagedStore`).

@@ -1,7 +1,7 @@
 //! Cost metering and budget enforcement.
 
 use rqp_common::{Cost, RqpError};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
 
@@ -54,11 +54,37 @@ impl From<ExecError> for RqpError {
     }
 }
 
-/// A shared cost meter: operators charge work against it; the first charge
-/// that pushes spending past the budget aborts the plan.
+/// Tuples between budget checks on a [`Ledger`]. Equal to the batch
+/// engine's batch size, so row-engine budget checks land on the same
+/// tuple-count boundaries a batch engine naturally has ("spill points
+/// align to batch edges").
+pub const CHARGE_QUANTUM: u64 = 1024;
+
+/// A shared cost meter: operators charge work against it; budget checks
+/// abort the plan once spending passes the budget.
 ///
-/// Shared via `Rc` across the operator tree (single-threaded execution, as
-/// in the paper's one-pipeline-at-a-time model).
+/// Spending has two components, and their bookkeeping is what makes the
+/// row and batch engines *bit-compatible*:
+///
+/// * **Ledgers** ([`Meter::ledger`]): a fixed per-tuple rate plus an
+///   integer tuple count. [`Meter::spent`] computes `Σ rateᵢ·countᵢ`
+///   over ledgers in registration order, so two engines that register
+///   the same ledgers in the same (plan-compile) order and tick the
+///   same tuple counts report bit-identical totals — regardless of how
+///   their per-tuple work interleaves at run time.
+/// * **Direct lump charges** ([`Meter::charge`]): one-off costs (index
+///   open, sort) accumulated in call order; both engines issue them at
+///   the same stream points.
+///
+/// Budget enforcement is quantized: ledgers check the budget every
+/// [`CHARGE_QUANTUM`] ticks and lump charges check immediately. Because
+/// spending only grows, a run whose final total fits the budget can
+/// never trip an intermediate check, and drivers issue a final
+/// [`Meter::check`] at end-of-stream — so the completed/timed-out
+/// decision depends only on the final total, which is engine-invariant.
+///
+/// Shared via `Rc` across the operator tree (single-threaded execution,
+/// as in the paper's one-pipeline-at-a-time model).
 #[derive(Debug, Clone)]
 pub struct Meter {
     inner: Rc<MeterInner>,
@@ -66,8 +92,23 @@ pub struct Meter {
 
 #[derive(Debug)]
 struct MeterInner {
-    spent: Cell<Cost>,
+    direct: Cell<Cost>,
     budget: Cell<Cost>,
+    slots: RefCell<Vec<Rc<LedgerSlot>>>,
+}
+
+#[derive(Debug)]
+struct LedgerSlot {
+    rate: Cell<f64>,
+    count: Cell<u64>,
+}
+
+/// A per-tuple charge class registered on a [`Meter`]: `rate` cost
+/// units per tick. Created at plan compile time; ticked by operators.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    slot: Rc<LedgerSlot>,
+    meter: Meter,
 }
 
 impl Meter {
@@ -76,32 +117,95 @@ impl Meter {
     pub fn new(budget: Cost) -> Self {
         Self {
             inner: Rc::new(MeterInner {
-                spent: Cell::new(0.0),
+                direct: Cell::new(0.0),
                 budget: Cell::new(budget),
+                slots: RefCell::new(Vec::new()),
             }),
         }
     }
 
-    /// Charges `c` cost units; errors if the budget is now exceeded.
+    /// Registers a per-tuple charge class. Registration order is part of
+    /// the metering contract: engines must create ledgers in identical
+    /// plan-compile order for totals to be bit-identical.
+    pub fn ledger(&self, rate: f64) -> Ledger {
+        let slot = Rc::new(LedgerSlot {
+            rate: Cell::new(rate),
+            count: Cell::new(0),
+        });
+        self.inner.slots.borrow_mut().push(Rc::clone(&slot));
+        Ledger {
+            slot,
+            meter: self.clone(),
+        }
+    }
+
+    /// Charges `c` cost units directly (one-off lumps: index open, sort);
+    /// errors if the budget is now exceeded.
     #[inline]
     pub fn charge(&self, c: Cost) -> Result<(), ExecError> {
-        let s = self.inner.spent.get() + c;
-        self.inner.spent.set(s);
-        if s > self.inner.budget.get() {
+        self.inner.direct.set(self.inner.direct.get() + c);
+        self.check()
+    }
+
+    /// Errors iff total spending exceeds the budget (exactly-at-budget
+    /// passes). Drivers call this once at end-of-stream so completion
+    /// depends only on the final total.
+    #[inline]
+    pub fn check(&self) -> Result<(), ExecError> {
+        if self.spent() > self.inner.budget.get() {
             Err(ExecError::BudgetExceeded)
         } else {
             Ok(())
         }
     }
 
-    /// Total cost charged so far.
+    /// Total cost charged so far: direct lumps plus `Σ rateᵢ·countᵢ`
+    /// over ledgers in registration order.
     pub fn spent(&self) -> Cost {
-        self.inner.spent.get()
+        let mut s = self.inner.direct.get();
+        for slot in self.inner.slots.borrow().iter() {
+            s += slot.rate.get() * slot.count.get() as f64;
+        }
+        s
     }
 
     /// The budget.
     pub fn budget(&self) -> Cost {
         self.inner.budget.get()
+    }
+}
+
+impl Ledger {
+    /// Charges one tuple; checks the budget every [`CHARGE_QUANTUM`]
+    /// ticks.
+    #[inline]
+    pub fn tick(&self) -> Result<(), ExecError> {
+        let c = self.slot.count.get() + 1;
+        self.slot.count.set(c);
+        if c.is_multiple_of(CHARGE_QUANTUM) {
+            self.meter.check()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charges `n` tuples at once (batch edge); checks the budget when
+    /// the count crosses a [`CHARGE_QUANTUM`] boundary.
+    #[inline]
+    pub fn tick_n(&self, n: u64) -> Result<(), ExecError> {
+        let old = self.slot.count.get();
+        let c = old + n;
+        self.slot.count.set(c);
+        if old / CHARGE_QUANTUM != c / CHARGE_QUANTUM {
+            self.meter.check()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Tuples ticked so far.
+    pub fn count(&self) -> u64 {
+        self.slot.count.get()
     }
 }
 
@@ -152,5 +256,58 @@ mod tests {
         for _ in 0..1000 {
             m.charge(1e12).unwrap();
         }
+    }
+
+    #[test]
+    fn ledger_totals_are_order_insensitive_to_tick_interleaving() {
+        // Row-style (alternating ticks) and batch-style (bulk ticks)
+        // accumulation must produce bit-identical totals.
+        let row = Meter::new(f64::INFINITY);
+        let (a, b) = (row.ledger(0.1), row.ledger(0.007));
+        for _ in 0..2500 {
+            a.tick().unwrap();
+            b.tick().unwrap();
+        }
+        let batch = Meter::new(f64::INFINITY);
+        let (c, d) = (batch.ledger(0.1), batch.ledger(0.007));
+        d.tick_n(2500).unwrap();
+        c.tick_n(1024).unwrap();
+        c.tick_n(1476).unwrap();
+        assert_eq!(row.spent().to_bits(), batch.spent().to_bits());
+    }
+
+    #[test]
+    fn ledger_checks_at_quantum_boundaries_only() {
+        // budget passes 1 tick but not a full quantum: the trip is
+        // detected at the first quantum boundary, not mid-quantum.
+        let m = Meter::new(0.5);
+        let l = m.ledger(1.0);
+        for i in 1..CHARGE_QUANTUM {
+            assert!(l.tick().is_ok(), "tick {i} checks nothing");
+        }
+        assert_eq!(l.tick(), Err(ExecError::BudgetExceeded));
+        // ...but a final explicit check always catches the overrun.
+        let m = Meter::new(0.5);
+        let l = m.ledger(1.0);
+        l.tick().unwrap();
+        assert_eq!(m.check(), Err(ExecError::BudgetExceeded));
+    }
+
+    #[test]
+    fn exactly_at_budget_passes_final_check() {
+        let m = Meter::new(2.0);
+        let l = m.ledger(1.0);
+        l.tick_n(2).unwrap();
+        assert_eq!(m.spent(), 2.0);
+        assert!(m.check().is_ok());
+    }
+
+    #[test]
+    fn direct_and_ledger_spending_combine() {
+        let m = Meter::new(f64::INFINITY);
+        let l = m.ledger(0.25);
+        l.tick_n(4).unwrap();
+        m.charge(1.5).unwrap();
+        assert_eq!(m.spent(), 2.5);
     }
 }

@@ -5,8 +5,16 @@
 //! with budget `CC_i`" means the same thing to the engine as to the
 //! algorithms. Operators also maintain exact input/output tuple counts —
 //! the run-time selectivity monitoring the paper adds to PostgreSQL.
+//!
+//! Per-tuple work goes through [`Ledger`]s (rate × integer tuple count)
+//! rather than floating-point accumulation, so metered totals depend
+//! only on the set of ledgers and their final counts — not on how
+//! per-tuple charges interleave. The batch engine in [`crate::batch`]
+//! registers the *same ledgers in the same constructor order* (that
+//! order is part of the metering contract; see each constructor) and
+//! therefore reports bit-identical costs.
 
-use crate::meter::{ExecError, Meter};
+use crate::meter::{ExecError, Ledger, Meter};
 use crate::store::ColumnIndex;
 use rqp_storage::{RowCursor, TableRef};
 use std::collections::HashMap;
@@ -105,16 +113,15 @@ pub struct SeqScanOp<'a> {
     nrows: usize,
     filters: Vec<CompiledFilter>,
     pos: usize,
-    meter: Meter,
     /// Per-row charge: page share + cpu_tuple + filter ops.
-    row_charge: f64,
+    row: Ledger,
     input: u64,
     output: u64,
 }
 
 impl<'a> SeqScanOp<'a> {
     /// Creates the scan; `row_charge` mirrors the cost model's per-row
-    /// sequential scan cost.
+    /// sequential scan cost. Ledger order: `row`.
     pub fn new(
         table: TableRef<'a>,
         filters: Vec<CompiledFilter>,
@@ -126,8 +133,7 @@ impl<'a> SeqScanOp<'a> {
             nrows: table.rows(),
             filters,
             pos: 0,
-            meter,
-            row_charge,
+            row: meter.ledger(row_charge),
             input: 0,
             output: 0,
         }
@@ -140,7 +146,7 @@ impl Operator for SeqScanOp<'_> {
             let r = self.pos;
             self.pos += 1;
             self.input += 1;
-            self.meter.charge(self.row_charge)?;
+            self.row.tick()?;
             if eval_all(&self.filters, &mut self.cursor, r)? {
                 self.output += 1;
                 return Ok(Some(materialize(&mut self.cursor, r)?));
@@ -165,7 +171,7 @@ pub struct IndexScanOp<'a> {
     residual: Vec<CompiledFilter>,
     pos: usize,
     meter: Meter,
-    fetch_charge: f64,
+    fetch: Ledger,
     opened: bool,
     open_charge: f64,
     input: u64,
@@ -174,6 +180,8 @@ pub struct IndexScanOp<'a> {
 
 impl<'a> IndexScanOp<'a> {
     /// Creates the scan from a pre-resolved driving-filter lookup.
+    /// Ledger order: `fetch` (the open cost is a direct lump charged at
+    /// first pull).
     pub fn new(
         table: TableRef<'a>,
         index: &ColumnIndex,
@@ -192,8 +200,8 @@ impl<'a> IndexScanOp<'a> {
             row_ids,
             residual,
             pos: 0,
+            fetch: meter.ledger(fetch_charge),
             meter,
-            fetch_charge,
             opened: false,
             open_charge,
             input: 0,
@@ -212,7 +220,7 @@ impl Operator for IndexScanOp<'_> {
             let r = self.row_ids[self.pos] as usize;
             self.pos += 1;
             self.input += 1;
-            self.meter.charge(self.fetch_charge)?;
+            self.fetch.tick()?;
             if eval_all(&self.residual, &mut self.cursor, r)? {
                 self.output += 1;
                 return Ok(Some(materialize(&mut self.cursor, r)?));
@@ -239,10 +247,9 @@ pub struct HashJoinOp<'a> {
     table: HashMap<Vec<i64>, Vec<Row>>,
     built: bool,
     pending: Vec<Row>,
-    meter: Meter,
-    build_charge: f64,
-    probe_charge: f64,
-    emit_charge: f64,
+    build: Ledger,
+    probe: Ledger,
+    emit: Ledger,
     left_in: u64,
     right_in: u64,
     out: u64,
@@ -250,6 +257,7 @@ pub struct HashJoinOp<'a> {
 
 impl<'a> HashJoinOp<'a> {
     /// Creates the join; key offsets address the child output rows.
+    /// Ledger order: `build`, `probe`, `emit`.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         left: BoxOp<'a>,
@@ -270,10 +278,9 @@ impl<'a> HashJoinOp<'a> {
             table: HashMap::new(),
             built: false,
             pending: Vec::new(),
-            meter,
-            build_charge,
-            probe_charge,
-            emit_charge,
+            build: meter.ledger(build_charge),
+            probe: meter.ledger(probe_charge),
+            emit: meter.ledger(emit_charge),
             left_in: 0,
             right_in: 0,
             out: 0,
@@ -283,7 +290,7 @@ impl<'a> HashJoinOp<'a> {
     fn build(&mut self) -> Result<(), ExecError> {
         while let Some(row) = self.right.next()? {
             self.right_in += 1;
-            self.meter.charge(self.build_charge)?;
+            self.build.tick()?;
             let key: Vec<i64> = self.rkeys.iter().map(|&k| row[k]).collect();
             self.table.entry(key).or_default().push(row);
         }
@@ -300,14 +307,14 @@ impl Operator for HashJoinOp<'_> {
         loop {
             if let Some(joined) = self.pending.pop() {
                 self.out += 1;
-                self.meter.charge(self.emit_charge)?;
+                self.emit.tick()?;
                 return Ok(Some(joined));
             }
             let Some(lrow) = self.left.next()? else {
                 return Ok(None);
             };
             self.left_in += 1;
-            self.meter.charge(self.probe_charge)?;
+            self.probe.tick()?;
             let key: Vec<i64> = self.lkeys.iter().map(|&k| lrow[k]).collect();
             if let Some(matches) = self.table.get(&key) {
                 for m in matches {
@@ -336,9 +343,9 @@ pub struct MergeJoinOp<'a> {
     lkeys: Vec<usize>,
     rkeys: Vec<usize>,
     meter: Meter,
-    input_charge: f64,
+    input: Ledger,
     sort_factor: f64,
-    emit_charge: f64,
+    emit: Ledger,
     state: Option<MergeState>,
     left_in: u64,
     right_in: u64,
@@ -354,7 +361,9 @@ struct MergeState {
 }
 
 impl<'a> MergeJoinOp<'a> {
-    /// Creates the join.
+    /// Creates the join. Ledger order: `input` (shared by both sides),
+    /// `emit`; the sort costs are direct lumps charged at open, left
+    /// side first.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         left: BoxOp<'a>,
@@ -371,10 +380,10 @@ impl<'a> MergeJoinOp<'a> {
             right,
             lkeys,
             rkeys,
+            input: meter.ledger(input_charge),
+            emit: meter.ledger(emit_charge),
             meter,
-            input_charge,
             sort_factor,
-            emit_charge,
             state: None,
             left_in: 0,
             right_in: 0,
@@ -386,13 +395,13 @@ impl<'a> MergeJoinOp<'a> {
         let mut lrows = Vec::new();
         while let Some(r) = self.left.next()? {
             self.left_in += 1;
-            self.meter.charge(self.input_charge)?;
+            self.input.tick()?;
             lrows.push(r);
         }
         let mut rrows = Vec::new();
         while let Some(r) = self.right.next()? {
             self.right_in += 1;
-            self.meter.charge(self.input_charge)?;
+            self.input.tick()?;
             rrows.push(r);
         }
         // Sort charge: 2·n·log2(n+2) operator evaluations per side.
@@ -424,12 +433,11 @@ impl Operator for MergeJoinOp<'_> {
             self.open()?;
         }
         loop {
-            let (emit_charge, lkeys, rkeys) =
-                (self.emit_charge, self.lkeys.clone(), self.rkeys.clone());
+            let (lkeys, rkeys) = (self.lkeys.clone(), self.rkeys.clone());
             let st = self.state.as_mut().expect("opened");
             if let Some(r) = st.buf.pop() {
                 self.out += 1;
-                self.meter.charge(emit_charge)?;
+                self.emit.tick()?;
                 return Ok(Some(r));
             }
             if st.li >= st.lrows.len() || st.ri >= st.rrows.len() {
@@ -485,16 +493,15 @@ pub struct NLJoinOp<'a> {
     opened: bool,
     current_left: Option<Row>,
     inner_pos: usize,
-    meter: Meter,
-    pair_charge: f64,
-    emit_charge: f64,
+    pair: Ledger,
+    emit: Ledger,
     left_in: u64,
     right_in: u64,
     out: u64,
 }
 
 impl<'a> NLJoinOp<'a> {
-    /// Creates the join.
+    /// Creates the join. Ledger order: `pair`, `emit`.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         left: BoxOp<'a>,
@@ -514,9 +521,8 @@ impl<'a> NLJoinOp<'a> {
             opened: false,
             current_left: None,
             inner_pos: 0,
-            meter,
-            pair_charge,
-            emit_charge,
+            pair: meter.ledger(pair_charge),
+            emit: meter.ledger(emit_charge),
             left_in: 0,
             right_in: 0,
             out: 0,
@@ -548,7 +554,7 @@ impl Operator for NLJoinOp<'_> {
             while self.inner_pos < self.inner.len() {
                 let rrow = &self.inner[self.inner_pos];
                 self.inner_pos += 1;
-                self.meter.charge(self.pair_charge)?;
+                self.pair.tick()?;
                 let matched = self
                     .lkeys
                     .iter()
@@ -556,7 +562,7 @@ impl Operator for NLJoinOp<'_> {
                     .all(|(&lk, &rk)| lrow[lk] == rrow[rk]);
                 if matched {
                     self.out += 1;
-                    self.meter.charge(self.emit_charge)?;
+                    self.emit.tick()?;
                     let mut joined = lrow.clone();
                     joined.extend_from_slice(rrow);
                     return Ok(Some(joined));
@@ -590,16 +596,15 @@ pub struct IndexNLOp<'a> {
     /// Residual single-table filters on the inner.
     inner_filters: Vec<CompiledFilter>,
     pending: Vec<Row>,
-    meter: Meter,
-    probe_charge: f64,
-    match_charge: f64,
-    emit_charge: f64,
+    probe: Ledger,
+    matches: Ledger,
+    emit: Ledger,
     left_in: u64,
     out: u64,
 }
 
 impl<'a> IndexNLOp<'a> {
-    /// Creates the join.
+    /// Creates the join. Ledger order: `probe`, `matches`, `emit`.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         left: BoxOp<'a>,
@@ -622,10 +627,9 @@ impl<'a> IndexNLOp<'a> {
             residual_preds,
             inner_filters,
             pending: Vec::new(),
-            meter,
-            probe_charge,
-            match_charge,
-            emit_charge,
+            probe: meter.ledger(probe_charge),
+            matches: meter.ledger(match_charge),
+            emit: meter.ledger(emit_charge),
             left_in: 0,
             out: 0,
         }
@@ -637,17 +641,17 @@ impl Operator for IndexNLOp<'_> {
         loop {
             if let Some(r) = self.pending.pop() {
                 self.out += 1;
-                self.meter.charge(self.emit_charge)?;
+                self.emit.tick()?;
                 return Ok(Some(r));
             }
             let Some(lrow) = self.left.next()? else {
                 return Ok(None);
             };
             self.left_in += 1;
-            self.meter.charge(self.probe_charge)?;
+            self.probe.tick()?;
             for &rid in self.index.eq(lrow[self.outer_key]) {
                 let rid = rid as usize;
-                self.meter.charge(self.match_charge)?;
+                self.matches.tick()?;
                 let filters_ok = eval_all(&self.inner_filters, &mut self.inner_cursor, rid)?;
                 let mut preds_ok = true;
                 for &(lo, ic) in &self.residual_preds {
@@ -706,16 +710,15 @@ pub struct HashAggregateOp<'a> {
     child: BoxOp<'a>,
     group_by: Vec<usize>,
     aggs: Vec<AggFn>,
-    meter: Meter,
-    row_charge: f64,
-    emit_charge: f64,
+    row: Ledger,
+    emit: Ledger,
     output: Option<std::vec::IntoIter<Row>>,
     input: u64,
     out: u64,
 }
 
 impl<'a> HashAggregateOp<'a> {
-    /// Creates the aggregate.
+    /// Creates the aggregate. Ledger order: `row`, `emit`.
     pub fn new(
         child: BoxOp<'a>,
         group_by: Vec<usize>,
@@ -728,9 +731,8 @@ impl<'a> HashAggregateOp<'a> {
             child,
             group_by,
             aggs,
-            meter,
-            row_charge,
-            emit_charge,
+            row: meter.ledger(row_charge),
+            emit: meter.ledger(emit_charge),
             output: None,
             input: 0,
             out: 0,
@@ -741,7 +743,7 @@ impl<'a> HashAggregateOp<'a> {
         let mut groups: HashMap<Vec<i64>, Vec<i64>> = HashMap::new();
         while let Some(row) = self.child.next()? {
             self.input += 1;
-            self.meter.charge(self.row_charge)?;
+            self.row.tick()?;
             let key: Vec<i64> = self.group_by.iter().map(|&k| row[k]).collect();
             let accs = groups.entry(key).or_insert_with(|| {
                 self.aggs
@@ -786,7 +788,7 @@ impl Operator for HashAggregateOp<'_> {
         match self.output.as_mut().expect("built").next() {
             Some(r) => {
                 self.out += 1;
-                self.meter.charge(self.emit_charge)?;
+                self.emit.tick()?;
                 Ok(Some(r))
             }
             None => Ok(None),

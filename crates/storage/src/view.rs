@@ -132,6 +132,34 @@ impl PagedCursor<'_> {
     }
 }
 
+impl PagedCursor<'_> {
+    /// Reads rows `[lo, hi)` column-major onto `cols`, pinning each
+    /// covered page exactly once and copying all of its slots in one
+    /// visit (instead of re-entering the pool per row).
+    fn read_range(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        cols: &mut [Vec<i64>],
+    ) -> Result<(), StorageError> {
+        let cap = self.view.cap;
+        let mut row = lo;
+        while row < hi {
+            let page_no = row / cap;
+            let run = ((page_no + 1) * cap).min(hi) - row;
+            self.with_page(row, |p, slot| {
+                for s in slot..slot + run {
+                    for (c, dst) in cols.iter_mut().enumerate() {
+                        dst.push(p.value(s, c));
+                    }
+                }
+            })?;
+            row += run;
+        }
+        Ok(())
+    }
+}
+
 impl RowCursor<'_> {
     /// One column of one row.
     #[inline]
@@ -153,6 +181,27 @@ impl RowCursor<'_> {
                 Ok(())
             }
             RowCursor::Paged(c) => c.with_page(row, |p, slot| p.read_row(slot, out)),
+        }
+    }
+
+    /// Appends rows `[lo, hi)` column-major onto `cols` (one destination
+    /// `Vec` per column). This is the batch engine's scan read path: the
+    /// in-memory backend copies column slices, the paged backend pins
+    /// each covered page once and drains it slot-by-slot.
+    pub fn read_batch(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        cols: &mut [Vec<i64>],
+    ) -> Result<(), StorageError> {
+        match self {
+            RowCursor::Mem(t) => {
+                for (c, dst) in cols.iter_mut().enumerate() {
+                    dst.extend_from_slice(&t.columns[c][lo..hi]);
+                }
+                Ok(())
+            }
+            RowCursor::Paged(c) => c.read_range(lo, hi, cols),
         }
     }
 }

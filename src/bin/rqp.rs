@@ -113,7 +113,7 @@ fn print_pool_counters(registry: &MetricsRegistry) {
 /// pool, so a pool smaller than the working set really thrashes.
 fn run_paged(name: &str, algo: &str, args: &[String]) -> ExitCode {
     use rqp::ess::EssSurface;
-    use rqp::executor::Executor;
+    use rqp::executor::{Engine, PlanEngine as _};
     use rqp::runner::{measure_qa, ExecOracle};
     use rqp::storage::PagedStore;
 
@@ -169,7 +169,11 @@ fn run_paged(name: &str, algo: &str, args: &[String]) -> ExitCode {
     )
     .expect("valid query");
     let surface = EssSurface::build(&opt, bench.grid());
-    let exec = || Executor::new(&catalog, query, &store, CostParams::default());
+    // Batch-first dispatch: every suite plan runs vectorized; any
+    // fallback to the row engine shows up in the store's registry.
+    let exec = || {
+        Engine::new(&catalog, query, &store, CostParams::default()).with_metrics(store.registry())
+    };
     let (opt_plan, _) = opt.optimize_at(&qa);
     let opt_out = exec()
         .run_full(&opt_plan, f64::INFINITY)
@@ -1812,7 +1816,7 @@ fn main() -> ExitCode {
             // error. Output lines are stable for CI grepping.
             {
                 use rqp::ess::EssSurface;
-                use rqp::executor::Executor;
+                use rqp::executor::{Engine, PlanEngine as _};
                 use rqp::runner::{measure_qa, ExecOracle};
                 use rqp::storage::{PagedStore, StorageConfig};
 
@@ -1872,7 +1876,10 @@ fn main() -> ExitCode {
                             PagedStore::materialize(&catalog, &data, config).expect("materialize");
                         let qa = measure_qa(&store, query);
                         store.set_faults(plan);
-                        let exec = || Executor::new(&catalog, query, &store, CostParams::default());
+                        let exec = || {
+                            Engine::new(&catalog, query, &store, CostParams::default())
+                                .with_metrics(store.registry())
+                        };
                         let (opt_plan, _) = popt.optimize_at(&qa);
                         let opt_spent = exec()
                             .run_full(&opt_plan, f64::INFINITY)

@@ -9,14 +9,19 @@
 
 use rqp_common::{cost_le, Cost, MultiGrid, Result, RqpError, Selectivity, EPS};
 use rqp_core::{ExecutionOracle, FullOutcome, SpillOutcome};
-use rqp_executor::{Executor, NodeObservation};
+use rqp_executor::{Executor, NodeObservation, PlanEngine};
 use rqp_faults::RetryPolicy;
 use rqp_optimizer::{Optimizer, PlanId, PlanNode, PredicateKind, Sels};
 use std::time::{Duration, Instant};
 
 /// An [`ExecutionOracle`] backed by real plan executions.
-pub struct ExecOracle<'a> {
-    executor: Executor<'a>,
+///
+/// Generic over the [`PlanEngine`] driving the runs (row engine, batch
+/// engine, or the batch-first [`rqp_executor::Engine`] dispatcher);
+/// engines are metering-bit-compatible, so the choice affects wall-clock
+/// time but never a discovery report.
+pub struct ExecOracle<'a, E = Executor<'a>> {
+    executor: E,
     opt: &'a Optimizer<'a>,
     grid: &'a MultiGrid,
     /// Best current knowledge of every predicate's selectivity: base
@@ -34,9 +39,9 @@ pub struct ExecOracle<'a> {
     pub timings: Vec<Duration>,
 }
 
-impl<'a> ExecOracle<'a> {
+impl<'a, E: PlanEngine> ExecOracle<'a, E> {
     /// Creates the oracle.
-    pub fn new(executor: Executor<'a>, opt: &'a Optimizer<'a>, grid: &'a MultiGrid) -> Self {
+    pub fn new(executor: E, opt: &'a Optimizer<'a>, grid: &'a MultiGrid) -> Self {
         Self {
             executor,
             opt,
@@ -61,10 +66,7 @@ impl<'a> ExecOracle<'a> {
 
     /// Runs `call` retrying injected-fault errors with capped exponential
     /// backoff; other errors and final exhaustion propagate.
-    fn retry_faults<T>(
-        &mut self,
-        mut call: impl FnMut(&mut Executor<'a>) -> Result<T>,
-    ) -> Result<T> {
+    fn retry_faults<T>(&mut self, mut call: impl FnMut(&mut E) -> Result<T>) -> Result<T> {
         let attempts = self.retry.max_attempts.max(1);
         let mut last = None;
         for attempt in 0..attempts {
@@ -102,7 +104,7 @@ impl<'a> ExecOracle<'a> {
     }
 }
 
-impl ExecutionOracle for ExecOracle<'_> {
+impl<E: PlanEngine> ExecutionOracle for ExecOracle<'_, E> {
     fn spill_execute(&mut self, plan: &PlanNode, dim: usize, budget: Cost) -> SpillOutcome {
         self.try_spill_execute_id(None, plan, dim, budget)
             .unwrap_or_else(|e| panic!("spill execution failed: {e}"))

@@ -21,12 +21,16 @@
 use rqp::catalog::tpcds;
 use rqp::core::{
     eval::{evaluate_alignedbound_ctx, evaluate_planbouquet_ctx, evaluate_spillbound_ctx},
-    spillbound_guarantee, CostOracle, EvalContext, PlanBouquet, SpillBound,
+    spillbound_guarantee, AlignedBound, CostOracle, EvalContext, PlanBouquet, SpillBound,
 };
 use rqp::ess::anorexic::reduce_contour;
 use rqp::ess::{ContourSet, EssSurface, EssView, LazySurface, SurfaceAccess};
+use rqp::executor::{DataStore, Engine, Executor};
 use rqp::optimizer::{CostParams, EnumerationMode, Optimizer};
-use rqp::workloads::{paper_suite, q91_with_dims};
+use rqp::runner::ExecOracle;
+use rqp::workloads::{executable_genspec_with_errors, paper_suite, q91_with_dims};
+use rqp_catalog::DataSet;
+use rqp_common::MultiGrid;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -241,6 +245,89 @@ fn render(rows: &[Conformance]) -> String {
 
 fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/paper_conformance.json")
+}
+
+/// Executor-backed discovery golden: full SB and AB runs over the
+/// executable 2D_Q91 workload, serialized with exact floats (shortest
+/// round-trip rendering), pinned in `tests/golden/batch_discovery.json`.
+/// Both the row engine and the vectorized [`Engine`] must reproduce the
+/// checked-in bytes — the batch engine cannot drift a single budget,
+/// spent cost, or learnt selectivity that the goldens pin, so switching
+/// engines never forces a re-bless. Regenerate intentionally with
+/// `RQP_BLESS=1 cargo test --test paper_conformance batch_engine`.
+#[test]
+fn batch_engine_discovery_matches_golden() {
+    let catalog = tpcds::catalog(0.05);
+    let bench = q91_with_dims(&catalog, 2);
+    let query = &bench.query;
+    let spec = executable_genspec_with_errors(&catalog, query, 42, &[50.0, 20.0]);
+    let data = DataSet::generate(&catalog, &spec).expect("generate");
+    let store = DataStore::new(&catalog, data);
+    let opt = Optimizer::new(
+        &catalog,
+        query,
+        CostParams::default(),
+        EnumerationMode::LeftDeep,
+    )
+    .expect("valid query");
+    let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-7, 6));
+
+    let discover = |batch: bool| -> String {
+        let mut out = String::new();
+        for algo in ["sb", "ab"] {
+            let report = if batch {
+                let exec = Engine::new(&catalog, query, &store, CostParams::default());
+                let mut oracle = ExecOracle::new(exec, &opt, surface.grid());
+                match algo {
+                    "sb" => SpillBound::new(&surface, &opt, RATIO).run(&mut oracle),
+                    _ => AlignedBound::new(&surface, &opt, RATIO).run(&mut oracle),
+                }
+            } else {
+                let exec = Executor::new(&catalog, query, &store, CostParams::default());
+                let mut oracle = ExecOracle::new(exec, &opt, surface.grid());
+                match algo {
+                    "sb" => SpillBound::new(&surface, &opt, RATIO).run(&mut oracle),
+                    _ => AlignedBound::new(&surface, &opt, RATIO).run(&mut oracle),
+                }
+            }
+            .unwrap_or_else(|e| panic!("{algo} completes: {e}"));
+            let _ = writeln!(
+                out,
+                "{algo} cost_bits={} {}",
+                report.total_cost.to_bits(),
+                serde_json::to_string(&report).expect("serialize report")
+            );
+        }
+        out
+    };
+    let row = discover(false);
+    let batch = discover(true);
+    assert_eq!(
+        row, batch,
+        "row and batch engines rendered different discovery reports"
+    );
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/batch_discovery.json");
+    if std::env::var_os("RQP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, &batch).expect("write golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); generate it with RQP_BLESS=1 cargo test --test paper_conformance batch_engine",
+            path.display()
+        )
+    });
+    assert_eq!(
+        batch,
+        expected,
+        "executor-backed discovery drifted from {}.\n\
+         If the change is intentional, regenerate with:\n\
+         RQP_BLESS=1 cargo test --test paper_conformance batch_engine",
+        path.display()
+    );
 }
 
 #[test]

@@ -298,58 +298,79 @@ fn backends_bit_identical_4d() {
 }
 
 /// The vectorized engine matches the row engine over the paged backend
-/// (same row counts, same metering), exercising the cursor-based batch
-/// scan path against the in-memory gather path.
+/// bit for bit — same row counts, same metered cost to the last bit —
+/// for every join method, exercising the cursor-based batch scan path
+/// against the in-memory gather path. (Ledger metering makes the two
+/// engines' cost accumulation identical, not merely close.)
 #[test]
 fn batch_engine_matches_row_engine_on_paged_store() {
     let bk = backends(2, &[50.0, 20.0], 8);
-    // First join predicate of the query, as a standalone two-scan plan
-    // within the vectorized subset (seq scans + hash join).
-    let (pid, left, right) = bk
+    // First join predicate of the query, as a standalone two-scan plan.
+    let (pid, left, right, right_col) = bk
         .query
         .predicates
         .iter()
         .enumerate()
         .find_map(|(pid, p)| match p.kind {
-            PredicateKind::Join { left, right, .. } => Some((pid, left, right)),
+            PredicateKind::Join {
+                left,
+                right,
+                right_col,
+                ..
+            } => Some((pid, left, right, right_col)),
             _ => None,
         })
         .expect("q91 has a join predicate");
-    let plan = PlanNode::Join {
-        method: JoinMethod::HashJoin,
-        left: Box::new(PlanNode::Scan {
-            rel: left,
-            method: ScanMethod::SeqScan,
-            filters: vec![],
-        }),
-        right: Box::new(PlanNode::Scan {
-            rel: right,
-            method: ScanMethod::SeqScan,
-            filters: vec![],
-        }),
-        preds: vec![pid],
-    };
-    let rows = Executor::new(bk.catalog, bk.query, &bk.paged, CostParams::default())
-        .run_full(&plan, f64::INFINITY)
-        .expect("row engine");
-    let vecs = BatchExecutor::new(bk.catalog, bk.query, &bk.paged, CostParams::default())
-        .run_full(&plan, f64::INFINITY)
-        .expect("batch engine");
-    assert_eq!(rows.rows_out, vecs.rows_out);
-    // Row vs batch metering agrees to accumulation order (same rates,
-    // different summation granularity) ...
-    assert!(
-        (rows.spent - vecs.spent).abs() <= 1e-6 * rows.spent,
-        "metering diverged: {} vs {}",
-        rows.spent,
-        vecs.spent
-    );
-    let mem = BatchExecutor::new(bk.catalog, bk.query, &bk.mem, CostParams::default())
-        .run_full(&plan, f64::INFINITY)
-        .expect("batch engine, in-memory");
-    // ... but within one engine, backends must be bit-identical.
-    assert_eq!(mem.rows_out, vecs.rows_out);
-    assert_eq!(mem.spent.to_bits(), vecs.spent.to_bits());
+    let mut methods = vec![
+        JoinMethod::HashJoin,
+        JoinMethod::SortMergeJoin,
+        JoinMethod::NestedLoopJoin,
+    ];
+    // Index nested-loop needs an index on the inner join column.
+    let inner_table = bk.catalog.table(bk.query.relations[right]);
+    if inner_table.columns[right_col].indexed {
+        methods.push(JoinMethod::IndexNLJoin);
+    }
+    for method in methods {
+        let plan = PlanNode::Join {
+            method,
+            left: Box::new(PlanNode::Scan {
+                rel: left,
+                method: ScanMethod::SeqScan,
+                filters: vec![],
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: right,
+                method: ScanMethod::SeqScan,
+                filters: vec![],
+            }),
+            preds: vec![pid],
+        };
+        let rows = Executor::new(bk.catalog, bk.query, &bk.paged, CostParams::default())
+            .run_full(&plan, f64::INFINITY)
+            .expect("row engine");
+        let vecs = BatchExecutor::new(bk.catalog, bk.query, &bk.paged, CostParams::default())
+            .run_full(&plan, f64::INFINITY)
+            .expect("batch engine");
+        assert_eq!(rows.rows_out, vecs.rows_out, "{method:?} row count");
+        assert_eq!(
+            rows.spent.to_bits(),
+            vecs.spent.to_bits(),
+            "{method:?} metering diverged: {} vs {}",
+            rows.spent,
+            vecs.spent
+        );
+        // And within the batch engine, backends must agree bitwise too.
+        let mem = BatchExecutor::new(bk.catalog, bk.query, &bk.mem, CostParams::default())
+            .run_full(&plan, f64::INFINITY)
+            .expect("batch engine, in-memory");
+        assert_eq!(mem.rows_out, vecs.rows_out, "{method:?} backend rows");
+        assert_eq!(
+            mem.spent.to_bits(),
+            vecs.spent.to_bits(),
+            "{method:?} backend bits"
+        );
+    }
 }
 
 /// `RQP_PAGE_SIZE` / `RQP_POOL_FRAMES` env knobs reject invalid values
