@@ -226,6 +226,52 @@ fn open_envelope(bytes: &[u8]) -> Result<(u32, &str), ArtifactError> {
     Ok((header.version, payload_text))
 }
 
+/// The persisted outcome of a penalty-aware selection: which plan the
+/// risk minimization chose, under which prior, with which risk numbers.
+///
+/// A pure data record — the selection itself runs in `rqp-core`; callers
+/// attach the summary via [`CompiledArtifact::with_penalty`] before
+/// saving. The 64-bit identities (prior hash, plan fingerprint) are
+/// stored as 16-hex-digit strings because the vendored serde shim
+/// carries numbers as `f64`, which cannot represent all `u64` values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PenaltySummary {
+    /// Seed of the selectivity-error prior.
+    pub prior_seed: u64,
+    /// Kernel width of the prior, in log₁₀ decades.
+    pub prior_sigma: f64,
+    /// Seeded per-cell jitter amplitude of the prior.
+    pub prior_jitter: f64,
+    /// CVaR tail level the risks were computed at.
+    pub alpha: f64,
+    /// Hex-encoded FNV-1a hash of the full discretized prior.
+    pub prior_hash: String,
+    /// Pool id of the chosen plan, when it is interned in the surface's
+    /// pool (the native plan may not be).
+    pub chosen_plan: Option<usize>,
+    /// Hex-encoded structural fingerprint of the chosen plan.
+    pub chosen_fingerprint: String,
+    /// Expected sub-optimality of the chosen plan under the prior.
+    pub expected: f64,
+    /// CVaR of the chosen plan's sub-optimality at `alpha`.
+    pub cvar: f64,
+    /// Expected sub-optimality of the native plan under the same prior
+    /// (the ≤-guarantee baseline).
+    pub native_expected: f64,
+}
+
+impl PenaltySummary {
+    /// Hex-decodes the prior hash (16 hex digits).
+    pub fn prior_hash_u64(&self) -> Option<u64> {
+        u64::from_str_radix(&self.prior_hash, 16).ok()
+    }
+
+    /// Hex-decodes the chosen plan's fingerprint.
+    pub fn chosen_fingerprint_u64(&self) -> Option<u64> {
+        u64::from_str_radix(&self.chosen_fingerprint, 16).ok()
+    }
+}
+
 /// Everything the online algorithms need to serve one query template:
 /// the compiled POSP surface, its contour schedule, the anorexic-reduced
 /// bouquet, and the dense plan×location recost matrix, together with the
@@ -249,6 +295,11 @@ pub struct CompiledArtifact {
     pub rho_red: usize,
     /// Dense plan×location recost matrix over the surface's pool/grid.
     pub matrix: CostMatrix,
+    /// Outcome of the offline penalty-aware selection, when one was run
+    /// at compile time. `None` in artifacts written before the field
+    /// existed — old files load unchanged (`#[serde(default)]`).
+    #[serde(default)]
+    pub penalty: Option<PenaltySummary>,
 }
 
 impl CompiledArtifact {
@@ -276,7 +327,15 @@ impl CompiledArtifact {
             bouquet,
             rho_red,
             matrix,
+            penalty: None,
         }
+    }
+
+    /// Attaches the outcome of an offline penalty-aware selection, so
+    /// the chosen plan and prior identity persist with the artifact.
+    pub fn with_penalty(mut self, summary: PenaltySummary) -> Self {
+        self.penalty = Some(summary);
+        self
     }
 
     /// Serializes to the on-disk byte format (header line + payload).

@@ -8,6 +8,7 @@
 use crate::alignedbound::AlignedBound;
 use crate::cached::{CachedOracle, EvalContext, SpillMemo};
 use crate::oracle::CostOracle;
+use crate::penalty::{self, PenaltyConfig, PenaltySelection, SelectivityPrior};
 use crate::planbouquet::PlanBouquet;
 use crate::spillbound::SpillBound;
 use rqp_common::{chunk_bounds, GridIdx, Result};
@@ -375,6 +376,76 @@ pub fn evaluate_native_ctx(ctx: &EvalContext<'_>) -> Result<SubOptStats> {
     }
 }
 
+/// Exhaustive sub-optimality sweep of `selection`'s chosen plan: like
+/// the native evaluator, a single fixed plan is charged its full recost
+/// at every location.
+fn penalty_subopt_sweep(
+    ctx: &EvalContext<'_>,
+    selection: &PenaltySelection,
+    threads: usize,
+) -> Result<SubOptStats> {
+    match selection.chosen.plan_id {
+        Some(pid) => evaluate_parallel(ctx.surface(), threads, || {
+            move |qa| Ok(ctx.matrix().cost(pid, qa) / ctx.surface().opt_cost(qa))
+        }),
+        None => {
+            let plan = &selection.chosen_plan;
+            evaluate_parallel(ctx.surface(), threads, move || {
+                move |qa| {
+                    let sels = ctx.opt().sels_at(&ctx.grid().sels(qa));
+                    Ok(ctx.opt().cost_plan(plan, &sels) / ctx.surface().opt_cost(qa))
+                }
+            })
+        }
+    }
+}
+
+/// Exhaustive MSOe/ASO evaluation of the penalty-aware strategy: select
+/// the risk-minimizing plan under `prior`, then sweep its
+/// sub-optimality over the grid. Returns the stats and the selection
+/// (whose `chosen.expected` is the prior-weighted ASO).
+pub fn evaluate_penaltyaware_ctx(
+    ctx: &EvalContext<'_>,
+    prior: &SelectivityPrior,
+    cfg: &PenaltyConfig,
+) -> Result<(SubOptStats, PenaltySelection)> {
+    let selection = penalty::select_ctx(ctx, prior, cfg)?;
+    let stats = penalty_subopt_sweep(ctx, &selection, 1)?;
+    Ok((stats, selection))
+}
+
+/// Parallel [`evaluate_penaltyaware_ctx`]: both the per-candidate risk
+/// integration and the chosen plan's sub-optimality sweep fan out over
+/// `threads` workers, bit-equal to the sequential path.
+pub fn evaluate_penaltyaware_parallel(
+    ctx: &EvalContext<'_>,
+    prior: &SelectivityPrior,
+    cfg: &PenaltyConfig,
+    threads: usize,
+) -> Result<(SubOptStats, PenaltySelection)> {
+    let selection = penalty::select_parallel(ctx, prior, cfg, threads)?;
+    let stats = penalty_subopt_sweep(ctx, &selection, threads)?;
+    Ok((stats, selection))
+}
+
+/// [`evaluate_penaltyaware_ctx`] without a prebuilt context: selection
+/// and sweep recost directly through the optimizer (bit-equal to the
+/// matrix-backed path, asserted by tests).
+pub fn evaluate_penaltyaware(
+    surface: &EssSurface,
+    opt: &Optimizer<'_>,
+    prior: &SelectivityPrior,
+    cfg: &PenaltyConfig,
+) -> Result<(SubOptStats, PenaltySelection)> {
+    let selection = penalty::select_on(surface, opt, prior, cfg)?;
+    let plan = &selection.chosen_plan;
+    let stats = evaluate(surface, |qa| {
+        let sels = opt.sels_at(&surface.grid().sels(qa));
+        Ok(opt.cost_plan(plan, &sels) / surface.opt_cost(qa))
+    })?;
+    Ok((stats, selection))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +541,36 @@ mod tests {
             let par = evaluate_parallel(&fx.surface, threads, || subopt).unwrap();
             assert_bit_equal(&format!("generic x{threads}"), &seq, &par);
         }
+    }
+
+    #[test]
+    fn penaltyaware_paths_bit_equal_and_beat_native_expectation() {
+        let fx = star2_surface(10);
+        let ctx = EvalContext::new(&fx.surface, &fx.opt);
+        let choice = crate::native::NativeChoice::compute(&fx.surface, &fx.opt);
+        let prior = SelectivityPrior::lognormal(
+            fx.surface.grid(),
+            &choice.qe_sels,
+            crate::penalty::PriorConfig::default(),
+        )
+        .unwrap();
+        let cfg = PenaltyConfig::default();
+        let (seq, sel_seq) = evaluate_penaltyaware_ctx(&ctx, &prior, &cfg).unwrap();
+        let (direct, sel_direct) =
+            evaluate_penaltyaware(&fx.surface, &fx.opt, &prior, &cfg).unwrap();
+        assert_bit_equal("penalty direct", &seq, &direct);
+        assert_eq!(sel_seq.chosen.fingerprint, sel_direct.chosen.fingerprint);
+        for threads in [2usize, 3, 7] {
+            let (par, sel_par) =
+                evaluate_penaltyaware_parallel(&ctx, &prior, &cfg, threads).unwrap();
+            assert_bit_equal(&format!("penalty x{threads}"), &seq, &par);
+            assert_eq!(
+                sel_seq.chosen.expected.to_bits(),
+                sel_par.chosen.expected.to_bits()
+            );
+        }
+        // the ≤-native guarantee, in its prior-weighted form
+        assert!(sel_seq.chosen.expected <= sel_seq.native.expected);
     }
 
     #[test]

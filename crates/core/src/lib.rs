@@ -16,6 +16,10 @@
 //!   bound; MSO ∈ `[2D + 2, D² + 3D]`;
 //! * [`native`] — the conventional optimizer baseline that trusts its
 //!   estimate `qe` (no guarantee; MSO can be astronomically large);
+//! * [`penalty`] — penalty-aware single-plan selection (the PARQO-style
+//!   fourth strategy): minimize expected sub-optimality or CVaR tail
+//!   risk over a seeded selectivity-error prior, with the chosen plan's
+//!   expected penalty ≤ the native plan's by construction;
 //! * [`oracle`] — the budgeted-execution abstraction: the cost-model
 //!   simulation used for all MSO experiments (as in the paper, §6), with
 //!   an executor-backed implementation living in the workspace root for
@@ -68,6 +72,7 @@ pub mod faulty;
 pub mod lowerbound;
 pub mod native;
 pub mod oracle;
+pub mod penalty;
 pub mod planbouquet;
 pub mod pop;
 pub mod report;
@@ -79,6 +84,9 @@ pub use eval::{evaluate, evaluate_parallel, SubOptStats};
 pub use faulty::{FaultStats, FaultyOracle};
 pub use native::NativeChoice;
 pub use oracle::{CostOracle, ExecutionOracle, FullOutcome, NoisyCostOracle, SpillOutcome};
+pub use penalty::{
+    Objective, PenaltyConfig, PenaltySelection, PlanRisk, PriorConfig, SelectivityPrior,
+};
 pub use planbouquet::PlanBouquet;
 pub use pop::PopReoptimizer;
 pub use report::{ExecutionRecord, Outcome, RunReport};

@@ -59,6 +59,16 @@ pub enum TraceEvent {
     /// quarantine scan, cache pre-warm, …). `count` is the number of
     /// items the step touched.
     RecoveryStep { stage: &'static str, count: u64 },
+    /// One candidate plan's risk was integrated over the selectivity
+    /// prior during a penalty-aware selection.
+    RiskEvaluated {
+        plan_fingerprint: u64,
+        plan_id: Option<usize>,
+        /// Expected sub-optimality under the prior.
+        expected: f64,
+        /// CVaR of the sub-optimality at the configured alpha.
+        cvar: f64,
+    },
 }
 
 impl TraceEvent {
@@ -77,6 +87,7 @@ impl TraceEvent {
             TraceEvent::FaultRetried { .. } => "fault_retried",
             TraceEvent::RunFinished { .. } => "run_finished",
             TraceEvent::RecoveryStep { .. } => "recovery_step",
+            TraceEvent::RiskEvaluated { .. } => "risk_evaluated",
         }
     }
 
@@ -93,6 +104,7 @@ impl TraceEvent {
         "fault_retried",
         "run_finished",
         "recovery_step",
+        "risk_evaluated",
     ];
 }
 
@@ -209,6 +221,19 @@ impl TraceRecord {
             }
             TraceEvent::RecoveryStep { stage, count } => {
                 let _ = write!(s, ",\"stage\":\"{stage}\",\"count\":{count}");
+            }
+            TraceEvent::RiskEvaluated {
+                plan_fingerprint,
+                plan_id,
+                expected,
+                cvar,
+            } => {
+                let _ = write!(s, ",\"plan_fingerprint\":{plan_fingerprint},\"plan_id\":");
+                push_opt_usize(&mut s, *plan_id);
+                s.push_str(",\"expected\":");
+                push_f64(&mut s, *expected);
+                s.push_str(",\"cvar\":");
+                push_f64(&mut s, *cvar);
             }
         }
         s.push('}');

@@ -25,8 +25,9 @@ use rqp_artifacts::CompiledArtifact;
 use rqp_catalog::Catalog;
 use rqp_common::{GridIdx, RqpError};
 use rqp_core::{
-    AlignedBound, CachedOracle, EvalContext, ExecutionOracle, FaultyOracle, NativeChoice,
-    PlanBouquet, RunReport, SpillBound, SpillMemo,
+    penalty, AlignedBound, CachedOracle, EvalContext, ExecutionOracle, FaultyOracle, NativeChoice,
+    PenaltyConfig, PenaltySelection, PlanBouquet, PriorConfig, RunReport, SelectivityPrior,
+    SpillBound, SpillMemo,
 };
 use rqp_ess::{EssSurface, SurfaceAccess};
 use rqp_faults::{Attempt, BreakerConfig, CircuitBreaker, FaultPlan, RetryPolicy};
@@ -90,6 +91,9 @@ pub struct ServedQuery {
     ctx: EvalContext<'static>,
     bouquet: PlanBouquet<'static>,
     native: NativeChoice,
+    /// Offline penalty-aware selection, recomputed at load time from the
+    /// artifact's matrix (and verified against the persisted summary).
+    penalty: PenaltySelection,
     /// `explain` response body, rendered once at construction.
     explain_raw: Arc<str>,
     /// Resident-footprint estimate, for the LRU cache's byte accounting.
@@ -138,6 +142,7 @@ impl ServedQuery {
             bouquet,
             rho_red,
             matrix,
+            penalty: penalty_summary,
         } = artifact;
         let name = query.name.clone();
         let query = Box::new(query);
@@ -164,7 +169,50 @@ impl ServedQuery {
             PlanBouquet::from_parts(surface_ref, opt_ref, ratio, lambda, bouquet, rho_red)
                 .map_err(|e| format!("artifact `{name}`: {e}"))?;
         let native = NativeChoice::compute(surface_ref, opt_ref);
-        let explain_value = explain_value(&name, ratio, lambda, surface_ref, &bouquet, &native);
+        // Rebuild the penalty-aware selection from the prior the artifact
+        // records (defaults when the artifact predates the field): cheap
+        // — a pure scan of the already-loaded matrix — and verifiable
+        // against the persisted summary.
+        let prior_config = match &penalty_summary {
+            Some(s) => PriorConfig {
+                seed: s.prior_seed,
+                sigma: s.prior_sigma,
+                jitter: s.prior_jitter,
+            },
+            None => PriorConfig::default(),
+        };
+        let alpha = penalty_summary
+            .as_ref()
+            .map(|s| s.alpha)
+            .unwrap_or(PenaltyConfig::default().alpha);
+        let prior = SelectivityPrior::lognormal(surface_ref.grid(), &native.qe_sels, prior_config)
+            .map_err(|e| format!("artifact `{name}`: penalty prior: {e}"))?;
+        let penalty_cfg = PenaltyConfig {
+            alpha,
+            ..PenaltyConfig::default()
+        };
+        let penalty = penalty::select_ctx(&ctx, &prior, &penalty_cfg)
+            .map_err(|e| format!("artifact `{name}`: penalty selection: {e}"))?;
+        if let Some(s) = &penalty_summary {
+            let fp = format!("{:016x}", penalty.chosen.fingerprint);
+            let hash = format!("{:016x}", penalty.prior_hash);
+            if s.chosen_fingerprint != fp || s.prior_hash != hash {
+                return Err(format!(
+                    "artifact `{name}`: persisted penalty selection (plan {}, prior {}) \
+                     disagrees with the recomputed one (plan {fp}, prior {hash})",
+                    s.chosen_fingerprint, s.prior_hash
+                ));
+            }
+        }
+        let explain_value = explain_value(
+            &name,
+            ratio,
+            lambda,
+            surface_ref,
+            &bouquet,
+            &native,
+            &penalty,
+        );
         let explain_raw: Arc<str> =
             Arc::from(serde_json::to_string(&explain_value).expect("explain serializes"));
         Ok(Self {
@@ -173,6 +221,7 @@ impl ServedQuery {
             ctx,
             bouquet,
             native,
+            penalty,
             explain_raw,
             approx_bytes,
             faults: None,
@@ -319,6 +368,50 @@ impl ServedQuery {
         obj(fields)
     }
 
+    /// The penalty-aware response: the offline-chosen plan is charged
+    /// its full recost at `qa`, like the native baseline, plus the risk
+    /// numbers and prior identity that justified the choice.
+    fn penaltyaware_response(&self, qa_idx: GridIdx, coords: &[usize]) -> Value {
+        let mut fields = self.run_common("penaltyaware", qa_idx, coords);
+        let opt_cost = self.surface.opt_cost(qa_idx);
+        let cost = match self.penalty.chosen.plan_id {
+            Some(pid) => self.ctx.matrix().cost(pid, qa_idx),
+            None => {
+                let sels = self.opt.sels_at(&self.surface.grid().sels(qa_idx));
+                self.opt.cost_plan(&self.penalty.chosen_plan, &sels)
+            }
+        };
+        fields.push((
+            "chosen_plan",
+            match self.penalty.chosen.plan_id {
+                Some(pid) => num(pid as f64),
+                None => Value::Null,
+            },
+        ));
+        fields.push((
+            "chosen_fingerprint",
+            string(format!("{:016x}", self.penalty.chosen.fingerprint)),
+        ));
+        fields.push((
+            "prior_hash",
+            string(format!("{:016x}", self.penalty.prior_hash)),
+        ));
+        fields.push(("alpha", num(self.penalty.alpha)));
+        fields.push(("expected_penalty", num(self.penalty.chosen.expected)));
+        fields.push(("cvar", num(self.penalty.chosen.cvar)));
+        fields.push(("native_expected", num(self.penalty.native.expected)));
+        fields.push(("total_cost", num(cost)));
+        fields.push(("sub_optimality", num(cost / opt_cost)));
+        fields.push(("completed", Value::Bool(true)));
+        fields.push(("degraded", Value::Bool(false)));
+        obj(fields)
+    }
+
+    /// The penalty-aware selection this query serves (tests and stats).
+    pub fn penalty_selection(&self) -> &PenaltySelection {
+        &self.penalty
+    }
+
     /// Runs the discovery algorithm behind `method` against a fresh
     /// per-call oracle, wrapped in the fault plan when one is attached.
     fn run_discovery(
@@ -427,6 +520,10 @@ impl ServedQuery {
             "run_native" => self.snap(qa).map_err(bad).map(|(qa_idx, coords)| {
                 Body::Value(self.native_response("native", qa_idx, &coords, None))
             }),
+            "run_penaltyaware" => self
+                .snap(qa)
+                .map_err(bad)
+                .map(|(qa_idx, coords)| Body::Value(self.penaltyaware_response(qa_idx, &coords))),
             "run_spillbound" | "run_alignedbound" | "run_planbouquet" => {
                 match self.snap(qa).map_err(bad) {
                     Ok((qa_idx, coords)) => self
@@ -451,6 +548,7 @@ fn explain_value(
     surface: &EssSurface,
     bouquet: &PlanBouquet<'_>,
     native: &NativeChoice,
+    penalty: &PenaltySelection,
 ) -> Value {
     let grid = surface.grid();
     let d = grid.ndims();
@@ -505,6 +603,28 @@ fn explain_value(
             obj(vec![
                 ("est_sels", num_arr(native.qe_sels.iter().copied())),
                 ("est_cost", num(native.est_cost)),
+            ]),
+        ),
+        (
+            "penalty",
+            obj(vec![
+                ("prior_hash", string(format!("{:016x}", penalty.prior_hash))),
+                ("alpha", num(penalty.alpha)),
+                (
+                    "chosen_plan",
+                    match penalty.chosen.plan_id {
+                        Some(pid) => num(pid as f64),
+                        None => Value::Null,
+                    },
+                ),
+                (
+                    "chosen_fingerprint",
+                    string(format!("{:016x}", penalty.chosen.fingerprint)),
+                ),
+                ("expected_penalty", num(penalty.chosen.expected)),
+                ("cvar", num(penalty.chosen.cvar)),
+                ("native_expected", num(penalty.native.expected)),
+                ("candidates", num(penalty.risks.len() as f64)),
             ]),
         ),
     ])

@@ -18,7 +18,8 @@
 //! ```
 //!
 //! `<algo>` is one of `sb` (SpillBound), `ab` (AlignedBound),
-//! `pb` (PlanBouquet), `pop` (re-optimization baseline), `native`.
+//! `pb` (PlanBouquet), `pop` (re-optimization baseline), `native`, or
+//! `pa` (penalty-aware single-plan selection over a selectivity prior).
 //! `qa` is one selectivity per error-prone predicate (defaults to the
 //! middle of the space).
 
@@ -45,7 +46,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native> [qa...]\n  rqp run <query> <sb|ab|pb|native> --paged [--pool-frames N]\n           (executor-backed out-of-core run over the slotted-page store;\n            env: RQP_PAGE_SIZE / RQP_POOL_FRAMES)\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force] [--lazy [--points N]]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n           [--shards N] [--max-conns N] [--cache-mb MB] [--tenant-quota N] [--pool-frames N] [--recover]\n           (every artifact in --dir is servable via the LRU cache; --queries are pinned)\n           (--recover: replay the intent journal, quarantine corrupt artifacts,\n            and pre-warm the LRU cache from the persisted hot-set manifest)\n           (env: RQP_FAULT_RATE=R RQP_FAULT_SEED=N enable fault injection)\n  rqp bench-serve [--queries q1,q2] [--clients N] [--secs S] [--pipeline D] [--dir DIR]\n           [--workers N] [--shards N] [--queue N] [--threads N] [--min-rps R]\n           (closed-loop throughput/latency bench over precompiled explains)\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]\n  rqp chaos [query] [--seed N] [--rate R]   (defaults: 2D_Q91, seed 42, rate 0.1;\n           also sweeps the page-level fault sites over the paged backend)\n  rqp chaos --crash [--seed N]   crash-recovery matrix: abort the victim process at\n           every named crashpoint (RQP_CRASH_POINT) plus 5 seeded random-delay\n           SIGKILL rounds, recover, and assert bit-identical reports\n  rqp trace <query> [sb|ab|pb] [qa...] [--jsonl FILE] [--flame FILE]\n           (env: RQP_TRACE=jsonl:FILE mirrors the event stream to FILE)\n  rqp trace --check <file>   validate a JSONL trace file"
+        "usage:\n  rqp list\n  rqp explore <query>\n  rqp run <query> <sb|ab|pb|pop|native|pa> [qa...]\n  rqp run <query> <sb|ab|pb|native> --paged [--pool-frames N]\n           (executor-backed out-of-core run over the slotted-page store;\n            env: RQP_PAGE_SIZE / RQP_POOL_FRAMES)\n  rqp run-sql <sql> [qa...]    (mark epps with `-- epp` comments)\n  rqp compare <query>\n  rqp compile <query> [--dir DIR] [--threads N] [--force] [--lazy [--points N]]\n  rqp serve [--addr HOST:PORT] [--dir DIR] [--queries q1,q2] [--workers N] [--queue N] [--threads N]\n           [--shards N] [--max-conns N] [--cache-mb MB] [--tenant-quota N] [--pool-frames N] [--recover]\n           (every artifact in --dir is servable via the LRU cache; --queries are pinned)\n           (--recover: replay the intent journal, quarantine corrupt artifacts,\n            and pre-warm the LRU cache from the persisted hot-set manifest)\n           (env: RQP_FAULT_RATE=R RQP_FAULT_SEED=N enable fault injection)\n  rqp bench-serve [--queries q1,q2] [--clients N] [--secs S] [--pipeline D] [--dir DIR]\n           [--workers N] [--shards N] [--queue N] [--threads N] [--min-rps R]\n           (closed-loop throughput/latency bench over precompiled explains)\n  rqp client <addr> <method> [query] [qa...] [--deadline-ms N]\n  rqp chaos [query] [--seed N] [--rate R]   (defaults: 2D_Q91, seed 42, rate 0.1;\n           also sweeps the page-level fault sites over the paged backend and the\n           penalty-aware risk evaluation)\n  rqp chaos --crash [--seed N]   crash-recovery matrix: abort the victim process at\n           every named crashpoint (RQP_CRASH_POINT) plus 5 seeded random-delay\n           SIGKILL rounds, recover, and assert bit-identical reports\n  rqp trace <query> [sb|ab|pb|pa] [qa...] [--jsonl FILE] [--flame FILE]\n           (env: RQP_TRACE=jsonl:FILE mirrors the event stream to FILE)\n  rqp trace --check <file>   validate a JSONL trace file"
     );
     ExitCode::FAILURE
 }
@@ -268,9 +269,31 @@ fn compile_one(
         EnumerationMode::LeftDeep,
     )
     .map_err(|e| e.to_string())?;
-    let (artifact, prov) = store
+    let (mut artifact, prov) = store
         .compile_or_load(&opt, &bench.grid(), 2.0, 0.2, threads)
         .map_err(|e| e.to_string())?;
+    // Penalty-aware selection rides along in the artifact: attach it to
+    // cold compiles and upgrade warm-loaded pre-penalty (v1) files in
+    // place, so every served artifact carries the chosen plan + prior
+    // hash for the server's load-time verification.
+    if artifact.penalty.is_none() {
+        use rqp::core::{PenaltyConfig, PriorConfig};
+        let (summary, sel) = rqp::experiments::penalty_summary(
+            &artifact,
+            &opt,
+            PriorConfig::default(),
+            &PenaltyConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "{name}: penalty-aware selection: plan {:?} (prior {}, expected {:.4}, CVaR {:.4})",
+            summary.chosen_plan, summary.prior_hash, sel.chosen.expected, sel.chosen.cvar
+        );
+        artifact = artifact.with_penalty(summary);
+        artifact
+            .save(&store.path_for(name))
+            .map_err(|e| e.to_string())?;
+    }
     match &prov {
         Provenance::Warm { load } => println!(
             "{name}: warm load in {:.3}s from {}",
@@ -905,6 +928,21 @@ fn render_timeline(records: &[TraceRecord]) {
             TraceEvent::RecoveryStep { stage, count } => {
                 println!("[{:>4}] recovery {stage}: {count} item(s)", rec.step)
             }
+            TraceEvent::RiskEvaluated {
+                plan_fingerprint,
+                plan_id,
+                expected,
+                cvar,
+            } => {
+                let plan = match plan_id {
+                    Some(p) => format!("plan#{p}"),
+                    None => format!("plan@{plan_fingerprint:08x}"),
+                };
+                println!(
+                    "[{:>4}]   risk {:<10} expected {expected:>10.4}  cvar {cvar:>10.4}",
+                    rec.step, plan
+                );
+            }
         }
     }
     if let Some(line) = pending {
@@ -1093,6 +1131,43 @@ fn main() -> ExitCode {
                     );
                     return ExitCode::SUCCESS;
                 }
+                "pa" => {
+                    use rqp::core::{penalty, EvalContext, PenaltyConfig, PriorConfig};
+                    let choice = rqp::core::NativeChoice::compute(&exp.surface, &opt);
+                    let prior = rqp::core::SelectivityPrior::lognormal(
+                        grid,
+                        &choice.qe_sels,
+                        PriorConfig::default(),
+                    )
+                    .expect("prior over the ESS grid");
+                    let ctx = EvalContext::new(&exp.surface, &opt);
+                    let sel = penalty::select_ctx(&ctx, &prior, &PenaltyConfig::default())
+                        .expect("penalty-aware selection");
+                    let chosen = match sel.chosen.plan_id {
+                        Some(p) => format!("plan#{p}"),
+                        None => format!("plan@{:08x}", sel.chosen.fingerprint),
+                    };
+                    println!(
+                        "penalty-aware: chose {chosen} (prior {:016x}, alpha {})",
+                        sel.prior_hash, sel.alpha
+                    );
+                    println!(
+                        "expected sub-optimality {:.4} (native plan {:.4}), CVaR {:.4}",
+                        sel.chosen.expected, sel.native.expected, sel.chosen.cvar
+                    );
+                    let cost = match sel.chosen.plan_id {
+                        Some(pid) => ctx.matrix().cost(pid, qa_idx),
+                        None => opt.cost_plan(&sel.chosen_plan, &opt.sels_at(&grid.sels(qa_idx))),
+                    };
+                    println!(
+                        "at this qa: cost {:.0} vs optimal {:.0} → sub-optimality {:.2} \
+                         (no worst-case guarantee; expected-case only)",
+                        cost,
+                        opt_cost,
+                        cost / opt_cost
+                    );
+                    return ExitCode::SUCCESS;
+                }
                 other => {
                     eprintln!("unknown algorithm {other}");
                     return usage();
@@ -1213,7 +1288,7 @@ fn main() -> ExitCode {
                         "native".into(),
                         "∞".into(),
                         fmt(row.msoe_native, 1),
-                        "-".into(),
+                        fmt(row.aso_native, 2),
                     ],
                     vec![
                         "PlanBouquet".into(),
@@ -1233,7 +1308,18 @@ fn main() -> ExitCode {
                         fmt(row.msoe_ab, 1),
                         fmt(row.aso_ab, 2),
                     ],
+                    vec![
+                        "PenaltyAware".into(),
+                        "∞".into(),
+                        fmt(row.msoe_pa, 1),
+                        fmt(row.aso_pa, 2),
+                    ],
                 ],
+            );
+            println!(
+                "penalty-aware prior-expected sub-optimality: {:.4} (native plan {:.4}), \
+                 CVaR {:.4} — expected-case guarantee: PA ≤ native under the prior",
+                row.aso_prior_pa, row.aso_prior_native, row.pa_cvar
             );
             ExitCode::SUCCESS
         }
@@ -1957,6 +2043,99 @@ fn main() -> ExitCode {
                 }
             }
 
+            // Penalty-aware selection under oracle faults: transient faults
+            // during the per-candidate risk integration must be absorbed
+            // with a bit-identical selection; persistent faults must
+            // surface as a typed error, never a hang or a silent pick.
+            {
+                use rqp::core::{penalty, EvalContext, PenaltyConfig, PriorConfig};
+                let choice = rqp::core::NativeChoice::compute(&exp.surface, &opt);
+                let prior = rqp::core::SelectivityPrior::lognormal(
+                    grid,
+                    &choice.qe_sels,
+                    PriorConfig::default(),
+                )
+                .expect("prior over the ESS grid");
+                let ctx = EvalContext::new(&exp.surface, &opt);
+                let cfg = PenaltyConfig::default();
+                let clean =
+                    penalty::select_ctx(&ctx, &prior, &cfg).expect("clean penalty-aware selection");
+                let mut pa_faults = 0u64;
+                let mut pa_retries = 0u64;
+                let mut pa_identical = true;
+                for round in 0..8u64 {
+                    let pa_plan =
+                        FaultPlan::new(seed ^ 0xBEEF ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                            .with_site(FaultSite::OracleFull, rate);
+                    match penalty::select_ctx_faulted(
+                        &ctx,
+                        &prior,
+                        &cfg,
+                        &pa_plan,
+                        &RetryPolicy::no_sleep(6),
+                    ) {
+                        Ok((sel, stats)) => {
+                            pa_faults += stats.faults_injected;
+                            pa_retries += stats.retries;
+                            let identical = sel.chosen.fingerprint == clean.chosen.fingerprint
+                                && sel.chosen.expected.to_bits() == clean.chosen.expected.to_bits()
+                                && sel.chosen.cvar.to_bits() == clean.chosen.cvar.to_bits();
+                            if !identical {
+                                pa_identical = false;
+                                violations += 1;
+                                eprintln!(
+                                    "VIOLATION: transient faults changed the penalty-aware \
+                                     selection in round {round} (clean {:016x} vs faulted {:016x})",
+                                    clean.chosen.fingerprint, sel.chosen.fingerprint
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            pa_identical = false;
+                            violations += 1;
+                            eprintln!(
+                                "VIOLATION: transient faults at rate {rate} aborted the \
+                                 penalty-aware selection in round {round}: {e}"
+                            );
+                        }
+                    }
+                }
+                faults += pa_faults;
+                retries += pa_retries;
+                println!(
+                    "penalty-aware sweep: {pa_faults} transient faults absorbed over 8 rounds \
+                     ({pa_retries} retries), selection bit-identical: {pa_identical}"
+                );
+                let persistent = FaultPlan::new(seed).with_site(FaultSite::OracleFull, 1.0);
+                let t0 = std::time::Instant::now();
+                match penalty::select_ctx_faulted(
+                    &ctx,
+                    &prior,
+                    &cfg,
+                    &persistent,
+                    &RetryPolicy::no_sleep(4),
+                ) {
+                    Err(RqpError::Fault(msg)) => println!(
+                        "penalty-aware sweep: persistent faults -> typed error in {:.1}ms ({msg})",
+                        t0.elapsed().as_secs_f64() * 1e3
+                    ),
+                    Err(e) => {
+                        violations += 1;
+                        eprintln!(
+                            "VIOLATION: persistent faults surfaced as `{e}` during \
+                             penalty-aware selection (expected a fault)"
+                        );
+                    }
+                    Ok(_) => {
+                        violations += 1;
+                        eprintln!(
+                            "VIOLATION: persistent faults still produced a \
+                             penalty-aware selection"
+                        );
+                    }
+                }
+            }
+
             println!(
                 "sweep: {} locations x 2 algorithms, {faults} faults injected, \
                  {retries} retries, wasted cost {wasted:.0}",
@@ -1998,8 +2177,8 @@ fn main() -> ExitCode {
                 Some(first) if first.parse::<f64>().is_err() => (first.as_str(), &positionals[1..]),
                 _ => ("sb", &positionals[..]),
             };
-            if !matches!(algo, "sb" | "ab" | "pb") {
-                eprintln!("unknown algorithm {algo} (trace supports sb|ab|pb)");
+            if !matches!(algo, "sb" | "ab" | "pb" | "pa") {
+                eprintln!("unknown algorithm {algo} (trace supports sb|ab|pb|pa)");
                 return usage();
             }
             let qa: Vec<f64> = if qa_args.is_empty() {
@@ -2060,39 +2239,70 @@ fn main() -> ExitCode {
                 .collect();
             let qa_idx = grid.flat(&coords);
             let opt_cost = exp.surface.opt_cost(qa_idx);
-            let report = {
-                rqp::obs::span!("cli.trace.run");
-                match algo {
-                    "sb" => {
-                        let mut a = SpillBound::new(&exp.surface, &opt, 2.0);
-                        a.set_tracer(tracer.clone());
-                        let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
-                        a.run(&mut o).expect("discovery completes")
+            if algo == "pa" {
+                use rqp::core::{penalty, EvalContext, PenaltyConfig, PriorConfig};
+                let sel = {
+                    rqp::obs::span!("cli.trace.run");
+                    let choice = rqp::core::NativeChoice::compute(&exp.surface, &opt);
+                    let prior = rqp::core::SelectivityPrior::lognormal(
+                        grid,
+                        &choice.qe_sels,
+                        PriorConfig::default(),
+                    )
+                    .expect("prior over the ESS grid");
+                    let ctx = EvalContext::new(&exp.surface, &opt);
+                    penalty::select_ctx_traced(&ctx, &prior, &PenaltyConfig::default(), &tracer)
+                        .expect("penalty-aware selection")
+                };
+                tracer.flush();
+                println!(
+                    "trace of {name} [pa] risk integration (prior {:016x}):",
+                    sel.prior_hash
+                );
+                render_timeline(&ring.snapshot());
+                let chosen = match sel.chosen.plan_id {
+                    Some(p) => format!("plan#{p}"),
+                    None => format!("plan@{:08x}", sel.chosen.fingerprint),
+                };
+                println!(
+                    "chose {chosen}: expected {:.4} (native {:.4}), CVaR {:.4} at alpha {}",
+                    sel.chosen.expected, sel.native.expected, sel.chosen.cvar, sel.alpha
+                );
+            } else {
+                let report = {
+                    rqp::obs::span!("cli.trace.run");
+                    match algo {
+                        "sb" => {
+                            let mut a = SpillBound::new(&exp.surface, &opt, 2.0);
+                            a.set_tracer(tracer.clone());
+                            let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
+                            a.run(&mut o).expect("discovery completes")
+                        }
+                        "ab" => {
+                            let mut a = AlignedBound::new(&exp.surface, &opt, 2.0);
+                            a.set_tracer(tracer.clone());
+                            let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
+                            a.run(&mut o).expect("discovery completes")
+                        }
+                        _ => {
+                            let mut a = PlanBouquet::new(&exp.surface, &opt, 2.0, 0.2);
+                            a.set_tracer(tracer.clone());
+                            let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
+                            a.run(&mut o).expect("discovery completes")
+                        }
                     }
-                    "ab" => {
-                        let mut a = AlignedBound::new(&exp.surface, &opt, 2.0);
-                        a.set_tracer(tracer.clone());
-                        let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
-                        a.run(&mut o).expect("discovery completes")
-                    }
-                    _ => {
-                        let mut a = PlanBouquet::new(&exp.surface, &opt, 2.0, 0.2);
-                        a.set_tracer(tracer.clone());
-                        let mut o = CostOracle::at_grid(&opt, grid, qa_idx);
-                        a.run(&mut o).expect("discovery completes")
-                    }
-                }
-            };
-            tracer.flush();
+                };
+                tracer.flush();
 
-            println!("trace of {name} [{algo}] at qa {qa:?} (grid location {qa_idx}):");
-            render_timeline(&ring.snapshot());
-            println!(
-                "sub-optimality {:.2} vs optimal {:.0} (MSO bound {})",
-                report.sub_optimality(opt_cost),
-                opt_cost,
-                rqp::core::spillbound_guarantee(d)
-            );
+                println!("trace of {name} [{algo}] at qa {qa:?} (grid location {qa_idx}):");
+                render_timeline(&ring.snapshot());
+                println!(
+                    "sub-optimality {:.2} vs optimal {:.0} (MSO bound {})",
+                    report.sub_optimality(opt_cost),
+                    opt_cost,
+                    rqp::core::spillbound_guarantee(d)
+                );
+            }
             if let Some(path) = &jsonl_path {
                 println!("event stream mirrored to {path}");
             }

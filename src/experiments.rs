@@ -6,12 +6,16 @@
 //! every algorithm, and persisting machine-readable results under
 //! `target/experiments/` (the source for `EXPERIMENTS.md`).
 
+use rqp_artifacts::{CompiledArtifact, PenaltySummary};
 use rqp_catalog::Catalog;
 use rqp_core::eval::{
-    evaluate_alignedbound_parallel, evaluate_native_ctx, evaluate_planbouquet_parallel,
-    evaluate_spillbound_parallel,
+    evaluate_alignedbound_parallel, evaluate_native_ctx, evaluate_penaltyaware_parallel,
+    evaluate_planbouquet_parallel, evaluate_spillbound_parallel,
 };
-use rqp_core::{EvalContext, PlanBouquet};
+use rqp_core::{
+    penalty, EvalContext, NativeChoice, PenaltyConfig, PenaltySelection, PlanBouquet, PriorConfig,
+    SelectivityPrior,
+};
 use rqp_ess::EssSurface;
 use rqp_optimizer::{CostParams, EnumerationMode, Optimizer};
 use rqp_workloads::BenchQuery;
@@ -98,6 +102,21 @@ pub struct ComparisonRow {
     pub aso_ab: f64,
     /// Empirical MSO of the native optimizer (fixed estimate).
     pub msoe_native: f64,
+    /// Average sub-optimality of the native optimizer (uniform prior).
+    pub aso_native: f64,
+    /// Empirical MSO of the penalty-aware single-plan strategy.
+    pub msoe_pa: f64,
+    /// Average sub-optimality of the penalty-aware strategy (uniform).
+    pub aso_pa: f64,
+    /// Prior-weighted ASO (expected penalty) of the penalty-aware
+    /// choice under the seeded selectivity-error prior.
+    pub aso_prior_pa: f64,
+    /// Prior-weighted ASO of the native plan under the same prior —
+    /// `aso_prior_pa <= aso_prior_native` by construction (the fig14
+    /// gate).
+    pub aso_prior_native: f64,
+    /// CVaR (alpha = 0.9) of the penalty-aware choice under the prior.
+    pub pa_cvar: f64,
     /// Maximum AlignedBound part penalty observed (Table 4).
     pub ab_max_penalty: f64,
     /// Surface preprocessing seconds.
@@ -135,6 +154,17 @@ pub fn compare_with_threads(
         .unwrap_or_else(|e| panic!("{}: AB evaluation: {e}", exp.bench.query.name));
     let native = evaluate_native_ctx(&ctx)
         .unwrap_or_else(|e| panic!("{}: native evaluation: {e}", exp.bench.query.name));
+    let (pa_stats, pa_sel) = {
+        let choice = NativeChoice::compute(&exp.surface, &opt);
+        let prior = SelectivityPrior::lognormal(
+            exp.surface.grid(),
+            &choice.qe_sels,
+            PriorConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: penalty prior: {e}", exp.bench.query.name));
+        evaluate_penaltyaware_parallel(&ctx, &prior, &PenaltyConfig::default(), threads)
+            .unwrap_or_else(|e| panic!("{}: PA evaluation: {e}", exp.bench.query.name))
+    };
     ComparisonRow {
         name: exp.bench.query.name.clone(),
         d,
@@ -149,9 +179,47 @@ pub fn compare_with_threads(
         aso_sb: sb_stats.aso,
         aso_ab: ab_stats.aso,
         msoe_native: native.mso,
+        aso_native: native.aso,
+        msoe_pa: pa_stats.mso,
+        aso_pa: pa_stats.aso,
+        aso_prior_pa: pa_sel.chosen.expected,
+        aso_prior_native: pa_sel.native.expected,
+        pa_cvar: pa_sel.chosen.cvar,
         ab_max_penalty,
         build_secs: exp.build_secs,
     }
+}
+
+/// Runs the offline penalty-aware selection for a compiled artifact and
+/// packages it as the persistable [`PenaltySummary`]. The prior is
+/// centered on the native optimizer's estimated location
+/// ([`NativeChoice::qe_sels`]) — the same construction the server uses
+/// when it re-verifies a loaded artifact, so the compile-time and
+/// serve-time selections are bit-comparable.
+pub fn penalty_summary(
+    artifact: &CompiledArtifact,
+    opt: &Optimizer<'_>,
+    prior_config: PriorConfig,
+    cfg: &PenaltyConfig,
+) -> rqp_common::Result<(PenaltySummary, PenaltySelection)> {
+    let choice = NativeChoice::compute(&artifact.surface, opt);
+    let prior =
+        SelectivityPrior::lognormal(artifact.surface.grid(), &choice.qe_sels, prior_config)?;
+    let ctx = EvalContext::from_parts(&artifact.surface, opt, artifact.matrix.clone())?;
+    let sel = penalty::select_ctx(&ctx, &prior, cfg)?;
+    let summary = PenaltySummary {
+        prior_seed: prior_config.seed,
+        prior_sigma: prior_config.sigma,
+        prior_jitter: prior_config.jitter,
+        alpha: sel.alpha,
+        prior_hash: format!("{:016x}", sel.prior_hash),
+        chosen_plan: sel.chosen.plan_id,
+        chosen_fingerprint: format!("{:016x}", sel.chosen.fingerprint),
+        expected: sel.chosen.expected,
+        cvar: sel.chosen.cvar,
+        native_expected: sel.native.expected,
+    };
+    Ok((summary, sel))
 }
 
 /// Sequential-vs-parallel wall-clock comparison for one query's
@@ -192,6 +260,17 @@ pub fn measure_speedup(exp: &Experiment, ratio: f64, lambda: f64, threads: usize
         .unwrap_or_else(|e| panic!("{}: seed AB evaluation: {e}", exp.bench.query.name));
     let _ = rqp_core::eval::evaluate_native(&exp.surface, &opt)
         .unwrap_or_else(|e| panic!("{}: seed native evaluation: {e}", exp.bench.query.name));
+    let (seed_pa, _) = {
+        let choice = NativeChoice::compute(&exp.surface, &opt);
+        let prior = SelectivityPrior::lognormal(
+            exp.surface.grid(),
+            &choice.qe_sels,
+            PriorConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: seed penalty prior: {e}", exp.bench.query.name));
+        rqp_core::eval::evaluate_penaltyaware(&exp.surface, &opt, &prior, &PenaltyConfig::default())
+            .unwrap_or_else(|e| panic!("{}: seed PA evaluation: {e}", exp.bench.query.name))
+    };
     let seed_secs = ts.elapsed().as_secs_f64();
     drop(opt);
 
@@ -202,6 +281,7 @@ pub fn measure_speedup(exp: &Experiment, ratio: f64, lambda: f64, threads: usize
         ("SB MSOe", seed_sb.mso, seq.msoe_sb),
         ("AB MSOe", seed_ab.mso, seq.msoe_ab),
         ("PB MSOe", seed_pb.mso, seq.msoe_pb),
+        ("PA MSOe", seed_pa.mso, seq.msoe_pa),
     ] {
         assert_eq!(
             a.to_bits(),
@@ -221,6 +301,16 @@ pub fn measure_speedup(exp: &Experiment, ratio: f64, lambda: f64, threads: usize
         ("SB ASO", seq.aso_sb, par.aso_sb),
         ("AB ASO", seq.aso_ab, par.aso_ab),
         ("native MSOe", seq.msoe_native, par.msoe_native),
+        ("native ASO", seq.aso_native, par.aso_native),
+        ("PA MSOe", seq.msoe_pa, par.msoe_pa),
+        ("PA ASO", seq.aso_pa, par.aso_pa),
+        ("PA prior-ASO", seq.aso_prior_pa, par.aso_prior_pa),
+        (
+            "native prior-ASO",
+            seq.aso_prior_native,
+            par.aso_prior_native,
+        ),
+        ("PA CVaR", seq.pa_cvar, par.pa_cvar),
         ("AB max ε", seq.ab_max_penalty, par.ab_max_penalty),
     ] {
         assert_eq!(
@@ -461,6 +551,12 @@ mod tests {
             aso_sb: 2.0,
             aso_ab: 1.9,
             msoe_native: 1e6,
+            aso_native: 9.0e5,
+            msoe_pa: 1.5,
+            aso_pa: 1.2,
+            aso_prior_pa: 1.1,
+            aso_prior_native: 1.3,
+            pa_cvar: 2.0,
             ab_max_penalty: 2.5,
             build_secs: 0.1,
         }

@@ -10,7 +10,10 @@
 use rqp::artifacts::CompiledArtifact;
 use rqp::catalog::{tpcds, Catalog, Column, ColumnStats, DataSet, DataType, Table};
 use rqp::common::{MultiGrid, RqpError};
-use rqp::core::{spillbound_guarantee, AlignedBound, CostOracle, FaultyOracle, SpillBound};
+use rqp::core::{
+    penalty, spillbound_guarantee, AlignedBound, CostOracle, EvalContext, FaultyOracle,
+    NativeChoice, PenaltyConfig, PriorConfig, SelectivityPrior, SpillBound,
+};
 use rqp::ess::EssSurface;
 use rqp::executor::Executor;
 use rqp::faults::{BreakerConfig, FaultPlan, FaultSite, RetryPolicy};
@@ -174,6 +177,105 @@ fn persistent_faults_become_typed_errors_not_hangs() {
         let mut oracle = FaultyOracle::new(inner, &plan).with_fault_budget(0);
         match sb.run(&mut oracle) {
             Err(RqpError::Fault(_)) => {}
+            other => panic!("expected a typed fault, got {other:?}"),
+        }
+    });
+}
+
+/// Builds the penalty-aware fixture pieces over the shared 2D surface:
+/// an eval context, the seeded prior centred on the native estimate, and
+/// the default expected-penalty objective.
+fn pa_parts(f: &'static Fx) -> (EvalContext<'static>, SelectivityPrior, PenaltyConfig) {
+    let ctx = EvalContext::with_threads(&f.surface, &f.opt, 1);
+    let choice = NativeChoice::compute(&f.surface, &f.opt);
+    let prior =
+        SelectivityPrior::lognormal(f.surface.grid(), &choice.qe_sels, PriorConfig::default())
+            .expect("prior over the ESS grid");
+    (ctx, prior, PenaltyConfig::default())
+}
+
+/// Transient oracle faults during penalty-aware risk evaluation are
+/// absorbed by bounded retries and cannot perturb the selection: every
+/// faulted round reproduces the clean selection bit-for-bit (prior hash,
+/// chosen fingerprint, expected penalty, CVaR, and the full per-candidate
+/// risk vector), and the same fault seed replays identical fault
+/// counters.
+#[test]
+fn transient_faults_leave_penalty_selection_bit_identical() {
+    with_watchdog(300, || {
+        let f = fx();
+        let (ctx, prior, cfg) = pa_parts(f);
+        let clean = penalty::select_ctx(&ctx, &prior, &cfg).expect("clean selection");
+        let clean_risks: Vec<(u64, u64, u64)> = clean
+            .risks
+            .iter()
+            .map(|r| (r.fingerprint, r.expected.to_bits(), r.cvar.to_bits()))
+            .collect();
+        let retry = RetryPolicy::no_sleep(6);
+        for rate in [0.05, 0.1] {
+            let mut injected = 0u64;
+            for round in 0..8u64 {
+                let mk_plan = || {
+                    FaultPlan::new(0xBEEF ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                        .with_site(FaultSite::OracleFull, rate)
+                };
+                let (sel, stats) =
+                    penalty::select_ctx_faulted(&ctx, &prior, &cfg, &mk_plan(), &retry)
+                        .unwrap_or_else(|e| {
+                            panic!("rate-{rate} transients must be absorbed (round {round}): {e}")
+                        });
+                assert_eq!(sel.prior_hash, clean.prior_hash, "prior hash drifted");
+                assert_eq!(
+                    sel.chosen.fingerprint, clean.chosen.fingerprint,
+                    "faults changed the chosen plan (round {round}, rate {rate})"
+                );
+                assert_eq!(
+                    sel.chosen.expected.to_bits(),
+                    clean.chosen.expected.to_bits(),
+                    "expected penalty drifted under absorbed faults"
+                );
+                assert_eq!(
+                    sel.chosen.cvar.to_bits(),
+                    clean.chosen.cvar.to_bits(),
+                    "CVaR drifted under absorbed faults"
+                );
+                let risks: Vec<(u64, u64, u64)> = sel
+                    .risks
+                    .iter()
+                    .map(|r| (r.fingerprint, r.expected.to_bits(), r.cvar.to_bits()))
+                    .collect();
+                assert_eq!(risks, clean_risks, "per-candidate risks drifted");
+                // A fresh plan from the same seed replays the same
+                // fault stream (FaultPlan carries its PRNG state, so
+                // the instance itself is not reusable).
+                let (_, replay) =
+                    penalty::select_ctx_faulted(&ctx, &prior, &cfg, &mk_plan(), &retry)
+                        .expect("replay of an absorbed round");
+                assert_eq!(stats, replay, "same seed must replay identical fault stats");
+                injected += stats.faults_injected;
+            }
+            assert!(injected > 0, "rate-{rate} sweep injected no faults");
+        }
+    });
+}
+
+/// A persistent oracle fault exhausts the retry budget during risk
+/// evaluation and surfaces as a typed fault naming the candidate — never
+/// a hang, never a silently skewed selection.
+#[test]
+fn persistent_faults_fail_penalty_selection_with_a_typed_error() {
+    with_watchdog(60, || {
+        let f = fx();
+        let (ctx, prior, cfg) = pa_parts(f);
+        let plan = FaultPlan::new(7).with_site(FaultSite::OracleFull, 1.0);
+        match penalty::select_ctx_faulted(&ctx, &prior, &cfg, &plan, &RetryPolicy::no_sleep(4)) {
+            Err(RqpError::Fault(msg)) => {
+                assert!(msg.contains("persisted"), "unexpected message: {msg}");
+                assert!(
+                    msg.contains("risk evaluation"),
+                    "fault should name the penalty stage: {msg}"
+                );
+            }
             other => panic!("expected a typed fault, got {other:?}"),
         }
     });

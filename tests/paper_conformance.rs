@@ -330,6 +330,117 @@ fn batch_engine_discovery_matches_golden() {
     );
 }
 
+/// Penalty-aware conformance golden: the selection (chosen pool plan,
+/// structural fingerprint, prior hash, expected penalty, CVaR) and its
+/// exhaustive MSOe/ASO for 2D/4D Q91 under a fixed prior seed, pinned
+/// in `tests/golden/penalty_conformance.json`. The floats are rendered
+/// shortest-round-trip, so a single-ulp drift anywhere in the prior
+/// construction, recost arithmetic, or risk integration fails the diff.
+/// Regenerate intentionally with
+/// `RQP_BLESS=1 cargo test --test paper_conformance penalty_selection`
+/// (the name filter leaves the other goldens untouched).
+#[test]
+fn penalty_selection_matches_golden() {
+    use rqp::core::{NativeChoice, Objective, PenaltyConfig, PriorConfig, SelectivityPrior};
+
+    const PRIOR_SEED: u64 = 20260809;
+    let catalog = tpcds::catalog_sf100();
+    let mut out = String::from("{\n");
+    let configs = [(2usize, 12usize), (4, 4)];
+    for (i, (d, grid_points)) in configs.iter().enumerate() {
+        let mut bench = q91_with_dims(&catalog, *d);
+        bench.grid_points = *grid_points;
+        let name = bench.name().to_string();
+        let opt = Optimizer::new(
+            &catalog,
+            &bench.query,
+            CostParams::default(),
+            EnumerationMode::LeftDeep,
+        )
+        .expect("valid query");
+        let surface = EssSurface::build(&opt, bench.grid());
+        let choice = NativeChoice::compute(&surface, &opt);
+        let prior = SelectivityPrior::lognormal(
+            surface.grid(),
+            &choice.qe_sels,
+            PriorConfig {
+                seed: PRIOR_SEED,
+                sigma: 1.0,
+                jitter: 0.1,
+            },
+        )
+        .expect("prior over the ESS grid");
+        let ctx = EvalContext::with_threads(&surface, &opt, 1);
+        let cfg = PenaltyConfig {
+            alpha: 0.9,
+            objective: Objective::Expected,
+        };
+        let (stats, sel) =
+            rqp::core::eval::evaluate_penaltyaware_ctx(&ctx, &prior, &cfg).expect("PA sweep");
+        assert!(
+            sel.chosen.expected <= sel.native.expected,
+            "{name}: chosen expected {} exceeds native {}",
+            sel.chosen.expected,
+            sel.native.expected
+        );
+        let _ = writeln!(out, "  \"{name}\": {{");
+        let _ = writeln!(out, "    \"grid_points\": {grid_points},");
+        let _ = writeln!(out, "    \"prior_seed\": {PRIOR_SEED},");
+        let _ = writeln!(out, "    \"prior_hash\": \"{:016x}\",", sel.prior_hash);
+        let _ = writeln!(
+            out,
+            "    \"chosen_plan\": {},",
+            sel.chosen
+                .plan_id
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "null".into())
+        );
+        let _ = writeln!(
+            out,
+            "    \"chosen_fingerprint\": \"{:016x}\",",
+            sel.chosen.fingerprint
+        );
+        let _ = writeln!(
+            out,
+            "    \"expected_penalty\": {},",
+            fmt_f64(sel.chosen.expected)
+        );
+        let _ = writeln!(out, "    \"cvar\": {},", fmt_f64(sel.chosen.cvar));
+        let _ = writeln!(
+            out,
+            "    \"native_expected\": {},",
+            fmt_f64(sel.native.expected)
+        );
+        let _ = writeln!(out, "    \"msoe_pa\": {},", fmt_f64(stats.mso));
+        let _ = writeln!(out, "    \"aso_pa\": {}", fmt_f64(stats.aso));
+        let _ = writeln!(out, "  }}{}", if i + 1 < configs.len() { "," } else { "" });
+    }
+    out.push_str("}\n");
+
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/penalty_conformance.json");
+    if std::env::var_os("RQP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, &out).expect("write golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); generate it with RQP_BLESS=1 cargo test --test paper_conformance penalty_selection",
+            path.display()
+        )
+    });
+    assert_eq!(
+        out,
+        expected,
+        "penalty-aware conformance drifted from {}.\n\
+         If the change is intentional, regenerate with:\n\
+         RQP_BLESS=1 cargo test --test paper_conformance penalty_selection",
+        path.display()
+    );
+}
+
 #[test]
 fn golden_numbers_match() {
     let rows = vec![

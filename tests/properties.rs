@@ -309,3 +309,117 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Penalty-aware selection invariants. Surface builds dominate; few cases.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A degenerate point-mass prior at `qa` reduces expected penalty to
+    /// plain sub-optimality at `qa`, so the selection must pick a plan
+    /// that is optimal there (expected penalty exactly 1.0) and the CVaR
+    /// of the zero-width prior must equal the expectation bit-for-bit.
+    #[test]
+    fn degenerate_prior_selects_the_optimal_plan(
+        c0 in 0usize..8,
+        c1 in 0usize..8,
+        n in 5usize..9,
+        alpha_pct in 0u32..=100,
+    ) {
+        use rqp::core::{penalty, Objective, PenaltyConfig, SelectivityPrior};
+        let f = fx();
+        let opt = Optimizer::new(&f.catalog, &f.query, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-7, n));
+        let qa = surface.grid().flat(&[c0 % n, c1 % n]);
+        let prior = SelectivityPrior::delta(surface.grid(), qa);
+        let cfg = PenaltyConfig { alpha: alpha_pct as f64 / 100.0, objective: Objective::Expected };
+        let ctx = EvalContext::new(&surface, &opt);
+        let sel = penalty::select_ctx(&ctx, &prior, &cfg).unwrap();
+        prop_assert_eq!(
+            sel.chosen.expected.to_bits(),
+            1.0f64.to_bits(),
+            "delta prior at {} chose a non-optimal plan (expected {})",
+            qa,
+            sel.chosen.expected
+        );
+        // Zero-width prior: the tail IS the point mass at any alpha.
+        for risk in &sel.risks {
+            prop_assert_eq!(
+                risk.cvar.to_bits(),
+                risk.expected.to_bits(),
+                "zero-width prior CVaR {} != expected {}",
+                risk.cvar,
+                risk.expected
+            );
+        }
+    }
+
+    /// Prior renormalization: the compensated total mass is 1 within
+    /// 1 ulp for arbitrary centers, widths, jitters and seeds.
+    #[test]
+    fn prior_mass_renormalizes_to_one_within_one_ulp(
+        e0 in -7.0f64..=0.0,
+        e1 in -7.0f64..=0.0,
+        sigma in 0.1f64..4.0,
+        jitter in 0.0f64..0.9,
+        seed in 0u64..u64::MAX,
+        n in 4usize..16,
+    ) {
+        use rqp::core::{PriorConfig, SelectivityPrior};
+        let grid = MultiGrid::uniform(2, 1e-7, n);
+        let center = [10f64.powf(e0), 10f64.powf(e1)];
+        let prior = SelectivityPrior::lognormal(
+            &grid,
+            &center,
+            PriorConfig { seed, sigma, jitter },
+        ).unwrap();
+        let total = prior.total();
+        let ulp = 1.0f64.to_bits().abs_diff(total.to_bits());
+        prop_assert!(ulp <= 1, "prior mass {total} is {ulp} ulps from 1.0");
+        prop_assert!(prior.weights().iter().all(|w| *w >= 0.0 && w.is_finite()));
+    }
+
+    /// CVaR is monotone non-decreasing in alpha (a deeper tail averages
+    /// over worse outcomes) and always at least the expectation.
+    #[test]
+    fn cvar_monotone_in_alpha_and_dominates_expectation(
+        c0 in 0usize..8,
+        c1 in 0usize..8,
+        n in 5usize..9,
+        sigma in 0.3f64..2.5,
+        seed in 0u64..1_000_000,
+    ) {
+        use rqp::core::{penalty, Objective, PenaltyConfig, PriorConfig, SelectivityPrior};
+        let f = fx();
+        let opt = Optimizer::new(&f.catalog, &f.query, CostParams::default(), EnumerationMode::LeftDeep).unwrap();
+        let surface = EssSurface::build(&opt, MultiGrid::uniform(2, 1e-7, n));
+        let grid = surface.grid();
+        let center = grid.sels(grid.flat(&[c0 % n, c1 % n]));
+        let prior = SelectivityPrior::lognormal(
+            grid,
+            &center,
+            PriorConfig { seed, sigma, jitter: 0.1 },
+        ).unwrap();
+        let ctx = EvalContext::new(&surface, &opt);
+        let mut prev: Option<Vec<f64>> = None;
+        for alpha in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let cfg = PenaltyConfig { alpha, objective: Objective::Cvar };
+            let sel = penalty::select_ctx(&ctx, &prior, &cfg).unwrap();
+            let cvars: Vec<f64> = sel.risks.iter().map(|r| r.cvar).collect();
+            for (r, c) in sel.risks.iter().zip(&cvars) {
+                prop_assert!(
+                    *c >= r.expected * (1.0 - 1e-12),
+                    "CVaR {} below expectation {} at alpha {}", c, r.expected, alpha
+                );
+            }
+            if let Some(p) = prev {
+                for (lo, hi) in p.iter().zip(&cvars) {
+                    prop_assert!(
+                        *hi >= *lo * (1.0 - 1e-12),
+                        "CVaR not monotone in alpha: {} -> {} at alpha {}", lo, hi, alpha
+                    );
+                }
+            }
+            prev = Some(cvars);
+        }
+    }
+}
